@@ -1,0 +1,48 @@
+# DOEM/Chorel reproduction — common targets.
+
+GO ?= go
+
+.PHONY: all build test race cover bench harness examples fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerates every experiment in EXPERIMENTS.md.
+harness:
+	$(GO) run ./cmd/benchharness
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/restaurants
+	$(GO) run ./examples/subscription
+	$(GO) run ./examples/timetravel
+	$(GO) run ./examples/htmldiff
+	$(GO) run ./examples/triggers
+
+# Short fuzzing pass over every fuzz target.
+fuzz:
+	$(GO) test -fuzz='^FuzzParse$$' -fuzztime=30s -run xxx ./internal/lorel/
+	$(GO) test -fuzz='^FuzzParseUpdate$$' -fuzztime=30s -run xxx ./internal/lorel/
+	$(GO) test -fuzz='^FuzzEval$$' -fuzztime=30s -run xxx ./internal/lorel/
+	$(GO) test -fuzz='^FuzzToOEM$$' -fuzztime=30s -run xxx ./internal/htmldiff/
+	$(GO) test -fuzz='^FuzzMarkup$$' -fuzztime=30s -run xxx ./internal/htmldiff/
+	$(GO) test -fuzz='^FuzzParse$$' -fuzztime=30s -run xxx ./internal/timestamp/
+	$(GO) test -fuzz='^FuzzRead$$' -fuzztime=30s -run xxx ./internal/oemio/
+
+clean:
+	rm -f test_output.txt bench_output.txt htmldiff-output.html

@@ -1,0 +1,236 @@
+// Command chorel is an interactive query shell for OEM and DOEM databases:
+// the reproduction's analogue of the Lore query interface, speaking Chorel.
+//
+// Usage:
+//
+//	chorel [-store DIR] [-translate] [-strategy direct|translated] [QUERY...]
+//
+// With no QUERY arguments, chorel reads queries from standard input, one
+// per line. The built-in demo database "guide" (the paper's running
+// example, Figures 2-4) is always registered; databases from -store are
+// registered under their stored names.
+//
+// Shell commands: .list (databases), .translate QUERY (show the Lorel
+// translation of a Chorel query, Section 5.2), .history NAME, .quit.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/chorel"
+	"repro/internal/doem"
+	"repro/internal/guidegen"
+	"repro/internal/lore"
+	"repro/internal/lorel"
+	"repro/internal/oem"
+	"repro/internal/timestamp"
+)
+
+func main() {
+	storeDir := flag.String("store", "", "database store directory to load")
+	translate := flag.Bool("translate", false, "print the Lorel translation instead of evaluating")
+	strategy := flag.String("strategy", "direct", "execution strategy: direct or translated")
+	flag.Parse()
+
+	if err := run(*storeDir, *translate, *strategy, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "chorel:", err)
+		os.Exit(1)
+	}
+}
+
+type session struct {
+	eng      *lorel.Engine
+	doems    map[string]*doem.Database
+	strategy string
+}
+
+func run(storeDir string, translate bool, strategy string, queries []string) error {
+	if strategy != "direct" && strategy != "translated" {
+		return fmt.Errorf("unknown strategy %q", strategy)
+	}
+	s := &session{eng: lorel.NewEngine(), doems: make(map[string]*doem.Database), strategy: strategy}
+
+	// The paper's running example is always available as "guide".
+	g, ids := guidegen.PaperGuide()
+	d, err := doem.FromHistory(g, guidegen.PaperHistory(ids))
+	if err != nil {
+		return err
+	}
+	s.register("guide", d)
+
+	if storeDir != "" {
+		store, err := lore.Open(storeDir)
+		if err != nil {
+			return err
+		}
+		for _, ent := range store.List() {
+			switch ent.Kind {
+			case "doem":
+				dd, err := store.GetDOEM(ent.Name)
+				if err != nil {
+					return err
+				}
+				s.register(ent.Name, dd)
+			case "oem":
+				db, err := store.GetOEM(ent.Name)
+				if err != nil {
+					return err
+				}
+				s.eng.Register(ent.Name, lorel.NewOEMGraph(db))
+			}
+		}
+	}
+
+	if len(queries) > 0 {
+		for _, q := range queries {
+			if translate {
+				out, err := chorel.TranslateString(q)
+				if err != nil {
+					return err
+				}
+				fmt.Println(out)
+				continue
+			}
+			if err := s.runQuery(q); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	fmt.Println("chorel shell — DOEM/Chorel reproduction (paper database registered as 'guide')")
+	fmt.Println("enter queries, or .help")
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("chorel> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return sc.Err()
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case line == ".quit" || line == ".exit":
+			return nil
+		case line == ".help":
+			fmt.Println(".list | .translate QUERY | .history NAME | .quit")
+			fmt.Println("update/insert/delete statements apply to the addressed DOEM database at the current time")
+		case hasVerb(line, "update") || hasVerb(line, "insert") || hasVerb(line, "delete"):
+			if err := s.runUpdate(line); err != nil {
+				fmt.Println("error:", err)
+			}
+		case line == ".list":
+			for _, n := range s.eng.Names() {
+				fmt.Println(" ", n)
+			}
+		case strings.HasPrefix(line, ".translate "):
+			out, err := chorel.TranslateString(strings.TrimPrefix(line, ".translate "))
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Println(out)
+		case strings.HasPrefix(line, ".history "):
+			name := strings.TrimSpace(strings.TrimPrefix(line, ".history "))
+			d, ok := s.doems[name]
+			if !ok {
+				fmt.Printf("no DOEM database %q\n", name)
+				continue
+			}
+			fmt.Println(d.ExtractHistory())
+		default:
+			if err := s.runQuery(line); err != nil {
+				fmt.Println("error:", err)
+			}
+		}
+	}
+}
+
+func hasVerb(line, verb string) bool {
+	return strings.HasPrefix(strings.ToLower(line), verb+" ")
+}
+
+// runUpdate compiles an update statement and applies it to the DOEM
+// database its target addresses, timestamped now.
+func (s *session) runUpdate(stmt string) error {
+	parsed, err := lorel.ParseUpdate(stmt)
+	if err != nil {
+		return err
+	}
+	d, ok := s.doems[parsed.Target.Head]
+	if !ok {
+		return fmt.Errorf("%q is not a DOEM database (updates need change tracking)", parsed.Target.Head)
+	}
+	next := d.MaxID()
+	set, err := s.eng.CompileUpdate(parsed, func() oem.NodeID {
+		next++
+		return next
+	})
+	if err != nil {
+		return err
+	}
+	if len(set) == 0 {
+		fmt.Println("no matches; nothing applied")
+		return nil
+	}
+	now := timestamp.FromTime(time.Now())
+	if !now.After(d.LastStep()) {
+		now = d.LastStep().Add(time.Second)
+	}
+	if err := d.Apply(now, set); err != nil {
+		return err
+	}
+	fmt.Printf("applied %d operation(s) at %s\n", len(set), now)
+	return nil
+}
+
+func (s *session) register(name string, d *doem.Database) {
+	s.doems[name] = d
+	s.eng.Register(name, d)
+}
+
+func (s *session) runQuery(q string) error {
+	if s.strategy == "translated" {
+		// Translate and run over the encoding of the addressed DOEM
+		// database; fall back to direct evaluation when the query is
+		// untranslatable (wildcards, virtual annotations).
+		if name := s.addressedDOEM(q); name != "" {
+			cdb := chorel.New(name, s.doems[name])
+			res, err := cdb.QueryTranslated(q)
+			if err == nil {
+				fmt.Print(res)
+				return nil
+			}
+		}
+	}
+	res, err := s.eng.Query(q)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res)
+	return nil
+}
+
+// addressedDOEM parses the query and returns the first path head that
+// names a registered DOEM database.
+func (s *session) addressedDOEM(q string) string {
+	parsed, err := lorel.Parse(q)
+	if err != nil {
+		return ""
+	}
+	name := ""
+	parsed.WalkPaths(func(p *lorel.PathExpr) {
+		if name == "" {
+			if _, ok := s.doems[p.Head]; ok {
+				name = p.Head
+			}
+		}
+	})
+	return name
+}

@@ -1,0 +1,54 @@
+// Command htmldiff reproduces the paper's change-visualization tool
+// (Section 1.1, Figure 1): it compares two versions of an HTML page and
+// writes a marked-up copy highlighting insertions, deletions and updates.
+//
+// Usage:
+//
+//	htmldiff [-stats] OLD.html NEW.html > marked.html
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/htmldiff"
+)
+
+func main() {
+	stats := flag.Bool("stats", false, "print change statistics to stderr")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: htmldiff [-stats] OLD.html NEW.html")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), flag.Arg(1), *stats); err != nil {
+		fmt.Fprintln(os.Stderr, "htmldiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(oldPath, newPath string, stats bool) error {
+	oldHTML, err := os.ReadFile(oldPath)
+	if err != nil {
+		return err
+	}
+	newHTML, err := os.ReadFile(newPath)
+	if err != nil {
+		return err
+	}
+	out, err := htmldiff.Markup(string(oldHTML), string(newHTML))
+	if err != nil {
+		return err
+	}
+	if stats {
+		res, err := htmldiff.Diff(string(oldHTML), string(newHTML))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "htmldiff: %d created, %d updated, %d arcs added, %d arcs removed\n",
+			res.Cost.Creates, res.Cost.Updates, res.Cost.Adds, res.Cost.Removes)
+	}
+	_, err = os.Stdout.WriteString(out)
+	return err
+}

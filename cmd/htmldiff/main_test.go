@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunProducesMarkup(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.html")
+	newPath := filepath.Join(dir, "new.html")
+	if err := os.WriteFile(oldPath, []byte(`<ul><li>Janta price 10</li></ul>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newPath, []byte(`<ul><li>Janta price 20</li><li>Hakata</li></ul>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Capture stdout.
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	runErr := run(oldPath, newPath, false)
+	w.Close()
+	os.Stdout = orig
+	if runErr != nil {
+		t.Fatalf("run: %v", runErr)
+	}
+	out := make([]byte, 64*1024)
+	n, _ := r.Read(out)
+	got := string(out[:n])
+	for _, want := range []string{"hd-legend", "hd-ins", "Hakata"} {
+		if !contains(got, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	if err := run("/nonexistent/a.html", "/nonexistent/b.html", false); err == nil {
+		t.Error("missing input accepted")
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

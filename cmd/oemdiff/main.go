@@ -1,0 +1,71 @@
+// Command oemdiff infers the basic change operations between two OEM
+// snapshots stored as .oem.json files (the paper's OEMdiff module,
+// Section 6).
+//
+// Usage:
+//
+//	oemdiff [-match] OLD.oem.json NEW.oem.json
+//
+// By default the snapshots are assumed to share object identity (stable
+// node ids); -match uses the structural matcher instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/change"
+	"repro/internal/oem"
+	"repro/internal/oemdiff"
+	"repro/internal/oemio"
+)
+
+func main() {
+	match := flag.Bool("match", false, "match objects structurally instead of by id")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: oemdiff [-match] OLD.oem.json NEW.oem.json")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), flag.Arg(1), *match); err != nil {
+		fmt.Fprintln(os.Stderr, "oemdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(oldPath, newPath string, match bool) error {
+	old, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	new, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	var set change.Set
+	if match {
+		set, err = oemdiff.Diff(old, new, nil)
+	} else {
+		set, err = oemdiff.DiffIdentity(old, new)
+	}
+	if err != nil {
+		return err
+	}
+	for _, op := range set.Canonical() {
+		fmt.Println(op)
+	}
+	c := oemdiff.Measure(set)
+	fmt.Printf("# %d ops: %d creNode, %d updNode, %d addArc, %d remArc\n",
+		c.Total(), c.Creates, c.Updates, c.Adds, c.Removes)
+	return nil
+}
+
+func load(path string) (*oem.Database, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return oemio.Read(f)
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/guidegen"
+	"repro/internal/oem"
+	"repro/internal/oemio"
+	"repro/internal/value"
+)
+
+func writeDB(t *testing.T, dir, name string, db *oem.Database) string {
+	t.Helper()
+	data, err := oemio.Marshal(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunIdentityDiff(t *testing.T) {
+	dir := t.TempDir()
+	old, ids := guidegen.PaperGuide()
+	new := old.Clone()
+	if err := new.UpdateNode(ids.Price, value.Int(20)); err != nil {
+		t.Fatal(err)
+	}
+	oldPath := writeDB(t, dir, "old.json", old)
+	newPath := writeDB(t, dir, "new.json", new)
+	if err := run(oldPath, newPath, false); err != nil {
+		t.Fatalf("identity diff: %v", err)
+	}
+	if err := run(oldPath, newPath, true); err != nil {
+		t.Fatalf("matching diff: %v", err)
+	}
+}
+
+func TestRunBadInputs(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(bad, bad, false); err == nil {
+		t.Error("garbage input accepted")
+	}
+	if err := run("/nonexistent", "/nonexistent", false); err == nil {
+		t.Error("missing file accepted")
+	}
+}

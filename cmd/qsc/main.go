@@ -1,0 +1,124 @@
+// Command qsc is the Query Subscription Client (paper Figure 7): it
+// connects to a qss server, creates subscriptions, and prints the
+// notifications as they arrive.
+//
+// Usage:
+//
+//	qsc -connect ADDR list
+//	qsc -connect ADDR poll NAME [TIME]
+//	qsc -connect ADDR watch NAME SOURCE POLLING FILTER [FREQ]
+//
+// Example (against the demo server):
+//
+//	qsc watch NewRestaurants guide \
+//	  'select guide.restaurant' \
+//	  'select NewRestaurants.restaurant<cre at T> where T > t[-1]' \
+//	  'every 3 seconds'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/oem"
+	"repro/internal/qss"
+)
+
+func main() {
+	addr := flag.String("connect", "127.0.0.1:4997", "qss server address")
+	sourceName := flag.String("source-name", "", "name the polling query uses for the source (default: the source name)")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	if err := run(*addr, *sourceName, args); err != nil {
+		fmt.Fprintln(os.Stderr, "qsc:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  qsc [-connect ADDR] list
+  qsc [-connect ADDR] poll NAME [TIME]
+  qsc [-connect ADDR] watch NAME SOURCE POLLING FILTER [FREQ]`)
+	os.Exit(2)
+}
+
+func run(addr, sourceName string, args []string) error {
+	cl, err := qss.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+
+	switch args[0] {
+	case "list":
+		names, err := cl.List()
+		if err != nil {
+			return err
+		}
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return nil
+	case "poll":
+		if len(args) < 2 {
+			usage()
+		}
+		at := ""
+		if len(args) > 2 {
+			at = args[2]
+		}
+		return cl.Poll(args[1], at)
+	case "watch":
+		if len(args) < 5 {
+			usage()
+		}
+		name, source, polling, filter := args[1], args[2], args[3], args[4]
+		freq := ""
+		if len(args) > 5 {
+			freq = args[5]
+		}
+		sn := sourceName
+		if sn == "" {
+			sn = source
+		}
+		if err := cl.Subscribe(name, source, sn, polling, filter, freq); err != nil {
+			return err
+		}
+		fmt.Printf("qsc: subscribed %q; waiting for notifications (Ctrl-C to stop)\n", name)
+		for n := range cl.Notifications() {
+			fmt.Printf("\n== %s @ %s ==\n", n.Subscription, n.At)
+			printAnswer(n.Answer)
+		}
+		return nil
+	default:
+		usage()
+		return nil
+	}
+}
+
+// printAnswer renders a notification's answer database as an indented tree.
+func printAnswer(db *oem.Database) {
+	var walk func(n oem.NodeID, indent string, seen map[oem.NodeID]bool)
+	walk = func(n oem.NodeID, indent string, seen map[oem.NodeID]bool) {
+		if seen[n] {
+			fmt.Printf("%s(shared %s)\n", indent, n)
+			return
+		}
+		seen[n] = true
+		for _, a := range db.Out(n) {
+			v := db.MustValue(a.Child)
+			if v.IsComplex() {
+				fmt.Printf("%s%s:\n", indent, a.Label)
+				walk(a.Child, indent+"  ", seen)
+			} else {
+				fmt.Printf("%s%s: %s\n", indent, a.Label, v.Display())
+			}
+		}
+	}
+	walk(db.Root(), "  ", make(map[oem.NodeID]bool))
+}

@@ -1,0 +1,127 @@
+// Command qss runs the Query Subscription Service server (paper Section 6,
+// Figure 7). It hosts one or more information sources and accepts QSC
+// client connections over TCP.
+//
+// Usage:
+//
+//	qss [-listen ADDR] [-guide N] [-library N] [-evolve DUR] [-csv NAME=PATH:KEY:ROW]...
+//
+// Built-in demo sources:
+//
+//	guide    a synthetic restaurant guide with N entries that evolves
+//	         every -evolve interval (default 2s), polled as "guide"
+//	library  a circulation simulator with N books, polled as "library"
+//
+// CSV sources re-read PATH on every poll, exposing rows as ROW objects
+// keyed by the KEY column.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/guidegen"
+	"repro/internal/library"
+	"repro/internal/oem"
+	"repro/internal/qss"
+	"repro/internal/wrapper"
+)
+
+type csvFlags []string
+
+func (c *csvFlags) String() string     { return strings.Join(*c, ",") }
+func (c *csvFlags) Set(s string) error { *c = append(*c, s); return nil }
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:4997", "address to listen on")
+	guideN := flag.Int("guide", 50, "restaurants in the demo guide source")
+	libN := flag.Int("library", 30, "books in the demo library source")
+	evolve := flag.Duration("evolve", 2*time.Second, "interval between demo source changes")
+	seed := flag.Int64("seed", 1, "random seed for the demo sources")
+	var csvs csvFlags
+	flag.Var(&csvs, "csv", "CSV source as NAME=PATH:KEY:ROW (repeatable)")
+	flag.Parse()
+
+	if err := run(*listen, *guideN, *libN, *evolve, *seed, csvs); err != nil {
+		fmt.Fprintln(os.Stderr, "qss:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen string, guideN, libN int, evolve time.Duration, seed int64, csvs []string) error {
+	sources := make(map[string]wrapper.Source)
+
+	// Demo guide: a mutable source evolved by a background goroutine.
+	ev := guidegen.NewEvolver(seed, guideN)
+	guideSrc := wrapper.NewMutable(ev.DB)
+	sources["guide"] = guideSrc
+
+	// Demo library.
+	sim := library.New(seed, libN)
+	libSrc := wrapper.NewMutable(sim.DB())
+	sources["library"] = libSrc
+
+	for _, spec := range csvs {
+		name, src, err := parseCSVSpec(spec)
+		if err != nil {
+			return err
+		}
+		sources[name] = src
+	}
+
+	// Background evolution of the demo sources.
+	rng := rand.New(rand.NewSource(seed))
+	go func() {
+		for {
+			time.Sleep(evolve)
+			guideSrc.Mutate(func(*oem.Database) error {
+				ev.Step(2 + rng.Intn(4))
+				return nil
+			})
+			libSrc.Mutate(func(*oem.Database) error {
+				sim.Step(1 + rng.Intn(3))
+				return nil
+			})
+		}
+	}()
+
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("qss: listening on %s (sources: %s)\n", ln.Addr(), sourceNames(sources))
+	srv := qss.NewServer(sources, qss.RealClock{})
+	srv.Serve(ln)
+	return nil
+}
+
+func parseCSVSpec(spec string) (string, wrapper.Source, error) {
+	eq := strings.IndexByte(spec, '=')
+	if eq < 0 {
+		return "", nil, fmt.Errorf("bad -csv spec %q (want NAME=PATH:KEY:ROW)", spec)
+	}
+	name := spec[:eq]
+	parts := strings.Split(spec[eq+1:], ":")
+	if len(parts) != 3 {
+		return "", nil, fmt.Errorf("bad -csv spec %q (want NAME=PATH:KEY:ROW)", spec)
+	}
+	path, key, row := parts[0], parts[1], parts[2]
+	src := wrapper.NewCSV(row, key, func() (string, error) {
+		data, err := os.ReadFile(path)
+		return string(data), err
+	})
+	return name, src, nil
+}
+
+func sourceNames(m map[string]wrapper.Source) string {
+	var names []string
+	for n := range m {
+		names = append(names, n)
+	}
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseCSVSpec(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "books.csv")
+	if err := os.WriteFile(path, []byte("id,title\n1,Dune\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	name, src, err := parseCSVSpec("books=" + path + ":id:book")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "books" {
+		t.Errorf("name = %q", name)
+	}
+	db, err := src.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(db.OutLabeled(db.Root(), "book")); got != 1 {
+		t.Errorf("books = %d", got)
+	}
+	if !src.StableIDs() {
+		t.Error("csv source should have stable ids")
+	}
+
+	for _, bad := range []string{"", "noequals", "x=only-one-part", "x=a:b", "x=a:b:c:d"} {
+		if _, _, err := parseCSVSpec(bad); err == nil {
+			t.Errorf("parseCSVSpec(%q) succeeded", bad)
+		}
+	}
+}

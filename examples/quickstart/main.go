@@ -1,0 +1,71 @@
+// Quickstart: build a small semistructured database, record changes, and
+// query data and changes together with Chorel.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// 1. Build an OEM database: a guide with one restaurant.
+	db := repro.NewOEM()
+	guide := db.Root()
+	rest := db.CreateNode(repro.Complex())
+	must(db.AddArc(guide, "restaurant", rest))
+	name := db.CreateNode(repro.Str("Bangkok Cuisine"))
+	must(db.AddArc(rest, "name", name))
+	price := db.CreateNode(repro.Int(10))
+	must(db.AddArc(rest, "price", price))
+
+	// 2. Place it under change management and record a history: the price
+	// rises on 1Jan97, and a second restaurant appears on 5Jan97.
+	cdb := repro.Open("guide", db)
+	must(cdb.Apply(repro.MustParseTime("1Jan97"), repro.ChangeSet{
+		repro.UpdNode{Node: price, Value: repro.Int(20)},
+	}))
+	hakata := repro.NodeID(100)
+	hname := repro.NodeID(101)
+	must(cdb.Apply(repro.MustParseTime("5Jan97"), repro.ChangeSet{
+		repro.CreNode{Node: hakata, Value: repro.Complex()},
+		repro.CreNode{Node: hname, Value: repro.Str("Hakata")},
+		repro.AddArc{Parent: guide, Label: "restaurant", Child: hakata},
+		repro.AddArc{Parent: hakata, Label: "name", Child: hname},
+	}))
+
+	// 3. Query the data (plain Lorel — sees the current snapshot).
+	res, err := cdb.Query(`select N from guide.restaurant.name N`)
+	check(err)
+	fmt.Println("restaurants now:")
+	fmt.Print(res)
+
+	// 4. Query the changes (Chorel annotation expressions).
+	res, err = cdb.Query(`select N, T from guide.<add at T>restaurant R, R.name N`)
+	check(err)
+	fmt.Println("\nrestaurants added, and when:")
+	fmt.Print(res)
+
+	res, err = cdb.Query(`select OV, NV from guide.restaurant.price<upd from OV to NV>`)
+	check(err)
+	fmt.Println("\nprice changes (old -> new):")
+	fmt.Print(res)
+
+	// 5. Time travel: the guide as of 2Jan97 has one restaurant.
+	snap := cdb.SnapshotAt(repro.MustParseTime("2Jan97"))
+	fmt.Printf("\nrestaurants on 2Jan97: %d\n", len(snap.OutLabeled(snap.Root(), "restaurant")))
+	fmt.Printf("restaurants today:     %d\n", len(cdb.Current().OutLabeled(guide, "restaurant")))
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

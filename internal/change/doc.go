@@ -1,0 +1,41 @@
+// Package change — canonical ordering argument.
+//
+// The paper (Section 2.2) defines a *set* U of basic change operations to be
+// valid for a database O when (1) some linearization of U is a valid
+// sequence, (2) every valid linearization produces the same result, and
+// (3) U does not contain both addArc(p,l,c) and remArc(p,l,c).
+//
+// This package decides validity by attempting the single canonical order
+//
+//	creNode* ; remArc* ; updNode* ; addArc*
+//
+// after first rejecting the non-commuting combinations (two updNode on one
+// node; duplicate operations; add+rem of the same arc). The canonical order
+// realizes every valid set:
+//
+//   - creNode first: creations have no preconditions besides id freshness,
+//     and every other operation's precondition can only be *enabled*, never
+//     disabled, by a creation.
+//
+//   - remArc before updNode: updNode(n, v) requires n to be atomic or a
+//     childless complex node, so removals of n's outgoing arcs must precede
+//     it. Condition (3) guarantees no removed arc is re-added in the same
+//     set, so performing all removals first never disables a later
+//     operation: remArc's own precondition (arc exists) cannot be
+//     established by any other operation in the set (addArc of the same
+//     triple is banned, and no other operation creates arcs).
+//
+//   - updNode before addArc: addArc(p, l, c) requires p complex, which an
+//     updNode(p, C) may establish; conversely an updNode(p, v-atomic)
+//     following an addArc to p is invalid in *every* order (the add makes p
+//     non-childless; applying upd first makes p atomic and the add
+//     ill-formed), so ordering updNode first loses no valid sets.
+//
+//   - addArc last: arc additions require only that their endpoints exist and
+//     the parent is complex — both monotone consequences of the earlier
+//     groups — and they enable nothing that precedes them.
+//
+// Hence if any linearization of U is valid, the canonical one is, and the
+// commutativity pre-check makes the result order-independent, matching the
+// paper's condition (2).
+package change

@@ -1,0 +1,88 @@
+package chorel
+
+import (
+	"fmt"
+
+	"repro/internal/encoding"
+	"repro/internal/lorel"
+	"repro/internal/oem"
+	"repro/internal/value"
+)
+
+// AnswerWithHistory materializes a query result as an OEM database in which
+// every selected DOEM object is delivered *with its history*: the paper
+// notes that "the presence of an object variable in a select clause ... is
+// considered as a request for the DOEM objects satisfying the query ...
+// [which] enables a user interface to display both the value and the
+// history of the object" (end of Section 5.2).
+//
+// Each node cell is materialized as its Section 5.1 encoding subtree
+// (&val, &cre, &upd history, live labels plus &l-history objects), copied
+// out of the database's OEM encoding; value cells become plain atoms.
+func (db *DB) AnswerWithHistory(res *lorel.Result) *oem.Database {
+	enc := db.Encoding()
+	out := oem.New()
+	remap := make(map[oem.NodeID]oem.NodeID)
+	for _, row := range res.Rows {
+		parent := out.Root()
+		if len(row.Cells) > 1 {
+			p := out.CreateNode(value.Complex())
+			mustAddArc(out, out.Root(), "answer", p)
+			parent = p
+		}
+		for _, cell := range row.Cells {
+			label := cell.Label
+			if label == "" {
+				label = "value"
+			}
+			switch {
+			case cell.IsNull():
+				continue
+			case cell.IsNode():
+				encID, ok := enc.Fwd[cell.Node()]
+				if !ok {
+					// A node from another registered graph: fall back to a
+					// plain value copy.
+					if v, okv := cell.Value(); okv {
+						mustAddArc(out, parent, label, out.CreateNode(v))
+					}
+					continue
+				}
+				copied := copyEncoded(out, enc.DB, encID, remap)
+				if !out.HasArc(parent, label, copied) {
+					mustAddArc(out, parent, label, copied)
+				}
+			default:
+				v, _ := cell.Value()
+				mustAddArc(out, parent, label, out.CreateNode(v))
+			}
+		}
+	}
+	return out
+}
+
+// copyEncoded copies the subobject closure of an encoding object into dst,
+// sharing across rows via remap.
+func copyEncoded(dst *oem.Database, src *oem.Database, n oem.NodeID, remap map[oem.NodeID]oem.NodeID) oem.NodeID {
+	if id, ok := remap[n]; ok {
+		return id
+	}
+	id := dst.CreateNode(src.MustValue(n))
+	remap[n] = id
+	for _, a := range src.Out(n) {
+		if a.Child == n && a.Label == encoding.LabelVal {
+			// The complex-object &val self-loop.
+			mustAddArc(dst, id, encoding.LabelVal, id)
+			continue
+		}
+		c := copyEncoded(dst, src, a.Child, remap)
+		mustAddArc(dst, id, a.Label, c)
+	}
+	return id
+}
+
+func mustAddArc(db *oem.Database, p oem.NodeID, l string, c oem.NodeID) {
+	if err := db.AddArc(p, l, c); err != nil {
+		panic(fmt.Sprintf("chorel: answer construction: %v", err))
+	}
+}

@@ -1,0 +1,142 @@
+package chorel
+
+import (
+	"repro/internal/doem"
+	"repro/internal/encoding"
+	"repro/internal/lorel"
+	"repro/internal/oem"
+	"repro/internal/timestamp"
+	"repro/internal/value"
+)
+
+// DB bundles a DOEM database with both of the paper's execution strategies:
+// direct evaluation of Chorel on the annotated graph, and translation to
+// Lorel over the Section 5.1 OEM encoding.
+type DB struct {
+	name   string
+	d      *doem.Database
+	direct *lorel.Engine
+
+	// Lazily built translation-side state; invalidated by Invalidate.
+	enc   *encoding.Encoding
+	trans *lorel.Engine
+}
+
+// New wraps a DOEM database for querying under the given name (the head of
+// path expressions, e.g. "guide").
+func New(name string, d *doem.Database) *DB {
+	direct := lorel.NewEngine()
+	direct.Register(name, d)
+	return &DB{name: name, d: d, direct: direct}
+}
+
+// DOEM returns the underlying DOEM database.
+func (db *DB) DOEM() *doem.Database { return db.d }
+
+// Engine returns the direct-evaluation engine (for registering additional
+// databases or setting polling times).
+func (db *DB) Engine() *lorel.Engine { return db.direct }
+
+// SetPollTimes forwards the QSS polling times to both engines.
+func (db *DB) SetPollTimes(times []timestamp.Time) {
+	db.direct.SetPollTimes(times)
+	if db.trans != nil {
+		db.trans.SetPollTimes(times)
+	}
+}
+
+// Invalidate discards the cached OEM encoding after the DOEM database has
+// been modified with Apply.
+func (db *DB) Invalidate() {
+	db.enc = nil
+	db.trans = nil
+}
+
+// Encoding returns (building if needed) the OEM encoding of the database.
+func (db *DB) Encoding() *encoding.Encoding {
+	if db.enc == nil {
+		db.enc = encoding.Encode(db.d)
+		db.trans = lorel.NewEngine()
+		db.trans.Register(db.name, lorel.NewOEMGraph(db.enc.DB))
+		db.trans.SetPollTimes(nil)
+	}
+	return db.enc
+}
+
+// Query evaluates a Chorel query directly on the DOEM database.
+func (db *DB) Query(src string) (*lorel.Result, error) {
+	return db.direct.Query(src)
+}
+
+// QueryTranslated translates the query to plain Lorel and evaluates it on
+// the OEM encoding — the paper's "on top of Lore" strategy. Node cells in
+// the result reference encoding objects; use MapToDOEM to compare against
+// direct results.
+func (db *DB) QueryTranslated(src string) (*lorel.Result, error) {
+	q, err := lorel.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := lorel.Canonicalize(q); err != nil {
+		return nil, err
+	}
+	tq, err := Translate(q)
+	if err != nil {
+		return nil, err
+	}
+	db.Encoding()
+	return db.trans.Eval(tq)
+}
+
+// MapToDOEM maps node ids returned by QueryTranslated (encoding objects)
+// back to the DOEM objects they encode.
+func (db *DB) MapToDOEM(ids []oem.NodeID) []oem.NodeID {
+	enc := db.Encoding()
+	out := make([]oem.NodeID, 0, len(ids))
+	for _, id := range ids {
+		if did, ok := enc.Rev[id]; ok {
+			out = append(out, did)
+		}
+	}
+	return out
+}
+
+// TranslateString parses, canonicalizes and translates a Chorel query and
+// renders the resulting Lorel query as text, in the display style of the
+// paper's Example 5.1 (hoisted where-clause generators become nested
+// exists).
+func TranslateString(src string) (string, error) {
+	q, err := lorel.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	if err := lorel.Canonicalize(q); err != nil {
+		return "", err
+	}
+	tq, err := Translate(q)
+	if err != nil {
+		return "", err
+	}
+	return RenderTranslated(tq), nil
+}
+
+// RenderTranslated renders a translated query as parseable Lorel text.
+// Existential generators are rendered as nested exists quantifiers over the
+// where clause — the paper's own rewriting. (The AST form evaluated by
+// Eval additionally binds null for empty generators; the textual exists
+// form is strictly existential, as in the paper.)
+func RenderTranslated(q *lorel.Query) string {
+	display := &lorel.Query{Select: q.Select, From: q.From, Where: q.Where}
+	if len(q.WhereGens) > 0 {
+		inner := q.Where
+		if inner == nil {
+			inner = &lorel.ConstExpr{Val: value.Bool(true)}
+		}
+		for i := len(q.WhereGens) - 1; i >= 0; i-- {
+			g := q.WhereGens[i]
+			inner = &lorel.ExistsExpr{Var: g.Var, In: g.Path, Cond: inner}
+		}
+		display.Where = inner
+	}
+	return display.String()
+}

@@ -1,0 +1,18 @@
+package chorel
+
+import (
+	"repro/internal/change"
+	"repro/internal/oem"
+	"repro/internal/value"
+)
+
+// changeSetForTest builds a set creating a restaurant node with a name and
+// wiring it under the guide root.
+func changeSetForTest(id oem.NodeID, root oem.NodeID) change.Set {
+	return change.Set{
+		change.CreNode{Node: id, Value: value.Complex()},
+		change.CreNode{Node: id + 1, Value: value.Str("Newcomer")},
+		change.AddArc{Parent: root, Label: "restaurant", Child: id},
+		change.AddArc{Parent: id, Label: "name", Child: id + 1},
+	}
+}

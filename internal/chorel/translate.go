@@ -1,0 +1,263 @@
+// Package chorel implements the Chorel change-query language facilities on
+// top of the shared lorel engine: the translation of Chorel queries into
+// plain Lorel queries over the OEM encoding of a DOEM database (paper
+// Section 5.2), and convenience entry points for both implementation
+// strategies the paper discusses —
+//
+//   - direct: evaluate the Chorel query on the DOEM database itself
+//     (lorel.Engine already understands annotation expressions when the
+//     registered graph is a *doem.Database);
+//
+//   - translated: encode the DOEM database as plain OEM (package encoding)
+//     and run the translated Lorel query on the encoding, mirroring the
+//     paper's "on top of Lore" deployment.
+//
+// Known semantic divergence between the strategies (inherent to the
+// paper's design, not an implementation artifact): selecting an annotation
+// data variable (e.g. the NV of an upd annotation) yields *values* under
+// direct evaluation but *encoding objects* under translation, so duplicate
+// values from distinct annotations deduplicate only in the direct result.
+// Selecting the annotation timestamp alongside removes the ambiguity.
+package chorel
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/encoding"
+	"repro/internal/lorel"
+)
+
+// ErrUntranslatable reports a Chorel construct the Section 5.2 translation
+// does not cover (wildcards with annotations, virtual <at T> annotations).
+var ErrUntranslatable = errors.New("chorel: construct not supported by the Lorel translation")
+
+// Translate rewrites a canonicalized Chorel query into an equivalent plain
+// Lorel query over the Section 5.1 OEM encoding:
+//
+//	X.<add at T>l Y   =>   X.&l-history H, H.&add T, H.&target Y
+//	X.<rem at T>l Y   =>   X.&l-history H, H.&rem T, H.&target Y
+//	X.l<cre at T> Y   =>   X.l Y, Y.&cre T
+//	X.l<upd at T from OV to NV> Y
+//	                  =>   X.l Y, Y.&upd U, U.&time T, U.&ov OV, U.&nv NV
+//
+// and rewrites every value access of an object variable V into V.&val
+// (complex encoding objects carry a &val self-loop, so this is safe without
+// knowing whether V is atomic).
+//
+// The input must already be canonicalized (single-step generators); the
+// output is a valid Lorel query with no annotation expressions.
+func Translate(q *lorel.Query) (*lorel.Query, error) {
+	tr := &translator{objVars: make(map[string]bool)}
+	out := &lorel.Query{}
+
+	var err error
+	out.From, err = tr.generators(q.From)
+	if err != nil {
+		return nil, err
+	}
+	out.WhereGens, err = tr.generators(q.WhereGens)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range q.Select {
+		e, err := tr.expr(s.Expr, false)
+		if err != nil {
+			return nil, err
+		}
+		out.Select = append(out.Select, lorel.SelectItem{Expr: e, Label: s.Label})
+	}
+	if q.Where != nil {
+		out.Where, err = tr.expr(q.Where, true)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+type translator struct {
+	objVars map[string]bool // variables ranging over encoding objects
+	nfresh  int
+}
+
+func (tr *translator) fresh() string {
+	tr.nfresh++
+	return fmt.Sprintf("_t%d", tr.nfresh)
+}
+
+func (tr *translator) generators(items []lorel.FromItem) ([]lorel.FromItem, error) {
+	var out []lorel.FromItem
+	for _, f := range items {
+		gs, err := tr.generator(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, gs...)
+	}
+	return out, nil
+}
+
+// generator translates one single-step range definition.
+func (tr *translator) generator(f lorel.FromItem) ([]lorel.FromItem, error) {
+	p := f.Path
+	if len(p.Steps) == 0 {
+		// Alias: variable kind carries over.
+		if tr.objVars[p.Head] {
+			tr.objVars[f.Var] = true
+		}
+		return []lorel.FromItem{f}, nil
+	}
+	if len(p.Steps) != 1 {
+		return nil, fmt.Errorf("chorel: Translate requires a canonicalized query (multi-step path %s)", p)
+	}
+	step := p.Steps[0]
+	if step.Hash {
+		if step.Arc != nil || step.Node != nil {
+			return nil, fmt.Errorf("%w: annotated wildcard", ErrUntranslatable)
+		}
+		return nil, fmt.Errorf("%w: '#' wildcards traverse encoding labels; use direct evaluation", ErrUntranslatable)
+	}
+	if step.Group != nil {
+		// Group labels are data labels, which the encoding preserves on
+		// current-snapshot arcs; the step passes through unchanged.
+		tr.objVars[f.Var] = true
+		return []lorel.FromItem{f}, nil
+	}
+	if (step.Arc != nil && step.Arc.Op == lorel.OpAt) || (step.Node != nil && step.Node.Op == lorel.OpAt) {
+		return nil, fmt.Errorf("%w: virtual <at T> annotations", ErrUntranslatable)
+	}
+
+	var out []lorel.FromItem
+	gen := func(head string, steps string, vr string) {
+		out = append(out, lorel.FromItem{
+			Path: &lorel.PathExpr{Head: head, Steps: []*lorel.PathStep{{Label: steps, P: step.P}}, P: p.P},
+			Var:  vr,
+		})
+	}
+
+	// The variable holding the target object of this step.
+	target := f.Var
+
+	switch {
+	case step.Arc == nil:
+		// A current-snapshot data step: the label is unchanged in the
+		// encoding.
+		out = append(out, lorel.FromItem{
+			Path: &lorel.PathExpr{Head: p.Head, Steps: []*lorel.PathStep{{
+				Label: step.Label, Quoted: step.Quoted, P: step.P,
+			}}, P: p.P},
+			Var: target,
+		})
+	case step.Arc.Op == lorel.OpAdd || step.Arc.Op == lorel.OpRem:
+		h := tr.fresh()
+		gen(p.Head, encoding.HistoryLabel(step.Label), h)
+		annLabel := encoding.LabelAdd
+		if step.Arc.Op == lorel.OpRem {
+			annLabel = encoding.LabelRem
+		}
+		gen(h, annLabel, step.Arc.AtVar)
+		gen(h, encoding.LabelTarget, target)
+	default:
+		return nil, fmt.Errorf("%w: %s before a label", ErrUntranslatable, step.Arc.Op)
+	}
+	tr.objVars[target] = true
+
+	// Node annotation on the reached object.
+	if step.Node != nil {
+		switch step.Node.Op {
+		case lorel.OpCre:
+			gen(target, encoding.LabelCre, step.Node.AtVar)
+		case lorel.OpUpd:
+			u := tr.fresh()
+			gen(target, encoding.LabelUpd, u)
+			gen(u, encoding.LabelTime, step.Node.AtVar)
+			gen(u, encoding.LabelOV, step.Node.FromVar)
+			gen(u, encoding.LabelNV, step.Node.ToVar)
+		default:
+			return nil, fmt.Errorf("%w: %s after a label", ErrUntranslatable, step.Node.Op)
+		}
+	}
+	return out, nil
+}
+
+// expr rewrites an expression; in value position, object variables become
+// V.&val accesses. valuePos marks positions whose result is compared or
+// computed with (where clauses, arithmetic), as opposed to select items
+// that request the object itself.
+func (tr *translator) expr(e lorel.Expr, valuePos bool) (lorel.Expr, error) {
+	switch x := e.(type) {
+	case *lorel.PathValueExpr:
+		if len(x.Path.Steps) != 0 {
+			return nil, fmt.Errorf("chorel: Translate requires a canonicalized query (path %s in expression)", x.Path)
+		}
+		if valuePos && tr.objVars[x.Path.Head] {
+			return &lorel.PathValueExpr{Path: &lorel.PathExpr{
+				Head:  x.Path.Head,
+				Steps: []*lorel.PathStep{{Label: encoding.LabelVal, P: x.Path.P}},
+				P:     x.Path.P,
+			}}, nil
+		}
+		return x, nil
+	case *lorel.ConstExpr, *lorel.TimeRefExpr:
+		return e, nil
+	case *lorel.BinExpr:
+		lval := x.Op != "and" && x.Op != "or"
+		l, err := tr.expr(x.L, lval)
+		if err != nil {
+			return nil, err
+		}
+		r, err := tr.expr(x.R, lval)
+		if err != nil {
+			return nil, err
+		}
+		return &lorel.BinExpr{Op: x.Op, L: l, R: r, P: x.P}, nil
+	case *lorel.NotExpr:
+		inner, err := tr.expr(x.E, false)
+		if err != nil {
+			return nil, err
+		}
+		return &lorel.NotExpr{E: inner, P: x.P}, nil
+	case *lorel.AggExpr:
+		in, err := tr.plainPath(x.Path)
+		if err != nil {
+			return nil, err
+		}
+		if x.Fn == "count" {
+			// Counting encoding objects equals counting DOEM objects.
+			return &lorel.AggExpr{Fn: x.Fn, Path: in, P: x.P}, nil
+		}
+		// Value folds must read through &val.
+		withVal := &lorel.PathExpr{Head: in.Head, P: in.P}
+		withVal.Steps = append(withVal.Steps, in.Steps...)
+		withVal.Steps = append(withVal.Steps, &lorel.PathStep{Label: encoding.LabelVal, P: x.P})
+		return &lorel.AggExpr{Fn: x.Fn, Path: withVal, P: x.P}, nil
+	case *lorel.ExistsExpr:
+		// The bound variable ranges over encoding objects reached by data
+		// labels; annotations inside exists bodies are not canonicalized,
+		// so only plain paths are accepted.
+		in, err := tr.plainPath(x.In)
+		if err != nil {
+			return nil, err
+		}
+		tr.objVars[x.Var] = true
+		cond, err := tr.expr(x.Cond, true)
+		if err != nil {
+			return nil, err
+		}
+		return &lorel.ExistsExpr{Var: x.Var, In: in, Cond: cond, P: x.P}, nil
+	}
+	return nil, fmt.Errorf("chorel: cannot translate expression %s", e)
+}
+
+func (tr *translator) plainPath(p *lorel.PathExpr) (*lorel.PathExpr, error) {
+	for _, s := range p.Steps {
+		if s.Arc != nil || s.Node != nil {
+			return nil, fmt.Errorf("%w: annotation expressions inside exists bodies", ErrUntranslatable)
+		}
+		if s.Hash {
+			return nil, fmt.Errorf("%w: '#' wildcard inside exists body", ErrUntranslatable)
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,657 @@
+// Package doem implements DOEM (Delta-OEM), the paper's change
+// representation model (Section 3). A DOEM database is an OEM graph whose
+// nodes and arcs carry annotations encoding the complete history of basic
+// change operations:
+//
+//	cre(t)      node created at t
+//	upd(t, ov)  node value updated at t; ov is the old value
+//	add(t)      arc added at t
+//	rem(t)      arc removed at t
+//
+// Removed arcs are never physically deleted — they simply carry a rem
+// annotation — so a DOEM database faithfully stores the original snapshot,
+// every intermediate snapshot, and the encoded history (Section 3.2).
+package doem
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/change"
+	"repro/internal/oem"
+	"repro/internal/timestamp"
+	"repro/internal/value"
+)
+
+// AnnotKind distinguishes the four annotation forms.
+type AnnotKind uint8
+
+// The annotation kinds.
+const (
+	AnnotCre AnnotKind = iota
+	AnnotUpd
+	AnnotAdd
+	AnnotRem
+)
+
+// String returns the paper's keyword for the kind.
+func (k AnnotKind) String() string {
+	switch k {
+	case AnnotCre:
+		return "cre"
+	case AnnotUpd:
+		return "upd"
+	case AnnotAdd:
+		return "add"
+	case AnnotRem:
+		return "rem"
+	default:
+		return fmt.Sprintf("AnnotKind(%d)", uint8(k))
+	}
+}
+
+// NodeAnnot is a cre or upd annotation on a node.
+type NodeAnnot struct {
+	Kind AnnotKind // AnnotCre or AnnotUpd
+	At   timestamp.Time
+	Old  value.Value // old value; meaningful only for AnnotUpd
+}
+
+// String renders the annotation in the paper's notation.
+func (a NodeAnnot) String() string {
+	if a.Kind == AnnotUpd {
+		return fmt.Sprintf("upd(%s, %s)", a.At, a.Old)
+	}
+	return fmt.Sprintf("%s(%s)", a.Kind, a.At)
+}
+
+// ArcAnnot is an add or rem annotation on an arc.
+type ArcAnnot struct {
+	Kind AnnotKind // AnnotAdd or AnnotRem
+	At   timestamp.Time
+}
+
+// String renders the annotation in the paper's notation.
+func (a ArcAnnot) String() string { return fmt.Sprintf("%s(%s)", a.Kind, a.At) }
+
+// UpdInfo is one upd annotation together with the implicitly represented new
+// value (paper Section 4.2: the new value is the old value of the next upd
+// annotation, or the current value if none follows).
+type UpdInfo struct {
+	At  timestamp.Time
+	Old value.Value
+	New value.Value
+}
+
+// ArcEvent is one add or rem annotation on an l-labeled arc, paired with the
+// arc's target; the shape returned by the paper's addFun/remFun.
+type ArcEvent struct {
+	At    timestamp.Time
+	Child oem.NodeID
+}
+
+// Database is a DOEM database: the triple (O, f_N, f_A) of Definition 3.1.
+//
+// Internally it maintains the *current snapshot* as a live OEM database
+// (so unannotated Chorel steps and polling reads are cheap) plus the full
+// arc relation including removed arcs, the annotation maps, and the values
+// of nodes that have been deleted from the current snapshot.
+type Database struct {
+	current *oem.Database
+	// outAll holds every arc ever present, per parent, in insertion order.
+	outAll map[oem.NodeID][]oem.Arc
+	// dead marks arcs in outAll that are absent from the current snapshot.
+	dead map[oem.Arc]bool
+	// deletedValues holds the final value of nodes removed from the current
+	// snapshot by unreachability.
+	deletedValues map[oem.NodeID]value.Value
+	nodeAnn       map[oem.NodeID][]NodeAnnot
+	arcAnn        map[oem.Arc][]ArcAnnot
+	// steps records the timestamps of applied change sets, ascending.
+	steps []timestamp.Time
+}
+
+// Errors returned by Apply.
+var (
+	ErrStaleTimestamp = errors.New("doem: timestamp not after last applied step")
+	ErrDeletedNode    = errors.New("doem: operation references a deleted node")
+	ErrReusedID       = errors.New("doem: node id of a deleted object reused")
+)
+
+// New returns a DOEM database over a copy of the given OEM snapshot with
+// empty annotation sets — the D_0 of Section 3.1. The snapshot's node ids
+// are preserved.
+func New(o *oem.Database) *Database {
+	cur := o.Clone()
+	d := &Database{
+		current:       cur,
+		outAll:        make(map[oem.NodeID][]oem.Arc),
+		dead:          make(map[oem.Arc]bool),
+		deletedValues: make(map[oem.NodeID]value.Value),
+		nodeAnn:       make(map[oem.NodeID][]NodeAnnot),
+		arcAnn:        make(map[oem.Arc][]ArcAnnot),
+	}
+	for _, id := range cur.Nodes() {
+		if arcs := cur.Out(id); len(arcs) > 0 {
+			d.outAll[id] = append([]oem.Arc(nil), arcs...)
+		}
+	}
+	return d
+}
+
+// FromHistory constructs D(O, H) per Section 3.1: it starts from O with
+// empty annotations and applies every step of h, annotating as it goes.
+// O itself is not modified.
+func FromHistory(o *oem.Database, h change.History) (*Database, error) {
+	if err := h.Validate(o); err != nil {
+		return nil, err
+	}
+	d := New(o)
+	for _, step := range h {
+		if err := d.Apply(step.At, step.Ops); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// Root returns the root object id.
+func (d *Database) Root() oem.NodeID { return d.current.Root() }
+
+// Current returns the current snapshot. The returned database is live —
+// callers must not modify it; use Apply.
+func (d *Database) Current() *oem.Database { return d.current }
+
+// LastStep returns the timestamp of the most recently applied step, or
+// timestamp.NegInf if none.
+func (d *Database) LastStep() timestamp.Time {
+	if len(d.steps) == 0 {
+		return timestamp.NegInf
+	}
+	return d.steps[len(d.steps)-1]
+}
+
+// Steps returns the timestamps of all applied steps, ascending.
+func (d *Database) Steps() []timestamp.Time {
+	return append([]timestamp.Time(nil), d.steps...)
+}
+
+// Has reports whether node n exists anywhere in the DOEM graph (including
+// nodes deleted from the current snapshot).
+func (d *Database) Has(n oem.NodeID) bool {
+	if d.current.Has(n) {
+		return true
+	}
+	_, ok := d.deletedValues[n]
+	return ok
+}
+
+// Value returns the current (final) value of n, looking through to deleted
+// nodes.
+func (d *Database) Value(n oem.NodeID) (value.Value, bool) {
+	if v, ok := d.current.Value(n); ok {
+		return v, ok
+	}
+	v, ok := d.deletedValues[n]
+	return v, ok
+}
+
+// Out returns the arcs of n in the current snapshot.
+func (d *Database) Out(n oem.NodeID) []oem.Arc { return d.current.Out(n) }
+
+// OutAll returns every arc ever attached to n, including removed arcs,
+// in insertion order. The slice must not be modified.
+func (d *Database) OutAll(n oem.NodeID) []oem.Arc { return d.outAll[n] }
+
+// IsDead reports whether arc a is absent from the current snapshot.
+func (d *Database) IsDead(a oem.Arc) bool { return d.dead[a] }
+
+// NodeAnnots returns the annotations on node n in timestamp order.
+func (d *Database) NodeAnnots(n oem.NodeID) []NodeAnnot { return d.nodeAnn[n] }
+
+// ArcAnnots returns the annotations on arc a in timestamp order.
+func (d *Database) ArcAnnots(a oem.Arc) []ArcAnnot { return d.arcAnn[a] }
+
+// CreTime implements the paper's creFun: the creation timestamp of n, if n
+// carries a cre annotation.
+func (d *Database) CreTime(n oem.NodeID) (timestamp.Time, bool) {
+	for _, a := range d.nodeAnn[n] {
+		if a.Kind == AnnotCre {
+			return a.At, true
+		}
+	}
+	return timestamp.Time{}, false
+}
+
+// UpdTriples implements the paper's updFun: the (time, old, new) triples of
+// n's upd annotations, in timestamp order.
+func (d *Database) UpdTriples(n oem.NodeID) []UpdInfo {
+	anns := d.nodeAnn[n]
+	var ups []UpdInfo
+	for _, a := range anns {
+		if a.Kind == AnnotUpd {
+			ups = append(ups, UpdInfo{At: a.At, Old: a.Old})
+		}
+	}
+	// The new value of each update is the old value of the next one; the
+	// final update's new value is the node's current value.
+	for i := range ups {
+		if i+1 < len(ups) {
+			ups[i].New = ups[i+1].Old
+		} else if v, ok := d.Value(n); ok {
+			ups[i].New = v
+		}
+	}
+	return ups
+}
+
+// AddEvents implements the paper's addFun(n, l): (t, c) pairs such that the
+// arc (n, l, c) carries an add(t) annotation.
+func (d *Database) AddEvents(n oem.NodeID, label string) []ArcEvent {
+	return d.arcEvents(n, label, AnnotAdd)
+}
+
+// RemEvents implements the paper's remFun(n, l).
+func (d *Database) RemEvents(n oem.NodeID, label string) []ArcEvent {
+	return d.arcEvents(n, label, AnnotRem)
+}
+
+func (d *Database) arcEvents(n oem.NodeID, label string, kind AnnotKind) []ArcEvent {
+	var evs []ArcEvent
+	for _, arc := range d.outAll[n] {
+		if arc.Label != label {
+			continue
+		}
+		for _, a := range d.arcAnn[arc] {
+			if a.Kind == kind {
+				evs = append(evs, ArcEvent{At: a.At, Child: arc.Child})
+			}
+		}
+	}
+	return evs
+}
+
+// Apply incorporates one history step (t, ops) into the DOEM database:
+// it applies the operations to the current snapshot and attaches the
+// corresponding annotations (Section 3.1). The timestamp must be finite and
+// strictly after the last applied step, and the operations must not touch
+// deleted nodes or reuse their ids.
+func (d *Database) Apply(t timestamp.Time, ops change.Set) error {
+	if !t.IsFinite() {
+		return fmt.Errorf("%w: %s", ErrStaleTimestamp, t)
+	}
+	if t.Compare(d.LastStep()) <= 0 {
+		return fmt.Errorf("%w: %s <= %s", ErrStaleTimestamp, t, d.LastStep())
+	}
+	// Deleted-node discipline (paper Section 2.2).
+	for _, op := range ops {
+		switch o := op.(type) {
+		case change.CreNode:
+			if _, dead := d.deletedValues[o.Node]; dead {
+				return fmt.Errorf("%w: %s", ErrReusedID, o.Node)
+			}
+		case change.UpdNode:
+			if _, dead := d.deletedValues[o.Node]; dead {
+				return fmt.Errorf("%w: %s", ErrDeletedNode, op)
+			}
+		case change.AddArc:
+			if d.isDeleted(o.Parent) || d.isDeleted(o.Child) {
+				return fmt.Errorf("%w: %s", ErrDeletedNode, op)
+			}
+		case change.RemArc:
+			if d.isDeleted(o.Parent) || d.isDeleted(o.Child) {
+				return fmt.Errorf("%w: %s", ErrDeletedNode, op)
+			}
+		}
+	}
+	if err := ops.Validate(d.current); err != nil {
+		return err
+	}
+	// Record old values for upd annotations before mutating.
+	oldValues := make(map[oem.NodeID]value.Value)
+	for _, op := range ops {
+		if u, ok := op.(change.UpdNode); ok {
+			v, _ := d.current.Value(u.Node)
+			oldValues[u.Node] = v
+		}
+	}
+	// Apply in canonical order, attaching annotations as the paper's
+	// construction does. Validate has already established that every
+	// operation will succeed.
+	for _, op := range ops.Canonical() {
+		if err := op.Apply(d.current); err != nil {
+			// Unreachable given the Validate above; fail loudly if the
+			// invariant is ever broken.
+			panic(fmt.Sprintf("doem: validated op failed: %s: %v", op, err))
+		}
+		switch o := op.(type) {
+		case change.CreNode:
+			d.nodeAnn[o.Node] = append(d.nodeAnn[o.Node], NodeAnnot{Kind: AnnotCre, At: t})
+		case change.UpdNode:
+			d.nodeAnn[o.Node] = append(d.nodeAnn[o.Node], NodeAnnot{Kind: AnnotUpd, At: t, Old: oldValues[o.Node]})
+		case change.AddArc:
+			arc := oem.Arc{Parent: o.Parent, Label: o.Label, Child: o.Child}
+			if d.dead[arc] {
+				delete(d.dead, arc) // re-added after a removal
+			} else if !d.inOutAll(arc) {
+				d.outAll[o.Parent] = append(d.outAll[o.Parent], arc)
+			}
+			d.arcAnn[arc] = append(d.arcAnn[arc], ArcAnnot{Kind: AnnotAdd, At: t})
+		case change.RemArc:
+			arc := oem.Arc{Parent: o.Parent, Label: o.Label, Child: o.Child}
+			d.dead[arc] = true
+			d.arcAnn[arc] = append(d.arcAnn[arc], ArcAnnot{Kind: AnnotRem, At: t})
+		}
+	}
+	// Nodes that became unreachable are deleted from the current snapshot
+	// (paper Section 2.2) but remain in the DOEM graph, still reachable
+	// through rem-annotated arcs; capture their final values before the
+	// collection drops them. The reachability walk is skipped when the
+	// step cannot have orphaned anything.
+	if ops.NeedsCollection(d.current) {
+		live := d.current.Reachable()
+		for _, id := range d.current.Nodes() {
+			if !live[id] {
+				d.deletedValues[id] = d.current.MustValue(id)
+			}
+		}
+		d.current.GarbageCollect()
+	}
+	d.steps = append(d.steps, t)
+	return nil
+}
+
+func (d *Database) isDeleted(n oem.NodeID) bool {
+	_, dead := d.deletedValues[n]
+	return dead
+}
+
+func (d *Database) inOutAll(a oem.Arc) bool {
+	for _, x := range d.outAll[a.Parent] {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+// SnapshotAt materializes O_t(D), the snapshot at time t (Section 3.2).
+// Node ids are preserved; nodes unreachable at t are absent. SnapshotAt
+// with t = timestamp.NegInf yields the original snapshot O_0(D).
+func (d *Database) SnapshotAt(t timestamp.Time) *oem.Database {
+	out := oem.New()
+	if out.Root() != d.Root() {
+		panic("doem: root id mismatch in snapshot materialization")
+	}
+	// Create every node ever, with its value at time t.
+	ids := d.allNodeIDs()
+	for _, id := range ids {
+		if id == d.Root() {
+			continue
+		}
+		if err := out.CreateNodeWithID(id, d.ValueAt(id, t)); err != nil {
+			panic(fmt.Sprintf("doem: snapshot node %s: %v", id, err))
+		}
+	}
+	// Add arcs live at time t.
+	for _, id := range ids {
+		for _, arc := range d.outAll[id] {
+			if d.ArcLiveAt(arc, t) {
+				if err := out.AddArc(arc.Parent, arc.Label, arc.Child); err != nil {
+					panic(fmt.Sprintf("doem: snapshot arc %s: %v", arc, err))
+				}
+			}
+		}
+	}
+	out.GarbageCollect()
+	return out
+}
+
+// Original returns O_0(D), the snapshot before the first recorded change.
+func (d *Database) Original() *oem.Database { return d.SnapshotAt(timestamp.NegInf) }
+
+func (d *Database) allNodeIDs() []oem.NodeID {
+	seen := make(map[oem.NodeID]bool)
+	var ids []oem.NodeID
+	for _, id := range d.current.Nodes() {
+		seen[id] = true
+		ids = append(ids, id)
+	}
+	for id := range d.deletedValues {
+		if !seen[id] {
+			seen[id] = true
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// ValueAt returns the value of node n at time t per the paper's rule:
+// if the latest upd annotation is at or before t (or there are none), the
+// current value; otherwise the old value of the earliest upd after t.
+func (d *Database) ValueAt(n oem.NodeID, t timestamp.Time) value.Value {
+	cur, _ := d.Value(n)
+	var ups []NodeAnnot
+	for _, a := range d.nodeAnn[n] {
+		if a.Kind == AnnotUpd {
+			ups = append(ups, a)
+		}
+	}
+	if len(ups) == 0 || !ups[len(ups)-1].At.After(t) {
+		return cur
+	}
+	for _, a := range ups {
+		if a.At.After(t) {
+			return a.Old
+		}
+	}
+	return cur
+}
+
+// ArcLiveAt reports whether arc a existed at time t. An arc existed in O_0
+// iff it carries no annotations or its earliest annotation is rem; add/rem
+// annotations with timestamps <= t then toggle its existence.
+func (d *Database) ArcLiveAt(a oem.Arc, t timestamp.Time) bool {
+	anns := d.arcAnn[a]
+	live := len(anns) == 0 || anns[0].Kind == AnnotRem
+	for _, ann := range anns {
+		if ann.At.After(t) {
+			break
+		}
+		live = ann.Kind == AnnotAdd
+	}
+	return live
+}
+
+// ExtractHistory recovers the encoded history H(D) per Section 3.2: one
+// step per distinct annotation timestamp, containing the corresponding
+// basic change operations.
+func (d *Database) ExtractHistory() change.History {
+	byTime := make(map[timestamp.Time]*change.Set)
+	var times []timestamp.Time
+	stepFor := func(t timestamp.Time) *change.Set {
+		if s, ok := byTime[t]; ok {
+			return s
+		}
+		s := &change.Set{}
+		byTime[t] = s
+		times = append(times, t)
+		return s
+	}
+	for _, id := range d.allNodeIDs() {
+		anns := d.nodeAnn[id]
+		ups := d.UpdTriples(id)
+		upIdx := 0
+		for _, a := range anns {
+			switch a.Kind {
+			case AnnotCre:
+				// The created value is the node's value just after creation:
+				// the old value of the first upd, or the current value.
+				v := d.ValueAt(id, a.At)
+				s := stepFor(a.At)
+				*s = append(*s, change.CreNode{Node: id, Value: v})
+			case AnnotUpd:
+				s := stepFor(a.At)
+				*s = append(*s, change.UpdNode{Node: id, Value: ups[upIdx].New})
+				upIdx++
+			}
+		}
+	}
+	for _, id := range d.allNodeIDs() {
+		for _, arc := range d.outAll[id] {
+			for _, a := range d.arcAnn[arc] {
+				s := stepFor(a.At)
+				switch a.Kind {
+				case AnnotAdd:
+					*s = append(*s, change.AddArc{Parent: arc.Parent, Label: arc.Label, Child: arc.Child})
+				case AnnotRem:
+					*s = append(*s, change.RemArc{Parent: arc.Parent, Label: arc.Label, Child: arc.Child})
+				}
+			}
+		}
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i].Before(times[j]) })
+	h := make(change.History, 0, len(times))
+	for _, t := range times {
+		h = append(h, change.Step{At: t, Ops: *byTime[t]})
+	}
+	return h
+}
+
+// Truncate returns a new DOEM database whose history up to and including t
+// is collapsed into the base snapshot: the snapshot at t becomes the new
+// O_0 and only annotations after t survive. Node ids are preserved. This is
+// the paper's Section 6.1 space-for-accuracy trade ("storing a smaller
+// state at the expense of not being able to detect all changes"):
+// queries about instants at or before t see the collapsed state.
+func (d *Database) Truncate(t timestamp.Time) (*Database, error) {
+	base := d.SnapshotAt(t)
+	var h change.History
+	for _, step := range d.ExtractHistory() {
+		if step.At.After(t) {
+			h = append(h, step)
+		}
+	}
+	return FromHistory(base, h)
+}
+
+// Feasible reports whether D = D(O_0(D), H(D)) — i.e. whether this DOEM
+// database is one that some OEM database and valid history produce
+// (Section 3.2).
+func (d *Database) Feasible() bool {
+	o0 := d.Original()
+	h := d.ExtractHistory()
+	rebuilt, err := FromHistory(o0, h)
+	if err != nil {
+		return false
+	}
+	return d.Equal(rebuilt)
+}
+
+// Equal reports whether two DOEM databases are identical: equal current
+// snapshots, equal full arc relations with equal annotation sequences, and
+// equal node annotation sequences.
+func (d *Database) Equal(other *Database) bool {
+	if !d.current.Equal(other.current) {
+		return false
+	}
+	if len(d.nodeAnn) != len(other.nodeAnn) || len(d.arcAnn) != len(other.arcAnn) || len(d.dead) != len(other.dead) {
+		return false
+	}
+	for n, anns := range d.nodeAnn {
+		o := other.nodeAnn[n]
+		if len(o) != len(anns) {
+			return false
+		}
+		for i := range anns {
+			if anns[i].Kind != o[i].Kind || !anns[i].At.Equal(o[i].At) || !anns[i].Old.Equal(o[i].Old) {
+				return false
+			}
+		}
+	}
+	for a, anns := range d.arcAnn {
+		o := other.arcAnn[a]
+		if len(o) != len(anns) {
+			return false
+		}
+		for i := range anns {
+			if anns[i] != o[i] {
+				return false
+			}
+		}
+	}
+	for a := range d.dead {
+		if !other.dead[a] {
+			return false
+		}
+	}
+	for n, v := range d.deletedValues {
+		ov, ok := other.deletedValues[n]
+		if !ok || !v.Equal(ov) {
+			return false
+		}
+	}
+	return len(d.deletedValues) == len(other.deletedValues)
+}
+
+// MaxID returns the largest node id ever used in the database (including
+// nodes deleted from the current snapshot). Id allocators for change
+// scripts must stay above it, since ids are never reused.
+func (d *Database) MaxID() oem.NodeID {
+	var m oem.NodeID
+	for _, id := range d.current.Nodes() {
+		if id > m {
+			m = id
+		}
+	}
+	for id := range d.deletedValues {
+		if id > m {
+			m = id
+		}
+	}
+	return m
+}
+
+// NumAnnotations returns the total count of node and arc annotations.
+func (d *Database) NumAnnotations() int {
+	n := 0
+	for _, a := range d.nodeAnn {
+		n += len(a)
+	}
+	for _, a := range d.arcAnn {
+		n += len(a)
+	}
+	return n
+}
+
+// String renders a deterministic listing with annotations, in the spirit of
+// Figure 4.
+func (d *Database) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "doem root=%s steps=%d annotations=%d\n", d.Root(), len(d.steps), d.NumAnnotations())
+	for _, id := range d.allNodeIDs() {
+		v, _ := d.Value(id)
+		fmt.Fprintf(&b, "  %s = %s", id, v)
+		for _, a := range d.nodeAnn[id] {
+			fmt.Fprintf(&b, " [%s]", a)
+		}
+		if d.isDeleted(id) {
+			b.WriteString(" (deleted)")
+		}
+		b.WriteString("\n")
+		for _, arc := range d.outAll[id] {
+			fmt.Fprintf(&b, "    .%s -> %s", arc.Label, arc.Child)
+			for _, a := range d.arcAnn[arc] {
+				fmt.Fprintf(&b, " [%s]", a)
+			}
+			if d.dead[arc] {
+				b.WriteString(" (removed)")
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}

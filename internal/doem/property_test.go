@@ -1,0 +1,197 @@
+package doem
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/change"
+	"repro/internal/oem"
+	"repro/internal/timestamp"
+	"repro/internal/value"
+)
+
+// randomHistory builds a random but valid (db, history) pair, driving node
+// creation, updates, arc additions and removals from the seed.
+func randomHistory(seed int64, steps, opsPerStep int) (*oem.Database, change.History) {
+	rng := rand.New(rand.NewSource(seed))
+	db := oem.New()
+	// Seed structure: a few complex containers with atomic leaves.
+	var complexes []oem.NodeID
+	complexes = append(complexes, db.Root())
+	for i := 0; i < 4; i++ {
+		c := db.CreateNode(value.Complex())
+		if err := db.AddArc(db.Root(), "container", c); err != nil {
+			panic(err)
+		}
+		complexes = append(complexes, c)
+		for j := 0; j < 3; j++ {
+			a := db.CreateNode(value.Int(rng.Int63n(100)))
+			if err := db.AddArc(c, "leaf", a); err != nil {
+				panic(err)
+			}
+		}
+	}
+
+	// Simulate forward to generate valid ops; work on a scratch copy.
+	scratch := db.Clone()
+	nextID := oem.NodeID(1000)
+	t := timestamp.MustParse("1Jan97")
+	var h change.History
+	for s := 0; s < steps; s++ {
+		var set change.Set
+		touchedUpd := make(map[oem.NodeID]bool)
+		arcTouched := make(map[oem.Arc]bool)
+		for o := 0; o < opsPerStep; o++ {
+			switch rng.Intn(4) {
+			case 0: // create a node and wire it in
+				parent := complexes[rng.Intn(len(complexes))]
+				if !scratch.Has(parent) || !scratch.IsComplex(parent) {
+					continue
+				}
+				id := nextID
+				nextID++
+				var v value.Value
+				if rng.Intn(3) == 0 {
+					v = value.Complex()
+				} else {
+					v = value.Int(rng.Int63n(1000))
+				}
+				arc := oem.Arc{Parent: parent, Label: "gen", Child: id}
+				if arcTouched[arc] {
+					continue
+				}
+				arcTouched[arc] = true
+				set = append(set, change.CreNode{Node: id, Value: v})
+				set = append(set, change.AddArc{Parent: parent, Label: "gen", Child: id})
+				if v.IsComplex() {
+					complexes = append(complexes, id)
+				}
+			case 1: // update a random atomic leaf
+				nodes := scratch.Nodes()
+				n := nodes[rng.Intn(len(nodes))]
+				v, _ := scratch.Value(n)
+				if v.IsComplex() || touchedUpd[n] {
+					continue
+				}
+				touchedUpd[n] = true
+				set = append(set, change.UpdNode{Node: n, Value: value.Int(rng.Int63n(1000))})
+			case 2: // remove a random arc (not from root, to keep things alive)
+				arcs := scratch.Arcs()
+				if len(arcs) == 0 {
+					continue
+				}
+				a := arcs[rng.Intn(len(arcs))]
+				if a.Parent == scratch.Root() || arcTouched[a] {
+					continue
+				}
+				arcTouched[a] = true
+				set = append(set, change.RemArc{Parent: a.Parent, Label: a.Label, Child: a.Child})
+			case 3: // cross-link two existing nodes
+				nodes := scratch.Nodes()
+				p := nodes[rng.Intn(len(nodes))]
+				c := nodes[rng.Intn(len(nodes))]
+				if !scratch.IsComplex(p) {
+					continue
+				}
+				arc := oem.Arc{Parent: p, Label: "link", Child: c}
+				if arcTouched[arc] || scratch.HasArc(p, "link", c) {
+					continue
+				}
+				arcTouched[arc] = true
+				set = append(set, change.AddArc{Parent: p, Label: "link", Child: c})
+			}
+		}
+		if err := set.Validate(scratch); err != nil {
+			// Rare interaction (e.g. update of a node orphaned earlier in
+			// this same set's removals); skip this step.
+			continue
+		}
+		if _, err := set.Apply(scratch); err != nil {
+			panic(err)
+		}
+		h = append(h, change.Step{At: t, Ops: set})
+		t = t.Add(24 * 60 * 60 * 1e9) // +1 day
+	}
+	return db, h
+}
+
+// TestPropertyHistoryRoundTrip: for random valid histories,
+// H(D(O,H)) replays to the same final state and D is feasible.
+func TestPropertyHistoryRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		db, h := randomHistory(seed, 6, 5)
+		d, err := FromHistory(db, h)
+		if err != nil {
+			t.Fatalf("seed %d: FromHistory: %v", seed, err)
+		}
+		// Property 1: O_0(D) equals the input database.
+		if !d.Original().Equal(db) {
+			t.Errorf("seed %d: O_0(D) != O", seed)
+		}
+		// Property 2: replaying H(D) over O_0(D) yields the current snapshot.
+		o0 := d.Original()
+		eh := d.ExtractHistory()
+		if err := eh.Apply(o0); err != nil {
+			t.Errorf("seed %d: extracted history invalid: %v", seed, err)
+			continue
+		}
+		if !o0.Equal(d.Current()) {
+			t.Errorf("seed %d: H(D) replay != current", seed)
+		}
+		// Property 3: feasibility (D(O_0(D), H(D)) = D).
+		if !d.Feasible() {
+			t.Errorf("seed %d: DOEM database infeasible", seed)
+		}
+	}
+}
+
+// TestPropertySnapshotConsistency: for random histories, the snapshot at
+// each step time equals the OEM database produced by replaying the history
+// prefix up to and including that step.
+func TestPropertySnapshotConsistency(t *testing.T) {
+	for seed := int64(100); seed < 115; seed++ {
+		db, h := randomHistory(seed, 5, 4)
+		d, err := FromHistory(db, h)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		replay := db.Clone()
+		for i, step := range h {
+			if _, err := step.Ops.Apply(replay); err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, i, err)
+			}
+			snap := d.SnapshotAt(step.At)
+			if !snap.Equal(replay) {
+				t.Errorf("seed %d: SnapshotAt(step %d = %s) != prefix replay\nsnap:\n%s\nreplay:\n%s",
+					seed, i, step.At, snap, replay)
+			}
+		}
+		// And the final snapshot equals the current snapshot.
+		if len(h) > 0 {
+			if !d.SnapshotAt(h[len(h)-1].At).Equal(d.Current()) {
+				t.Errorf("seed %d: final snapshot != current", seed)
+			}
+		}
+	}
+}
+
+// TestPropertySnapshotBetweenSteps: snapshots at instants strictly between
+// steps equal the snapshot at the preceding step.
+func TestPropertySnapshotBetweenSteps(t *testing.T) {
+	for seed := int64(200); seed < 210; seed++ {
+		db, h := randomHistory(seed, 4, 4)
+		d, err := FromHistory(db, h)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for i := 0; i < len(h); i++ {
+			mid := h[i].At.Add(3600 * 1e9) // one hour after step i
+			if i+1 < len(h) && !mid.Before(h[i+1].At) {
+				continue
+			}
+			if !d.SnapshotAt(mid).Equal(d.SnapshotAt(h[i].At)) {
+				t.Errorf("seed %d: snapshot drift between steps %d and %d", seed, i, i+1)
+			}
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package doem
+
+import (
+	"testing"
+
+	"repro/internal/change"
+	"repro/internal/timestamp"
+	"repro/internal/value"
+)
+
+func TestWireRoundTrip(t *testing.T) {
+	f := newFixture(t)
+	d := f.doem(t)
+	data, err := d.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Equal(back) || !back.Equal(d) {
+		t.Errorf("wire round trip changed database:\nin:\n%s\nout:\n%s", d, back)
+	}
+	// The reloaded database remains fully functional: snapshots, history
+	// extraction and further Apply all work.
+	if !back.SnapshotAt(f.t1).Equal(d.SnapshotAt(f.t1)) {
+		t.Error("snapshot differs after reload")
+	}
+	if !back.Feasible() {
+		t.Error("reloaded database infeasible")
+	}
+	if err := back.Apply(timestamp.MustParse("9Jan97"), change.Set{
+		change.UpdNode{Node: f.price, Value: value.Int(30)},
+	}); err != nil {
+		t.Errorf("Apply after reload: %v", err)
+	}
+}
+
+func TestWireRoundTripWithDeletions(t *testing.T) {
+	f := newFixture(t)
+	d := f.doem(t)
+	if err := d.Apply(timestamp.MustParse("9Jan97"), change.Set{
+		change.RemArc{Parent: f.n2, Label: "comment", Child: f.n5},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := d.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Equal(back) {
+		t.Error("round trip with deleted nodes changed database")
+	}
+	if v, ok := back.Value(f.n5); !ok || !v.Equal(value.Str("need info")) {
+		t.Errorf("deleted node value after reload = %s,%v", v, ok)
+	}
+}
+
+func TestWireRoundTripEmpty(t *testing.T) {
+	d := New(newFixture(t).db)
+	data, err := d.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Equal(back) {
+		t.Error("empty-history round trip changed database")
+	}
+}
+
+func TestUnmarshalGarbage(t *testing.T) {
+	if _, err := Unmarshal([]byte("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Unmarshal([]byte(`{"current":"also not a db"}`)); err == nil {
+		t.Error("bad nested payload accepted")
+	}
+}

@@ -1,0 +1,307 @@
+package encoding
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/change"
+	"repro/internal/doem"
+	"repro/internal/oem"
+	"repro/internal/timestamp"
+	"repro/internal/value"
+)
+
+// ErrMalformed reports an OEM database that is not a well-formed Section 5.1
+// encoding.
+var ErrMalformed = errors.New("encoding: malformed DOEM encoding")
+
+// Decode reconstructs a DOEM database from its OEM encoding. The result is
+// isomorphic to the originally encoded database (node ids are freshly
+// assigned; re-encoding yields an isomorphic encoding).
+func Decode(enc *oem.Database) (*doem.Database, error) {
+	dec := &decoder{enc: enc}
+	if err := dec.scan(); err != nil {
+		return nil, err
+	}
+	return dec.build()
+}
+
+// objInfo is the decoded description of one DOEM object.
+type objInfo struct {
+	encID oem.NodeID
+	val   value.Value // current value
+	cre   *timestamp.Time
+	upds  []doem.UpdInfo
+	arcs  []arcInfo
+}
+
+type arcInfo struct {
+	label  string
+	target oem.NodeID // encoding id of the target
+	events []doem.ArcAnnot
+	live   bool // present among current-snapshot arcs
+}
+
+type decoder struct {
+	enc  *oem.Database
+	objs map[oem.NodeID]*objInfo
+	ord  []oem.NodeID
+}
+
+func (d *decoder) scan() error {
+	d.objs = make(map[oem.NodeID]*objInfo)
+	stack := []oem.NodeID{d.enc.Root()}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if _, done := d.objs[n]; done {
+			continue
+		}
+		info, next, err := d.scanObject(n)
+		if err != nil {
+			return err
+		}
+		d.objs[n] = info
+		d.ord = append(d.ord, n)
+		stack = append(stack, next...)
+	}
+	return nil
+}
+
+// scanObject decodes one encoding object and returns the encoding ids of
+// neighbouring objects to scan.
+func (d *decoder) scanObject(n oem.NodeID) (*objInfo, []oem.NodeID, error) {
+	info := &objInfo{encID: n}
+	var next []oem.NodeID
+	sawVal := false
+	current := make(map[string]map[oem.NodeID]bool) // label -> live targets
+	for _, a := range d.enc.Out(n) {
+		switch {
+		case a.Label == LabelVal:
+			if sawVal {
+				return nil, nil, fmt.Errorf("%w: object %s has two &val children", ErrMalformed, n)
+			}
+			sawVal = true
+			if a.Child == n {
+				info.val = value.Complex()
+			} else {
+				v, ok := d.enc.Value(a.Child)
+				if !ok || v.IsComplex() {
+					return nil, nil, fmt.Errorf("%w: &val of %s is not atomic", ErrMalformed, n)
+				}
+				info.val = v
+			}
+		case a.Label == LabelCre:
+			t, err := d.timeValue(a.Child)
+			if err != nil {
+				return nil, nil, err
+			}
+			if info.cre != nil {
+				return nil, nil, fmt.Errorf("%w: object %s has two &cre children", ErrMalformed, n)
+			}
+			info.cre = &t
+		case a.Label == LabelUpd:
+			u, err := d.scanUpd(a.Child)
+			if err != nil {
+				return nil, nil, err
+			}
+			info.upds = append(info.upds, u)
+		case strings.HasSuffix(a.Label, "-history") && strings.HasPrefix(a.Label, Prefix):
+			label, _ := DataLabel(a.Label)
+			arc, err := d.scanHistory(label, a.Child)
+			if err != nil {
+				return nil, nil, err
+			}
+			info.arcs = append(info.arcs, arc)
+			next = append(next, arc.target)
+		case strings.HasPrefix(a.Label, Prefix):
+			return nil, nil, fmt.Errorf("%w: unknown encoding label %q on %s", ErrMalformed, a.Label, n)
+		default:
+			// A current-snapshot data arc.
+			if current[a.Label] == nil {
+				current[a.Label] = make(map[oem.NodeID]bool)
+			}
+			current[a.Label][a.Child] = true
+			next = append(next, a.Child)
+		}
+	}
+	if !sawVal {
+		return nil, nil, fmt.Errorf("%w: object %s lacks &val", ErrMalformed, n)
+	}
+	sort.Slice(info.upds, func(i, j int) bool { return info.upds[i].At.Before(info.upds[j].At) })
+	// Mark liveness and check consistency in one direction: every
+	// current-snapshot data arc must have a live history entry. (The
+	// converse does not hold — an object deleted by unreachability keeps
+	// live-annotated arcs in its history while contributing no data arcs,
+	// because the current snapshot excludes the whole object.)
+	for i := range info.arcs {
+		arc := &info.arcs[i]
+		arc.live = len(arc.events) == 0 || arc.events[len(arc.events)-1].Kind == doem.AnnotAdd
+		if arc.live {
+			delete(current[arc.label], arc.target)
+		}
+	}
+	for label, targets := range current {
+		if len(targets) > 0 {
+			return nil, nil, fmt.Errorf("%w: current arc %q of %s lacks a live history object", ErrMalformed, label, n)
+		}
+	}
+	return info, next, nil
+}
+
+func (d *decoder) scanUpd(n oem.NodeID) (doem.UpdInfo, error) {
+	var u doem.UpdInfo
+	sawTime, sawOV, sawNV := false, false, false
+	for _, a := range d.enc.Out(n) {
+		switch a.Label {
+		case LabelTime:
+			t, err := d.timeValue(a.Child)
+			if err != nil {
+				return u, err
+			}
+			u.At, sawTime = t, true
+		case LabelOV:
+			v, _ := d.enc.Value(a.Child)
+			u.Old, sawOV = v, true
+		case LabelNV:
+			v, _ := d.enc.Value(a.Child)
+			u.New, sawNV = v, true
+		default:
+			return u, fmt.Errorf("%w: unexpected label %q in &upd", ErrMalformed, a.Label)
+		}
+	}
+	if !sawTime || !sawOV || !sawNV {
+		return u, fmt.Errorf("%w: incomplete &upd object %s", ErrMalformed, n)
+	}
+	return u, nil
+}
+
+func (d *decoder) scanHistory(label string, n oem.NodeID) (arcInfo, error) {
+	arc := arcInfo{label: label}
+	sawTarget := false
+	for _, a := range d.enc.Out(n) {
+		switch a.Label {
+		case LabelTarget:
+			if sawTarget {
+				return arc, fmt.Errorf("%w: history object %s has two targets", ErrMalformed, n)
+			}
+			sawTarget = true
+			arc.target = a.Child
+		case LabelAdd, LabelRem:
+			t, err := d.timeValue(a.Child)
+			if err != nil {
+				return arc, err
+			}
+			kind := doem.AnnotAdd
+			if a.Label == LabelRem {
+				kind = doem.AnnotRem
+			}
+			arc.events = append(arc.events, doem.ArcAnnot{Kind: kind, At: t})
+		default:
+			return arc, fmt.Errorf("%w: unexpected label %q in history object", ErrMalformed, a.Label)
+		}
+	}
+	if !sawTarget {
+		return arc, fmt.Errorf("%w: history object %s lacks &target", ErrMalformed, n)
+	}
+	sort.Slice(arc.events, func(i, j int) bool { return arc.events[i].At.Before(arc.events[j].At) })
+	return arc, nil
+}
+
+func (d *decoder) timeValue(n oem.NodeID) (timestamp.Time, error) {
+	v, ok := d.enc.Value(n)
+	if !ok || v.Kind() != value.KindTime {
+		return timestamp.Time{}, fmt.Errorf("%w: node %s is not a timestamp", ErrMalformed, n)
+	}
+	return v.AsTime(), nil
+}
+
+// build reconstructs the original snapshot and history, then replays them
+// into a DOEM database.
+func (d *decoder) build() (*doem.Database, error) {
+	// Assign fresh DOEM ids: root first, others in scan order.
+	o0 := oem.New()
+	idOf := make(map[oem.NodeID]oem.NodeID, len(d.objs))
+	idOf[d.enc.Root()] = o0.Root()
+	for _, encID := range d.ord {
+		if encID == d.enc.Root() {
+			continue
+		}
+		info := d.objs[encID]
+		idOf[encID] = o0.CreateNode(d.initialValue(info))
+	}
+	// Root's initial value is complex by construction; set others' initial
+	// values already. Now wire initial arcs: those whose first event is rem
+	// or that have no events.
+	for _, encID := range d.ord {
+		info := d.objs[encID]
+		for _, arc := range info.arcs {
+			initial := len(arc.events) == 0 || arc.events[0].Kind == doem.AnnotRem
+			if initial {
+				if err := o0.AddArc(idOf[encID], arc.label, idOf[arc.target]); err != nil {
+					return nil, fmt.Errorf("%w: initial arc: %v", ErrMalformed, err)
+				}
+			}
+		}
+	}
+	// Nodes with cre annotations are not part of O_0; they must be
+	// unreachable there. GarbageCollect drops them (and anything else
+	// unreachable initially).
+	o0.GarbageCollect()
+
+	// Reconstruct the history, one step per distinct timestamp.
+	steps := make(map[timestamp.Time]*change.Set)
+	var times []timestamp.Time
+	stepFor := func(t timestamp.Time) *change.Set {
+		if s, ok := steps[t]; ok {
+			return s
+		}
+		s := &change.Set{}
+		steps[t] = s
+		times = append(times, t)
+		return s
+	}
+	for _, encID := range d.ord {
+		info := d.objs[encID]
+		id := idOf[encID]
+		if info.cre != nil {
+			s := stepFor(*info.cre)
+			*s = append(*s, change.CreNode{Node: id, Value: d.initialValue(info)})
+		}
+		for _, u := range info.upds {
+			s := stepFor(u.At)
+			*s = append(*s, change.UpdNode{Node: id, Value: u.New})
+		}
+		for _, arc := range info.arcs {
+			for _, ev := range arc.events {
+				s := stepFor(ev.At)
+				if ev.Kind == doem.AnnotAdd {
+					*s = append(*s, change.AddArc{Parent: id, Label: arc.label, Child: idOf[arc.target]})
+				} else {
+					*s = append(*s, change.RemArc{Parent: id, Label: arc.label, Child: idOf[arc.target]})
+				}
+			}
+		}
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i].Before(times[j]) })
+	h := make(change.History, 0, len(times))
+	for _, t := range times {
+		h = append(h, change.Step{At: t, Ops: *steps[t]})
+	}
+	rebuilt, err := doem.FromHistory(o0, h)
+	if err != nil {
+		return nil, fmt.Errorf("%w: history replay: %v", ErrMalformed, err)
+	}
+	return rebuilt, nil
+}
+
+// initialValue reconstructs an object's value at its first appearance: the
+// old value of its earliest upd annotation, or its current value.
+func (d *decoder) initialValue(info *objInfo) value.Value {
+	if len(info.upds) > 0 {
+		return info.upds[0].Old
+	}
+	return info.val
+}

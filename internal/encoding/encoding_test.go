@@ -1,0 +1,250 @@
+package encoding
+
+import (
+	"testing"
+
+	"repro/internal/change"
+	"repro/internal/doem"
+	"repro/internal/guidegen"
+	"repro/internal/oem"
+	"repro/internal/timestamp"
+	"repro/internal/value"
+)
+
+func paperDOEM(t testing.TB) (*doem.Database, *guidegen.PaperIDs) {
+	t.Helper()
+	db, ids := guidegen.PaperGuide()
+	d, err := doem.FromHistory(db, guidegen.PaperHistory(ids))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, ids
+}
+
+// TestEncodeStructureFigure5 checks the per-object encoding shapes of
+// Figure 5: &val/&cre/&upd for nodes, &l-history/&target/&add/&rem for arcs.
+func TestEncodeStructureFigure5(t *testing.T) {
+	d, ids := paperDOEM(t)
+	enc := Encode(d)
+	db := enc.DB
+	if err := db.Validate(); err != nil {
+		t.Fatalf("encoding invalid: %v", err)
+	}
+
+	// The price object (updated 10 -> 20 at t1): &val = 20, one &upd with
+	// &time 1Jan97, &ov 10, &nv 20.
+	price := enc.Fwd[ids.Price]
+	vals := db.OutLabeled(price, LabelVal)
+	if len(vals) != 1 {
+		t.Fatalf("&val arcs = %d", len(vals))
+	}
+	if v := db.MustValue(vals[0].Child); !v.Equal(value.Int(20)) {
+		t.Errorf("&val = %s, want 20", v)
+	}
+	upds := db.OutLabeled(price, LabelUpd)
+	if len(upds) != 1 {
+		t.Fatalf("&upd arcs = %d", len(upds))
+	}
+	un := upds[0].Child
+	checkAtom := func(n oem.NodeID, label string, want value.Value) {
+		t.Helper()
+		arcs := db.OutLabeled(n, label)
+		if len(arcs) != 1 {
+			t.Fatalf("%s arcs = %d, want 1", label, len(arcs))
+		}
+		if v := db.MustValue(arcs[0].Child); !v.Equal(want) {
+			t.Errorf("%s = %s, want %s", label, v, want)
+		}
+	}
+	checkAtom(un, LabelTime, value.Time(guidegen.T1))
+	checkAtom(un, LabelOV, value.Int(10))
+	checkAtom(un, LabelNV, value.Int(20))
+
+	// A complex object's &val points to itself.
+	bangkok := enc.Fwd[ids.Bangkok]
+	bv := db.OutLabeled(bangkok, LabelVal)
+	if len(bv) != 1 || bv[0].Child != bangkok {
+		t.Error("complex object's &val must be a self-loop")
+	}
+
+	// Created nodes carry &cre with the right timestamp.
+	hakata := enc.Fwd[ids.Hakata]
+	checkAtom(hakata, LabelCre, value.Time(guidegen.T1))
+
+	// The removed parking arc: Janta has NO live "parking" arc but does
+	// have an &parking-history object with &target and &rem 8Jan97.
+	janta := enc.Fwd[ids.Janta]
+	if len(db.OutLabeled(janta, "parking")) != 0 {
+		t.Error("removed arc still live in encoding")
+	}
+	hist := db.OutLabeled(janta, HistoryLabel("parking"))
+	if len(hist) != 1 {
+		t.Fatalf("&parking-history arcs = %d", len(hist))
+	}
+	hn := hist[0].Child
+	tgt := db.OutLabeled(hn, LabelTarget)
+	if len(tgt) != 1 || tgt[0].Child != enc.Fwd[ids.Parking] {
+		t.Error("&target does not reference the parking encoding object")
+	}
+	checkAtom(hn, LabelRem, value.Time(guidegen.T3))
+
+	// An added arc: guide's restaurant arc to Hakata is live AND has a
+	// history object with &add t1.
+	root := enc.Fwd[ids.Guide]
+	liveRest := db.OutLabeled(root, "restaurant")
+	if len(liveRest) != 3 {
+		t.Errorf("live restaurant arcs = %d, want 3", len(liveRest))
+	}
+	found := false
+	for _, h := range db.OutLabeled(root, HistoryLabel("restaurant")) {
+		tgts := db.OutLabeled(h.Child, LabelTarget)
+		if len(tgts) == 1 && tgts[0].Child == hakata {
+			found = true
+			checkAtom(h.Child, LabelAdd, value.Time(guidegen.T1))
+		}
+	}
+	if !found {
+		t.Error("no &restaurant-history entry targets Hakata")
+	}
+
+	// Every arc ever gets a history object: 3 restaurants + everything else.
+	if got := len(db.OutLabeled(root, HistoryLabel("restaurant"))); got != 3 {
+		t.Errorf("restaurant history objects = %d, want 3", got)
+	}
+}
+
+func TestEncodeOriginalArcsHaveEmptyHistories(t *testing.T) {
+	d, ids := paperDOEM(t)
+	enc := Encode(d)
+	db := enc.DB
+	// Bangkok's name arc is original: history object with target only.
+	bangkok := enc.Fwd[ids.Bangkok]
+	hist := db.OutLabeled(bangkok, HistoryLabel("name"))
+	if len(hist) != 1 {
+		t.Fatalf("name history objects = %d", len(hist))
+	}
+	hn := hist[0].Child
+	if len(db.OutLabeled(hn, LabelAdd)) != 0 || len(db.OutLabeled(hn, LabelRem)) != 0 {
+		t.Error("original arc history must have no add/rem children")
+	}
+}
+
+func TestEncodePreservesSharingAndCycles(t *testing.T) {
+	d, ids := paperDOEM(t)
+	enc := Encode(d)
+	db := enc.DB
+	// The shared parking object has one encoding object; both Bangkok (live)
+	// and Janta (via history) reference it.
+	parking := enc.Fwd[ids.Parking]
+	if parking == oem.InvalidNode {
+		t.Fatal("parking not encoded")
+	}
+	// The nearby-eats cycle survives encoding.
+	ne := db.OutLabeled(parking, "nearby-eats")
+	if len(ne) != 1 || ne[0].Child != enc.Fwd[ids.Bangkok] {
+		t.Error("cycle arc lost in encoding")
+	}
+}
+
+func TestDecodeRoundTrip(t *testing.T) {
+	d, _ := paperDOEM(t)
+	enc := Encode(d)
+	back, err := Decode(enc.DB)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	// The decoded database is isomorphic: re-encoding gives an isomorphic
+	// OEM graph.
+	enc2 := Encode(back)
+	if !oem.Isomorphic(enc.DB, enc2.DB) {
+		t.Error("decode/re-encode is not isomorphic to the original encoding")
+	}
+	// Current snapshots agree structurally.
+	if !oem.Isomorphic(d.Current(), back.Current()) {
+		t.Error("decoded current snapshot differs")
+	}
+	// And the decoded database is feasible.
+	if !back.Feasible() {
+		t.Error("decoded DOEM database infeasible")
+	}
+}
+
+func TestDecodeRoundTripWithDeletions(t *testing.T) {
+	d, ids := paperDOEM(t)
+	// Remove Hakata's comment so a created node is later deleted.
+	if err := d.Apply(timestamp.MustParse("9Jan97"), change.Set{
+		change.RemArc{Parent: ids.Hakata, Label: "comment", Child: ids.Comment},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	enc := Encode(d)
+	back, err := Decode(enc.DB)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !oem.Isomorphic(Encode(back).DB, enc.DB) {
+		t.Error("round trip with deletions not isomorphic")
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	// A plain OEM database is not an encoding (objects lack &val).
+	db, _ := guidegen.PaperGuide()
+	if _, err := Decode(db); err == nil {
+		t.Error("decoding a non-encoding succeeded")
+	}
+}
+
+func TestHistoryLabelRoundTrip(t *testing.T) {
+	l := HistoryLabel("price")
+	if l != "&price-history" {
+		t.Errorf("HistoryLabel = %q", l)
+	}
+	back, ok := DataLabel(l)
+	if !ok || back != "price" {
+		t.Errorf("DataLabel(%q) = %q, %v", l, back, ok)
+	}
+	if _, ok := DataLabel("price"); ok {
+		t.Error("DataLabel accepted a non-history label")
+	}
+	// Hyphenated data labels survive.
+	if back, ok := DataLabel(HistoryLabel("nearby-eats")); !ok || back != "nearby-eats" {
+		t.Errorf("nearby-eats round trip = %q, %v", back, ok)
+	}
+}
+
+func TestMeasureOverhead(t *testing.T) {
+	d, _ := paperDOEM(t)
+	enc := Encode(d)
+	s := Measure(d, enc)
+	if s.DOEMNodes == 0 || s.EncNodes <= s.DOEMNodes {
+		t.Errorf("stats implausible: %+v", s)
+	}
+	if s.NodeFactor() < 1.5 {
+		t.Errorf("node factor = %.2f; encoding should cost well over 1x", s.NodeFactor())
+	}
+	if s.Annotations != 8 {
+		t.Errorf("annotations = %d, want 8", s.Annotations)
+	}
+}
+
+// TestEncodeEmptyDOEM: a DOEM database with no history encodes to just the
+// root with a self &val.
+func TestEncodeEmptyDOEM(t *testing.T) {
+	d := doem.New(oem.New())
+	enc := Encode(d)
+	if enc.DB.NumNodes() != 1 {
+		t.Errorf("nodes = %d, want 1", enc.DB.NumNodes())
+	}
+	vals := enc.DB.OutLabeled(enc.DB.Root(), LabelVal)
+	if len(vals) != 1 || vals[0].Child != enc.DB.Root() {
+		t.Error("root &val self-loop missing")
+	}
+	back, err := Decode(enc.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Current().NumNodes() != 1 {
+		t.Error("decoded empty database not empty")
+	}
+}

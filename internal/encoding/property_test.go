@@ -1,0 +1,69 @@
+package encoding
+
+import (
+	"testing"
+
+	"repro/internal/doem"
+	"repro/internal/guidegen"
+	"repro/internal/oem"
+)
+
+// TestEncodeDecodeRandomHistories: for random evolving guides, encoding and
+// decoding round-trips to an isomorphic encoding, and the decoded database
+// answers snapshot queries identically (structurally) to the original.
+func TestEncodeDecodeRandomHistories(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		initial, h := guidegen.GenerateHistory(seed, 15, 5, 5)
+		d, err := doem.FromHistory(initial, h)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		enc := Encode(d)
+		if err := enc.DB.Validate(); err != nil {
+			t.Fatalf("seed %d: encoding invalid: %v", seed, err)
+		}
+		back, err := Decode(enc.DB)
+		if err != nil {
+			t.Fatalf("seed %d: decode: %v", seed, err)
+		}
+		if !oem.Isomorphic(Encode(back).DB, enc.DB) {
+			t.Errorf("seed %d: re-encoding not isomorphic", seed)
+		}
+		if !oem.Isomorphic(back.Current(), d.Current()) {
+			t.Errorf("seed %d: decoded current snapshot differs", seed)
+		}
+		if !oem.Isomorphic(back.Original(), d.Original()) {
+			t.Errorf("seed %d: decoded original snapshot differs", seed)
+		}
+		// Every intermediate snapshot is preserved up to isomorphism.
+		for _, step := range h {
+			if !oem.Isomorphic(back.SnapshotAt(step.At), d.SnapshotAt(step.At)) {
+				t.Errorf("seed %d: snapshot at %s differs after round trip", seed, step.At)
+				break
+			}
+		}
+	}
+}
+
+// TestEncodingCorrespondenceTables: Fwd and Rev are mutual inverses and
+// cover exactly the DOEM objects.
+func TestEncodingCorrespondenceTables(t *testing.T) {
+	initial, h := guidegen.GenerateHistory(3, 20, 4, 5)
+	d, err := doem.FromHistory(initial, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := Encode(d)
+	if len(enc.Fwd) != len(enc.Rev) {
+		t.Fatalf("Fwd %d entries, Rev %d", len(enc.Fwd), len(enc.Rev))
+	}
+	for dID, eID := range enc.Fwd {
+		if back, ok := enc.Rev[eID]; !ok || back != dID {
+			t.Errorf("Rev(Fwd(%s)) = %s", dID, back)
+		}
+		// Every encoding object carries a &val arc.
+		if len(enc.DB.OutLabeled(eID, LabelVal)) != 1 {
+			t.Errorf("encoding object %s lacks &val", eID)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package guidegen
+
+import (
+	"testing"
+
+	"repro/internal/doem"
+	"repro/internal/value"
+)
+
+func TestPaperGuideShape(t *testing.T) {
+	db, ids := PaperGuide()
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(db.OutLabeled(ids.Guide, "restaurant")); got != 2 {
+		t.Errorf("restaurants = %d, want 2", got)
+	}
+	if v := db.MustValue(ids.Price); !v.Equal(value.Int(10)) {
+		t.Errorf("Bangkok price = %s, want 10", v)
+	}
+	if v := db.MustValue(ids.JantaPrice); !v.Equal(value.Str("moderate")) {
+		t.Errorf("Janta price = %s", v)
+	}
+	// Shared parking and the cycle.
+	if !db.HasArc(ids.Bangkok, "parking", ids.Parking) || !db.HasArc(ids.Janta, "parking", ids.Parking) {
+		t.Error("parking not shared")
+	}
+	if !db.HasArc(ids.Parking, "nearby-eats", ids.Bangkok) {
+		t.Error("nearby-eats cycle missing")
+	}
+}
+
+func TestPaperHistoryValid(t *testing.T) {
+	db, ids := PaperGuide()
+	h := PaperHistory(ids)
+	if err := h.Validate(db); err != nil {
+		t.Fatalf("paper history invalid: %v", err)
+	}
+	if _, err := doem.FromHistory(db, h); err != nil {
+		t.Fatalf("DOEM construction: %v", err)
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a := Synthetic(42, 50)
+	b := Synthetic(42, 50)
+	if !a.Equal(b) {
+		t.Error("same seed produced different databases")
+	}
+	c := Synthetic(43, 50)
+	if a.Equal(c) {
+		t.Error("different seeds produced identical databases")
+	}
+}
+
+func TestSyntheticShape(t *testing.T) {
+	db := Synthetic(7, 100)
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rests := db.OutLabeled(db.Root(), "restaurant")
+	if len(rests) != 100 {
+		t.Fatalf("restaurants = %d", len(rests))
+	}
+	// Structural irregularity must actually occur: count price kinds.
+	intPrices, strPrices, noPrices := 0, 0, 0
+	strAddrs, cplxAddrs := 0, 0
+	for _, ra := range rests {
+		prices := db.OutLabeled(ra.Child, "price")
+		switch {
+		case len(prices) == 0:
+			noPrices++
+		case db.MustValue(prices[0].Child).Kind() == value.KindInt:
+			intPrices++
+		default:
+			strPrices++
+		}
+		for _, aa := range db.OutLabeled(ra.Child, "address") {
+			if db.MustValue(aa.Child).IsComplex() {
+				cplxAddrs++
+			} else {
+				strAddrs++
+			}
+		}
+	}
+	for name, n := range map[string]int{
+		"int prices": intPrices, "string prices": strPrices, "missing prices": noPrices,
+		"string addresses": strAddrs, "complex addresses": cplxAddrs,
+	} {
+		if n == 0 {
+			t.Errorf("synthetic guide has no %s — irregularity lost", name)
+		}
+	}
+}
+
+func TestEvolverStepsProduceValidHistory(t *testing.T) {
+	initial, h := GenerateHistory(11, 30, 10, 8)
+	if err := h.Validate(initial); err != nil {
+		t.Fatalf("generated history invalid: %v", err)
+	}
+	if len(h) == 0 {
+		t.Fatal("no steps generated")
+	}
+	d, err := doem.FromHistory(initial, h)
+	if err != nil {
+		t.Fatalf("DOEM over generated history: %v", err)
+	}
+	if !d.Feasible() {
+		t.Error("generated DOEM infeasible")
+	}
+	total := 0
+	for _, s := range h {
+		total += len(s.Ops)
+	}
+	if total < 20 {
+		t.Errorf("history too sparse: %d ops", total)
+	}
+}
+
+func TestGenerateHistoryDeterministic(t *testing.T) {
+	i1, h1 := GenerateHistory(5, 20, 5, 5)
+	i2, h2 := GenerateHistory(5, 20, 5, 5)
+	if !i1.Equal(i2) {
+		t.Error("initial snapshots differ")
+	}
+	if len(h1) != len(h2) {
+		t.Fatalf("history lengths differ: %d vs %d", len(h1), len(h2))
+	}
+	for i := range h1 {
+		if h1[i].Ops.String() != h2[i].Ops.String() {
+			t.Errorf("step %d differs", i)
+		}
+	}
+}

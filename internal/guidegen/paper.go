@@ -1,0 +1,96 @@
+// Package guidegen builds restaurant-guide data: the paper's exact running
+// example (Figures 2-4) and deterministic synthetic guides of arbitrary
+// size with evolution histories, used by examples, benchmarks and QSS
+// simulations.
+package guidegen
+
+import (
+	"repro/internal/change"
+	"repro/internal/oem"
+	"repro/internal/timestamp"
+	"repro/internal/value"
+)
+
+// PaperIDs names the nodes of the paper's running example using the paper's
+// own identifiers where it assigns them (n1..n7 in Examples 2.2-2.3).
+type PaperIDs struct {
+	Guide   oem.NodeID // n4: the root
+	Bangkok oem.NodeID // the "Bangkok Cuisine" restaurant object
+	Price   oem.NodeID // n1: Bangkok Cuisine's price object
+	Janta   oem.NodeID // n6: the "Janta" restaurant object
+	Parking oem.NodeID // n7: the shared parking object
+	Hakata  oem.NodeID // n2: the "Hakata" restaurant (created by the history)
+	Name    oem.NodeID // n3: Hakata's name object (created by the history)
+	Comment oem.NodeID // n5: Hakata's comment object (created by the history)
+
+	BangkokName oem.NodeID
+	JantaName   oem.NodeID
+	JantaPrice  oem.NodeID
+	JantaAddr   oem.NodeID
+	Address     oem.NodeID // Bangkok Cuisine's complex address
+	Street      oem.NodeID
+	City        oem.NodeID
+}
+
+// PaperGuide constructs the Figure 2 Guide database: two restaurants with
+// heterogeneous price and address representations, a shared parking object,
+// and the parking/nearby-eats cycle.
+func PaperGuide() (*oem.Database, *PaperIDs) {
+	b := oem.NewBuilder()
+	ids := &PaperIDs{Guide: b.Root()}
+
+	ids.Bangkok = b.ComplexArc(ids.Guide, "restaurant")
+	ids.BangkokName = b.AtomArc(ids.Bangkok, "name", value.Str("Bangkok Cuisine"))
+	ids.Price = b.AtomArc(ids.Bangkok, "price", value.Int(10))
+	b.AtomArc(ids.Bangkok, "cuisine", value.Str("Thai"))
+	ids.Address = b.ComplexArc(ids.Bangkok, "address")
+	ids.Street = b.AtomArc(ids.Address, "street", value.Str("Lytton"))
+	ids.City = b.AtomArc(ids.Address, "city", value.Str("Palo Alto"))
+
+	ids.Janta = b.ComplexArc(ids.Guide, "restaurant")
+	ids.JantaName = b.AtomArc(ids.Janta, "name", value.Str("Janta"))
+	ids.JantaPrice = b.AtomArc(ids.Janta, "price", value.Str("moderate"))
+	ids.JantaAddr = b.AtomArc(ids.Janta, "address", value.Str("120 Lytton"))
+
+	ids.Parking = b.ComplexArc(ids.Janta, "parking")
+	b.Arc(ids.Bangkok, "parking", ids.Parking)
+	b.AtomArc(ids.Parking, "comment", value.Str("usually full"))
+	b.AtomArc(ids.Parking, "address", value.Str("Lytton lot 2"))
+	b.Arc(ids.Parking, "nearby-eats", ids.Bangkok)
+
+	db := b.Build()
+	// Fresh ids for the nodes the history creates (the paper's n2, n3, n5).
+	ids.Hakata = 100
+	ids.Name = 101
+	ids.Comment = 102
+	return db, ids
+}
+
+// Paper timestamps t1, t2, t3 of Example 2.2.
+var (
+	T1 = timestamp.MustParse("1Jan97")
+	T2 = timestamp.MustParse("5Jan97")
+	T3 = timestamp.MustParse("8Jan97")
+)
+
+// PaperHistory returns the Example 2.3 history H = ((t1,U1),(t2,U2),(t3,U3)):
+// the price update, the Hakata restaurant creation, the later comment, and
+// the removal of Janta's parking arc.
+func PaperHistory(ids *PaperIDs) change.History {
+	return change.History{
+		{At: T1, Ops: change.Set{
+			change.UpdNode{Node: ids.Price, Value: value.Int(20)},
+			change.CreNode{Node: ids.Hakata, Value: value.Complex()},
+			change.CreNode{Node: ids.Name, Value: value.Str("Hakata")},
+			change.AddArc{Parent: ids.Guide, Label: "restaurant", Child: ids.Hakata},
+			change.AddArc{Parent: ids.Hakata, Label: "name", Child: ids.Name},
+		}},
+		{At: T2, Ops: change.Set{
+			change.CreNode{Node: ids.Comment, Value: value.Str("need info")},
+			change.AddArc{Parent: ids.Hakata, Label: "comment", Child: ids.Comment},
+		}},
+		{At: T3, Ops: change.Set{
+			change.RemArc{Parent: ids.Janta, Label: "parking", Child: ids.Parking},
+		}},
+	}
+}

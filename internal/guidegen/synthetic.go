@@ -1,0 +1,224 @@
+package guidegen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/change"
+	"repro/internal/oem"
+	"repro/internal/timestamp"
+	"repro/internal/value"
+)
+
+// Synthetic deterministically generates a restaurant guide with n entries,
+// reproducing the structural irregularity the paper motivates OEM with:
+// integer and string prices, string and complex addresses, optional fields,
+// shared parking objects, and nearby-eats cycles.
+func Synthetic(seed int64, n int) *oem.Database {
+	g := NewEvolver(seed, n)
+	return g.DB
+}
+
+// Evolver owns a synthetic guide database and generates valid change sets
+// against it — the workload driver for DOEM construction, diffing, and QSS
+// benchmarks.
+type Evolver struct {
+	DB  *oem.Database
+	rng *rand.Rand
+	// restaurants tracks live restaurant object ids.
+	restaurants []oem.NodeID
+	parkings    []oem.NodeID
+	serial      int
+}
+
+var cuisines = []string{"Thai", "Indian", "Italian", "Mexican", "Japanese", "French", "Ethiopian", "Greek"}
+var streets = []string{"Lytton", "University", "Hamilton", "Emerson", "Ramona", "Bryant", "Waverley"}
+
+// NewEvolver builds a guide of n restaurants and returns the evolver.
+func NewEvolver(seed int64, n int) *Evolver {
+	e := &Evolver{DB: oem.New(), rng: rand.New(rand.NewSource(seed))}
+	// A few shared parking lots.
+	nLots := n/10 + 1
+	for i := 0; i < nLots; i++ {
+		p := e.DB.CreateNode(value.Complex())
+		e.mustArc(e.DB.Root(), "parking-lot", p)
+		e.mustAtom(p, "address", value.Str(fmt.Sprintf("%s lot %d", streets[i%len(streets)], i)))
+		if e.rng.Intn(2) == 0 {
+			e.mustAtom(p, "comment", value.Str("usually full"))
+		}
+		e.parkings = append(e.parkings, p)
+	}
+	for i := 0; i < n; i++ {
+		e.addRestaurant(e.DB)
+	}
+	return e
+}
+
+func (e *Evolver) mustArc(p oem.NodeID, l string, c oem.NodeID) {
+	if err := e.DB.AddArc(p, l, c); err != nil {
+		panic(err)
+	}
+}
+
+func (e *Evolver) mustAtom(p oem.NodeID, l string, v value.Value) oem.NodeID {
+	n := e.DB.CreateNode(v)
+	e.mustArc(p, l, n)
+	return n
+}
+
+// addRestaurant appends a restaurant directly to db (used during initial
+// construction).
+func (e *Evolver) addRestaurant(db *oem.Database) oem.NodeID {
+	e.serial++
+	r := db.CreateNode(value.Complex())
+	e.mustArc(db.Root(), "restaurant", r)
+	e.mustAtom(r, "name", value.Str(fmt.Sprintf("Restaurant %d", e.serial)))
+	// Irregular price: integer, string rating, or absent.
+	switch e.rng.Intn(3) {
+	case 0:
+		e.mustAtom(r, "price", value.Int(int64(5+e.rng.Intn(40))))
+	case 1:
+		e.mustAtom(r, "price", value.Str([]string{"cheap", "moderate", "expensive"}[e.rng.Intn(3)]))
+	}
+	e.mustAtom(r, "cuisine", value.Str(cuisines[e.rng.Intn(len(cuisines))]))
+	// Irregular address: plain string or complex with street/city.
+	if e.rng.Intn(2) == 0 {
+		e.mustAtom(r, "address", value.Str(fmt.Sprintf("%d %s", 100+e.rng.Intn(900), streets[e.rng.Intn(len(streets))])))
+	} else {
+		a := db.CreateNode(value.Complex())
+		e.mustArc(r, "address", a)
+		e.mustAtom(a, "street", value.Str(streets[e.rng.Intn(len(streets))]))
+		e.mustAtom(a, "city", value.Str("Palo Alto"))
+	}
+	// Optional shared parking, with an occasional nearby-eats back edge.
+	if len(e.parkings) > 0 && e.rng.Intn(2) == 0 {
+		p := e.parkings[e.rng.Intn(len(e.parkings))]
+		e.mustArc(r, "parking", p)
+		if e.rng.Intn(4) == 0 && !db.HasArc(p, "nearby-eats", r) {
+			e.mustArc(p, "nearby-eats", r)
+		}
+	}
+	e.restaurants = append(e.restaurants, r)
+	return r
+}
+
+// Step produces one valid change set against the current database state
+// with roughly nOps operations (price updates, new restaurants, new
+// comments, closures) and applies it. It returns the set for recording in
+// a history or DOEM database.
+func (e *Evolver) Step(nOps int) change.Set {
+	var set change.Set
+	// Build against a scratch copy so validation failures can be retried.
+	touchedUpd := make(map[oem.NodeID]bool)
+	nextID := maxNodeID(e.DB) + 1
+	newArcs := make(map[oem.Arc]bool)
+	for i := 0; i < nOps; i++ {
+		switch e.rng.Intn(10) {
+		case 0, 1, 2, 3: // price/comment update
+			if len(e.restaurants) == 0 {
+				continue
+			}
+			r := e.restaurants[e.rng.Intn(len(e.restaurants))]
+			arcs := e.DB.OutLabeled(r, "price")
+			if len(arcs) == 0 || touchedUpd[arcs[0].Child] {
+				continue
+			}
+			touchedUpd[arcs[0].Child] = true
+			set = append(set, change.UpdNode{Node: arcs[0].Child, Value: value.Int(int64(5 + e.rng.Intn(40)))})
+		case 4, 5: // new restaurant (name only, like Hakata)
+			e.serial++
+			r := nextID
+			nm := nextID + 1
+			nextID += 2
+			set = append(set,
+				change.CreNode{Node: r, Value: value.Complex()},
+				change.CreNode{Node: nm, Value: value.Str(fmt.Sprintf("Restaurant %d", e.serial))},
+				change.AddArc{Parent: e.DB.Root(), Label: "restaurant", Child: r},
+				change.AddArc{Parent: r, Label: "name", Child: nm},
+			)
+		case 6, 7: // add a comment to a restaurant
+			if len(e.restaurants) == 0 {
+				continue
+			}
+			r := e.restaurants[e.rng.Intn(len(e.restaurants))]
+			c := nextID
+			nextID++
+			set = append(set,
+				change.CreNode{Node: c, Value: value.Str("updated info")},
+				change.AddArc{Parent: r, Label: "comment", Child: c},
+			)
+		case 8: // remove a parking arc
+			if len(e.restaurants) == 0 {
+				continue
+			}
+			r := e.restaurants[e.rng.Intn(len(e.restaurants))]
+			arcs := e.DB.OutLabeled(r, "parking")
+			if len(arcs) == 0 {
+				continue
+			}
+			a := arcs[0]
+			key := oem.Arc{Parent: a.Parent, Label: a.Label, Child: a.Child}
+			if newArcs[key] {
+				continue
+			}
+			newArcs[key] = true
+			set = append(set, change.RemArc{Parent: a.Parent, Label: a.Label, Child: a.Child})
+		case 9: // close a restaurant (remove its root arc)
+			if len(e.restaurants) < 5 {
+				continue
+			}
+			idx := e.rng.Intn(len(e.restaurants))
+			r := e.restaurants[idx]
+			key := oem.Arc{Parent: e.DB.Root(), Label: "restaurant", Child: r}
+			if newArcs[key] || !e.DB.HasArc(key.Parent, key.Label, key.Child) {
+				continue
+			}
+			newArcs[key] = true
+			set = append(set, change.RemArc{Parent: key.Parent, Label: key.Label, Child: r})
+			e.restaurants = append(e.restaurants[:idx], e.restaurants[idx+1:]...)
+		}
+	}
+	if err := set.Validate(e.DB); err != nil {
+		// Conservative fallback: an empty step. Collisions are rare and a
+		// missing step does not matter to workload generators.
+		return change.Set{}
+	}
+	if _, err := set.Apply(e.DB); err != nil {
+		panic(err)
+	}
+	// Track newly created restaurants for future steps.
+	for _, op := range set {
+		if a, ok := op.(change.AddArc); ok && a.Parent == e.DB.Root() && a.Label == "restaurant" {
+			e.restaurants = append(e.restaurants, a.Child)
+		}
+	}
+	return set
+}
+
+// History generates a history of steps against a clone of the initial
+// database: it returns the initial snapshot and the history (the evolver
+// is consumed).
+func GenerateHistory(seed int64, nRestaurants, steps, opsPerStep int) (*oem.Database, change.History) {
+	e := NewEvolver(seed, nRestaurants)
+	initial := e.DB.Clone()
+	t := timestamp.MustParse("1Jan97")
+	var h change.History
+	for i := 0; i < steps; i++ {
+		set := e.Step(opsPerStep)
+		if len(set) > 0 {
+			h = append(h, change.Step{At: t, Ops: set})
+		}
+		t = t.Add(86400e9) // +1 day
+	}
+	return initial, h
+}
+
+func maxNodeID(db *oem.Database) oem.NodeID {
+	var m oem.NodeID
+	for _, id := range db.Nodes() {
+		if id > m {
+			m = id
+		}
+	}
+	return m
+}

@@ -1,0 +1,45 @@
+package htmldiff
+
+import "testing"
+
+// FuzzToOEM: the tolerant HTML parser must accept any input without
+// panicking and always yield a valid OEM database.
+func FuzzToOEM(f *testing.F) {
+	seeds := []string{
+		guideV1,
+		guideV2,
+		`<a href="x" b=c d>text</a>`,
+		`<ul><li>a<li>b</ul>`,
+		`</div><p>stray`,
+		`<script>if(a<b){}</script>`,
+		`<!-- comment -->&amp;&bogus;`,
+		`<<<<>>>>`,
+		"<p>\x00\xff</p>",
+		`<a href='mixed"quotes`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		db := ToOEM(src)
+		if err := db.Validate(); err != nil {
+			t.Fatalf("invalid OEM from %q: %v", src, err)
+		}
+	})
+}
+
+// FuzzMarkup: diffing and marking up arbitrary version pairs must not
+// panic, and the output must not contain unescaped input text markers.
+func FuzzMarkup(f *testing.F) {
+	f.Add(`<p>a</p>`, `<p>b</p>`)
+	f.Add(guideV1, guideV2)
+	f.Add(``, `<ul><li>x</ul>`)
+	f.Fuzz(func(t *testing.T, oldHTML, newHTML string) {
+		if len(oldHTML) > 4096 || len(newHTML) > 4096 {
+			return
+		}
+		if _, err := Markup(oldHTML, newHTML); err != nil {
+			t.Fatalf("Markup: %v", err)
+		}
+	})
+}

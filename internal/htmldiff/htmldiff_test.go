@@ -1,0 +1,198 @@
+package htmldiff
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/oem"
+	"repro/internal/value"
+)
+
+const guideV1 = `
+<html><body>
+<h1>Restaurant Guide</h1>
+<ul>
+<li><b>Bangkok Cuisine</b> Thai, price 10, 120 Lytton</li>
+<li><b>Janta</b> Indian, moderate, parking at Lytton lot 2</li>
+</ul>
+</body></html>`
+
+const guideV2 = `
+<html><body>
+<h1>Restaurant Guide</h1>
+<ul>
+<li><b>Bangkok Cuisine</b> Thai, price 20, 120 Lytton</li>
+<li><b>Janta</b> Indian, moderate</li>
+<li><b>Hakata</b> need info</li>
+</ul>
+</body></html>`
+
+func TestParseBasicStructure(t *testing.T) {
+	db := ToOEM(guideV1)
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// root -> html wrapper (#root) -> html element -> body -> h1, ul.
+	top := db.OutLabeled(db.Root(), "html")
+	if len(top) != 1 {
+		t.Fatalf("top arcs = %d", len(top))
+	}
+	html := db.OutLabeled(top[0].Child, "html")
+	if len(html) != 1 {
+		t.Fatalf("html elements = %d", len(html))
+	}
+	body := db.OutLabeled(html[0].Child, "body")
+	if len(body) != 1 {
+		t.Fatalf("body elements = %d", len(body))
+	}
+	uls := db.OutLabeled(body[0].Child, "ul")
+	if len(uls) != 1 {
+		t.Fatalf("ul elements = %d", len(uls))
+	}
+	lis := db.OutLabeled(uls[0].Child, "li")
+	if len(lis) != 2 {
+		t.Fatalf("li elements = %d, want 2", len(lis))
+	}
+}
+
+func TestParseAttributes(t *testing.T) {
+	db := ToOEM(`<a href="http://x" class=plain id='q'>link</a>`)
+	top := db.OutLabeled(db.Root(), "html")[0].Child
+	as := db.OutLabeled(top, "a")
+	if len(as) != 1 {
+		t.Fatalf("a elements = %d", len(as))
+	}
+	a := as[0].Child
+	for attr, want := range map[string]string{"@href": "http://x", "@class": "plain", "@id": "q"} {
+		arcs := db.OutLabeled(a, attr)
+		if len(arcs) != 1 || !db.MustValue(arcs[0].Child).Equal(value.Str(want)) {
+			t.Errorf("attribute %s wrong", attr)
+		}
+	}
+	txt := db.OutLabeled(a, TextLabel)
+	if len(txt) != 1 || !db.MustValue(txt[0].Child).Equal(value.Str("link")) {
+		t.Error("text child wrong")
+	}
+}
+
+func TestParseTolerance(t *testing.T) {
+	cases := []string{
+		``,
+		`plain text only`,
+		`<p>unclosed paragraph`,
+		`<ul><li>one<li>two<li>three</ul>`,   // implicit close
+		`</div>stray close`,                  // stray close tag
+		`<b>bold <i>both</b> italic</i>`,     // misnested
+		`<img src=x><br><hr>`,                // void elements
+		`<script>if (a<b) { x(); }</script>`, // raw text with <
+		`<!-- comment --><!DOCTYPE html><p>x</p>`,
+		`<p class>degenerate attr</p>`,
+		`< notatag`,
+		`<a href="unterminated`,
+		`&amp; &lt; &unknown; &nbsp;`,
+	}
+	for _, src := range cases {
+		db := ToOEM(src)
+		if err := db.Validate(); err != nil {
+			t.Errorf("ToOEM(%q) produced invalid db: %v", src, err)
+		}
+	}
+}
+
+func TestParseImplicitClose(t *testing.T) {
+	db := ToOEM(`<ul><li>one<li>two</ul>`)
+	top := db.OutLabeled(db.Root(), "html")[0].Child
+	ul := db.OutLabeled(top, "ul")[0].Child
+	lis := db.OutLabeled(ul, "li")
+	if len(lis) != 2 {
+		t.Fatalf("li count = %d, want 2 (implicit close)", len(lis))
+	}
+	// "two" must be inside the second li, not nested in the first.
+	second := lis[1].Child
+	txt := db.OutLabeled(second, TextLabel)
+	if len(txt) != 1 || !db.MustValue(txt[0].Child).Equal(value.Str("two")) {
+		t.Error("second li content wrong")
+	}
+}
+
+func TestParseEntities(t *testing.T) {
+	db := ToOEM(`<p>a &amp; b &lt;c&gt;</p>`)
+	top := db.OutLabeled(db.Root(), "html")[0].Child
+	p := db.OutLabeled(top, "p")[0].Child
+	txt := db.OutLabeled(p, TextLabel)
+	if got := db.MustValue(txt[0].Child); !got.Equal(value.Str("a & b <c>")) {
+		t.Errorf("entity decoding = %s", got)
+	}
+}
+
+func TestDiffIdenticalVersions(t *testing.T) {
+	res, err := Diff(guideV1, guideV1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost.Total() != 0 {
+		t.Errorf("cost on identical versions = %+v", res.Cost)
+	}
+}
+
+func TestDiffGuideVersions(t *testing.T) {
+	res, err := Diff(guideV1, guideV2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost.Total() == 0 {
+		t.Fatal("no changes detected between different versions")
+	}
+	// The price text change should be detected as an update (matched li),
+	// not a delete+insert of the whole entry.
+	if res.Cost.Updates == 0 {
+		t.Errorf("cost = %+v, want at least one text update", res.Cost)
+	}
+	// The new Hakata entry is an insertion.
+	if res.Cost.Creates == 0 {
+		t.Errorf("cost = %+v, want creations for the new entry", res.Cost)
+	}
+}
+
+func TestMarkupOutput(t *testing.T) {
+	out, err := Markup(guideV1, guideV2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"hd-legend",           // legend block (Figure 1's icon key)
+		`<ins class="hd-ins"`, // insertion marker around Hakata
+		"Hakata",
+		"hd-upd-old", // changed text: old price visible
+		"hd-upd-new",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markup missing %q", want)
+		}
+	}
+	// The removed parking text of Janta appears struck through.
+	if !strings.Contains(out, "hd-upd-old") && !strings.Contains(out, "hd-del") {
+		t.Error("no deletion/update markers present")
+	}
+}
+
+func TestMarkupEscapesText(t *testing.T) {
+	out, err := Markup(`<p>safe</p>`, `<p>a < b & c</p>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "&lt;") || !strings.Contains(out, "&amp; c") {
+		t.Errorf("text not escaped in markup:\n%s", out)
+	}
+	if strings.Contains(out, "b & c") {
+		t.Errorf("raw ampersand leaked into markup:\n%s", out)
+	}
+}
+
+func TestToOEMDeterministic(t *testing.T) {
+	a := ToOEM(guideV1)
+	b := ToOEM(guideV1)
+	if !oem.Isomorphic(a, b) {
+		t.Error("same input parsed to different OEM graphs")
+	}
+}

@@ -1,0 +1,315 @@
+// Package htmldiff reimplements the paper's motivating htmldiff tool
+// (Section 1.1, Figure 1, after CRGMW96): it parses two versions of an HTML
+// page into OEM trees, computes a structural matching with oemdiff, and
+// emits a marked-up copy of the page highlighting insertions, deletions and
+// updates.
+package htmldiff
+
+import (
+	"strings"
+)
+
+// OEM labels used for the HTML-to-OEM mapping: elements become complex
+// objects labeled by their tag, text runs become "text" atoms, attributes
+// become "@name" atoms.
+const (
+	TextLabel  = "text"
+	AttrPrefix = "@"
+)
+
+// voidElements never have content (HTML5 list, lowercase).
+var voidElements = map[string]bool{
+	"area": true, "base": true, "br": true, "col": true, "embed": true,
+	"hr": true, "img": true, "input": true, "link": true, "meta": true,
+	"param": true, "source": true, "track": true, "wbr": true,
+}
+
+// rawTextElements hold raw text until their matching close tag.
+var rawTextElements = map[string]bool{"script": true, "style": true}
+
+// implicitClose lists tags that are implicitly closed by an open tag of the
+// same kind (tolerant handling of common tag-soup).
+var implicitClose = map[string]bool{
+	"li": true, "p": true, "tr": true, "td": true, "th": true,
+	"option": true, "dt": true, "dd": true,
+}
+
+// node is the intermediate parse tree.
+type htmlNode struct {
+	tag      string      // "" for text nodes
+	text     string      // text content for text nodes
+	attrs    [][2]string // attribute name/value pairs, in order
+	children []*htmlNode
+}
+
+// Parse tokenizes and tree-builds HTML tolerantly: unclosed tags are closed
+// implicitly, unknown constructs are skipped, and attribute quoting is
+// optional. It never fails: any input yields a tree.
+func Parse(src string) *htmlNode {
+	p := &htmlParser{src: src}
+	root := &htmlNode{tag: "#root"}
+	p.parseInto(root, "")
+	return root
+}
+
+type htmlParser struct {
+	src      string
+	pos      int
+	tagStart int // where the last open tag began, for implicit-close rewind
+}
+
+// parseInto appends parsed content to parent until EOF or a close tag for
+// stopTag (or an ancestor, which is pushed back).
+func (p *htmlParser) parseInto(parent *htmlNode, stopTag string) (closedTag string) {
+	for p.pos < len(p.src) {
+		if p.src[p.pos] != '<' {
+			text := p.readText()
+			if t := strings.TrimSpace(text); t != "" {
+				parent.children = append(parent.children, &htmlNode{text: collapseSpace(text)})
+			}
+			continue
+		}
+		// Comments and doctype.
+		if strings.HasPrefix(p.src[p.pos:], "<!--") {
+			if end := strings.Index(p.src[p.pos+4:], "-->"); end >= 0 {
+				p.pos += 4 + end + 3
+			} else {
+				p.pos = len(p.src)
+			}
+			continue
+		}
+		if strings.HasPrefix(p.src[p.pos:], "<!") || strings.HasPrefix(p.src[p.pos:], "<?") {
+			if end := strings.IndexByte(p.src[p.pos:], '>'); end >= 0 {
+				p.pos += end + 1
+			} else {
+				p.pos = len(p.src)
+			}
+			continue
+		}
+		// Close tag.
+		if strings.HasPrefix(p.src[p.pos:], "</") {
+			tag := p.readCloseTag()
+			if tag == "" {
+				continue
+			}
+			if tag == stopTag {
+				return tag
+			}
+			if stopTag == "" {
+				continue // stray close tag at the top level: drop it
+			}
+			// A close tag for something else: return it so an ancestor can
+			// match (the intermediate levels close implicitly).
+			return tag
+		}
+		// Open tag.
+		tag, attrs, selfClose, ok := p.readOpenTag()
+		if !ok {
+			// Stray '<': treat as text.
+			parent.children = append(parent.children, &htmlNode{text: "<"})
+			p.pos++
+			continue
+		}
+		node := &htmlNode{tag: tag, attrs: attrs}
+		// Implicit close: "<li>a<li>b" — a new li closes the open one.
+		if implicitClose[tag] && stopTag == tag {
+			p.pos = p.tagStart // rewind; the caller closes first
+			return tag
+		}
+		parent.children = append(parent.children, node)
+		if selfClose || voidElements[tag] {
+			continue
+		}
+		if rawTextElements[tag] {
+			raw := p.readRawText(tag)
+			if strings.TrimSpace(raw) != "" {
+				node.children = append(node.children, &htmlNode{text: raw})
+			}
+			continue
+		}
+		closed := p.parseInto(node, tag)
+		if closed != tag && closed != "" {
+			// The close tag belongs to an ancestor: propagate it.
+			if closed == stopTag {
+				return closed
+			}
+			// Unmatched close tag: drop it.
+		}
+	}
+	return ""
+}
+
+func (p *htmlParser) readText() string {
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] != '<' {
+		p.pos++
+	}
+	return decodeEntities(p.src[start:p.pos])
+}
+
+func (p *htmlParser) readCloseTag() string {
+	// at "</"
+	end := strings.IndexByte(p.src[p.pos:], '>')
+	if end < 0 {
+		p.pos = len(p.src)
+		return ""
+	}
+	tag := strings.ToLower(strings.TrimSpace(p.src[p.pos+2 : p.pos+end]))
+	p.pos += end + 1
+	return tag
+}
+
+func (p *htmlParser) readOpenTag() (tag string, attrs [][2]string, selfClose, ok bool) {
+	p.tagStart = p.pos
+	i := p.pos + 1
+	start := i
+	for i < len(p.src) && isTagChar(p.src[i]) {
+		i++
+	}
+	if i == start {
+		return "", nil, false, false
+	}
+	tag = strings.ToLower(p.src[start:i])
+	// Attributes.
+	for i < len(p.src) {
+		for i < len(p.src) && isHTMLSpace(p.src[i]) {
+			i++
+		}
+		if i < len(p.src) && p.src[i] == '>' {
+			i++
+			p.pos = i
+			return tag, attrs, selfClose, true
+		}
+		if i+1 < len(p.src) && p.src[i] == '/' && p.src[i+1] == '>' {
+			p.pos = i + 2
+			return tag, attrs, true, true
+		}
+		if i >= len(p.src) {
+			break
+		}
+		// Attribute name.
+		ns := i
+		for i < len(p.src) && !isHTMLSpace(p.src[i]) && p.src[i] != '=' && p.src[i] != '>' && p.src[i] != '/' {
+			i++
+		}
+		if i == ns {
+			i++
+			continue
+		}
+		name := strings.ToLower(p.src[ns:i])
+		val := ""
+		for i < len(p.src) && isHTMLSpace(p.src[i]) {
+			i++
+		}
+		if i < len(p.src) && p.src[i] == '=' {
+			i++
+			for i < len(p.src) && isHTMLSpace(p.src[i]) {
+				i++
+			}
+			if i < len(p.src) && (p.src[i] == '"' || p.src[i] == '\'') {
+				q := p.src[i]
+				i++
+				vs := i
+				for i < len(p.src) && p.src[i] != q {
+					i++
+				}
+				val = decodeEntities(p.src[vs:i])
+				if i < len(p.src) {
+					i++
+				}
+			} else {
+				vs := i
+				for i < len(p.src) && !isHTMLSpace(p.src[i]) && p.src[i] != '>' {
+					i++
+				}
+				val = decodeEntities(p.src[vs:i])
+			}
+		}
+		attrs = append(attrs, [2]string{name, val})
+	}
+	p.pos = len(p.src)
+	return tag, attrs, selfClose, true
+}
+
+func (p *htmlParser) readRawText(tag string) string {
+	// Case-insensitive byte search; ToLower on the haystack would shift
+	// offsets when the input contains invalid UTF-8.
+	idx := indexCloseTag(p.src[p.pos:], tag)
+	if idx < 0 {
+		raw := p.src[p.pos:]
+		p.pos = len(p.src)
+		return raw
+	}
+	raw := p.src[p.pos : p.pos+idx]
+	rest := p.src[p.pos+idx:]
+	if gt := strings.IndexByte(rest, '>'); gt >= 0 {
+		p.pos += idx + gt + 1
+	} else {
+		p.pos = len(p.src)
+	}
+	return raw
+}
+
+// indexCloseTag finds the first "</tag" in s, matching the (already
+// lowercase) tag name ASCII-case-insensitively.
+func indexCloseTag(s, tag string) int {
+	n := 2 + len(tag)
+	for i := 0; i+n <= len(s); i++ {
+		if s[i] != '<' || s[i+1] != '/' {
+			continue
+		}
+		match := true
+		for j := 0; j < len(tag); j++ {
+			c := s[i+2+j]
+			if c >= 'A' && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			if c != tag[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return i
+		}
+	}
+	return -1
+}
+
+func isTagChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '-' || c == ':'
+}
+
+func isHTMLSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
+}
+
+var entities = map[string]string{
+	"amp": "&", "lt": "<", "gt": ">", "quot": `"`, "apos": "'", "nbsp": " ",
+}
+
+func decodeEntities(s string) string {
+	if !strings.Contains(s, "&") {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); {
+		if s[i] == '&' {
+			if semi := strings.IndexByte(s[i:], ';'); semi > 1 && semi < 10 {
+				name := s[i+1 : i+semi]
+				if rep, ok := entities[name]; ok {
+					b.WriteString(rep)
+					i += semi + 1
+					continue
+				}
+			}
+		}
+		b.WriteByte(s[i])
+		i++
+	}
+	return b.String()
+}
+
+func collapseSpace(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}

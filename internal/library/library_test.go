@@ -1,0 +1,157 @@
+package library
+
+import (
+	"testing"
+
+	"repro/internal/doem"
+	"repro/internal/lorel"
+	"repro/internal/oemdiff"
+	"repro/internal/timestamp"
+	"repro/internal/value"
+)
+
+func TestSimBasics(t *testing.T) {
+	s := New(1, 10)
+	if s.NumBooks() != 10 {
+		t.Fatalf("books = %d", s.NumBooks())
+	}
+	db := s.Snapshot()
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(db.OutLabeled(db.Root(), "book")); got != 10 {
+		t.Errorf("book arcs = %d", got)
+	}
+	if !s.Checkout(0) {
+		t.Error("first checkout failed")
+	}
+	if s.Checkout(0) {
+		t.Error("double checkout succeeded")
+	}
+	if !s.IsOut(0) || s.Checkouts(0) != 1 {
+		t.Error("state after checkout wrong")
+	}
+	if !s.Return(0) || s.IsOut(0) {
+		t.Error("return failed")
+	}
+	if s.Return(0) {
+		t.Error("double return succeeded")
+	}
+}
+
+func TestSnapshotDiffsAreUpdates(t *testing.T) {
+	s := New(2, 5)
+	s1 := s.Snapshot()
+	s.Checkout(3)
+	s2 := s.Snapshot()
+	set, err := oemdiff.DiffIdentity(s1, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := oemdiff.Measure(set)
+	// Checkout flips status and bumps the counter: exactly two updates.
+	if c.Updates != 2 || c.Total() != 2 {
+		t.Errorf("diff = %+v, want exactly 2 updates", c)
+	}
+}
+
+// TestPopularAvailableQuery drives the full motivating example: build a
+// DOEM history of circulation snapshots, then ask for popular available
+// books.
+func TestPopularAvailableQuery(t *testing.T) {
+	s := New(3, 4)
+	d := doem.New(s.Snapshot())
+
+	record := func(ts string) {
+		prev := d.Current().Clone()
+		next := s.Snapshot()
+		set, err := oemdiff.DiffIdentity(prev, next)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(set) == 0 {
+			return
+		}
+		if err := d.Apply(timestamp.MustParse(ts), set); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Book 0: checked out twice and returned — popular and available.
+	s.Checkout(0)
+	record("1Jan97")
+	s.Return(0)
+	record("2Jan97")
+	s.Checkout(0)
+	record("3Jan97")
+	s.Return(0)
+	record("4Jan97")
+	// Book 1: checked out once, still out — neither popular nor available.
+	s.Checkout(1)
+	record("5Jan97")
+	// Book 2: checked out twice but currently out.
+	s.Checkout(2)
+	record("6Jan97")
+	s.Return(2)
+	record("7Jan97")
+	s.Checkout(2)
+	record("8Jan97")
+
+	eng := lorel.NewEngine()
+	eng.Register("library", d)
+	res, err := eng.Query(PopularAvailableQuery("library", "31Dec96"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	titles := res.Values("title")
+	if len(titles) != 1 || !titles[0].Equal(value.Str(s.Title(0))) {
+		t.Errorf("popular available books = %v, want [%q]", titles, s.Title(0))
+	}
+}
+
+func TestStepIsDeterministic(t *testing.T) {
+	a, b := New(9, 20), New(9, 20)
+	for i := 0; i < 10; i++ {
+		a.Step(15)
+		b.Step(15)
+	}
+	if !a.Snapshot().Equal(b.Snapshot()) {
+		t.Error("same-seed simulations diverged")
+	}
+}
+
+func TestPopularAvailableQueryCount(t *testing.T) {
+	s := New(4, 3)
+	d := doem.New(s.Snapshot())
+	rec := func(ts string) {
+		set, err := oemdiff.DiffIdentity(d.Current(), s.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(set) == 0 {
+			return
+		}
+		if err := d.Apply(timestamp.MustParse(ts), set); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Checkout(1)
+	rec("1Jan97")
+	s.Return(1)
+	rec("2Jan97")
+	s.Checkout(1)
+	rec("3Jan97")
+	s.Return(1)
+	rec("4Jan97")
+
+	eng := lorel.NewEngine()
+	eng.Register("library", d)
+	res, err := eng.Query(PopularAvailableQueryCount("library"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	titles := res.Values("title")
+	if len(titles) != 1 || !titles[0].Equal(value.Str(s.Title(1))) {
+		t.Errorf("count-based popular books = %v, want [%q]", titles, s.Title(1))
+	}
+}

@@ -1,0 +1,10 @@
+package lore
+
+import (
+	"repro/internal/change"
+	"repro/internal/oem"
+)
+
+func removeArcSet(p oem.NodeID, l string, c oem.NodeID) change.Set {
+	return change.Set{change.RemArc{Parent: p, Label: l, Child: c}}
+}

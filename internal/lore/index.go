@@ -1,0 +1,171 @@
+package lore
+
+import (
+	"sort"
+
+	"repro/internal/doem"
+	"repro/internal/oem"
+	"repro/internal/timestamp"
+	"repro/internal/value"
+)
+
+// LabelIndex maps arc labels to the arcs bearing them, over one OEM
+// database. It accelerates label-rooted scans.
+type LabelIndex struct {
+	byLabel map[string][]oem.Arc
+}
+
+// BuildLabelIndex indexes every arc of db by label.
+func BuildLabelIndex(db *oem.Database) *LabelIndex {
+	ix := &LabelIndex{byLabel: make(map[string][]oem.Arc)}
+	for _, a := range db.Arcs() {
+		ix.byLabel[a.Label] = append(ix.byLabel[a.Label], a)
+	}
+	return ix
+}
+
+// Arcs returns the arcs labeled l.
+func (ix *LabelIndex) Arcs(l string) []oem.Arc { return ix.byLabel[l] }
+
+// Labels returns the distinct labels, sorted.
+func (ix *LabelIndex) Labels() []string {
+	ls := make([]string, 0, len(ix.byLabel))
+	for l := range ix.byLabel {
+		ls = append(ls, l)
+	}
+	sort.Strings(ls)
+	return ls
+}
+
+// ValueIndex maps atomic values (by their canonical rendering) to nodes.
+type ValueIndex struct {
+	byValue map[string][]oem.NodeID
+}
+
+// BuildValueIndex indexes every atomic node of db by value.
+func BuildValueIndex(db *oem.Database) *ValueIndex {
+	ix := &ValueIndex{byValue: make(map[string][]oem.NodeID)}
+	for _, id := range db.Nodes() {
+		v := db.MustValue(id)
+		if v.IsAtomic() {
+			k := v.String()
+			ix.byValue[k] = append(ix.byValue[k], id)
+		}
+	}
+	return ix
+}
+
+// Nodes returns the atomic nodes holding exactly v.
+func (ix *ValueIndex) Nodes(v value.Value) []oem.NodeID { return ix.byValue[v.String()] }
+
+// AnnotationIndex supports time-range lookups over the annotations of a
+// DOEM database — the index structure the paper sketches in Section 7
+// ("designing indexes on annotations (based on their types and
+// timestamps)"). Entries are sorted by timestamp for binary-searched range
+// scans.
+type AnnotationIndex struct {
+	cre []nodeEntry
+	upd []nodeEntry
+	add []arcEntry
+	rem []arcEntry
+}
+
+type nodeEntry struct {
+	at   timestamp.Time
+	node oem.NodeID
+}
+
+type arcEntry struct {
+	at  timestamp.Time
+	arc oem.Arc
+}
+
+// BuildAnnotationIndex scans every annotation in d.
+func BuildAnnotationIndex(d *doem.Database) *AnnotationIndex {
+	ix := &AnnotationIndex{}
+	seen := make(map[oem.NodeID]bool)
+	var visit func(n oem.NodeID)
+	visit = func(n oem.NodeID) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		for _, ann := range d.NodeAnnots(n) {
+			switch ann.Kind {
+			case doem.AnnotCre:
+				ix.cre = append(ix.cre, nodeEntry{ann.At, n})
+			case doem.AnnotUpd:
+				ix.upd = append(ix.upd, nodeEntry{ann.At, n})
+			}
+		}
+		for _, arc := range d.OutAll(n) {
+			for _, ann := range d.ArcAnnots(arc) {
+				switch ann.Kind {
+				case doem.AnnotAdd:
+					ix.add = append(ix.add, arcEntry{ann.At, arc})
+				case doem.AnnotRem:
+					ix.rem = append(ix.rem, arcEntry{ann.At, arc})
+				}
+			}
+			visit(arc.Child)
+		}
+	}
+	visit(d.Root())
+	sortNodeEntries(ix.cre)
+	sortNodeEntries(ix.upd)
+	sortArcEntries(ix.add)
+	sortArcEntries(ix.rem)
+	return ix
+}
+
+func sortNodeEntries(es []nodeEntry) {
+	sort.SliceStable(es, func(i, j int) bool { return es[i].at.Before(es[j].at) })
+}
+
+func sortArcEntries(es []arcEntry) {
+	sort.SliceStable(es, func(i, j int) bool { return es[i].at.Before(es[j].at) })
+}
+
+// CreatedIn returns nodes with cre annotations in (from, to], the shape of
+// a QSS filter predicate "T > t[-1]".
+func (ix *AnnotationIndex) CreatedIn(from, to timestamp.Time) []oem.NodeID {
+	return nodeRange(ix.cre, from, to)
+}
+
+// UpdatedIn returns nodes with upd annotations in (from, to].
+func (ix *AnnotationIndex) UpdatedIn(from, to timestamp.Time) []oem.NodeID {
+	return nodeRange(ix.upd, from, to)
+}
+
+// AddedIn returns arcs with add annotations in (from, to].
+func (ix *AnnotationIndex) AddedIn(from, to timestamp.Time) []oem.Arc {
+	return arcRange(ix.add, from, to)
+}
+
+// RemovedIn returns arcs with rem annotations in (from, to].
+func (ix *AnnotationIndex) RemovedIn(from, to timestamp.Time) []oem.Arc {
+	return arcRange(ix.rem, from, to)
+}
+
+func nodeRange(es []nodeEntry, from, to timestamp.Time) []oem.NodeID {
+	lo := sort.Search(len(es), func(i int) bool { return es[i].at.After(from) })
+	var out []oem.NodeID
+	for i := lo; i < len(es) && !es[i].at.After(to); i++ {
+		out = append(out, es[i].node)
+	}
+	return out
+}
+
+func arcRange(es []arcEntry, from, to timestamp.Time) []oem.Arc {
+	lo := sort.Search(len(es), func(i int) bool { return es[i].at.After(from) })
+	var out []oem.Arc
+	for i := lo; i < len(es) && !es[i].at.After(to); i++ {
+		out = append(out, es[i].arc)
+	}
+	return out
+}
+
+// Size returns the total number of indexed annotations.
+func (ix *AnnotationIndex) Size() int {
+	return len(ix.cre) + len(ix.upd) + len(ix.add) + len(ix.rem)
+}

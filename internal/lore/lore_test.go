@@ -1,0 +1,211 @@
+package lore
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/doem"
+	"repro/internal/guidegen"
+	"repro/internal/oem"
+	"repro/internal/timestamp"
+	"repro/internal/value"
+)
+
+func paperDOEM(t testing.TB) *doem.Database {
+	t.Helper()
+	db, ids := guidegen.PaperGuide()
+	d, err := doem.FromHistory(db, guidegen.PaperHistory(ids))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestInMemoryStore(t *testing.T) {
+	s, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, _ := guidegen.PaperGuide()
+	if err := s.PutOEM("guide", db); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.GetOEM("guide")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(db) {
+		t.Error("stored database differs")
+	}
+	if _, err := s.GetOEM("missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing db: %v", err)
+	}
+}
+
+func TestPersistenceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, _ := guidegen.PaperGuide()
+	d := paperDOEM(t)
+	if err := s.PutOEM("guide", db); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutDOEM("guide-history", d); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen and compare.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.GetOEM("guide")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(db) {
+		t.Error("OEM database changed across restart")
+	}
+	gd, err := s2.GetDOEM("guide-history")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gd.Equal(d) {
+		t.Error("DOEM database changed across restart")
+	}
+}
+
+func TestListAndDelete(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, _ := guidegen.PaperGuide()
+	if err := s.PutOEM("b", db); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutOEM("a", db); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutDOEM("a", paperDOEM(t)); err != nil {
+		t.Fatal(err)
+	}
+	list := s.List()
+	if len(list) != 3 {
+		t.Fatalf("List = %v", list)
+	}
+	if list[0].Name != "a" || list[0].Kind != "doem" || list[2].Name != "b" {
+		t.Errorf("List order = %v", list)
+	}
+	if err := s.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.List()) != 1 {
+		t.Error("Delete left entries behind")
+	}
+	if err := s.Delete("a"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double delete: %v", err)
+	}
+	// Files are gone too.
+	if _, err := os.Stat(filepath.Join(dir, "a.oem.json")); !os.IsNotExist(err) {
+		t.Error("oem file survived delete")
+	}
+}
+
+func TestInvalidNames(t *testing.T) {
+	s, _ := Open("")
+	db, _ := guidegen.PaperGuide()
+	for _, name := range []string{"", "a/b", `a\b`, ".hidden"} {
+		if err := s.PutOEM(name, db); err == nil {
+			t.Errorf("name %q accepted", name)
+		}
+	}
+}
+
+func TestLabelIndex(t *testing.T) {
+	db, _ := guidegen.PaperGuide()
+	ix := BuildLabelIndex(db)
+	if got := len(ix.Arcs("restaurant")); got != 2 {
+		t.Errorf("restaurant arcs = %d, want 2", got)
+	}
+	if got := len(ix.Arcs("nosuch")); got != 0 {
+		t.Errorf("nosuch arcs = %d", got)
+	}
+	labels := ix.Labels()
+	if len(labels) == 0 || labels[0] > labels[len(labels)-1] {
+		t.Error("labels not sorted")
+	}
+}
+
+func TestValueIndex(t *testing.T) {
+	db, ids := guidegen.PaperGuide()
+	ix := BuildValueIndex(db)
+	nodes := ix.Nodes(value.Str("Janta"))
+	if len(nodes) != 1 || nodes[0] != ids.JantaName {
+		t.Errorf("Janta nodes = %v", nodes)
+	}
+	if len(ix.Nodes(value.Int(999))) != 0 {
+		t.Error("phantom value indexed")
+	}
+}
+
+func TestAnnotationIndex(t *testing.T) {
+	d := paperDOEM(t)
+	ix := BuildAnnotationIndex(d)
+	if ix.Size() != 8 {
+		t.Errorf("index size = %d, want 8", ix.Size())
+	}
+	// Created in (31Dec96, 4Jan97]: the two nodes created at t1.
+	got := ix.CreatedIn(timestamp.MustParse("31Dec96"), timestamp.MustParse("4Jan97"))
+	if len(got) != 2 {
+		t.Errorf("created in window = %v, want 2 nodes", got)
+	}
+	// Created in (4Jan97, +inf]: the comment node at t2.
+	got = ix.CreatedIn(timestamp.MustParse("4Jan97"), timestamp.PosInf)
+	if len(got) != 1 {
+		t.Errorf("created after 4Jan97 = %v, want 1", got)
+	}
+	// Boundary semantics: (from, to] excludes from itself.
+	got = ix.CreatedIn(guidegen.T1, timestamp.PosInf)
+	if len(got) != 1 {
+		t.Errorf("created strictly after t1 = %v, want 1 (comment)", got)
+	}
+	// Updates, adds, removes.
+	if got := ix.UpdatedIn(timestamp.NegInf, timestamp.PosInf); len(got) != 1 {
+		t.Errorf("updated nodes = %v", got)
+	}
+	if got := ix.AddedIn(timestamp.NegInf, timestamp.PosInf); len(got) != 3 {
+		t.Errorf("added arcs = %v", got)
+	}
+	if got := ix.RemovedIn(timestamp.NegInf, timestamp.PosInf); len(got) != 1 {
+		t.Errorf("removed arcs = %v", got)
+	}
+	// Empty range.
+	if got := ix.AddedIn(timestamp.MustParse("1Feb97"), timestamp.PosInf); len(got) != 0 {
+		t.Errorf("adds after history end = %v", got)
+	}
+}
+
+func TestAnnotationIndexReachesDeletedNodes(t *testing.T) {
+	// Annotations on arcs to nodes deleted from the current snapshot must
+	// still be indexed (they are reachable through rem-annotated arcs).
+	db := oem.New()
+	n := db.CreateNode(value.Str("x"))
+	if err := db.AddArc(db.Root(), "x", n); err != nil {
+		t.Fatal(err)
+	}
+	d := doem.New(db)
+	if err := d.Apply(timestamp.MustParse("1Jan97"), removeArcSet(db.Root(), "x", n)); err != nil {
+		t.Fatal(err)
+	}
+	ix := BuildAnnotationIndex(d)
+	if got := ix.RemovedIn(timestamp.NegInf, timestamp.PosInf); len(got) != 1 {
+		t.Errorf("removed arcs = %v", got)
+	}
+}

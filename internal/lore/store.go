@@ -1,0 +1,213 @@
+// Package lore is a small storage manager standing in for the Lore DBMS the
+// paper builds on: it keeps named OEM and DOEM databases, persists them
+// atomically to a directory, and maintains the secondary indexes the paper
+// proposes as future work (label, value, and annotation indexes) for the
+// index-ablation experiment.
+package lore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/doem"
+	"repro/internal/oem"
+	"repro/internal/oemio"
+)
+
+// Store manages named databases under a directory. The in-memory databases
+// are authoritative; Put persists, Open loads everything found on disk.
+// A Store with an empty directory is purely in-memory.
+type Store struct {
+	dir string
+
+	mu    sync.RWMutex
+	oems  map[string]*oem.Database
+	doems map[string]*doem.Database
+}
+
+// ErrNotFound reports a missing database name.
+var ErrNotFound = errors.New("lore: database not found")
+
+const (
+	oemExt  = ".oem.json"
+	doemExt = ".doem.json"
+)
+
+// Open loads a store from dir, creating the directory if needed. An empty
+// dir yields an in-memory store.
+func Open(dir string) (*Store, error) {
+	s := &Store{
+		dir:   dir,
+		oems:  make(map[string]*oem.Database),
+		doems: make(map[string]*doem.Database),
+	}
+	if dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("lore: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lore: %w", err)
+	}
+	for _, ent := range entries {
+		name := ent.Name()
+		switch {
+		case strings.HasSuffix(name, oemExt):
+			data, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				return nil, fmt.Errorf("lore: %w", err)
+			}
+			db, err := oemio.Unmarshal(data)
+			if err != nil {
+				return nil, fmt.Errorf("lore: loading %s: %w", name, err)
+			}
+			s.oems[strings.TrimSuffix(name, oemExt)] = db
+		case strings.HasSuffix(name, doemExt):
+			data, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				return nil, fmt.Errorf("lore: %w", err)
+			}
+			d, err := doem.Unmarshal(data)
+			if err != nil {
+				return nil, fmt.Errorf("lore: loading %s: %w", name, err)
+			}
+			s.doems[strings.TrimSuffix(name, doemExt)] = d
+		}
+	}
+	return s, nil
+}
+
+// PutOEM stores (and persists) an OEM database under name.
+func (s *Store) PutOEM(name string, db *oem.Database) error {
+	if err := validName(name); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.oems[name] = db
+	if s.dir == "" {
+		return nil
+	}
+	data, err := oemio.Marshal(db)
+	if err != nil {
+		return err
+	}
+	return atomicWrite(filepath.Join(s.dir, name+oemExt), data)
+}
+
+// GetOEM retrieves an OEM database by name.
+func (s *Store) GetOEM(name string) (*oem.Database, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	db, ok := s.oems[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return db, nil
+}
+
+// PutDOEM stores (and persists) a DOEM database under name.
+func (s *Store) PutDOEM(name string, d *doem.Database) error {
+	if err := validName(name); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.doems[name] = d
+	if s.dir == "" {
+		return nil
+	}
+	data, err := d.Marshal()
+	if err != nil {
+		return err
+	}
+	return atomicWrite(filepath.Join(s.dir, name+doemExt), data)
+}
+
+// GetDOEM retrieves a DOEM database by name.
+func (s *Store) GetDOEM(name string) (*doem.Database, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.doems[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return d, nil
+}
+
+// Delete removes a database (either kind) and its files.
+func (s *Store) Delete(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, hadOEM := s.oems[name]
+	_, hadDOEM := s.doems[name]
+	if !hadOEM && !hadDOEM {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	delete(s.oems, name)
+	delete(s.doems, name)
+	if s.dir == "" {
+		return nil
+	}
+	for _, ext := range []string{oemExt, doemExt} {
+		path := filepath.Join(s.dir, name+ext)
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("lore: %w", err)
+		}
+	}
+	return nil
+}
+
+// List returns all database names, sorted, with their kind ("oem"/"doem").
+func (s *Store) List() []Entry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Entry
+	for n := range s.oems {
+		out = append(out, Entry{Name: n, Kind: "oem"})
+	}
+	for n := range s.doems {
+		out = append(out, Entry{Name: n, Kind: "doem"})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+// Entry describes one stored database.
+type Entry struct {
+	Name string
+	Kind string
+}
+
+func validName(name string) error {
+	if name == "" || strings.ContainsAny(name, "/\\") || strings.HasPrefix(name, ".") {
+		return fmt.Errorf("lore: invalid database name %q", name)
+	}
+	return nil
+}
+
+// atomicWrite writes data to path via a temporary file and rename, so a
+// crash never leaves a torn file.
+func atomicWrite(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("lore: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("lore: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,236 @@
+package lorel
+
+import (
+	"fmt"
+)
+
+// Canonicalize rewrites a parsed query into the canonical form the
+// evaluator and the Chorel-to-Lorel translator consume, mirroring the
+// paper's Section 4.2.1 preprocessing:
+//
+//   - every path expression is decomposed into single-step range-variable
+//     definitions ("a.b.c" becomes "a.b X, X.c Y" — the Lorel rewriting the
+//     paper cites), with *identical unannotated prefixes shared*: the
+//     occurrences of guide.restaurant in "select guide.restaurant where
+//     guide.restaurant.price < 20.5" denote the same object variable, which
+//     is what makes Example 4.1 return only Bangkok Cuisine;
+//   - paths in the select clause are hoisted into the from clause and
+//     replaced by variables;
+//   - paths in the where clause (outside exists bodies) are hoisted into
+//     existentially quantified generators (Example 4.5) that bind null when
+//     the path has no matches, so disjunctions over missing subobjects
+//     still evaluate;
+//   - every annotation expression is completed with variables
+//     ("<add>" becomes "<add at _v1>"); annotated steps are never shared
+//     between occurrences, since each occurrence binds its own variables;
+//   - select items receive default labels: the last path label for objects
+//     and the paper's create-time / add-time / remove-time / update-time /
+//     old-value / new-value for annotation variables.
+//
+// Canonicalize mutates q in place.
+func Canonicalize(q *Query) error {
+	c := &canonicalizer{
+		q:         q,
+		varLabels: make(map[string]string),
+		shared:    make(map[string]string),
+	}
+	return c.run()
+}
+
+type canonicalizer struct {
+	q         *Query
+	nfresh    int
+	varLabels map[string]string // variable -> default output label
+	shared    map[string]string // textual path prefix -> variable
+}
+
+func (c *canonicalizer) fresh() string {
+	c.nfresh++
+	return fmt.Sprintf("_v%d", c.nfresh)
+}
+
+func (c *canonicalizer) run() error {
+	q := c.q
+	// 1. Decompose the original from items in order, preserving user range
+	// variables.
+	var from []FromItem
+	for _, f := range q.From {
+		c.expandPath(f.Path, &from, f.Var)
+	}
+
+	// 2. Hoist and decompose select-clause paths (strict generators).
+	for i := range q.Select {
+		q.Select[i].Expr = c.rewriteExpr(q.Select[i].Expr, &from)
+	}
+	q.From = from
+
+	// 3. Hoist and decompose where-clause paths into existential generators.
+	var gens []FromItem
+	if q.Where != nil {
+		q.Where = c.rewriteExpr(q.Where, &gens)
+	}
+	q.WhereGens = append(q.WhereGens, gens...)
+
+	// 4. Complete annotation expressions and record default labels.
+	q.walkPaths(c.completeAnnots)
+
+	// 5. Default select labels.
+	for i := range q.Select {
+		if q.Select[i].Label == "" {
+			q.Select[i].Label = c.defaultLabel(q.Select[i].Expr)
+		}
+	}
+	return nil
+}
+
+// expandPath decomposes a multi-step path into single-step generators
+// appended to gens and returns the variable denoting the path's result.
+// Unannotated steps reuse the variable of an identical earlier prefix.
+// finalVar, when non-empty, names the last step's variable (a user range
+// variable); it is registered for reuse but never itself reused.
+func (c *canonicalizer) expandPath(p *PathExpr, gens *[]FromItem, finalVar string) string {
+	cur := p.Head
+	key := p.Head
+	for i, step := range p.Steps {
+		last := i == len(p.Steps)-1
+		annotated := step.Arc != nil || step.Node != nil
+		key = key + "." + stepKey(step)
+		// Reuse a shared prefix variable when possible.
+		if !annotated && !(last && finalVar != "") {
+			if v, ok := c.shared[key]; ok {
+				cur = v
+				continue
+			}
+		}
+		v := finalVar
+		if !last || v == "" {
+			v = c.fresh()
+		}
+		*gens = append(*gens, FromItem{
+			Path: &PathExpr{Head: cur, Steps: []*PathStep{step}, P: step.P},
+			Var:  v,
+		})
+		if !annotated {
+			if _, taken := c.shared[key]; !taken {
+				c.shared[key] = v
+			}
+		}
+		c.varLabels[v] = stepLabel(step)
+		cur = v
+	}
+	if len(p.Steps) == 0 {
+		// A bare head. With a user alias, emit an aliasing generator.
+		if finalVar != "" && finalVar != p.Head {
+			*gens = append(*gens, FromItem{Path: &PathExpr{Head: p.Head, P: p.P}, Var: finalVar})
+			return finalVar
+		}
+		return p.Head
+	}
+	return cur
+}
+
+// stepKey renders a step for prefix sharing.
+func stepKey(s *PathStep) string {
+	switch {
+	case s.Group != nil:
+		return s.Group.String()
+	case s.Hash:
+		return "#"
+	case s.Quoted:
+		return fmt.Sprintf("%q", s.Label)
+	default:
+		return s.Label
+	}
+}
+
+func stepLabel(s *PathStep) string {
+	if s.Hash || s.Group != nil {
+		return "object"
+	}
+	return s.Label
+}
+
+// rewriteExpr replaces every path-with-steps in e by its expanded variable.
+// Paths inside exists bodies are left alone (the evaluator enumerates them
+// natively); bare variables are untouched.
+func (c *canonicalizer) rewriteExpr(e Expr, gens *[]FromItem) Expr {
+	switch x := e.(type) {
+	case *PathValueExpr:
+		if len(x.Path.Steps) == 0 {
+			return x
+		}
+		v := c.expandPath(x.Path, gens, "")
+		return &PathValueExpr{Path: &PathExpr{Head: v, P: x.Path.P}}
+	case *BinExpr:
+		x.L = c.rewriteExpr(x.L, gens)
+		x.R = c.rewriteExpr(x.R, gens)
+		return x
+	case *NotExpr:
+		x.E = c.rewriteExpr(x.E, gens)
+		return x
+	case *ExistsExpr:
+		return x // native enumeration; keep paths in place
+	case *AggExpr:
+		return x // aggregates enumerate their path per tuple
+	default:
+		return e
+	}
+}
+
+// completeAnnots fills missing annotation variables and records default
+// labels for all annotation variables in the path.
+func (c *canonicalizer) completeAnnots(p *PathExpr) {
+	for _, s := range p.Steps {
+		for _, ann := range []*AnnotExpr{s.Arc, s.Node} {
+			if ann == nil || ann.Op == OpAt {
+				continue
+			}
+			if ann.AtVar == "" {
+				ann.AtVar = c.fresh()
+			}
+			c.varLabels[ann.AtVar] = timeLabel(ann.Op)
+			if ann.Op == OpUpd {
+				if ann.FromVar == "" {
+					ann.FromVar = c.fresh()
+				}
+				if ann.ToVar == "" {
+					ann.ToVar = c.fresh()
+				}
+				c.varLabels[ann.FromVar] = "old-value"
+				c.varLabels[ann.ToVar] = "new-value"
+			}
+		}
+	}
+}
+
+// timeLabel returns the paper's default label for an annotation time
+// variable.
+func timeLabel(op AnnotOp) string {
+	switch op {
+	case OpAdd:
+		return "add-time"
+	case OpRem:
+		return "remove-time"
+	case OpCre:
+		return "create-time"
+	case OpUpd:
+		return "update-time"
+	default:
+		return "time"
+	}
+}
+
+// defaultLabel computes the output label of a canonicalized select item.
+func (c *canonicalizer) defaultLabel(e Expr) string {
+	if pv, ok := e.(*PathValueExpr); ok {
+		if len(pv.Path.Steps) == 0 {
+			if l, ok := c.varLabels[pv.Path.Head]; ok {
+				return l
+			}
+			return pv.Path.Head
+		}
+		last := pv.Path.Steps[len(pv.Path.Steps)-1]
+		return stepLabel(last)
+	}
+	return "value"
+}

@@ -1,0 +1,919 @@
+package lorel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/doem"
+	"repro/internal/oem"
+	"repro/internal/timestamp"
+	"repro/internal/value"
+)
+
+// Engine evaluates Lorel and Chorel queries over registered graphs. Path
+// expression heads resolve to registered database names ("guide", or a QSS
+// polling-query name such as "LyttonRestaurants").
+//
+// Concurrency: Query and Eval are safe to call concurrently with each
+// other as long as the registered graphs are not mutated meanwhile;
+// Register and SetPollTimes must be serialized with queries by the caller
+// (QSS and the trigger manager each do so).
+type Engine struct {
+	graphs    map[string]Graph
+	order     []string
+	pollTimes []timestamp.Time
+
+	// cache holds parsed-and-canonicalized queries by source text.
+	// Evaluation never mutates a canonicalized AST, so cached queries are
+	// shared across calls; standing queries (QSS filters, triggers) parse
+	// once.
+	cacheMu sync.Mutex
+	cache   map[string]*Query
+}
+
+// cacheLimit bounds the parsed-query cache; at the limit the cache is
+// simply reset (standing-query workloads use few distinct texts).
+const cacheLimit = 256
+
+// NewEngine returns an empty engine.
+func NewEngine() *Engine {
+	return &Engine{graphs: make(map[string]Graph), cache: make(map[string]*Query)}
+}
+
+// Register makes g available to queries under the given name. Registering
+// an existing name replaces it.
+func (e *Engine) Register(name string, g Graph) {
+	if _, ok := e.graphs[name]; !ok {
+		e.order = append(e.order, name)
+	}
+	e.graphs[name] = g
+}
+
+// Names returns the registered database names in registration order.
+func (e *Engine) Names() []string { return append([]string(nil), e.order...) }
+
+// SetPollTimes installs the polling-time sequence used to resolve t[0],
+// t[-1], ... (paper Section 6): t[0] is the last element, t[-i] counts back
+// from it, and references beyond the start resolve to -infinity.
+func (e *Engine) SetPollTimes(times []timestamp.Time) {
+	e.pollTimes = append([]timestamp.Time(nil), times...)
+}
+
+func (e *Engine) pollTime(idx int) timestamp.Time {
+	// idx is 0 or negative: t[0] = last poll, t[-1] = previous, ...
+	i := len(e.pollTimes) - 1 + idx
+	if i < 0 || len(e.pollTimes) == 0 {
+		return timestamp.NegInf
+	}
+	if i >= len(e.pollTimes) {
+		return timestamp.PosInf
+	}
+	return e.pollTimes[i]
+}
+
+// Query parses, canonicalizes and evaluates a query. Parsed queries are
+// cached by source text, so repeated evaluation of standing queries pays
+// only for evaluation.
+func (e *Engine) Query(src string) (*Result, error) {
+	e.cacheMu.Lock()
+	q, ok := e.cache[src]
+	e.cacheMu.Unlock()
+	if !ok {
+		var err error
+		q, err = Parse(src)
+		if err != nil {
+			return nil, err
+		}
+		if err := Canonicalize(q); err != nil {
+			return nil, err
+		}
+		e.cacheMu.Lock()
+		if len(e.cache) >= cacheLimit {
+			e.cache = make(map[string]*Query)
+		}
+		e.cache[src] = q
+		e.cacheMu.Unlock()
+	}
+	return e.Eval(q)
+}
+
+// binding is a variable binding: a graph node (optionally viewed as of a
+// past time), an atomic value, or null (an empty existential generator).
+type binding struct {
+	kind    bindKind
+	g       Graph
+	id      oem.NodeID
+	val     value.Value
+	hasAsOf bool
+	asOf    timestamp.Time
+}
+
+type bindKind uint8
+
+const (
+	bNull bindKind = iota
+	bNode
+	bValue
+)
+
+func nodeBinding(g Graph, id oem.NodeID) binding {
+	return binding{kind: bNode, g: g, id: id}
+}
+
+func valueBinding(v value.Value) binding { return binding{kind: bValue, val: v} }
+
+// valueOf reads the value a binding denotes for comparisons.
+func (b binding) valueOf() (value.Value, bool) {
+	switch b.kind {
+	case bValue:
+		return b.val, true
+	case bNode:
+		if b.hasAsOf {
+			return b.g.ValueAt(b.id, b.asOf), true
+		}
+		return b.g.Value(b.id)
+	default:
+		return value.Value{}, false
+	}
+}
+
+// key returns a dedup key for result rows.
+func (b binding) key() string {
+	switch b.kind {
+	case bNode:
+		if b.hasAsOf {
+			return fmt.Sprintf("n%p:%d@%s", b.g, b.id, b.asOf)
+		}
+		return fmt.Sprintf("n%p:%d", b.g, b.id)
+	case bValue:
+		return "v" + b.val.String()
+	default:
+		return "null"
+	}
+}
+
+// env is an immutable chain of variable bindings.
+type env struct {
+	parent *env
+	name   string
+	b      binding
+}
+
+func (e *env) extend(name string, b binding) *env {
+	return &env{parent: e, name: name, b: b}
+}
+
+func (e *env) lookup(name string) (binding, bool) {
+	for x := e; x != nil; x = x.parent {
+		if x.name == name {
+			return x.b, true
+		}
+	}
+	return binding{}, false
+}
+
+// pathResult is one match of a path expression: the reached binding plus
+// the environment extended with any annotation variables bound on the way.
+type pathResult struct {
+	b   binding
+	env *env
+}
+
+// Eval evaluates a canonicalized query.
+func (e *Engine) Eval(q *Query) (*Result, error) {
+	res := &Result{}
+	seen := make(map[string]bool)
+	emit := func(en *env) error {
+		if q.Where != nil {
+			ok, err := e.evalBool(en, q.Where)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+		}
+		rows, err := e.buildRows(en, q.Select)
+		if err != nil {
+			return err
+		}
+		for _, row := range rows {
+			k := row.key()
+			if !seen[k] {
+				seen[k] = true
+				res.Rows = append(res.Rows, row)
+			}
+		}
+		return nil
+	}
+	gens := make([]FromItem, 0, len(q.From)+len(q.WhereGens))
+	gens = append(gens, q.From...)
+	gens = append(gens, q.WhereGens...)
+	strict := len(q.From) // generators at index >= strict are existential
+	if err := e.enumerate(gens, 0, strict, nil, emit); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// enumerate produces the cross product of generator bindings. Strict
+// generators (from clause) eliminate the tuple when empty; existential
+// generators (hoisted where paths) bind null instead, so disjunctions over
+// missing paths still evaluate.
+func (e *Engine) enumerate(gens []FromItem, i, strict int, en *env, emit func(*env) error) error {
+	if i == len(gens) {
+		return emit(en)
+	}
+	g := gens[i]
+	results, err := e.evalPath(en, g.Path)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		if i < strict {
+			return nil // strict: no bindings, no tuples
+		}
+		// Existential generator with no matches: bind the range variable
+		// and any annotation variables its path would have bound to null,
+		// so the rest of the where clause still evaluates (to false on
+		// every predicate that touches them).
+		nen := en.extend(g.Var, binding{kind: bNull})
+		for _, v := range pathAnnotVars(g.Path) {
+			nen = nen.extend(v, binding{kind: bNull})
+		}
+		return e.enumerate(gens, i+1, strict, nen, emit)
+	}
+	for _, r := range results {
+		if err := e.enumerate(gens, i+1, strict, r.env.extend(g.Var, r.b), emit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evalPath evaluates a path expression in an environment.
+func (e *Engine) evalPath(en *env, p *PathExpr) ([]pathResult, error) {
+	var frontier []pathResult
+	if b, ok := en.lookup(p.Head); ok {
+		frontier = []pathResult{{b: b, env: en}}
+	} else if g, ok := e.graphs[p.Head]; ok {
+		frontier = []pathResult{{b: nodeBinding(g, g.Root()), env: en}}
+	} else {
+		return nil, errf(p.P, "unknown name %q (neither a variable in scope nor a registered database)", p.Head)
+	}
+	for _, step := range p.Steps {
+		var next []pathResult
+		dedup := make(map[string]bool)
+		bindsVars := stepBindsVars(step)
+		for _, cur := range frontier {
+			expanded, err := e.expandStep(cur, step)
+			if err != nil {
+				return nil, err
+			}
+			for _, r := range expanded {
+				if !bindsVars {
+					// Environments are unchanged, so identical targets from
+					// different parents are redundant.
+					k := r.b.key()
+					if dedup[k] {
+						continue
+					}
+					dedup[k] = true
+				}
+				next = append(next, r)
+			}
+		}
+		frontier = next
+		if len(frontier) == 0 {
+			return nil, nil
+		}
+	}
+	return frontier, nil
+}
+
+// pathAnnotVars collects the annotation variables a path binds.
+func pathAnnotVars(p *PathExpr) []string {
+	var vars []string
+	for _, s := range p.Steps {
+		for _, ann := range []*AnnotExpr{s.Arc, s.Node} {
+			if ann == nil {
+				continue
+			}
+			for _, v := range []string{ann.AtVar, ann.FromVar, ann.ToVar} {
+				if v != "" {
+					vars = append(vars, v)
+				}
+			}
+		}
+	}
+	return vars
+}
+
+func stepBindsVars(s *PathStep) bool {
+	for _, ann := range []*AnnotExpr{s.Arc, s.Node} {
+		if ann != nil && (ann.AtVar != "" || ann.FromVar != "" || ann.ToVar != "") {
+			return true
+		}
+	}
+	return false
+}
+
+// expandStep applies one path step to one binding.
+func (e *Engine) expandStep(cur pathResult, step *PathStep) ([]pathResult, error) {
+	if cur.b.kind != bNode {
+		return nil, nil // cannot traverse from a value or null
+	}
+	g := cur.b.g
+
+	// Regular path group: (a.b|c) with an optional quantifier.
+	if step.Group != nil {
+		return e.expandGroup(cur, step.Group), nil
+	}
+
+	// '#' wildcard: all nodes reachable in zero or more steps.
+	if step.Hash {
+		var out []pathResult
+		seen := map[oem.NodeID]bool{cur.b.id: true}
+		stack := []oem.NodeID{cur.b.id}
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			nb := cur.b
+			nb.id = n
+			out = append(out, pathResult{b: nb, env: cur.env})
+			for _, a := range e.liveArcs(cur.b, g, n) {
+				if !seen[a.Child] {
+					seen[a.Child] = true
+					stack = append(stack, a.Child)
+				}
+			}
+		}
+		return out, nil
+	}
+
+	// Select candidate (arc, envExtension) pairs according to the arc
+	// annotation expression.
+	var out []pathResult
+	appendChild := func(child oem.NodeID, en *env, asOf *timestamp.Time) error {
+		nb := cur.b
+		nb.id = child
+		if asOf != nil {
+			nb.hasAsOf = true
+			nb.asOf = *asOf
+		}
+		rs, err := e.applyNodeAnnot(pathResult{b: nb, env: en}, step.Node)
+		if err != nil {
+			return err
+		}
+		out = append(out, rs...)
+		return nil
+	}
+
+	switch {
+	case step.Arc == nil:
+		for _, a := range e.liveArcs(cur.b, g, cur.b.id) {
+			if !labelMatch(step, a.Label) {
+				continue
+			}
+			if err := appendChild(a.Child, cur.env, nil); err != nil {
+				return nil, err
+			}
+		}
+	case step.Arc.Op == OpAdd || step.Arc.Op == OpRem:
+		wantKind := annotKindFor(step.Arc.Op)
+		for _, a := range g.OutAll(cur.b.id) {
+			if !labelMatch(step, a.Label) {
+				continue
+			}
+			for _, ann := range g.ArcAnnots(a) {
+				if ann.Kind != wantKind {
+					continue
+				}
+				en := cur.env
+				if step.Arc.AtVar != "" {
+					en = en.extend(step.Arc.AtVar, valueBinding(value.Time(ann.At)))
+				}
+				if err := appendChild(a.Child, en, nil); err != nil {
+					return nil, err
+				}
+			}
+		}
+	case step.Arc.Op == OpAt:
+		t, ok, err := e.evalTime(cur.env, step.Arc.AtExpr)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, nil
+		}
+		for _, a := range g.OutAll(cur.b.id) {
+			if !labelMatch(step, a.Label) {
+				continue
+			}
+			if g.ArcLiveAt(a, t) {
+				if err := appendChild(a.Child, cur.env, &t); err != nil {
+					return nil, err
+				}
+			}
+		}
+	default:
+		return nil, errf(step.P, "%s annotation cannot precede an arc label", step.Arc.Op)
+	}
+	return out, nil
+}
+
+// expandGroup applies a regular path group to one binding: each
+// application follows one of the alternative label sequences; the
+// quantifier controls repetition. Group labels support '%' globs like
+// ordinary steps. Bindings inherit the time-travel instant; environments
+// are unchanged (groups bind no variables).
+func (e *Engine) expandGroup(cur pathResult, grp *PathGroup) []pathResult {
+	g := cur.b.g
+
+	// followSeq walks one fixed label sequence from a node set.
+	followSeq := func(start map[oem.NodeID]bool, seq []string) map[oem.NodeID]bool {
+		frontier := start
+		for _, label := range seq {
+			next := make(map[oem.NodeID]bool)
+			glob := strings.Contains(label, "%")
+			for n := range frontier {
+				for _, a := range e.liveArcs(cur.b, g, n) {
+					if glob {
+						if !value.Str(a.Label).Like(label) {
+							continue
+						}
+					} else if a.Label != label {
+						continue
+					}
+					next[a.Child] = true
+				}
+			}
+			frontier = next
+			if len(frontier) == 0 {
+				break
+			}
+		}
+		return frontier
+	}
+
+	// applyOnce maps a node set through any one alternative.
+	applyOnce := func(start map[oem.NodeID]bool) map[oem.NodeID]bool {
+		out := make(map[oem.NodeID]bool)
+		for _, alt := range grp.Alts {
+			for n := range followSeq(start, alt) {
+				out[n] = true
+			}
+		}
+		return out
+	}
+
+	start := map[oem.NodeID]bool{cur.b.id: true}
+	var reached map[oem.NodeID]bool
+	switch grp.Quant {
+	case 0:
+		reached = applyOnce(start)
+	case '?':
+		reached = applyOnce(start)
+		reached[cur.b.id] = true
+	case '*', '+':
+		seen := make(map[oem.NodeID]bool)
+		frontier := start
+		if grp.Quant == '*' {
+			seen[cur.b.id] = true
+		}
+		for len(frontier) > 0 {
+			next := applyOnce(frontier)
+			frontier = make(map[oem.NodeID]bool)
+			for n := range next {
+				if !seen[n] {
+					seen[n] = true
+					frontier[n] = true
+				}
+			}
+		}
+		reached = seen
+	}
+
+	ids := make([]oem.NodeID, 0, len(reached))
+	for n := range reached {
+		ids = append(ids, n)
+	}
+	sortNodeIDs(ids)
+	out := make([]pathResult, 0, len(ids))
+	for _, n := range ids {
+		nb := cur.b
+		nb.id = n
+		out = append(out, pathResult{b: nb, env: cur.env})
+	}
+	return out
+}
+
+func sortNodeIDs(ids []oem.NodeID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+// liveArcs returns the arcs of n visible to an unannotated step: the
+// current snapshot, or the snapshot as of the binding's time-travel instant.
+func (e *Engine) liveArcs(b binding, g Graph, n oem.NodeID) []oem.Arc {
+	if !b.hasAsOf {
+		return g.Out(n)
+	}
+	var arcs []oem.Arc
+	for _, a := range g.OutAll(n) {
+		if g.ArcLiveAt(a, b.asOf) {
+			arcs = append(arcs, a)
+		}
+	}
+	return arcs
+}
+
+// applyNodeAnnot filters/expands one reached node through a node annotation
+// expression.
+func (e *Engine) applyNodeAnnot(r pathResult, ann *AnnotExpr) ([]pathResult, error) {
+	if ann == nil {
+		return []pathResult{r}, nil
+	}
+	g := r.b.g
+	switch ann.Op {
+	case OpCre:
+		ct, ok := g.CreTime(r.b.id)
+		if !ok {
+			return nil, nil
+		}
+		en := r.env
+		if ann.AtVar != "" {
+			en = en.extend(ann.AtVar, valueBinding(value.Time(ct)))
+		}
+		return []pathResult{{b: r.b, env: en}}, nil
+	case OpUpd:
+		var out []pathResult
+		for _, u := range g.UpdTriples(r.b.id) {
+			en := r.env
+			if ann.AtVar != "" {
+				en = en.extend(ann.AtVar, valueBinding(value.Time(u.At)))
+			}
+			if ann.FromVar != "" {
+				en = en.extend(ann.FromVar, valueBinding(u.Old))
+			}
+			if ann.ToVar != "" {
+				en = en.extend(ann.ToVar, valueBinding(u.New))
+			}
+			out = append(out, pathResult{b: r.b, env: en})
+		}
+		return out, nil
+	case OpAt:
+		t, ok, err := e.evalTime(r.env, ann.AtExpr)
+		if err != nil || !ok {
+			return nil, err
+		}
+		nb := r.b
+		nb.hasAsOf = true
+		nb.asOf = t
+		return []pathResult{{b: nb, env: r.env}}, nil
+	default:
+		return nil, errf(ann.P, "%s annotation cannot follow a label", ann.Op)
+	}
+}
+
+// labelMatch matches an arc label against a step: exact for quoted labels,
+// with '%' globbing otherwise.
+func labelMatch(step *PathStep, label string) bool {
+	if step.Quoted || !strings.Contains(step.Label, "%") {
+		return step.Label == label
+	}
+	return value.Str(label).Like(step.Label)
+}
+
+func annotKindFor(op AnnotOp) doem.AnnotKind {
+	if op == OpAdd {
+		return doem.AnnotAdd
+	}
+	return doem.AnnotRem
+}
+
+// evalTime evaluates an expression to a timestamp (coercing strings and
+// time values).
+func (e *Engine) evalTime(en *env, ex Expr) (timestamp.Time, bool, error) {
+	bs, err := e.evalOperand(en, ex)
+	if err != nil {
+		return timestamp.Time{}, false, err
+	}
+	for _, b := range bs {
+		v, ok := b.valueOf()
+		if !ok {
+			continue
+		}
+		switch v.Kind() {
+		case value.KindTime:
+			return v.AsTime(), true, nil
+		case value.KindString:
+			if t, err := timestamp.Parse(v.AsString()); err == nil {
+				return t, true, nil
+			}
+		case value.KindInt:
+			return timestamp.FromUnix(v.AsInt()), true, nil
+		}
+	}
+	return timestamp.Time{}, false, nil
+}
+
+// evalOperand evaluates an expression to its set of bindings.
+func (e *Engine) evalOperand(en *env, ex Expr) ([]binding, error) {
+	switch x := ex.(type) {
+	case *ConstExpr:
+		return []binding{valueBinding(x.Val)}, nil
+	case *TimeRefExpr:
+		return []binding{valueBinding(value.Time(e.pollTime(x.Index)))}, nil
+	case *PathValueExpr:
+		rs, err := e.evalPath(en, x.Path)
+		if err != nil {
+			return nil, err
+		}
+		bs := make([]binding, 0, len(rs))
+		for _, r := range rs {
+			bs = append(bs, r.b)
+		}
+		return bs, nil
+	case *BinExpr:
+		switch x.Op {
+		case "+", "-", "*", "/":
+			ls, err := e.evalOperand(en, x.L)
+			if err != nil {
+				return nil, err
+			}
+			rs, err := e.evalOperand(en, x.R)
+			if err != nil {
+				return nil, err
+			}
+			var out []binding
+			for _, l := range ls {
+				lv, lok := l.valueOf()
+				if !lok {
+					continue
+				}
+				for _, r := range rs {
+					rv, rok := r.valueOf()
+					if !rok {
+						continue
+					}
+					if v, ok := value.Arith(x.Op, lv, rv); ok {
+						out = append(out, valueBinding(v))
+					}
+				}
+			}
+			return out, nil
+		default:
+			// A boolean expression in operand position.
+			ok, err := e.evalBool(en, x)
+			if err != nil {
+				return nil, err
+			}
+			return []binding{valueBinding(value.Bool(ok))}, nil
+		}
+	case *NotExpr, *ExistsExpr:
+		ok, err := e.evalBool(en, ex)
+		if err != nil {
+			return nil, err
+		}
+		return []binding{valueBinding(value.Bool(ok))}, nil
+	case *AggExpr:
+		v, err := e.evalAggregate(en, x)
+		if err != nil {
+			return nil, err
+		}
+		return []binding{valueBinding(v)}, nil
+	}
+	return nil, errf(ex.Pos(), "cannot evaluate expression %s", ex)
+}
+
+// evalAggregate folds an aggregate function over a path's matches in the
+// current tuple environment. count tallies matches; min/max/sum/avg fold
+// the coercible numeric (or, for min/max, comparable) values and yield null
+// on an empty fold.
+func (e *Engine) evalAggregate(en *env, agg *AggExpr) (value.Value, error) {
+	rs, err := e.evalPath(en, agg.Path)
+	if err != nil {
+		return value.Value{}, err
+	}
+	if agg.Fn == "count" {
+		return value.Int(int64(len(rs))), nil
+	}
+	var acc value.Value
+	n := 0
+	for _, r := range rs {
+		v, ok := r.b.valueOf()
+		if !ok || v.IsComplex() || v.Kind() == value.KindNull {
+			continue
+		}
+		if n == 0 {
+			acc = v
+			n++
+			continue
+		}
+		switch agg.Fn {
+		case "min":
+			if cmp, ok := value.Compare(v, acc); ok && cmp < 0 {
+				acc = v
+			}
+		case "max":
+			if cmp, ok := value.Compare(v, acc); ok && cmp > 0 {
+				acc = v
+			}
+		case "sum", "avg":
+			if s, ok := value.Arith("+", acc, v); ok {
+				acc = s
+			} else {
+				continue
+			}
+		}
+		n++
+	}
+	if n == 0 {
+		return value.Null(), nil
+	}
+	if agg.Fn == "avg" {
+		if a, ok := value.Arith("/", acc, value.Int(int64(n))); ok {
+			return a, nil
+		}
+		return value.Null(), nil
+	}
+	return acc, nil
+}
+
+// evalBool evaluates an expression as a predicate. Comparisons over path
+// sets are existential; coercion failures and null bindings yield false
+// (the Lorel "forgiving" semantics of Example 4.1).
+func (e *Engine) evalBool(en *env, ex Expr) (bool, error) {
+	switch x := ex.(type) {
+	case *BinExpr:
+		switch x.Op {
+		case "and":
+			l, err := e.evalBool(en, x.L)
+			if err != nil || !l {
+				return false, err
+			}
+			return e.evalBool(en, x.R)
+		case "or":
+			l, err := e.evalBool(en, x.L)
+			if err != nil || l {
+				return l, err
+			}
+			return e.evalBool(en, x.R)
+		case "=", "!=", "<", "<=", ">", ">=":
+			return e.evalCompare(en, x)
+		case "like":
+			ls, err := e.evalOperand(en, x.L)
+			if err != nil {
+				return false, err
+			}
+			rs, err := e.evalOperand(en, x.R)
+			if err != nil {
+				return false, err
+			}
+			for _, l := range ls {
+				lv, lok := l.valueOf()
+				if !lok {
+					continue
+				}
+				for _, r := range rs {
+					rv, rok := r.valueOf()
+					if !rok || rv.Kind() != value.KindString {
+						continue
+					}
+					if lv.Like(rv.AsString()) {
+						return true, nil
+					}
+				}
+			}
+			return false, nil
+		default:
+			return false, errf(x.P, "operator %q is not a predicate", x.Op)
+		}
+	case *NotExpr:
+		ok, err := e.evalBool(en, x.E)
+		return !ok, err
+	case *ExistsExpr:
+		rs, err := e.evalPath(en, x.In)
+		if err != nil {
+			return false, err
+		}
+		for _, r := range rs {
+			ok, err := e.evalBool(r.env.extend(x.Var, r.b), x.Cond)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+		return false, nil
+	case *ConstExpr:
+		return x.Val.Truthy(), nil
+	case *PathValueExpr:
+		bs, err := e.evalOperand(en, ex)
+		if err != nil {
+			return false, err
+		}
+		for _, b := range bs {
+			if v, ok := b.valueOf(); ok && v.Truthy() {
+				return true, nil
+			}
+		}
+		return false, nil
+	case *TimeRefExpr:
+		return true, nil
+	}
+	return false, errf(ex.Pos(), "cannot evaluate %s as a predicate", ex)
+}
+
+func (e *Engine) evalCompare(en *env, x *BinExpr) (bool, error) {
+	ls, err := e.evalOperand(en, x.L)
+	if err != nil {
+		return false, err
+	}
+	rs, err := e.evalOperand(en, x.R)
+	if err != nil {
+		return false, err
+	}
+	for _, l := range ls {
+		lv, lok := l.valueOf()
+		if !lok {
+			continue
+		}
+		for _, r := range rs {
+			rv, rok := r.valueOf()
+			if !rok {
+				continue
+			}
+			cmp, ok := value.Compare(lv, rv)
+			if !ok {
+				continue
+			}
+			match := false
+			switch x.Op {
+			case "=":
+				match = cmp == 0
+			case "!=":
+				match = cmp != 0
+			case "<":
+				match = cmp < 0
+			case "<=":
+				match = cmp <= 0
+			case ">":
+				match = cmp > 0
+			case ">=":
+				match = cmp >= 0
+			}
+			if match {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}
+
+// buildRows constructs result rows for one satisfied tuple. Select items
+// normally evaluate to single bindings; items that still denote sets fan
+// out into one row per combination.
+func (e *Engine) buildRows(en *env, items []SelectItem) ([]Row, error) {
+	cells := make([][]binding, len(items))
+	for i, item := range items {
+		bs, err := e.evalOperand(en, item.Expr)
+		if err != nil {
+			return nil, err
+		}
+		if len(bs) == 0 {
+			bs = []binding{{kind: bNull}}
+		}
+		cells[i] = bs
+	}
+	var rows []Row
+	var build func(i int, acc []Cell)
+	build = func(i int, acc []Cell) {
+		if i == len(items) {
+			rows = append(rows, Row{Cells: append([]Cell(nil), acc...)})
+			return
+		}
+		for _, b := range cells[i] {
+			build(i+1, append(acc, Cell{Label: items[i].Label, b: b}))
+		}
+	}
+	build(0, nil)
+	// Drop rows that are entirely null.
+	var kept []Row
+	for _, r := range rows {
+		allNull := true
+		for _, c := range r.Cells {
+			if c.b.kind != bNull {
+				allNull = false
+				break
+			}
+		}
+		if !allNull {
+			kept = append(kept, r)
+		}
+	}
+	return kept, nil
+}

@@ -1,0 +1,390 @@
+package lorel
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/doem"
+	"repro/internal/guidegen"
+	"repro/internal/oem"
+	"repro/internal/value"
+)
+
+// TestLorelOnDOEMEqualsCurrentSnapshot checks the paper's stated property:
+// "a standard Lorel query (without annotations) over a DOEM database has
+// exactly the semantics of the same query asked over the current snapshot".
+// We run a battery of plain Lorel queries against both and compare.
+func TestLorelOnDOEMEqualsCurrentSnapshot(t *testing.T) {
+	initial, h := guidegen.GenerateHistory(9, 40, 8, 6)
+	d, err := doem.FromHistory(initial, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onDOEM := NewEngine()
+	onDOEM.Register("guide", d)
+	onSnap := NewEngine()
+	onSnap.Register("guide", NewOEMGraph(d.Current()))
+
+	queries := []string{
+		`select guide.restaurant`,
+		`select guide.restaurant.name`,
+		`select N from guide.restaurant R, R.name N where R.price < 20`,
+		`select N from guide.restaurant R, R.name N where R.cuisine = "Thai"`,
+		`select guide.restaurant where guide.restaurant.address.# like "%Lytton%"`,
+		`select guide.restaurant.parking.comment`,
+		`select N from guide.restaurant R, R.name N where not R.price = 10`,
+		`select N from guide.restaurant R, R.name N where exists P in R.price : P > 30`,
+		`select R.price + 1 as bumped from guide.restaurant R`,
+		`select guide.#.street`,
+	}
+	for _, q := range queries {
+		a, err := onDOEM.Query(q)
+		if err != nil {
+			t.Errorf("%q on DOEM: %v", q, err)
+			continue
+		}
+		b, err := onSnap.Query(q)
+		if err != nil {
+			t.Errorf("%q on snapshot: %v", q, err)
+			continue
+		}
+		if a.Len() != b.Len() {
+			t.Errorf("%q: DOEM %d rows, snapshot %d rows", q, a.Len(), b.Len())
+			continue
+		}
+		// Node ids coincide (the DOEM current snapshot preserves ids).
+		an, bn := a.FirstColumnNodes(), b.FirstColumnNodes()
+		for i := range an {
+			if an[i] != bn[i] {
+				t.Errorf("%q: row %d node %s vs %s", q, i, an[i], bn[i])
+			}
+		}
+	}
+}
+
+func TestSelectAsLabel(t *testing.T) {
+	e, _, _ := paperEngine(t)
+	res, err := e.Query(`select R.name as title from guide.restaurant R where R.cuisine = "Thai"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := res.Values("title")
+	if len(vals) != 1 || !vals[0].Equal(value.Str("Bangkok Cuisine")) {
+		t.Errorf("title column = %v", vals)
+	}
+}
+
+func TestSelfJoinIndependentRangeVars(t *testing.T) {
+	// Two explicit range variables over the same path are independent
+	// iterations (OQL semantics): pairs of distinct restaurants exist.
+	e, _, _ := paperEngine(t)
+	res, err := e.Query(`select N1, N2 from guide.restaurant R1, guide.restaurant R2,
+		R1.name N1, R2.name N2 where N1 < N2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Names: Bangkok Cuisine, Janta, Hakata -> 3 ordered pairs.
+	if res.Len() != 3 {
+		t.Errorf("ordered name pairs = %d, want 3\n%s", res.Len(), res)
+	}
+}
+
+func TestQuotedLabelStep(t *testing.T) {
+	e, _, d := paperEngine(t)
+	_ = d
+	res, err := e.Query(`select guide."restaurant".name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 3 {
+		t.Errorf("quoted-label rows = %d, want 3", res.Len())
+	}
+	// Quoted labels match literally: a quoted glob finds nothing.
+	res, err = e.Query(`select guide."rest%".name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 0 {
+		t.Errorf("quoted glob matched %d rows, want 0", res.Len())
+	}
+}
+
+func TestGlobLabelUnquoted(t *testing.T) {
+	e, _, _ := paperEngine(t)
+	res, err := e.Query(`select guide.rest%.name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 3 {
+		t.Errorf("glob rows = %d, want 3", res.Len())
+	}
+}
+
+func TestNestedExists(t *testing.T) {
+	e, _, _ := paperEngine(t)
+	res, err := e.Query(`select N from guide.restaurant R, R.name N
+		where exists A in R.address : exists S in A.street : S = "Lytton"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := res.Values("name")
+	if len(vals) != 1 || !vals[0].Equal(value.Str("Bangkok Cuisine")) {
+		t.Errorf("nested exists names = %v", vals)
+	}
+}
+
+func TestComparisonCoercionsInQueries(t *testing.T) {
+	e, _, _ := paperEngine(t)
+	// String-to-number coercion in predicates: Janta's price is the string
+	// "moderate", which fails to coerce — no error, just no match.
+	res, err := e.Query(`select N from guide.restaurant R, R.name N where R.price > 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := res.Values("name")
+	if len(vals) != 1 || !vals[0].Equal(value.Str("Bangkok Cuisine")) {
+		t.Errorf("numeric predicate matched %v", vals)
+	}
+	// But string equality sees it.
+	res, err = e.Query(`select N from guide.restaurant R, R.name N where R.price = "moderate"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals = res.Values("name")
+	if len(vals) != 1 || !vals[0].Equal(value.Str("Janta")) {
+		t.Errorf("string predicate matched %v", vals)
+	}
+}
+
+func TestTimeComparisonWithStrings(t *testing.T) {
+	// Timestamp values compare against quoted strings in any recognized
+	// format (Section 4.2's coercion).
+	e, _, _ := paperEngine(t)
+	res, err := e.Query(`select guide.restaurant<cre at T> where T >= "1997-01-01"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Errorf("ISO-string time filter rows = %d, want 1", res.Len())
+	}
+}
+
+func TestDivisionAndPrecedence(t *testing.T) {
+	e, _, _ := paperEngine(t)
+	// price=20 -> 20/2+30 = 40; precedence: / before +.
+	res, err := e.Query(`select N from guide.restaurant R, R.name N
+		where R.price / 2 + 30 = 40`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Errorf("arith rows = %d, want 1\n%s", res.Len(), res)
+	}
+	// Division by zero is a silent non-match, not an error.
+	res, err = e.Query(`select N from guide.restaurant R, R.name N where R.price / 0 = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 0 {
+		t.Errorf("division by zero matched %d rows", res.Len())
+	}
+}
+
+func TestUnaryMinus(t *testing.T) {
+	e, _, _ := paperEngine(t)
+	res, err := e.Query(`select N from guide.restaurant R, R.name N where R.price > -5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Errorf("negative literal rows = %d, want 1", res.Len())
+	}
+}
+
+func TestMultipleAnnotatedStepsInOnePath(t *testing.T) {
+	// Arc and node annotations on the same step: the restaurant arc added
+	// at T whose target was created at C — both bind.
+	e, pids, _ := paperEngine(t)
+	res, err := e.Query(`select R, T, C from guide.<add at T>restaurant<cre at C> R`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Fatalf("rows = %d, want 1", res.Len())
+	}
+	got := res.Nodes("restaurant")
+	if len(got) != 1 || got[0] != pids.Hakata {
+		t.Errorf("node = %v", got)
+	}
+	ts := res.Values("add-time")
+	cs := res.Values("create-time")
+	if len(ts) != 1 || len(cs) != 1 || !ts[0].Equal(cs[0]) {
+		t.Errorf("times: add=%v cre=%v (both 1Jan97 expected)", ts, cs)
+	}
+}
+
+func TestEmptySelectFromAbsentPath(t *testing.T) {
+	e, _, _ := paperEngine(t)
+	res, err := e.Query(`select guide.restaurant.nonexistent`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 0 {
+		t.Errorf("rows = %d for absent label", res.Len())
+	}
+}
+
+func TestWhereOnlyTimeRef(t *testing.T) {
+	e, _, _ := paperEngine(t)
+	e.SetPollTimes(nil)
+	// t[0] with no polls is -inf; comparing against it.
+	res, err := e.Query(`select guide.restaurant<cre at T> where T > t[0]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Errorf("rows = %d", res.Len())
+	}
+}
+
+func TestErrorMessagesCarryPosition(t *testing.T) {
+	e, _, _ := paperEngine(t)
+	_, err := e.Query(`select guide.restaurant where nosuch.price = 1`)
+	if err == nil {
+		t.Fatal("unknown head accepted")
+	}
+	if !strings.Contains(err.Error(), "offset") {
+		t.Errorf("error lacks position info: %v", err)
+	}
+}
+
+// TestLargeFanoutDeduplication guards against exponential blowup: shared
+// nodes reached through many paths are deduplicated per step.
+func TestLargeFanoutDeduplication(t *testing.T) {
+	db := buildFanout(40)
+	e := NewEngine()
+	e.Register("db", NewOEMGraph(db))
+	res, err := e.Query(`select db.a.b.c.leaf`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Errorf("rows = %d, want 1 (shared leaf)", res.Len())
+	}
+}
+
+// buildFanout builds root -> 40x a -> shared b -> 40x c -> shared leaf.
+func buildFanout(n int) *oem.Database {
+	db := oem.New()
+	shared1 := db.CreateNode(value.Complex())
+	leaf := db.CreateNode(value.Str("x"))
+	for i := 0; i < n; i++ {
+		a := db.CreateNode(value.Complex())
+		mustArcT(db, db.Root(), "a", a)
+		mustArcT(db, a, "b", shared1)
+	}
+	for i := 0; i < n; i++ {
+		c := db.CreateNode(value.Complex())
+		mustArcT(db, shared1, "c", c)
+		mustArcT(db, c, "leaf", leaf)
+	}
+	return db
+}
+
+func mustArcT(db *oem.Database, p oem.NodeID, l string, c oem.NodeID) {
+	if err := db.AddArc(p, l, c); err != nil {
+		panic(err)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	e, _, _ := paperEngine(t)
+	// count of restaurants per guide root.
+	res, err := e.Query(`select count(guide.restaurant) as n`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := res.Values("n"); len(v) != 1 || !v[0].Equal(value.Int(3)) {
+		t.Errorf("count = %v, want [3]", v)
+	}
+	// Per-tuple aggregation: comment count per restaurant.
+	res, err = e.Query(`select N, count(R.comment) as c from guide.restaurant R, R.name N`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]int64{}
+	for _, row := range res.Rows {
+		n, _ := row.Cell("name")
+		c, _ := row.Cell("c")
+		nv, _ := n.Value()
+		cv, _ := c.Value()
+		byName[nv.Display()] = cv.AsInt()
+	}
+	if byName["Hakata"] != 1 || byName["Janta"] != 0 {
+		t.Errorf("comment counts = %v", byName)
+	}
+	// Aggregates in predicates.
+	res, err = e.Query(`select N from guide.restaurant R, R.name N where count(R.comment) >= 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res.Values("name")
+	if len(v) != 1 || !v[0].Equal(value.Str("Hakata")) {
+		t.Errorf("filtered = %v", v)
+	}
+	// min/max/sum/avg over prices (only Bangkok's 20 coerces; Janta's
+	// string "moderate" folds only for min/max comparisons).
+	res, err = e.Query(`select sum(guide.restaurant.price) as s, max(guide.restaurant.price) as m`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := res.Values("s"); len(v) != 1 {
+		t.Errorf("sum column = %v", v)
+	}
+	// avg over an empty set yields the null value.
+	res, err = e.Query(`select avg(guide.restaurant.nonexistent) as a`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := res.Values("a"); len(vs) != 1 || vs[0].Kind() != value.KindNull {
+		t.Errorf("avg over empty = %v, want [null]", vs)
+	}
+}
+
+func TestAggregateOverAnnotations(t *testing.T) {
+	// count of upd annotations — "books checked out twice" made direct.
+	e, _, _ := paperEngine(t)
+	res, err := e.Query(`select N from guide.restaurant R, R.name N
+		where count(R.price<upd at T>) >= 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res.Values("name")
+	if len(v) != 1 || !v[0].Equal(value.Str("Bangkok Cuisine")) {
+		t.Errorf("annotated count = %v", v)
+	}
+}
+
+// TestAnnotationOnGlobLabel: the paper defers annotation expressions on
+// wildcards; the '%' label glob composes with annotations already, giving
+// "any label added at T" queries.
+func TestAnnotationOnGlobLabel(t *testing.T) {
+	e, pids, _ := paperEngine(t)
+	res, err := e.Query(`select X, T from guide.restaurant R, R.<add at T>% X`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arcs added below restaurants: Hakata's name (t1) and comment (t2).
+	if res.Len() != 2 {
+		t.Fatalf("rows = %d, want 2\n%s", res.Len(), res)
+	}
+	for _, row := range res.Rows {
+		c, _ := row.Cell("object")
+		_ = c
+	}
+	_ = pids
+	ts := res.Values("add-time")
+	if len(ts) != 2 {
+		t.Errorf("add-times = %v", ts)
+	}
+}

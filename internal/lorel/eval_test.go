@@ -1,0 +1,557 @@
+package lorel
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/change"
+	"repro/internal/doem"
+	"repro/internal/guidegen"
+	"repro/internal/oem"
+	"repro/internal/timestamp"
+	"repro/internal/value"
+)
+
+// paperEngine returns an engine with the paper's DOEM database (Figure 4)
+// registered as "guide", plus the ids.
+func paperEngine(t testing.TB) (*Engine, *guidegen.PaperIDs, *doem.Database) {
+	t.Helper()
+	db, ids := guidegen.PaperGuide()
+	d, err := doem.FromHistory(db, guidegen.PaperHistory(ids))
+	if err != nil {
+		t.Fatalf("building paper DOEM: %v", err)
+	}
+	e := NewEngine()
+	e.Register("guide", d)
+	return e, ids, d
+}
+
+// oemEngine returns an engine over the plain Figure 3 OEM database (the
+// paper history applied without DOEM).
+func oemEngine(t testing.TB) (*Engine, *guidegen.PaperIDs) {
+	t.Helper()
+	db, ids := guidegen.PaperGuide()
+	if err := guidegen.PaperHistory(ids).Apply(db); err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine()
+	e.Register("guide", NewOEMGraph(db))
+	return e, ids
+}
+
+func ids(res *Result) []oem.NodeID { return res.FirstColumnNodes() }
+
+func containsID(list []oem.NodeID, id oem.NodeID) bool {
+	for _, x := range list {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// TestPaperExample41 reproduces Example 4.1: price < 20.5 over the Figure 3
+// database returns exactly the Bangkok Cuisine object, despite the string
+// price and the missing price.
+func TestPaperExample41(t *testing.T) {
+	e, pids := oemEngine(t)
+	res, err := e.Query(`select guide.restaurant where guide.restaurant.price < 20.5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ids(res)
+	if len(got) != 1 || got[0] != pids.Bangkok {
+		t.Errorf("result = %v, want [%s] (Bangkok Cuisine)", got, pids.Bangkok)
+	}
+}
+
+// TestPaperExample41OnDOEM: the same plain Lorel query over the DOEM
+// database must behave identically (queries without annotations see the
+// current snapshot).
+func TestPaperExample41OnDOEM(t *testing.T) {
+	e, pids, _ := paperEngine(t)
+	res, err := e.Query(`select guide.restaurant where guide.restaurant.price < 20.5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ids(res)
+	if len(got) != 1 || got[0] != pids.Bangkok {
+		t.Errorf("result = %v, want [%s]", got, pids.Bangkok)
+	}
+}
+
+// TestPaperExample42 reproduces "select guide.<add>restaurant": only the
+// newly added Hakata entry.
+func TestPaperExample42(t *testing.T) {
+	e, pids, _ := paperEngine(t)
+	res, err := e.Query(`select guide.<add>restaurant`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ids(res)
+	if len(got) != 1 || got[0] != pids.Hakata {
+		t.Errorf("result = %v, want [%s] (Hakata)", got, pids.Hakata)
+	}
+}
+
+// TestPaperExample43 reproduces the add-before-4Jan97 query; Hakata was
+// added on 1Jan97 so it qualifies.
+func TestPaperExample43(t *testing.T) {
+	e, pids, _ := paperEngine(t)
+	res, err := e.Query(`select guide.<add at T>restaurant where T < 4Jan97`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ids(res)
+	if len(got) != 1 || got[0] != pids.Hakata {
+		t.Errorf("result = %v, want [%s]", got, pids.Hakata)
+	}
+	// With a cutoff before the addition, the result is empty.
+	res, err = e.Query(`select guide.<add at T>restaurant where T < 31Dec96`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 0 {
+		t.Errorf("pre-history cutoff returned %d rows", res.Len())
+	}
+}
+
+// TestPaperExample44 reproduces the price-update query with time and data
+// variables in the select clause: one row {name: "Bangkok Cuisine",
+// update-time: 1Jan97, new-value: 20}.
+func TestPaperExample44(t *testing.T) {
+	e, _, _ := paperEngine(t)
+	res, err := e.Query(`select N, T, NV
+		from guide.restaurant.price<upd at T to NV>, guide.restaurant.name N
+		where T >= 1Jan97 and NV > 15`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Fatalf("rows = %d, want 1\n%s", res.Len(), res)
+	}
+	row := res.Rows[0]
+	nameCell, _ := row.Cell("name")
+	if v, _ := nameCell.Value(); !v.Equal(value.Str("Bangkok Cuisine")) {
+		t.Errorf("name = %s", v)
+	}
+	tCell, _ := row.Cell("update-time")
+	if v, _ := tCell.Value(); !v.Equal(value.Time(guidegen.T1)) {
+		t.Errorf("update-time = %s, want 1Jan97", v)
+	}
+	nvCell, _ := row.Cell("new-value")
+	if v, _ := nvCell.Value(); !v.Equal(value.Int(20)) {
+		t.Errorf("new-value = %s, want 20", v)
+	}
+}
+
+// TestPaperExample44Filtered: raising the NV threshold filters the row out.
+func TestPaperExample44Filtered(t *testing.T) {
+	e, _, _ := paperEngine(t)
+	res, err := e.Query(`select N, T, NV
+		from guide.restaurant.price<upd at T to NV>, guide.restaurant.name N
+		where T >= 1Jan97 and NV > 25`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 0 {
+		t.Errorf("rows = %d, want 0", res.Len())
+	}
+}
+
+// TestPaperExample45 reproduces the where-clause annotation query. In the
+// paper's database no "moderate" price was *added* (Janta's was original),
+// so the result is empty; after adding one, the query returns that
+// restaurant's name.
+func TestPaperExample45(t *testing.T) {
+	e, _, d := paperEngine(t)
+	const q = `select N from guide.restaurant R, R.name N
+		where R.<add at T>price = "moderate" and T >= 1Jan97`
+	res, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 0 {
+		t.Fatalf("rows = %d, want 0 (no price additions in paper history)\n%s", res.Len(), res)
+	}
+	// Extend the history: add a moderate price to Hakata on 10Jan97.
+	_, pids, _ := func() (*Engine, *guidegen.PaperIDs, *doem.Database) { return paperEngine(t) }()
+	_ = pids
+	newPrice := oem.NodeID(500)
+	err = d.Apply(timestamp.MustParse("10Jan97"), change.Set{
+		change.CreNode{Node: newPrice, Value: value.Str("moderate")},
+		change.AddArc{Parent: 100, Label: "price", Child: newPrice}, // 100 = Hakata
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := res.Values("name")
+	if len(vals) != 1 || !vals[0].Equal(value.Str("Hakata")) {
+		t.Errorf("names = %v, want [Hakata]", vals)
+	}
+}
+
+// TestWhereAnnotationVarShared checks that a time variable bound in a
+// where-clause path is shared across conjuncts (the hoisted existential
+// semantics of Section 4.2.1): the time filter must apply to the *same*
+// addition event that produced the value binding.
+func TestWhereAnnotationVarShared(t *testing.T) {
+	e, _, d := paperEngine(t)
+	newPrice := oem.NodeID(500)
+	if err := d.Apply(timestamp.MustParse("10Jan97"), change.Set{
+		change.CreNode{Node: newPrice, Value: value.Str("moderate")},
+		change.AddArc{Parent: 100, Label: "price", Child: newPrice},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The addition was at 10Jan97; requiring T < 5Jan97 must fail even
+	// though other arcs were added before 5Jan97.
+	res, err := e.Query(`select N from guide.restaurant R, R.name N
+		where R.<add at T>price = "moderate" and T < 5Jan97`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 0 {
+		t.Errorf("rows = %d, want 0 (time filter must bind to the same event)", res.Len())
+	}
+}
+
+// TestRemAnnotation finds removed arcs: the Janta parking removal.
+func TestRemAnnotation(t *testing.T) {
+	e, pids, _ := paperEngine(t)
+	res, err := e.Query(`select R, T from guide.restaurant R, R.<rem at T>parking P`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Fatalf("rows = %d, want 1", res.Len())
+	}
+	got := res.Nodes("restaurant")
+	if len(got) != 1 || got[0] != pids.Janta {
+		t.Errorf("restaurant = %v, want Janta (%s)", got, pids.Janta)
+	}
+	ts := res.Values("remove-time")
+	if len(ts) != 1 || !ts[0].Equal(value.Time(guidegen.T3)) {
+		t.Errorf("remove-time = %v, want 8Jan97", ts)
+	}
+}
+
+// TestCreAnnotationSelect mirrors the QSS filter query shape.
+func TestCreAnnotationSelect(t *testing.T) {
+	e, pids, _ := paperEngine(t)
+	res, err := e.Query(`select guide.restaurant<cre at T> where T > 31Dec96`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ids(res)
+	if len(got) != 1 || got[0] != pids.Hakata {
+		t.Errorf("created restaurants = %v, want [Hakata]", got)
+	}
+}
+
+// TestUpdFromVar: selecting the old value.
+func TestUpdFromVar(t *testing.T) {
+	e, _, _ := paperEngine(t)
+	res, err := e.Query(`select OV, NV from guide.restaurant.price<upd from OV to NV>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Fatalf("rows = %d", res.Len())
+	}
+	ovs := res.Values("old-value")
+	nvs := res.Values("new-value")
+	if !ovs[0].Equal(value.Int(10)) || !nvs[0].Equal(value.Int(20)) {
+		t.Errorf("old=%v new=%v, want 10/20", ovs, nvs)
+	}
+}
+
+// TestHashWildcard reproduces the Section 6 polling query: '#' must match
+// both the direct string address and the nested street object.
+func TestHashWildcard(t *testing.T) {
+	e, pids, _ := paperEngine(t)
+	res, err := e.Query(`select guide.restaurant where guide.restaurant.address.# like "%Lytton%"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ids(res)
+	// Janta's address is the string "120 Lytton" (the address node itself,
+	// matched by the 0-length path); Bangkok's address has street "Lytton".
+	if len(got) != 2 || !containsID(got, pids.Janta) || !containsID(got, pids.Bangkok) {
+		t.Errorf("restaurants with Lytton addresses = %v, want Janta and Bangkok", got)
+	}
+}
+
+// TestHashCycleSafe: '#' from the root terminates despite the
+// parking/nearby-eats cycle.
+func TestHashCycleSafe(t *testing.T) {
+	e, _, _ := paperEngine(t)
+	res, err := e.Query(`select guide.# where guide.# = "Lytton lot 2"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() == 0 {
+		t.Error("lot address not found through wildcard")
+	}
+}
+
+func TestLabelGlob(t *testing.T) {
+	e, _, _ := paperEngine(t)
+	// %arking% matches "parking".
+	res, err := e.Query(`select guide.restaurant.%arking%.comment`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := res.Values("comment")
+	if len(vals) != 1 || !vals[0].Equal(value.Str("usually full")) {
+		t.Errorf("glob results = %v", vals)
+	}
+}
+
+func TestExistsExpression(t *testing.T) {
+	e, _, _ := paperEngine(t)
+	res, err := e.Query(`select N from guide.restaurant R, R.name N
+		where exists P in R.price : P = 20`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := res.Values("name")
+	if len(vals) != 1 || !vals[0].Equal(value.Str("Bangkok Cuisine")) {
+		t.Errorf("names = %v", vals)
+	}
+}
+
+func TestOrWithMissingPath(t *testing.T) {
+	// Hakata has no price; the disjunction must still match it by name.
+	e, _, _ := paperEngine(t)
+	res, err := e.Query(`select N from guide.restaurant R, R.name N
+		where R.price = 20 or N = "Hakata"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := res.Values("name")
+	if len(vals) != 2 {
+		t.Errorf("names = %v, want Bangkok Cuisine and Hakata", vals)
+	}
+}
+
+func TestNotExpression(t *testing.T) {
+	e, _, _ := paperEngine(t)
+	res, err := e.Query(`select N from guide.restaurant R, R.name N where not N = "Janta"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Values("name") {
+		if v.Equal(value.Str("Janta")) {
+			t.Error("negation failed to exclude Janta")
+		}
+	}
+	if res.Len() != 2 {
+		t.Errorf("rows = %d, want 2", res.Len())
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	e, _, _ := paperEngine(t)
+	res, err := e.Query(`select N from guide.restaurant R, R.name N where R.price * 2 = 40`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := res.Values("name")
+	if len(vals) != 1 || !vals[0].Equal(value.Str("Bangkok Cuisine")) {
+		t.Errorf("names = %v", vals)
+	}
+	res, err = e.Query(`select R.price + 5 as bumped from guide.restaurant R`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals = res.Values("bumped")
+	if len(vals) != 1 || !vals[0].Equal(value.Int(25)) {
+		t.Errorf("bumped = %v, want [25]", vals)
+	}
+}
+
+func TestDeduplication(t *testing.T) {
+	// Both restaurants share the parking node; selecting it must yield one row.
+	e, pids, _ := paperEngine(t)
+	res, err := e.Query(`select guide.restaurant.parking`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ids(res)
+	// After the history, only Bangkok still points at the parking node.
+	if len(got) != 1 || got[0] != pids.Parking {
+		t.Errorf("parking nodes = %v", got)
+	}
+}
+
+func TestUnknownNameError(t *testing.T) {
+	e, _, _ := paperEngine(t)
+	_, err := e.Query(`select nosuchdb.x`)
+	if err == nil || !strings.Contains(err.Error(), "unknown name") {
+		t.Errorf("unknown database: %v", err)
+	}
+}
+
+func TestVirtualAtArc(t *testing.T) {
+	// Time travel: at 31Dec96 Hakata does not exist, at 5Jan97 it does.
+	e, pids, _ := paperEngine(t)
+	res, err := e.Query(`select guide.<at 31Dec96>restaurant`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ids(res); len(got) != 2 {
+		t.Errorf("restaurants at 31Dec96 = %v, want 2", got)
+	}
+	res, err = e.Query(`select guide.<at 5Jan97>restaurant`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ids(res)
+	if len(got) != 3 || !containsID(got, pids.Hakata) {
+		t.Errorf("restaurants at 5Jan97 = %v, want 3 incl. Hakata", got)
+	}
+}
+
+func TestVirtualAtValue(t *testing.T) {
+	// The price value as of 31Dec96 is 10.
+	e, _, _ := paperEngine(t)
+	res, err := e.Query(`select guide.restaurant.price<at 31Dec96>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := res.Values("price")
+	foundOld := false
+	for _, v := range vals {
+		if v.Equal(value.Int(10)) {
+			foundOld = true
+		}
+		if v.Equal(value.Int(20)) {
+			t.Error("current price leaked into time-travel read")
+		}
+	}
+	if !foundOld {
+		t.Errorf("prices at 31Dec96 = %v, want to include 10", vals)
+	}
+}
+
+func TestVirtualAtPropagates(t *testing.T) {
+	// Stepping into the past keeps later steps in the past: Janta's parking
+	// is visible at 5Jan97 but not today.
+	e, _, _ := paperEngine(t)
+	res, err := e.Query(`select R.parking.comment from guide.<at 5Jan97>restaurant R where R.name = "Janta"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := res.Values("comment")
+	if len(vals) != 1 || !vals[0].Equal(value.Str("usually full")) {
+		t.Errorf("time-travelled parking comment = %v", vals)
+	}
+	// Today the arc is gone.
+	res, err = e.Query(`select R.parking.comment from guide.restaurant R where R.name = "Janta"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 0 {
+		t.Error("removed parking arc visible in the present")
+	}
+}
+
+func TestPollTimeResolution(t *testing.T) {
+	e, pids, _ := paperEngine(t)
+	e.SetPollTimes([]timestamp.Time{
+		timestamp.MustParse("30Dec96"),
+		timestamp.MustParse("31Dec96"),
+		timestamp.MustParse("1Jan97"),
+	})
+	// t[0] = 1Jan97, t[-1] = 31Dec96; Hakata was created at 1Jan97 > t[-1].
+	res, err := e.Query(`select guide.restaurant<cre at T> where T > t[-1]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ids(res)
+	if len(got) != 1 || got[0] != pids.Hakata {
+		t.Errorf("new since t[-1] = %v, want [Hakata]", got)
+	}
+	// t[-5] is before the first poll: -infinity, so everything with a cre
+	// annotation qualifies.
+	res, err = e.Query(`select guide.restaurant<cre at T> where T > t[-5]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Errorf("rows = %d", res.Len())
+	}
+}
+
+func TestAnswerMaterialization(t *testing.T) {
+	e, _, _ := paperEngine(t)
+	res, err := e.Query(`select N, T, NV
+		from guide.restaurant.price<upd at T to NV>, guide.restaurant.name N`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans := res.Answer()
+	if err := ans.Validate(); err != nil {
+		t.Fatalf("answer invalid: %v", err)
+	}
+	// One row -> one complex child with three labeled subobjects
+	// (paper Example 4.4's displayed answer).
+	rows := ans.OutLabeled(ans.Root(), "answer")
+	if len(rows) != 1 {
+		t.Fatalf("answer rows = %d", len(rows))
+	}
+	rowNode := rows[0].Child
+	for _, l := range []string{"name", "update-time", "new-value"} {
+		if len(ans.OutLabeled(rowNode, l)) != 1 {
+			t.Errorf("answer row missing %q child", l)
+		}
+	}
+}
+
+func TestAnswerSingleColumnCopiesSubtree(t *testing.T) {
+	e, _, _ := paperEngine(t)
+	res, err := e.Query(`select guide.restaurant where guide.restaurant.name = "Bangkok Cuisine"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans := res.Answer()
+	if err := ans.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rests := ans.OutLabeled(ans.Root(), "restaurant")
+	if len(rests) != 1 {
+		t.Fatalf("answer restaurants = %d", len(rests))
+	}
+	// The copy includes subobjects, e.g. the cuisine atom.
+	if len(ans.OutLabeled(rests[0].Child, "cuisine")) != 1 {
+		t.Error("copied restaurant lost its cuisine subobject")
+	}
+}
+
+// Engine.Eval on an already-canonicalized query must be reusable.
+func TestEvalReuse(t *testing.T) {
+	e, _, _ := paperEngine(t)
+	q, err := Parse(`select guide.restaurant`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Canonicalize(q); err != nil {
+		t.Fatal(err)
+	}
+	r1, err := e.Eval(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e.Eval(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Len() != r2.Len() {
+		t.Error("repeated evaluation differs")
+	}
+}

@@ -1,0 +1,84 @@
+package lorel
+
+import "testing"
+
+// FuzzParse: the query parser must never panic; it either returns a Query
+// or an error. Parsed queries must also survive canonicalization and
+// String rendering.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`select guide.restaurant`,
+		`select guide.<add at T>restaurant where T < 4Jan97`,
+		`select N, T, NV from guide.restaurant.price<upd at T to NV>, guide.restaurant.name N where T >= 1Jan97 and NV > 15`,
+		`select guide.restaurant where guide.restaurant.address.# like "%Lytton%"`,
+		`select count(R.comment) from g.r R`,
+		`select x."quoted label".y where t[0] > 1Jan97`,
+		`select a.b-c.&d-history where exists V in a.b : V = 1`,
+		"select \x00\xff",
+		`select ((((`,
+		`select x where x = "unterminated`,
+		`select -1.5 + 2 * 3 / 4`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if err := Canonicalize(q); err != nil {
+			t.Fatalf("canonicalize after successful parse: %v", err)
+		}
+		_ = q.String()
+	})
+}
+
+// FuzzParseUpdate: same contract for the update-statement parser.
+func FuzzParseUpdate(f *testing.F) {
+	seeds := []string{
+		`update guide.restaurant.price := 25 where guide.restaurant.name = "Janta"`,
+		`insert guide.restaurant.comment := "x"`,
+		`insert a.b := complex`,
+		`delete a.b.c where a.b = 1`,
+		`update a.b := `,
+		`delete`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmt, err := ParseUpdate(src)
+		if err != nil {
+			return
+		}
+		_ = stmt.Kind.String()
+		_ = stmt.Target.String()
+	})
+}
+
+// FuzzEval: syntactically valid queries over the paper database must
+// evaluate without panicking (errors are fine).
+func FuzzEval(f *testing.F) {
+	seeds := []string{
+		`select guide.restaurant`,
+		`select guide.#`,
+		`select guide.<add>restaurant<cre at T> where T > t[-1]`,
+		`select count(guide.#) as n where n > 0`,
+		`select guide.restaurant.price<at 1Jan97>`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	db := buildFanout(3)
+	e := NewEngine()
+	e.Register("guide", NewOEMGraph(db))
+	f.Fuzz(func(t *testing.T, src string) {
+		res, err := e.Query(src)
+		if err != nil {
+			return
+		}
+		_ = res.String()
+		_ = res.Answer()
+	})
+}

@@ -1,0 +1,85 @@
+package lorel
+
+import (
+	"repro/internal/doem"
+	"repro/internal/oem"
+	"repro/internal/timestamp"
+	"repro/internal/value"
+)
+
+// Graph abstracts the databases a query can range over. Plain OEM databases
+// and DOEM databases both implement it; annotation accessors on a plain OEM
+// graph simply report no annotations, so Chorel annotation expressions
+// match nothing there (and plain Lorel queries behave identically on both —
+// the paper's "a standard Lorel query over a DOEM database has exactly the
+// semantics of the same query asked over the current snapshot").
+//
+// *doem.Database satisfies Graph directly.
+type Graph interface {
+	// Root returns the root object.
+	Root() oem.NodeID
+	// Value returns the current value of node n.
+	Value(n oem.NodeID) (value.Value, bool)
+	// Out returns the current-snapshot arcs of n, in insertion order.
+	Out(n oem.NodeID) []oem.Arc
+	// OutAll returns every arc of n including removed ones.
+	OutAll(n oem.NodeID) []oem.Arc
+	// CreTime returns n's creation annotation, if any.
+	CreTime(n oem.NodeID) (timestamp.Time, bool)
+	// UpdTriples returns n's upd annotations with derived new values.
+	UpdTriples(n oem.NodeID) []doem.UpdInfo
+	// ArcAnnots returns the annotations on arc a in timestamp order.
+	ArcAnnots(a oem.Arc) []doem.ArcAnnot
+	// ArcLiveAt reports whether arc a existed at time t.
+	ArcLiveAt(a oem.Arc, t timestamp.Time) bool
+	// ValueAt returns the value of n at time t.
+	ValueAt(n oem.NodeID, t timestamp.Time) value.Value
+}
+
+// assert *doem.Database implements Graph.
+var _ Graph = (*doem.Database)(nil)
+
+// OEMGraph adapts a plain *oem.Database to the Graph interface: the current
+// snapshot is the whole database and every annotation accessor is empty.
+type OEMGraph struct {
+	DB *oem.Database
+}
+
+// NewOEMGraph wraps db for querying.
+func NewOEMGraph(db *oem.Database) OEMGraph { return OEMGraph{DB: db} }
+
+// Root implements Graph.
+func (g OEMGraph) Root() oem.NodeID { return g.DB.Root() }
+
+// Value implements Graph.
+func (g OEMGraph) Value(n oem.NodeID) (value.Value, bool) { return g.DB.Value(n) }
+
+// Out implements Graph.
+func (g OEMGraph) Out(n oem.NodeID) []oem.Arc { return g.DB.Out(n) }
+
+// OutAll implements Graph: same as Out, since nothing is ever annotated
+// as removed.
+func (g OEMGraph) OutAll(n oem.NodeID) []oem.Arc { return g.DB.Out(n) }
+
+// CreTime implements Graph: plain OEM has no annotations.
+func (g OEMGraph) CreTime(oem.NodeID) (timestamp.Time, bool) {
+	return timestamp.Time{}, false
+}
+
+// UpdTriples implements Graph: plain OEM has no annotations.
+func (g OEMGraph) UpdTriples(oem.NodeID) []doem.UpdInfo { return nil }
+
+// ArcAnnots implements Graph: plain OEM has no annotations.
+func (g OEMGraph) ArcAnnots(oem.Arc) []doem.ArcAnnot { return nil }
+
+// ArcLiveAt implements Graph: without history, an arc is considered to have
+// always existed.
+func (g OEMGraph) ArcLiveAt(a oem.Arc, _ timestamp.Time) bool {
+	return g.DB.HasArc(a.Parent, a.Label, a.Child)
+}
+
+// ValueAt implements Graph: without history, the value is constant.
+func (g OEMGraph) ValueAt(n oem.NodeID, _ timestamp.Time) value.Value {
+	v, _ := g.DB.Value(n)
+	return v
+}

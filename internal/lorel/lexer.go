@@ -1,0 +1,222 @@
+package lorel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// lexer splits query text into tokens.
+//
+// Identifier tokens are generous because OEM labels are free-form: they may
+// start with a letter, '_', '&' (the encoding prefix of Section 5.1) or '%'
+// (a label glob), and continue with letters, digits, '_', '&', '%', and '-'
+// ("nearby-eats"). A '-' is part of an identifier only when it is directly
+// followed by a letter, so "T - 5" lexes as a subtraction while
+// "nearby-eats" is one label. Write spaces around a binary minus.
+//
+// A token starting with a digit that contains trailing letters is lexed as
+// an unquoted timestamp literal ("4Jan97", per paper Section 4.2); plain
+// digit runs are integers, and digits with a single '.' are reals.
+type lexer struct {
+	src string
+	pos int
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}
+
+// Error is a query syntax or evaluation error with a byte position.
+type Error struct {
+	Pos int
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("lorel: at offset %d: %s", e.Pos, e.Msg) }
+
+func errf(pos int, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && isSpace(l.src[l.pos]) {
+		l.pos++
+	}
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		return l.lexIdent(start), nil
+	case c >= '0' && c <= '9':
+		return l.lexNumberOrTime(start)
+	case c == '"' || c == '\'':
+		return l.lexString(start, c)
+	}
+	l.pos++
+	switch c {
+	case '.':
+		return token{kind: tokDot, pos: start}, nil
+	case ',':
+		return token{kind: tokComma, pos: start}, nil
+	case '(':
+		return token{kind: tokLParen, pos: start}, nil
+	case ')':
+		return token{kind: tokRParen, pos: start}, nil
+	case '[':
+		return token{kind: tokLBracket, pos: start}, nil
+	case ']':
+		return token{kind: tokRBracket, pos: start}, nil
+	case ':':
+		return token{kind: tokColon, pos: start}, nil
+	case '+':
+		return token{kind: tokPlus, pos: start}, nil
+	case '-':
+		return token{kind: tokMinus, pos: start}, nil
+	case '*':
+		return token{kind: tokStar, pos: start}, nil
+	case '/':
+		return token{kind: tokSlash, pos: start}, nil
+	case '#':
+		return token{kind: tokHash, pos: start}, nil
+	case '|':
+		return token{kind: tokPipe, pos: start}, nil
+	case '?':
+		return token{kind: tokQuestion, pos: start}, nil
+	case '=':
+		return token{kind: tokEq, pos: start}, nil
+	case '!':
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{kind: tokNeq, pos: start}, nil
+		}
+		return token{}, errf(start, "unexpected '!'")
+	case '<':
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{kind: tokLeq, pos: start}, nil
+		}
+		if l.pos < len(l.src) && l.src[l.pos] == '>' {
+			l.pos++
+			return token{kind: tokNeq, pos: start}, nil
+		}
+		return token{kind: tokLAngle, pos: start}, nil
+	case '>':
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{kind: tokGeq, pos: start}, nil
+		}
+		return token{kind: tokRAngle, pos: start}, nil
+	}
+	return token{}, errf(start, "unexpected character %q", c)
+}
+
+func (l *lexer) lexIdent(start int) token {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if isIdentPart(c) {
+			l.pos++
+			continue
+		}
+		// '-' continues an identifier only when followed by a letter.
+		if c == '-' && l.pos+1 < len(l.src) && isLetter(l.src[l.pos+1]) {
+			l.pos += 2
+			continue
+		}
+		break
+	}
+	return token{kind: tokIdent, text: l.src[start:l.pos], pos: start}
+}
+
+func (l *lexer) lexNumberOrTime(start int) (token, error) {
+	sawDot := false
+	sawLetter := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c >= '0' && c <= '9':
+			l.pos++
+		case c == '.' && !sawDot && !sawLetter && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+			sawDot = true
+			l.pos++
+		case isLetter(c) || c == ':':
+			sawLetter = true
+			l.pos++
+		default:
+			goto done
+		}
+	}
+done:
+	text := l.src[start:l.pos]
+	switch {
+	case sawLetter && sawDot:
+		return token{}, errf(start, "malformed literal %q", text)
+	case sawLetter:
+		return token{kind: tokTime, text: text, pos: start}, nil
+	case sawDot:
+		return token{kind: tokReal, text: text, pos: start}, nil
+	default:
+		return token{kind: tokInt, text: text, pos: start}, nil
+	}
+}
+
+func (l *lexer) lexString(start int, quote byte) (token, error) {
+	l.pos++ // consume opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case quote:
+			l.pos++
+			return token{kind: tokString, text: b.String(), pos: start}, nil
+		case '\\':
+			if l.pos+1 >= len(l.src) {
+				return token{}, errf(start, "unterminated string")
+			}
+			l.pos++
+			esc := l.src[l.pos]
+			switch esc {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '\\', '"', '\'':
+				b.WriteByte(esc)
+			default:
+				return token{}, errf(l.pos, "unknown escape \\%c", esc)
+			}
+			l.pos++
+		default:
+			b.WriteByte(c)
+			l.pos++
+		}
+	}
+	return token{}, errf(start, "unterminated string")
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+
+func isLetter(c byte) bool {
+	return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentStart(c byte) bool {
+	return isLetter(c) || c == '_' || c == '&' || c == '%' || c == '@'
+}
+
+func isIdentPart(c byte) bool {
+	return isLetter(c) || (c >= '0' && c <= '9') || c == '_' || c == '&' || c == '%' || c == '@'
+}

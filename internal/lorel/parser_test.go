@@ -1,0 +1,291 @@
+package lorel
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *Query {
+	t.Helper()
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return q
+}
+
+func TestParsePaperQueries(t *testing.T) {
+	// Every query text that appears in the paper must parse.
+	queries := []string{
+		// Example 4.1
+		`select guide.restaurant where guide.restaurant.price < 20.5`,
+		// Example 4.2
+		`select guide.<add>restaurant`,
+		// Example 4.3, surface and rewritten forms
+		`select guide.<add at T>restaurant where T < 4Jan97`,
+		`select R from guide.<add at T>restaurant R where T < 4Jan97`,
+		// Example 4.4
+		`select N, T, NV from guide.restaurant.price<upd at T to NV>, guide.restaurant.name N where T >= 1Jan97 and NV > 15`,
+		// Example 4.5
+		`select N from guide.restaurant R, R.name N where R.<add at T>price = "moderate" and T >= 1Jan97`,
+		// Example 5.1 (translated form over the encoding)
+		`select N from guide.restaurant R, R.name N where exists H in R.&price-history : exists P in H.&target : exists T in H.&add : T >= 1Jan97 and P.&val = "moderate"`,
+		// Section 6 polling and filter queries
+		`select guide.restaurant where guide.restaurant.address.# like "%Lytton%"`,
+		`select LyttonRestaurants.restaurant<cre at T> where T > t[-1]`,
+		`select Restaurants.restaurant<cre at T> where T > t[-1]`,
+	}
+	for _, src := range queries {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("paper query failed to parse: %q\n  %v", src, err)
+		}
+	}
+}
+
+func TestParseStructure(t *testing.T) {
+	q := mustParse(t, `select N, T from guide.restaurant.price<upd at T to NV>, guide.restaurant.name N where T >= 1Jan97`)
+	if len(q.Select) != 2 || len(q.From) != 2 || q.Where == nil {
+		t.Fatalf("shape: select=%d from=%d where=%v", len(q.Select), len(q.From), q.Where != nil)
+	}
+	p := q.From[0].Path
+	if p.Head != "guide" || len(p.Steps) != 2 {
+		t.Fatalf("path: head=%q steps=%d", p.Head, len(p.Steps))
+	}
+	last := p.Steps[1]
+	if last.Label != "price" || last.Node == nil || last.Node.Op != OpUpd {
+		t.Fatalf("last step: %+v", last)
+	}
+	if last.Node.AtVar != "T" || last.Node.ToVar != "NV" || last.Node.FromVar != "" {
+		t.Errorf("upd vars: at=%q from=%q to=%q", last.Node.AtVar, last.Node.FromVar, last.Node.ToVar)
+	}
+}
+
+func TestParseArcAnnotation(t *testing.T) {
+	q := mustParse(t, `select guide.<add at T>restaurant`)
+	pv, ok := q.Select[0].Expr.(*PathValueExpr)
+	if !ok {
+		t.Fatalf("select item is %T", q.Select[0].Expr)
+	}
+	st := pv.Path.Steps[0]
+	if st.Arc == nil || st.Arc.Op != OpAdd || st.Arc.AtVar != "T" {
+		t.Fatalf("arc annotation: %+v", st.Arc)
+	}
+	if st.Node != nil {
+		t.Error("unexpected node annotation")
+	}
+}
+
+func TestParseVirtualAt(t *testing.T) {
+	q := mustParse(t, `select guide.<at 4Jan97>restaurant.price<at T2>`)
+	pv := q.Select[0].Expr.(*PathValueExpr)
+	if pv.Path.Steps[0].Arc == nil || pv.Path.Steps[0].Arc.Op != OpAt {
+		t.Fatal("virtual arc at missing")
+	}
+	if pv.Path.Steps[1].Node == nil || pv.Path.Steps[1].Node.Op != OpAt {
+		t.Fatal("virtual node at missing")
+	}
+}
+
+func TestParseComparisonVsAnnotation(t *testing.T) {
+	// '<' followed by a non-keyword must be a comparison.
+	q := mustParse(t, `select R from guide.restaurant R where R.price < 20.5`)
+	be, ok := q.Where.(*BinExpr)
+	if !ok || be.Op != "<" {
+		t.Fatalf("where = %v", q.Where)
+	}
+	// '<' followed by an annotation keyword binds to the path.
+	q = mustParse(t, `select R from guide.restaurant R where R.price<upd at T> = 1`)
+	be = q.Where.(*BinExpr)
+	pv := be.L.(*PathValueExpr)
+	if pv.Path.Steps[0].Node == nil || pv.Path.Steps[0].Node.Op != OpUpd {
+		t.Fatal("upd annotation not attached to path")
+	}
+}
+
+func TestParseHyphenatedLabels(t *testing.T) {
+	q := mustParse(t, `select guide.restaurant.nearby-eats.name`)
+	pv := q.Select[0].Expr.(*PathValueExpr)
+	if pv.Path.Steps[1].Label != "nearby-eats" {
+		t.Errorf("label = %q, want nearby-eats", pv.Path.Steps[1].Label)
+	}
+	// With spaces, '-' is subtraction.
+	q = mustParse(t, `select X where X.a - 5 > 0`)
+	be := q.Where.(*BinExpr)
+	inner, ok := be.L.(*BinExpr)
+	if !ok || inner.Op != "-" {
+		t.Fatalf("subtraction not parsed: %v", q.Where)
+	}
+}
+
+func TestParseAmpersandLabels(t *testing.T) {
+	q := mustParse(t, `select X.&val from db.&price-history H, H.&target X`)
+	pv := q.Select[0].Expr.(*PathValueExpr)
+	if pv.Path.Steps[0].Label != "&val" {
+		t.Errorf("label = %q", pv.Path.Steps[0].Label)
+	}
+	if q.From[0].Path.Steps[0].Label != "&price-history" {
+		t.Errorf("label = %q", q.From[0].Path.Steps[0].Label)
+	}
+}
+
+func TestParseQuotedLabel(t *testing.T) {
+	q := mustParse(t, `select x."strange label!".y`)
+	pv := q.Select[0].Expr.(*PathValueExpr)
+	if !pv.Path.Steps[0].Quoted || pv.Path.Steps[0].Label != "strange label!" {
+		t.Errorf("quoted label = %+v", pv.Path.Steps[0])
+	}
+}
+
+func TestParseHashWildcard(t *testing.T) {
+	q := mustParse(t, `select guide.restaurant.address.#`)
+	pv := q.Select[0].Expr.(*PathValueExpr)
+	if !pv.Path.Steps[2].Hash {
+		t.Error("hash step not recognized")
+	}
+}
+
+func TestParseTimeRef(t *testing.T) {
+	q := mustParse(t, `select R from db.r R where T > t[-1] and T <= t[0]`)
+	and := q.Where.(*BinExpr)
+	l := and.L.(*BinExpr).R.(*TimeRefExpr)
+	r := and.R.(*BinExpr).R.(*TimeRefExpr)
+	if l.Index != -1 || r.Index != 0 {
+		t.Errorf("timeref indices = %d, %d", l.Index, r.Index)
+	}
+}
+
+func TestParseTimestampLiterals(t *testing.T) {
+	q := mustParse(t, `select R from db.r R where T >= 1Jan97`)
+	cmp := q.Where.(*BinExpr)
+	c, ok := cmp.R.(*ConstExpr)
+	if !ok {
+		t.Fatalf("rhs = %T", cmp.R)
+	}
+	if c.Val.String() != "1Jan97" {
+		t.Errorf("timestamp literal = %s", c.Val)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`from x`,
+		`select`,
+		`select x where`,
+		`select x from`,
+		`select x..y`,
+		`select x.<bogus>y`,
+		`select x.y<add>z`,      // add must precede a label
+		`select x.<cre>y`,       // cre must follow a label
+		`select x.y where z =`,  // missing operand
+		`select "unterminated`,  // bad string
+		`select x.y<upd at>`,    // missing variable
+		`select x.#<cre>`,       // annotation on wildcard
+		`select 3x`,             // malformed literal (lexes as time, unparseable)
+		`select x where (a = 1`, // unbalanced paren
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	if _, err := Parse(`SELECT x FROM db.y x WHERE x = 1 AND 2 = 2`); err != nil {
+		t.Errorf("uppercase keywords rejected: %v", err)
+	}
+}
+
+func TestQueryStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		`select guide.<add at T>restaurant where T < 4Jan97`,
+		`select N, T, NV from guide.restaurant.price<upd at T to NV>, guide.restaurant.name N where T >= 1Jan97 and NV > 15`,
+		`select N from guide.restaurant R where exists P in R.price : P = 10`,
+	}
+	for _, src := range srcs {
+		q := mustParse(t, src)
+		rendered := q.String()
+		q2, err := Parse(rendered)
+		if err != nil {
+			t.Errorf("re-parse of %q failed: %v", rendered, err)
+			continue
+		}
+		if q2.String() != rendered {
+			t.Errorf("String round trip unstable:\n1: %s\n2: %s", rendered, q2.String())
+		}
+	}
+}
+
+func TestHasAnnotations(t *testing.T) {
+	if mustParse(t, `select guide.restaurant`).HasAnnotations() {
+		t.Error("plain Lorel query reported as Chorel")
+	}
+	if !mustParse(t, `select guide.<add>restaurant`).HasAnnotations() {
+		t.Error("Chorel query not detected")
+	}
+	if !mustParse(t, `select R from g.r R where R.price<upd> = 1`).HasAnnotations() {
+		t.Error("where-clause annotation not detected")
+	}
+}
+
+func TestCanonicalizeHoistsSelectPath(t *testing.T) {
+	q := mustParse(t, `select guide.<add at T>restaurant`)
+	if err := Canonicalize(q); err != nil {
+		t.Fatal(err)
+	}
+	if len(q.From) != 1 {
+		t.Fatalf("from items after canonicalization = %d, want 1", len(q.From))
+	}
+	pv, ok := q.Select[0].Expr.(*PathValueExpr)
+	if !ok || len(pv.Path.Steps) != 0 {
+		t.Fatalf("select not rewritten to variable: %s", q.Select[0].Expr)
+	}
+	if pv.Path.Head != q.From[0].Var {
+		t.Error("select variable does not match hoisted from variable")
+	}
+	if q.Select[0].Label != "restaurant" {
+		t.Errorf("default label = %q, want restaurant", q.Select[0].Label)
+	}
+}
+
+func TestCanonicalizeHoistsWherePaths(t *testing.T) {
+	q := mustParse(t, `select N from guide.restaurant R, R.name N where R.<add at T>price = "moderate" and T >= 1Jan97`)
+	if err := Canonicalize(q); err != nil {
+		t.Fatal(err)
+	}
+	if len(q.WhereGens) != 1 {
+		t.Fatalf("where generators = %d, want 1", len(q.WhereGens))
+	}
+	gen := q.WhereGens[0]
+	if gen.Path.Head != "R" || gen.Path.Steps[0].Arc == nil {
+		t.Errorf("hoisted generator = %s", gen.Path)
+	}
+	if !strings.Contains(q.Where.String(), gen.Var) {
+		t.Error("where clause does not reference the hoisted variable")
+	}
+}
+
+func TestCanonicalizeCompletesAnnotVars(t *testing.T) {
+	q := mustParse(t, `select guide.<add>restaurant`)
+	if err := Canonicalize(q); err != nil {
+		t.Fatal(err)
+	}
+	st := q.From[0].Path.Steps[0]
+	if st.Arc.AtVar == "" {
+		t.Error("add annotation variable not completed")
+	}
+}
+
+func TestCanonicalizeDefaultAnnotationLabels(t *testing.T) {
+	q := mustParse(t, `select N, T, NV from guide.restaurant.price<upd at T to NV>, guide.restaurant.name N`)
+	if err := Canonicalize(q); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"name", "update-time", "new-value"}
+	for i, w := range want {
+		if q.Select[i].Label != w {
+			t.Errorf("select[%d] label = %q, want %q", i, q.Select[i].Label, w)
+		}
+	}
+}

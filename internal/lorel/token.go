@@ -1,0 +1,112 @@
+package lorel
+
+import "fmt"
+
+// tokenKind enumerates lexical token categories.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString // quoted string literal
+	tokInt
+	tokReal
+	tokTime // unquoted timestamp literal such as 4Jan97
+	tokDot
+	tokComma
+	tokLParen
+	tokRParen
+	tokLBracket
+	tokRBracket
+	tokLAngle // <
+	tokRAngle // >
+	tokColon
+	tokEq  // =
+	tokNeq // !=
+	tokLeq // <=
+	tokGeq // >=
+	tokPlus
+	tokMinus
+	tokStar
+	tokSlash
+	tokHash     // # path wildcard
+	tokPipe     // | (path group alternation)
+	tokQuestion // ? (path group quantifier)
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of query"
+	case tokIdent:
+		return "identifier"
+	case tokString:
+		return "string"
+	case tokInt:
+		return "integer"
+	case tokReal:
+		return "real"
+	case tokTime:
+		return "timestamp"
+	case tokDot:
+		return "'.'"
+	case tokComma:
+		return "','"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokLBracket:
+		return "'['"
+	case tokRBracket:
+		return "']'"
+	case tokLAngle:
+		return "'<'"
+	case tokRAngle:
+		return "'>'"
+	case tokColon:
+		return "':'"
+	case tokEq:
+		return "'='"
+	case tokNeq:
+		return "'!='"
+	case tokLeq:
+		return "'<='"
+	case tokGeq:
+		return "'>='"
+	case tokPlus:
+		return "'+'"
+	case tokMinus:
+		return "'-'"
+	case tokStar:
+		return "'*'"
+	case tokSlash:
+		return "'/'"
+	case tokHash:
+		return "'#'"
+	case tokPipe:
+		return "'|'"
+	case tokQuestion:
+		return "'?'"
+	default:
+		return fmt.Sprintf("token(%d)", uint8(k))
+	}
+}
+
+// token is one lexical token with its source position (byte offset).
+type token struct {
+	kind tokenKind
+	text string // identifier name, string contents, or literal text
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokIdent, tokInt, tokReal, tokTime:
+		return fmt.Sprintf("%s %q", t.kind, t.text)
+	case tokString:
+		return fmt.Sprintf("string %q", t.text)
+	default:
+		return t.kind.String()
+	}
+}

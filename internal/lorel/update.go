@@ -1,0 +1,250 @@
+package lorel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/change"
+	"repro/internal/oem"
+	"repro/internal/value"
+)
+
+// The paper notes (Section 2.1) that "users will typically request
+// 'higher-level' changes based on the Lorel update language; the basic
+// change operations defined here reflect the actual changes at the
+// database level." This file implements that layer: a small Lorel-style
+// update language whose statements compile into basic change sets.
+//
+// Statements:
+//
+//	update PATH := LITERAL [where COND]   -- updNode on every matched node
+//	insert PATH := LITERAL [where COND]   -- creNode+addArc under each
+//	insert PATH := complex [where COND]      matched parent of PATH's last label
+//	delete PATH [where COND]              -- remArc of every matched arc
+//
+// Examples:
+//
+//	update guide.restaurant.price := 25 where guide.restaurant.name = "Janta"
+//	insert guide.restaurant.comment := "try the curry" where guide.restaurant.price < 20
+//	delete guide.restaurant.parking where guide.restaurant.name = "Janta"
+//
+// The where clause correlates with the target path by shared prefixes,
+// exactly as in queries. Target paths must be plain (no wildcards, globs,
+// or annotation expressions).
+
+// UpdateKind distinguishes the statement forms.
+type UpdateKind uint8
+
+// The update statement kinds.
+const (
+	UpdateSet UpdateKind = iota
+	UpdateInsert
+	UpdateDelete
+)
+
+func (k UpdateKind) String() string {
+	switch k {
+	case UpdateSet:
+		return "update"
+	case UpdateInsert:
+		return "insert"
+	case UpdateDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("UpdateKind(%d)", uint8(k))
+	}
+}
+
+// UpdateStmt is a parsed update statement.
+type UpdateStmt struct {
+	Kind   UpdateKind
+	Target *PathExpr
+	// Value is the assigned literal (UpdateSet, UpdateInsert).
+	Value value.Value
+	// Complex marks "insert PATH := complex" (a new complex object).
+	Complex bool
+	Where   Expr
+}
+
+// ParseUpdate parses an update statement.
+func ParseUpdate(src string) (*UpdateStmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt := &UpdateStmt{}
+	switch {
+	case p.acceptKeyword("update"):
+		stmt.Kind = UpdateSet
+	case p.acceptKeyword("insert"):
+		stmt.Kind = UpdateInsert
+	case p.acceptKeyword("delete"):
+		stmt.Kind = UpdateDelete
+	default:
+		return nil, errf(p.peek().pos, "expected update, insert or delete, found %s", p.peek())
+	}
+	stmt.Target, err = p.parsePath()
+	if err != nil {
+		return nil, err
+	}
+	if err := checkPlainPath(stmt.Target); err != nil {
+		return nil, err
+	}
+	if stmt.Kind != UpdateDelete {
+		if _, err := p.expect(tokColon); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokEq); err != nil {
+			return nil, err
+		}
+		if p.acceptKeyword("complex") {
+			if stmt.Kind != UpdateInsert {
+				return nil, errf(p.peek().pos, "':= complex' is only valid with insert")
+			}
+			stmt.Complex = true
+			stmt.Value = value.Complex()
+		} else {
+			lit, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			c, ok := lit.(*ConstExpr)
+			if !ok {
+				return nil, errf(lit.Pos(), "assigned value must be a literal")
+			}
+			stmt.Value = c.Val
+		}
+	}
+	if p.acceptKeyword("where") {
+		stmt.Where, err = p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.peek().kind != tokEOF {
+		return nil, errf(p.peek().pos, "unexpected %s after statement", p.peek())
+	}
+	if len(stmt.Target.Steps) == 0 {
+		return nil, errf(stmt.Target.P, "update target needs at least one step")
+	}
+	return stmt, nil
+}
+
+func checkPlainPath(p *PathExpr) error {
+	for _, s := range p.Steps {
+		if s.Hash {
+			return errf(s.P, "update targets cannot use '#' wildcards")
+		}
+		if !s.Quoted && strings.Contains(s.Label, "%") {
+			return errf(s.P, "update targets cannot use label globs")
+		}
+		if s.Arc != nil || s.Node != nil {
+			return errf(s.P, "update targets cannot carry annotation expressions")
+		}
+	}
+	return nil
+}
+
+// CompileUpdate evaluates an update statement against the engine's
+// registered databases and returns the basic change set it denotes.
+// alloc supplies fresh node ids for inserts; when nil, an error is
+// returned for insert statements.
+func (e *Engine) CompileUpdate(stmt *UpdateStmt, alloc func() oem.NodeID) (change.Set, error) {
+	target := clonePath(stmt.Target)
+	last := target.Steps[len(target.Steps)-1]
+	prefix := &PathExpr{
+		Head:  target.Head,
+		Steps: target.Steps[:len(target.Steps)-1],
+		P:     target.P,
+	}
+
+	const parentVar, childVar = "_upd_parent", "_upd_child"
+	// Canonicalization rewrites expression trees in place; clone so the
+	// statement can be compiled repeatedly.
+	q := &Query{Where: cloneExpr(stmt.Where)}
+	switch stmt.Kind {
+	case UpdateSet, UpdateDelete:
+		q.From = []FromItem{
+			{Path: prefix, Var: parentVar},
+			{Path: &PathExpr{Head: parentVar, Steps: []*PathStep{last}, P: last.P}, Var: childVar},
+		}
+		q.Select = []SelectItem{
+			{Expr: &PathValueExpr{Path: &PathExpr{Head: parentVar}}, Label: "parent"},
+			{Expr: &PathValueExpr{Path: &PathExpr{Head: childVar}}, Label: "child"},
+		}
+	case UpdateInsert:
+		q.From = []FromItem{{Path: prefix, Var: parentVar}}
+		q.Select = []SelectItem{
+			{Expr: &PathValueExpr{Path: &PathExpr{Head: parentVar}}, Label: "parent"},
+		}
+	}
+	if err := Canonicalize(q); err != nil {
+		return nil, err
+	}
+	res, err := e.Eval(q)
+	if err != nil {
+		return nil, err
+	}
+
+	var set change.Set
+	switch stmt.Kind {
+	case UpdateSet:
+		seen := make(map[oem.NodeID]bool)
+		for _, row := range res.Rows {
+			c, _ := row.Cell("child")
+			if !c.IsNode() || seen[c.Node()] {
+				continue
+			}
+			seen[c.Node()] = true
+			set = append(set, change.UpdNode{Node: c.Node(), Value: stmt.Value})
+		}
+	case UpdateDelete:
+		seen := make(map[oem.Arc]bool)
+		for _, row := range res.Rows {
+			p, _ := row.Cell("parent")
+			c, _ := row.Cell("child")
+			if !p.IsNode() || !c.IsNode() {
+				continue
+			}
+			arc := oem.Arc{Parent: p.Node(), Label: last.Label, Child: c.Node()}
+			if seen[arc] {
+				continue
+			}
+			seen[arc] = true
+			set = append(set, change.RemArc{Parent: arc.Parent, Label: arc.Label, Child: arc.Child})
+		}
+	case UpdateInsert:
+		if alloc == nil {
+			return nil, fmt.Errorf("lorel: insert statements need an id allocator")
+		}
+		seen := make(map[oem.NodeID]bool)
+		var parents []oem.NodeID
+		for _, row := range res.Rows {
+			p, _ := row.Cell("parent")
+			if !p.IsNode() || seen[p.Node()] {
+				continue
+			}
+			seen[p.Node()] = true
+			parents = append(parents, p.Node())
+		}
+		sort.Slice(parents, func(i, j int) bool { return parents[i] < parents[j] })
+		for _, parent := range parents {
+			id := alloc()
+			set = append(set, change.CreNode{Node: id, Value: stmt.Value})
+			set = append(set, change.AddArc{Parent: parent, Label: last.Label, Child: id})
+		}
+	}
+	return set, nil
+}
+
+// Update parses, compiles and returns the change set for an update
+// statement in one call.
+func (e *Engine) Update(src string, alloc func() oem.NodeID) (change.Set, error) {
+	stmt, err := ParseUpdate(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.CompileUpdate(stmt, alloc)
+}

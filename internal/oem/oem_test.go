@@ -1,0 +1,417 @@
+package oem
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/value"
+)
+
+// buildGuide constructs the paper's Figure 2 Guide database shape:
+// two restaurants, mixed price types, string and complex addresses,
+// a shared parking node and the parking/nearby-eats cycle.
+func buildGuide(t testing.TB) (*Database, map[string]NodeID) {
+	b := NewBuilder()
+	guide := b.Root()
+
+	bangkok := b.Complex("bangkok")
+	b.Arc(guide, "restaurant", bangkok)
+	b.AtomArc(bangkok, "name", value.Str("Bangkok Cuisine"))
+	b.Arc(bangkok, "price", b.Atom("price", value.Int(10)))
+	b.AtomArc(bangkok, "cuisine", value.Str("Thai"))
+	addr := b.ComplexArc(bangkok, "address")
+	b.AtomArc(addr, "street", value.Str("Lytton"))
+	b.AtomArc(addr, "city", value.Str("Palo Alto"))
+
+	janta := b.Complex("janta")
+	b.Arc(guide, "restaurant", janta)
+	b.AtomArc(janta, "name", value.Str("Janta"))
+	b.AtomArc(janta, "price", value.Str("moderate"))
+	b.AtomArc(janta, "address", value.Str("120 Lytton"))
+	parking := b.Complex("parking")
+	b.Arc(janta, "parking", parking)
+	b.Arc(bangkok, "parking", parking) // shared node (paper's n7)
+	b.AtomArc(parking, "comment", value.Str("usually full"))
+	lot := b.AtomArc(parking, "address", value.Str("Lytton lot 2"))
+	_ = lot
+	// The cycle: parking.nearby-eats -> bangkok, bangkok.parking -> parking.
+	b.Arc(parking, "nearby-eats", bangkok)
+
+	db := b.Build()
+	names := map[string]NodeID{
+		"bangkok": b.Named("bangkok"),
+		"janta":   b.Named("janta"),
+		"parking": b.Named("parking"),
+		"price":   b.Named("price"),
+	}
+	return db, names
+}
+
+func TestNewDatabase(t *testing.T) {
+	db := New()
+	if db.NumNodes() != 1 || db.NumArcs() != 0 {
+		t.Fatalf("fresh db: nodes=%d arcs=%d", db.NumNodes(), db.NumArcs())
+	}
+	if !db.IsComplex(db.Root()) {
+		t.Error("root must be complex")
+	}
+	if err := db.Validate(); err != nil {
+		t.Errorf("fresh db invalid: %v", err)
+	}
+}
+
+func TestBuildGuideShape(t *testing.T) {
+	db, names := buildGuide(t)
+	if err := db.Validate(); err != nil {
+		t.Fatalf("guide invalid: %v", err)
+	}
+	// Two restaurant arcs from root.
+	if got := len(db.OutLabeled(db.Root(), "restaurant")); got != 2 {
+		t.Errorf("restaurant arcs = %d, want 2", got)
+	}
+	// Shared parking: two incoming "parking" arcs.
+	inc := db.In(names["parking"])
+	count := 0
+	for _, a := range inc {
+		if a.Label == "parking" {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Errorf("parking node has %d incoming parking arcs, want 2", count)
+	}
+	// The cycle parking -> bangkok -> parking is traversable.
+	found := false
+	for _, a := range db.Out(names["parking"]) {
+		if a.Label == "nearby-eats" && a.Child == names["bangkok"] {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("nearby-eats cycle arc missing")
+	}
+}
+
+func TestCreateAndUpdateNode(t *testing.T) {
+	db := New()
+	n := db.CreateNode(value.Int(10))
+	if v, ok := db.Value(n); !ok || !v.Equal(value.Int(10)) {
+		t.Fatal("create/read failed")
+	}
+	if err := db.UpdateNode(n, value.Int(20)); err != nil {
+		t.Fatal(err)
+	}
+	if v := db.MustValue(n); !v.Equal(value.Int(20)) {
+		t.Errorf("after update: %s", v)
+	}
+	if err := db.UpdateNode(999, value.Int(1)); !errors.Is(err, ErrNoSuchNode) {
+		t.Errorf("update missing node: %v", err)
+	}
+}
+
+func TestUpdateComplexWithChildrenRejected(t *testing.T) {
+	db := New()
+	c := db.CreateNode(value.Complex())
+	a := db.CreateNode(value.Int(1))
+	if err := db.AddArc(db.Root(), "x", c); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddArc(c, "y", a); err != nil {
+		t.Fatal(err)
+	}
+	// Paper Section 2.1: must remove all subobjects before making atomic.
+	if err := db.UpdateNode(c, value.Int(5)); !errors.Is(err, ErrHasChildren) {
+		t.Errorf("update complex-with-children: %v, want ErrHasChildren", err)
+	}
+	if err := db.RemoveArc(c, "y", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.UpdateNode(c, value.Int(5)); err != nil {
+		t.Errorf("update after removing children: %v", err)
+	}
+}
+
+func TestAddArcValidation(t *testing.T) {
+	db := New()
+	atom := db.CreateNode(value.Int(1))
+	if err := db.AddArc(db.Root(), "a", atom); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddArc(db.Root(), "a", atom); !errors.Is(err, ErrArcExists) {
+		t.Errorf("duplicate arc: %v", err)
+	}
+	if err := db.AddArc(atom, "b", db.Root()); !errors.Is(err, ErrNotComplex) {
+		t.Errorf("arc from atomic: %v", err)
+	}
+	if err := db.AddArc(db.Root(), "c", 999); !errors.Is(err, ErrNoSuchNode) {
+		t.Errorf("arc to missing: %v", err)
+	}
+	if err := db.AddArc(999, "c", atom); !errors.Is(err, ErrNoSuchNode) {
+		t.Errorf("arc from missing: %v", err)
+	}
+	if err := db.AddArc(db.Root(), "", atom); !errors.Is(err, ErrEmptyLabel) {
+		t.Errorf("empty label: %v", err)
+	}
+}
+
+func TestRemoveArc(t *testing.T) {
+	db := New()
+	atom := db.CreateNode(value.Int(1))
+	if err := db.RemoveArc(db.Root(), "a", atom); !errors.Is(err, ErrNoSuchArc) {
+		t.Errorf("remove missing arc: %v", err)
+	}
+	if err := db.AddArc(db.Root(), "a", atom); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RemoveArc(db.Root(), "a", atom); err != nil {
+		t.Fatal(err)
+	}
+	if db.HasArc(db.Root(), "a", atom) {
+		t.Error("arc still present after removal")
+	}
+	if len(db.Out(db.Root())) != 0 || len(db.In(atom)) != 0 {
+		t.Error("adjacency lists not cleaned")
+	}
+}
+
+func TestSameLabelMultipleChildren(t *testing.T) {
+	// OEM allows several arcs with the same label from one parent
+	// (guide has two "restaurant" arcs).
+	db := New()
+	a := db.CreateNode(value.Int(1))
+	b := db.CreateNode(value.Int(2))
+	if err := db.AddArc(db.Root(), "x", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddArc(db.Root(), "x", b); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(db.OutLabeled(db.Root(), "x")); got != 2 {
+		t.Errorf("OutLabeled = %d, want 2", got)
+	}
+}
+
+func TestGarbageCollect(t *testing.T) {
+	db, names := buildGuide(t)
+	before := db.NumNodes()
+	// Remove the only path to Janta's address atom; Janta itself stays
+	// reachable via the root.
+	janta := names["janta"]
+	var addrArc Arc
+	for _, a := range db.Out(janta) {
+		if a.Label == "address" {
+			addrArc = a
+		}
+	}
+	if err := db.RemoveArc(addrArc.Parent, addrArc.Label, addrArc.Child); err != nil {
+		t.Fatal(err)
+	}
+	dead := db.GarbageCollect()
+	if len(dead) != 1 || dead[0] != addrArc.Child {
+		t.Errorf("GC removed %v, want [%s]", dead, addrArc.Child)
+	}
+	if db.NumNodes() != before-1 {
+		t.Errorf("nodes = %d, want %d", db.NumNodes(), before-1)
+	}
+	if err := db.Validate(); err != nil {
+		t.Errorf("post-GC invalid: %v", err)
+	}
+}
+
+func TestGarbageCollectCycleDetached(t *testing.T) {
+	// A detached cycle must be collected even though every node in it has
+	// an incoming arc.
+	db := New()
+	a := db.CreateNode(value.Complex())
+	c := db.CreateNode(value.Complex())
+	if err := db.AddArc(db.Root(), "x", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddArc(a, "y", c); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddArc(c, "back", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RemoveArc(db.Root(), "x", a); err != nil {
+		t.Fatal(err)
+	}
+	dead := db.GarbageCollect()
+	if len(dead) != 2 {
+		t.Errorf("GC removed %d nodes, want 2 (detached cycle)", len(dead))
+	}
+	if db.NumArcs() != 0 {
+		t.Errorf("arcs = %d, want 0", db.NumArcs())
+	}
+}
+
+func TestIDsNotReused(t *testing.T) {
+	db := New()
+	a := db.CreateNode(value.Int(1))
+	if err := db.AddArc(db.Root(), "x", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RemoveArc(db.Root(), "x", a); err != nil {
+		t.Fatal(err)
+	}
+	db.GarbageCollect()
+	b := db.CreateNode(value.Int(2))
+	if b == a {
+		t.Error("node id reused after deletion")
+	}
+}
+
+func TestCreateNodeWithID(t *testing.T) {
+	db := New()
+	if err := db.CreateNodeWithID(42, value.Int(7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateNodeWithID(42, value.Int(8)); !errors.Is(err, ErrNodeExists) {
+		t.Errorf("duplicate explicit id: %v", err)
+	}
+	if err := db.CreateNodeWithID(0, value.Int(8)); err == nil {
+		t.Error("id 0 must be rejected")
+	}
+	// Allocation continues past explicit ids.
+	n := db.CreateNode(value.Int(9))
+	if n <= 42 {
+		t.Errorf("allocator returned %d, must exceed explicit id 42", n)
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	db, names := buildGuide(t)
+	c := db.Clone()
+	if !db.Equal(c) || !c.Equal(db) {
+		t.Fatal("clone not equal to original")
+	}
+	// Mutating the clone must not affect the original.
+	if err := c.UpdateNode(names["price"], value.Int(20)); err != nil {
+		t.Fatal(err)
+	}
+	if db.Equal(c) {
+		t.Error("databases equal after divergent update")
+	}
+	if v := db.MustValue(names["price"]); !v.Equal(value.Int(10)) {
+		t.Error("original mutated through clone")
+	}
+}
+
+func TestPreorderVisitsOnceAndPrunes(t *testing.T) {
+	db, names := buildGuide(t)
+	count := 0
+	db.Preorder(db.Root(), func(n NodeID) bool {
+		count++
+		return true
+	})
+	if count != db.NumNodes() {
+		t.Errorf("preorder visited %d, want %d (cycle must not loop)", count, db.NumNodes())
+	}
+	// Pruning below parking skips its private children.
+	visited := make(map[NodeID]bool)
+	db.Preorder(db.Root(), func(n NodeID) bool {
+		visited[n] = true
+		return n != names["parking"]
+	})
+	for _, a := range db.Out(names["parking"]) {
+		if a.Label == "comment" && visited[a.Child] {
+			t.Error("pruned child was visited")
+		}
+	}
+}
+
+func TestClosureAndCopySubgraph(t *testing.T) {
+	db, names := buildGuide(t)
+	cl := db.Closure([]NodeID{names["janta"]})
+	// Janta's closure includes the shared parking node and, via the
+	// nearby-eats cycle, Bangkok Cuisine too.
+	if !cl[names["parking"]] || !cl[names["bangkok"]] {
+		t.Error("closure missed nodes reachable through shared/cyclic arcs")
+	}
+	pkg, remap := db.CopySubgraph([]NodeID{names["janta"]}, "restaurant", nil)
+	if err := pkg.Validate(); err != nil {
+		t.Fatalf("packaged db invalid: %v", err)
+	}
+	if got := len(pkg.OutLabeled(pkg.Root(), "restaurant")); got != 1 {
+		t.Errorf("packaged roots = %d, want 1", got)
+	}
+	if _, ok := remap[names["janta"]]; !ok {
+		t.Error("remap missing janta")
+	}
+	// Stable remapping: packaging again with the same seed map reuses ids.
+	pkg2, _ := db.CopySubgraph([]NodeID{names["janta"]}, "restaurant", remap)
+	if !pkg.Equal(pkg2) {
+		t.Error("repackaging with seeded remap not stable")
+	}
+}
+
+func TestIsomorphic(t *testing.T) {
+	a, _ := buildGuide(t)
+	b, bn := buildGuide(t)
+	if !Isomorphic(a, b) {
+		t.Fatal("identically built databases not isomorphic")
+	}
+	if err := b.UpdateNode(bn["price"], value.Int(11)); err != nil {
+		t.Fatal(err)
+	}
+	if Isomorphic(a, b) {
+		t.Error("databases isomorphic after value change")
+	}
+}
+
+func TestIsomorphicIgnoresIDs(t *testing.T) {
+	// Build the same tree with an extra throwaway node so ids shift.
+	build := func(padding int) *Database {
+		db := New()
+		for i := 0; i < padding; i++ {
+			x := db.CreateNode(value.Int(int64(i)))
+			if err := db.AddArc(db.Root(), "pad", x); err != nil {
+				t.Fatal(err)
+			}
+			if err := db.RemoveArc(db.Root(), "pad", x); err != nil {
+				t.Fatal(err)
+			}
+		}
+		db.GarbageCollect()
+		c := db.CreateNode(value.Complex())
+		if err := db.AddArc(db.Root(), "r", c); err != nil {
+			t.Fatal(err)
+		}
+		n := db.CreateNode(value.Str("x"))
+		if err := db.AddArc(c, "name", n); err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+	if !Isomorphic(build(0), build(5)) {
+		t.Error("isomorphism must not depend on node ids")
+	}
+}
+
+func TestArcsAndNodesDeterministic(t *testing.T) {
+	db, _ := buildGuide(t)
+	a1, a2 := db.Arcs(), db.Arcs()
+	if len(a1) != len(a2) || len(a1) != db.NumArcs() {
+		t.Fatal("Arcs() inconsistent")
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("Arcs() not deterministic")
+		}
+	}
+	n1, n2 := db.Nodes(), db.Nodes()
+	for i := range n1 {
+		if n1[i] != n2[i] {
+			t.Fatal("Nodes() not deterministic")
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	db := New()
+	orphan := db.CreateNode(value.Int(1))
+	_ = orphan
+	if err := db.Validate(); err == nil {
+		t.Error("unreachable node not caught by Validate")
+	}
+}

@@ -1,0 +1,182 @@
+package oem
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Preorder visits nodes reachable from start in depth-first preorder,
+// following arcs in insertion order and visiting each node once (cycles are
+// therefore safe). The visit function may return false to prune the subtree
+// below a node.
+func (db *Database) Preorder(start NodeID, visit func(n NodeID) bool) {
+	seen := make(map[NodeID]bool)
+	var walk func(n NodeID)
+	walk = func(n NodeID) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		if !visit(n) {
+			return
+		}
+		for _, a := range db.out[n] {
+			walk(a.Child)
+		}
+	}
+	walk(start)
+}
+
+// Closure returns the set of nodes reachable from any of the given roots,
+// i.e. the recursive subobject closure used when packaging query results
+// (paper Section 6: "the result of a polling query includes recursively all
+// subobjects of the objects in the query answer").
+func (db *Database) Closure(roots []NodeID) map[NodeID]bool {
+	seen := make(map[NodeID]bool)
+	stack := append([]NodeID(nil), roots...)
+	for _, r := range roots {
+		seen[r] = true
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, a := range db.out[n] {
+			if !seen[a.Child] {
+				seen[a.Child] = true
+				stack = append(stack, a.Child)
+			}
+		}
+	}
+	return seen
+}
+
+// CopySubgraph packages the subobject closure of roots as a new database:
+// a fresh root with an arcLabel arc to (the copy of) each given root, node
+// ids remapped. It returns the new database and the old-to-new id mapping.
+// If remap is non-nil it seeds (and extends) the mapping, so successive
+// packagings of overlapping results assign stable ids — QSS relies on this
+// to run identity-based diffs over polling results (paper Section 6).
+func (db *Database) CopySubgraph(roots []NodeID, arcLabel string, remap map[NodeID]NodeID) (*Database, map[NodeID]NodeID) {
+	if remap == nil {
+		remap = make(map[NodeID]NodeID)
+	}
+	out := New()
+	// Allocate ids for every node in the closure, honouring the seed map.
+	closure := db.Closure(roots)
+	ids := make([]NodeID, 0, len(closure))
+	for id := range closure {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	// First pass: ensure seeded ids exist; nextID must clear them all.
+	maxSeed := NodeID(0)
+	for _, id := range ids {
+		if nid, ok := remap[id]; ok && nid > maxSeed {
+			maxSeed = nid
+		}
+	}
+	for old, nid := range remap {
+		_ = old
+		if nid > maxSeed {
+			maxSeed = nid
+		}
+	}
+	if maxSeed >= out.nextID {
+		out.nextID = maxSeed + 1
+	}
+	for _, id := range ids {
+		v := db.values[id]
+		if nid, ok := remap[id]; ok {
+			if err := out.CreateNodeWithID(nid, v); err != nil {
+				panic(fmt.Sprintf("oem: CopySubgraph seed collision: %v", err))
+			}
+		} else {
+			remap[id] = out.CreateNode(v)
+		}
+	}
+	for _, id := range ids {
+		for _, a := range db.out[id] {
+			if closure[a.Child] {
+				if err := out.AddArc(remap[a.Parent], a.Label, remap[a.Child]); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	for _, r := range roots {
+		if err := out.AddArc(out.Root(), arcLabel, remap[r]); err != nil {
+			panic(err)
+		}
+	}
+	return out, remap
+}
+
+// Fingerprint computes a structural hash for every node using iterated
+// Weisfeiler-Lehman style refinement: a node's hash combines its value and
+// the multiset of (label, child hash) pairs, iterated to a fixpoint bound.
+// Two isomorphic databases produce equal root fingerprints; the converse
+// holds for trees and, in practice, for the DAGs this system manipulates.
+func (db *Database) Fingerprint() map[NodeID]uint64 {
+	h := make(map[NodeID]uint64, len(db.values))
+	for id, v := range db.values {
+		h[id] = hashString(v.String())
+	}
+	// log2(|N|)+2 rounds suffice to propagate across any simple path.
+	rounds := 2
+	for n := len(db.values); n > 1; n /= 2 {
+		rounds++
+	}
+	for r := 0; r < rounds; r++ {
+		next := make(map[NodeID]uint64, len(h))
+		for id := range db.values {
+			arcs := db.out[id]
+			parts := make([]uint64, 0, len(arcs))
+			for _, a := range arcs {
+				parts = append(parts, hashString(a.Label)*31+h[a.Child])
+			}
+			sort.Slice(parts, func(i, j int) bool { return parts[i] < parts[j] })
+			x := h[id]
+			for _, p := range parts {
+				x = x*1000003 + p
+			}
+			next[id] = x
+		}
+		h = next
+	}
+	return h
+}
+
+// Isomorphic reports whether two databases are isomorphic as rooted labeled
+// graphs with node values, using fingerprint comparison (exact on trees;
+// bisimulation-grade on graphs with cycles).
+func Isomorphic(a, b *Database) bool {
+	if a.NumNodes() != b.NumNodes() || a.NumArcs() != b.NumArcs() {
+		return false
+	}
+	fa, fb := a.Fingerprint(), b.Fingerprint()
+	if fa[a.root] != fb[b.root] {
+		return false
+	}
+	return multisetEqual(fa, fb)
+}
+
+func multisetEqual(a, b map[NodeID]uint64) bool {
+	count := make(map[uint64]int, len(a))
+	for _, h := range a {
+		count[h]++
+	}
+	for _, h := range b {
+		count[h]--
+		if count[h] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

@@ -1,0 +1,549 @@
+// Package oemdiff infers basic change operations from two snapshots of an
+// OEM database — the differencing component the paper's Query Subscription
+// Service depends on (Section 6, after the CRGMW96/CGM97 change-detection
+// work).
+//
+// Two modes are provided:
+//
+//   - DiffIdentity assumes the two snapshots share object identity (the same
+//     node id denotes the same object), as when a Tsimmis wrapper exposes
+//     stable ids. The diff is then exact set comparison.
+//
+//   - Diff matches objects structurally (label context, values, subtree
+//     similarity) before generating operations — a simplified LaDiff-style
+//     algorithm for sources that do not preserve ids (e.g. re-parsed web
+//     pages).
+//
+// Both return a single change.Set U with U(old) = new (up to isomorphism in
+// matching mode), suitable for one DOEM history step.
+package oemdiff
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/change"
+	"repro/internal/oem"
+)
+
+// DiffIdentity computes the exact change set between two snapshots that
+// share object identity. Nodes present only in new become creNode (with
+// their new arcs); arcs present only in old become remArc; value changes on
+// common nodes become updNode.
+func DiffIdentity(old, new *oem.Database) (change.Set, error) {
+	if old.Root() != new.Root() {
+		return nil, fmt.Errorf("oemdiff: snapshots have different roots (%s vs %s)", old.Root(), new.Root())
+	}
+	var set change.Set
+	// Node creations and updates.
+	for _, id := range new.Nodes() {
+		nv := new.MustValue(id)
+		ov, ok := old.Value(id)
+		switch {
+		case !ok:
+			set = append(set, change.CreNode{Node: id, Value: nv})
+		case !ov.Equal(nv):
+			set = append(set, change.UpdNode{Node: id, Value: nv})
+		}
+	}
+	// Arc changes.
+	for _, a := range new.Arcs() {
+		if !old.HasArc(a.Parent, a.Label, a.Child) {
+			set = append(set, change.AddArc{Parent: a.Parent, Label: a.Label, Child: a.Child})
+		}
+	}
+	for _, a := range old.Arcs() {
+		if !new.HasArc(a.Parent, a.Label, a.Child) {
+			set = append(set, change.RemArc{Parent: a.Parent, Label: a.Label, Child: a.Child})
+		}
+	}
+	if err := set.Validate(old); err != nil {
+		return nil, fmt.Errorf("oemdiff: inconsistent snapshots: %w", err)
+	}
+	return set, nil
+}
+
+// Options configures matching-based diffing.
+type Options struct {
+	// AllocID supplies fresh node ids for objects created by the diff.
+	// When nil, ids are allocated above the maximum id of both snapshots.
+	AllocID func() oem.NodeID
+	// Threshold is the minimum similarity in [0,1] for matching two complex
+	// objects. Zero means the default of 0.5.
+	Threshold float64
+}
+
+// Match computes the structural matching between two snapshots without
+// generating a script: the returned maps are old->new and new->old. Used by
+// htmldiff to mark up insertions, deletions and updates.
+func Match(old, new *oem.Database, opts *Options) (map[oem.NodeID]oem.NodeID, map[oem.NodeID]oem.NodeID) {
+	d := newDiffer(old, new, opts)
+	d.match(old.Root(), new.Root())
+	return d.m, d.back
+}
+
+// Diff computes a change set transforming old into a database isomorphic to
+// new, matching objects structurally. The returned set uses old's node ids
+// for matched objects and freshly allocated ids for created ones.
+func Diff(old, new *oem.Database, opts *Options) (change.Set, error) {
+	d := newDiffer(old, new, opts)
+	d.match(old.Root(), new.Root())
+	return d.script()
+}
+
+func newDiffer(old, new *oem.Database, opts *Options) *differ {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	if o.Threshold == 0 {
+		o.Threshold = 0.5
+	}
+	if o.AllocID == nil {
+		next := maxID(old)
+		if m := maxID(new); m > next {
+			next = m
+		}
+		o.AllocID = func() oem.NodeID { next++; return next }
+	}
+	d := &differ{old: old, new: new, opts: o,
+		m:    make(map[oem.NodeID]oem.NodeID),
+		back: make(map[oem.NodeID]oem.NodeID),
+	}
+	d.oldFP = old.Fingerprint()
+	d.newFP = new.Fingerprint()
+	d.oldBag = leafBags(old)
+	d.newBag = leafBags(new)
+	return d
+}
+
+// bag is a multiset of token hashes with a total count, used for
+// content-overlap similarity.
+type bag struct {
+	counts map[uint64]int
+	total  int
+}
+
+func (b *bag) add(tok uint64, n int) {
+	if b.counts == nil {
+		b.counts = make(map[uint64]int)
+	}
+	b.counts[tok] += n
+	b.total += n
+}
+
+// dice returns the Dice coefficient of two bags.
+func (b *bag) dice(o *bag) float64 {
+	if b.total == 0 && o.total == 0 {
+		return 1
+	}
+	if b.total == 0 || o.total == 0 {
+		return 0
+	}
+	small, large := b, o
+	if len(small.counts) > len(large.counts) {
+		small, large = large, small
+	}
+	common := 0
+	for tok, n := range small.counts {
+		if m := large.counts[tok]; m > 0 {
+			if m < n {
+				common += m
+			} else {
+				common += n
+			}
+		}
+	}
+	return 2 * float64(common) / float64(b.total+o.total)
+}
+
+// leafBags computes, for every node, the multiset of word tokens of the
+// atomic values in its subtree. Word-level tokens make similarity robust to
+// small text edits ("price 10" vs "price 20" still overlaps heavily), the
+// property LaDiff exploits for matching prose-like documents.
+func leafBags(db *oem.Database) map[oem.NodeID]*bag {
+	bags := make(map[oem.NodeID]*bag, db.NumNodes())
+	var visit func(n oem.NodeID, path map[oem.NodeID]bool) *bag
+	visit = func(n oem.NodeID, path map[oem.NodeID]bool) *bag {
+		if b, ok := bags[n]; ok {
+			return b
+		}
+		if path[n] {
+			return &bag{} // cycle: contribute nothing on the back edge
+		}
+		path[n] = true
+		defer delete(path, n)
+		b := &bag{}
+		v := db.MustValue(n)
+		if !v.IsComplex() {
+			for _, tok := range tokenize(v.Display()) {
+				b.add(tok, 1)
+			}
+		}
+		for _, a := range db.Out(n) {
+			cb := visit(a.Child, path)
+			for tok, cnt := range cb.counts {
+				b.add(tok, cnt)
+			}
+		}
+		bags[n] = b
+		return b
+	}
+	visit(db.Root(), make(map[oem.NodeID]bool))
+	// Nodes unreachable from the root (none in valid databases) get empty bags.
+	for _, id := range db.Nodes() {
+		if _, ok := bags[id]; !ok {
+			bags[id] = &bag{}
+		}
+	}
+	return bags
+}
+
+// tokenize splits a display string into word-token hashes.
+func tokenize(s string) []uint64 {
+	var toks []uint64
+	start := -1
+	for i := 0; i <= len(s); i++ {
+		boundary := i == len(s) || s[i] == ' ' || s[i] == '\t' || s[i] == '\n' || s[i] == ',' || s[i] == '.' || s[i] == ';'
+		if boundary {
+			if start >= 0 {
+				toks = append(toks, hash64(s[start:i]))
+				start = -1
+			}
+		} else if start < 0 {
+			start = i
+		}
+	}
+	return toks
+}
+
+func maxID(db *oem.Database) oem.NodeID {
+	var m oem.NodeID
+	for _, id := range db.Nodes() {
+		if id > m {
+			m = id
+		}
+	}
+	return m
+}
+
+type differ struct {
+	old, new       *oem.Database
+	opts           Options
+	m              map[oem.NodeID]oem.NodeID // old -> new
+	back           map[oem.NodeID]oem.NodeID // new -> old
+	oldFP, newFP   map[oem.NodeID]uint64
+	oldBag, newBag map[oem.NodeID]*bag
+}
+
+// match records the pair (o, n) and recursively matches their children,
+// label group by label group, greedily by similarity.
+func (d *differ) match(o, n oem.NodeID) {
+	if _, done := d.m[o]; done {
+		return
+	}
+	if _, done := d.back[n]; done {
+		return
+	}
+	d.m[o] = n
+	d.back[n] = o
+
+	oldByLabel := groupByLabel(d.old.Out(o))
+	newByLabel := groupByLabel(d.new.Out(n))
+	labels := make([]string, 0, len(oldByLabel))
+	for l := range oldByLabel {
+		if _, ok := newByLabel[l]; ok {
+			labels = append(labels, l)
+		}
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		d.matchGroup(oldByLabel[l], newByLabel[l])
+	}
+}
+
+func groupByLabel(arcs []oem.Arc) map[string][]oem.NodeID {
+	g := make(map[string][]oem.NodeID)
+	for _, a := range arcs {
+		g[a.Label] = append(g[a.Label], a.Child)
+	}
+	return g
+}
+
+// matchGroup pairs old and new children that share an incoming label.
+// Exact-fingerprint pairs match first (unchanged subtrees), then remaining
+// pairs greedily by similarity above the threshold.
+func (d *differ) matchGroup(olds, news []oem.NodeID) {
+	usedOld := make(map[oem.NodeID]bool)
+	usedNew := make(map[oem.NodeID]bool)
+	// Pass 1: identical subtrees (equal fingerprints), in order.
+	byFP := make(map[uint64][]oem.NodeID)
+	for _, nn := range news {
+		if _, taken := d.back[nn]; taken {
+			continue
+		}
+		byFP[d.newFP[nn]] = append(byFP[d.newFP[nn]], nn)
+	}
+	for _, on := range olds {
+		if _, taken := d.m[on]; taken {
+			usedOld[on] = true
+			continue
+		}
+		cands := byFP[d.oldFP[on]]
+		for len(cands) > 0 {
+			nn := cands[0]
+			cands = cands[1:]
+			byFP[d.oldFP[on]] = cands
+			if usedNew[nn] {
+				continue
+			}
+			if _, taken := d.back[nn]; taken {
+				continue
+			}
+			usedOld[on] = true
+			usedNew[nn] = true
+			d.match(on, nn)
+			break
+		}
+	}
+	// Pass 2: greedy similarity matching of the remainder.
+	type cand struct {
+		o, n oem.NodeID
+		sim  float64
+	}
+	var cands []cand
+	for _, on := range olds {
+		if usedOld[on] {
+			continue
+		}
+		if _, taken := d.m[on]; taken {
+			continue
+		}
+		for _, nn := range news {
+			if usedNew[nn] {
+				continue
+			}
+			if _, taken := d.back[nn]; taken {
+				continue
+			}
+			if s := d.similarity(on, nn); s >= d.opts.Threshold {
+				cands = append(cands, cand{on, nn, s})
+			}
+		}
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].sim > cands[j].sim })
+	for _, c := range cands {
+		if usedOld[c.o] || usedNew[c.n] {
+			continue
+		}
+		usedOld[c.o] = true
+		usedNew[c.n] = true
+		d.match(c.o, c.n)
+	}
+	// Unique-pair relaxation: when exactly one old and one new child remain
+	// under this label, there is no ambiguity — accept the pair at a much
+	// lower similarity bar. This keeps a container matched when all of its
+	// children changed (the top-down analogue of LaDiff's bottom-up
+	// propagation).
+	ro, rn := remaining(olds, usedOld, d.m), remainingNew(news, usedNew, d.back)
+	if len(ro) == 1 && len(rn) == 1 {
+		if d.similarity(ro[0], rn[0]) >= d.opts.Threshold*0.4 {
+			d.match(ro[0], rn[0])
+		}
+	}
+}
+
+func remaining(ids []oem.NodeID, used map[oem.NodeID]bool, taken map[oem.NodeID]oem.NodeID) []oem.NodeID {
+	var out []oem.NodeID
+	for _, id := range ids {
+		if used[id] {
+			continue
+		}
+		if _, t := taken[id]; t {
+			continue
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
+func remainingNew(ids []oem.NodeID, used map[oem.NodeID]bool, taken map[oem.NodeID]oem.NodeID) []oem.NodeID {
+	return remaining(ids, used, taken)
+}
+
+// similarity estimates how alike two objects are, in [0,1]. Atomic objects
+// compare values; complex objects compare their (label, child fingerprint)
+// multisets with a Dice coefficient, which rewards shared unchanged
+// children. A complex/atomic pair scores 0.
+func (d *differ) similarity(o, n oem.NodeID) float64 {
+	ov := d.old.MustValue(o)
+	nv := d.new.MustValue(n)
+	if ov.IsComplex() != nv.IsComplex() {
+		return 0
+	}
+	if !ov.IsComplex() {
+		if ov.Equal(nv) {
+			return 1
+		}
+		// Same slot, different value: an update candidate.
+		return d.opts.Threshold
+	}
+	oArcs := d.old.Out(o)
+	nArcs := d.new.Out(n)
+	if len(oArcs) == 0 && len(nArcs) == 0 {
+		return 1
+	}
+	count := make(map[[2]uint64]int)
+	for _, a := range oArcs {
+		count[[2]uint64{hash64(a.Label), d.oldFP[a.Child]}]++
+	}
+	common := 0
+	for _, a := range nArcs {
+		k := [2]uint64{hash64(a.Label), d.newFP[a.Child]}
+		if count[k] > 0 {
+			count[k]--
+			common++
+		}
+	}
+	// Credit shared labels with changed children.
+	lcount := make(map[string]int)
+	for _, a := range oArcs {
+		lcount[a.Label]++
+	}
+	labelCommon := 0
+	for _, a := range nArcs {
+		if lcount[a.Label] > 0 {
+			lcount[a.Label]--
+			labelCommon++
+		}
+	}
+	dice := func(c int) float64 { return 2 * float64(c) / float64(len(oArcs)+len(nArcs)) }
+	// Word-level content overlap of the two subtrees is the main signal:
+	// it survives small text edits deep below (the common case in document
+	// diffing), where per-child fingerprints all change. Either strong
+	// content overlap alone or the blended structural score qualifies.
+	content := d.oldBag[o].dice(d.newBag[n])
+	blended := 0.5*content + 0.3*dice(common) + 0.2*dice(labelCommon)
+	if content > blended {
+		return content
+	}
+	return blended
+}
+
+func hash64(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// script generates the change set from the computed matching.
+func (d *differ) script() (change.Set, error) {
+	var set change.Set
+	// Created objects: new nodes with no match.
+	created := make(map[oem.NodeID]oem.NodeID) // new id -> allocated id
+	idFor := func(nn oem.NodeID) oem.NodeID {
+		if on, ok := d.back[nn]; ok {
+			return on
+		}
+		if id, ok := created[nn]; ok {
+			return id
+		}
+		id := d.opts.AllocID()
+		created[nn] = id
+		return id
+	}
+	for _, nn := range d.new.Nodes() {
+		if _, matched := d.back[nn]; !matched {
+			set = append(set, change.CreNode{Node: idFor(nn), Value: d.new.MustValue(nn)})
+		}
+	}
+	// Updates on matched nodes.
+	for _, on := range d.old.Nodes() {
+		nn, ok := d.m[on]
+		if !ok {
+			continue
+		}
+		ov := d.old.MustValue(on)
+		nv := d.new.MustValue(nn)
+		if !ov.Equal(nv) {
+			set = append(set, change.UpdNode{Node: on, Value: nv})
+		}
+	}
+	// Arcs: express new's arcs in old's id space; add the missing, remove
+	// the stale.
+	want := make(map[oem.Arc]bool)
+	for _, a := range d.new.Arcs() {
+		want[oem.Arc{Parent: idFor(a.Parent), Label: a.Label, Child: idFor(a.Child)}] = true
+	}
+	have := make(map[oem.Arc]bool)
+	for _, a := range d.old.Arcs() {
+		have[a] = true
+	}
+	// Deterministic op order: sort arc keys.
+	addList := make([]oem.Arc, 0)
+	for a := range want {
+		if !have[a] {
+			addList = append(addList, a)
+		}
+	}
+	remList := make([]oem.Arc, 0)
+	for a := range have {
+		if !want[a] {
+			remList = append(remList, a)
+		}
+	}
+	sortArcs(addList)
+	sortArcs(remList)
+	for _, a := range addList {
+		set = append(set, change.AddArc{Parent: a.Parent, Label: a.Label, Child: a.Child})
+	}
+	for _, a := range remList {
+		set = append(set, change.RemArc{Parent: a.Parent, Label: a.Label, Child: a.Child})
+	}
+	if err := set.Validate(d.old); err != nil {
+		return nil, fmt.Errorf("oemdiff: generated script invalid: %w", err)
+	}
+	return set, nil
+}
+
+func sortArcs(arcs []oem.Arc) {
+	sort.Slice(arcs, func(i, j int) bool {
+		a, b := arcs[i], arcs[j]
+		if a.Parent != b.Parent {
+			return a.Parent < b.Parent
+		}
+		if a.Label != b.Label {
+			return a.Label < b.Label
+		}
+		return a.Child < b.Child
+	})
+}
+
+// Cost summarizes a change set for reporting.
+type Cost struct {
+	Creates, Updates, Adds, Removes int
+}
+
+// Total returns the total operation count.
+func (c Cost) Total() int { return c.Creates + c.Updates + c.Adds + c.Removes }
+
+// Measure tallies a change set by operation kind.
+func Measure(set change.Set) Cost {
+	var c Cost
+	for _, op := range set {
+		switch op.(type) {
+		case change.CreNode:
+			c.Creates++
+		case change.UpdNode:
+			c.Updates++
+		case change.AddArc:
+			c.Adds++
+		case change.RemArc:
+			c.Removes++
+		}
+	}
+	return c
+}

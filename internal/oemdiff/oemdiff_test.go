@@ -1,0 +1,446 @@
+package oemdiff
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/change"
+	"repro/internal/guidegen"
+	"repro/internal/oem"
+	"repro/internal/value"
+)
+
+// applyAndCheckIdentity applies the set and requires exact equality.
+func applyAndCheckIdentity(t *testing.T, old, new *oem.Database, set change.Set) {
+	t.Helper()
+	got := old.Clone()
+	if _, err := set.Apply(got); err != nil {
+		t.Fatalf("applying diff: %v", err)
+	}
+	if !got.Equal(new) {
+		t.Fatalf("diff did not reproduce target:\nold:\n%s\nnew:\n%s\ngot:\n%s\nset: %s", old, new, got, set)
+	}
+}
+
+// applyAndCheckIso applies the set and requires isomorphism.
+func applyAndCheckIso(t *testing.T, old, new *oem.Database, set change.Set) {
+	t.Helper()
+	got := old.Clone()
+	if _, err := set.Apply(got); err != nil {
+		t.Fatalf("applying diff: %v", err)
+	}
+	if !oem.Isomorphic(got, new) {
+		t.Fatalf("diff result not isomorphic to target:\nold:\n%s\nnew:\n%s\ngot:\n%s\nset: %s", old, new, got, set)
+	}
+}
+
+func TestIdentityDiffEmpty(t *testing.T) {
+	db, _ := guidegen.PaperGuide()
+	set, err := DiffIdentity(db, db.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 0 {
+		t.Errorf("diff of identical snapshots = %s", set)
+	}
+}
+
+func TestIdentityDiffPaperHistory(t *testing.T) {
+	// Diffing Figure 2 against Figure 3 must recover ops equivalent to the
+	// paper's full history (squashed into one set).
+	old, ids := guidegen.PaperGuide()
+	new := old.Clone()
+	if err := guidegen.PaperHistory(ids).Apply(new); err != nil {
+		t.Fatal(err)
+	}
+	set, err := DiffIdentity(old, new)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Measure(set)
+	// 3 created nodes (Hakata, name, comment), 1 update (price), 3 added
+	// arcs, 1 removed arc.
+	if c.Creates != 3 || c.Updates != 1 || c.Adds != 3 || c.Removes != 1 {
+		t.Errorf("cost = %+v, want {3 1 3 1}", c)
+	}
+	applyAndCheckIdentity(t, old, new, set)
+}
+
+func TestIdentityDiffValueUpdate(t *testing.T) {
+	old := oem.New()
+	n := old.CreateNode(value.Int(10))
+	if err := old.AddArc(old.Root(), "price", n); err != nil {
+		t.Fatal(err)
+	}
+	new := old.Clone()
+	if err := new.UpdateNode(n, value.Int(20)); err != nil {
+		t.Fatal(err)
+	}
+	set, err := DiffIdentity(old, new)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 1 {
+		t.Fatalf("set = %s", set)
+	}
+	applyAndCheckIdentity(t, old, new, set)
+}
+
+func TestIdentityDiffComplexToAtomic(t *testing.T) {
+	old := oem.New()
+	c := old.CreateNode(value.Complex())
+	leaf := old.CreateNode(value.Int(1))
+	if err := old.AddArc(old.Root(), "x", c); err != nil {
+		t.Fatal(err)
+	}
+	if err := old.AddArc(c, "leaf", leaf); err != nil {
+		t.Fatal(err)
+	}
+	new := old.Clone()
+	if err := new.RemoveArc(c, "leaf", leaf); err != nil {
+		t.Fatal(err)
+	}
+	new.GarbageCollect()
+	if err := new.UpdateNode(c, value.Str("now atomic")); err != nil {
+		t.Fatal(err)
+	}
+	set, err := DiffIdentity(old, new)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyAndCheckIdentity(t, old, new, set)
+}
+
+func TestIdentityDiffRejectsConflictingSnapshots(t *testing.T) {
+	// A new snapshot whose node ids collide incompatibly (complex vs arcs)
+	// cannot happen from valid evolution; an id reused as a different kind
+	// with children in both directions triggers set validation failure.
+	old := oem.New()
+	a := old.CreateNode(value.Int(1))
+	if err := old.AddArc(old.Root(), "x", a); err != nil {
+		t.Fatal(err)
+	}
+	// new: same id a is complex with a child, but old also keeps arcs into a.
+	new := oem.New()
+	if err := new.CreateNodeWithID(a, value.Complex()); err != nil {
+		t.Fatal(err)
+	}
+	leaf := new.CreateNode(value.Int(2))
+	_ = leaf
+	if err := new.AddArc(new.Root(), "x", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := new.AddArc(a, "y", leaf); err != nil {
+		t.Fatal(err)
+	}
+	set, err := DiffIdentity(old, new)
+	if err != nil {
+		t.Fatal(err) // this evolution is actually expressible: upd + adds
+	}
+	applyAndCheckIdentity(t, old, new, set)
+}
+
+// --- matching mode ---
+
+// buildGuideLike builds a fresh database with the same structure as the
+// paper guide but independent node ids (shifted by creating padding nodes).
+func buildGuideLike(pad int, hakata bool, price int64) *oem.Database {
+	b := oem.NewBuilder()
+	root := b.Root()
+	for i := 0; i < pad; i++ {
+		x := b.Atom("", value.Int(int64(i)))
+		b.Arc(root, "pad", x)
+	}
+	bangkok := b.ComplexArc(root, "restaurant")
+	b.AtomArc(bangkok, "name", value.Str("Bangkok Cuisine"))
+	b.AtomArc(bangkok, "price", value.Int(price))
+	b.AtomArc(bangkok, "cuisine", value.Str("Thai"))
+	janta := b.ComplexArc(root, "restaurant")
+	b.AtomArc(janta, "name", value.Str("Janta"))
+	b.AtomArc(janta, "price", value.Str("moderate"))
+	if hakata {
+		h := b.ComplexArc(root, "restaurant")
+		b.AtomArc(h, "name", value.Str("Hakata"))
+	}
+	db := b.Build()
+	// Remove padding so ids differ but content matches.
+	for _, a := range db.OutLabeled(db.Root(), "pad") {
+		if err := db.RemoveArc(a.Parent, a.Label, a.Child); err != nil {
+			panic(err)
+		}
+	}
+	db.GarbageCollect()
+	return db
+}
+
+func TestMatchingDiffIdentical(t *testing.T) {
+	old := buildGuideLike(0, false, 10)
+	new := buildGuideLike(7, false, 10) // same content, different ids
+	set, err := Diff(old, new, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 0 {
+		t.Errorf("matching diff of identical content = %s", set)
+	}
+}
+
+func TestMatchingDiffInsertion(t *testing.T) {
+	old := buildGuideLike(0, false, 10)
+	new := buildGuideLike(3, true, 10)
+	set, err := Diff(old, new, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Measure(set)
+	// One new restaurant: 2 creNodes (restaurant + name), 2 addArcs.
+	if c.Creates != 2 || c.Adds != 2 || c.Updates != 0 || c.Removes != 0 {
+		t.Errorf("cost = %+v, want {2 0 2 0}", c)
+	}
+	applyAndCheckIso(t, old, new, set)
+}
+
+func TestMatchingDiffUpdate(t *testing.T) {
+	old := buildGuideLike(0, false, 10)
+	new := buildGuideLike(5, false, 20)
+	set, err := Diff(old, new, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Measure(set)
+	// The price change should be detected as an update, not delete+insert.
+	if c.Updates != 1 || c.Creates != 0 || c.Adds != 0 || c.Removes != 0 {
+		t.Errorf("cost = %+v, want a single update", c)
+	}
+	applyAndCheckIso(t, old, new, set)
+}
+
+func TestMatchingDiffDeletion(t *testing.T) {
+	old := buildGuideLike(0, true, 10)
+	new := buildGuideLike(2, false, 10)
+	set, err := Diff(old, new, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Measure(set)
+	if c.Removes == 0 {
+		t.Errorf("cost = %+v, want removals", c)
+	}
+	applyAndCheckIso(t, old, new, set)
+}
+
+func TestMatchingDiffSharedAndCyclic(t *testing.T) {
+	build := func(pad int) *oem.Database {
+		b := oem.NewBuilder()
+		root := b.Root()
+		for i := 0; i < pad; i++ {
+			b.Arc(root, "pad", b.Atom("", value.Int(int64(i))))
+		}
+		r1 := b.ComplexArc(root, "restaurant")
+		b.AtomArc(r1, "name", value.Str("A"))
+		r2 := b.ComplexArc(root, "restaurant")
+		b.AtomArc(r2, "name", value.Str("B"))
+		park := b.ComplexArc(r1, "parking")
+		b.Arc(r2, "parking", park) // shared
+		b.AtomArc(park, "address", value.Str("lot 2"))
+		b.Arc(park, "nearby-eats", r1) // cycle
+		db := b.Build()
+		for _, a := range db.OutLabeled(db.Root(), "pad") {
+			if err := db.RemoveArc(a.Parent, a.Label, a.Child); err != nil {
+				panic(err)
+			}
+		}
+		db.GarbageCollect()
+		return db
+	}
+	old, new := build(0), build(4)
+	set, err := Diff(old, new, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 0 {
+		t.Errorf("diff of identical shared/cyclic content = %s", set)
+	}
+	applyAndCheckIso(t, old, new, set)
+}
+
+func TestMatchingDiffAllocID(t *testing.T) {
+	old := buildGuideLike(0, false, 10)
+	new := buildGuideLike(0, true, 10)
+	next := oem.NodeID(10000)
+	set, err := Diff(old, new, &Options{AllocID: func() oem.NodeID { next++; return next }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range set {
+		if c, ok := op.(change.CreNode); ok && c.Node <= 10000 {
+			t.Errorf("created node %s ignores the allocator", c.Node)
+		}
+	}
+	applyAndCheckIso(t, old, new, set)
+}
+
+// TestMatchingDiffRandomEvolutions: random tree pairs where new is a
+// mutation of old (re-built with fresh ids); the diff must always produce a
+// valid script whose application is isomorphic to new.
+func TestMatchingDiffRandomEvolutions(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		old := randomTree(rng, 3, 4)
+		new := mutateTree(rng, old)
+		set, err := Diff(old, new, nil)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		got := old.Clone()
+		if _, err := set.Apply(got); err != nil {
+			t.Fatalf("seed %d: apply: %v", seed, err)
+		}
+		if !oem.Isomorphic(got, new) {
+			t.Errorf("seed %d: result not isomorphic (script %d ops)", seed, len(set))
+		}
+	}
+}
+
+// randomTree builds a random tree of the given depth/fanout.
+func randomTree(rng *rand.Rand, depth, fanout int) *oem.Database {
+	db := oem.New()
+	var grow func(parent oem.NodeID, d int)
+	grow = func(parent oem.NodeID, d int) {
+		n := 1 + rng.Intn(fanout)
+		for i := 0; i < n; i++ {
+			label := string(rune('a' + rng.Intn(4)))
+			if d == 0 || rng.Intn(3) == 0 {
+				leaf := db.CreateNode(value.Int(rng.Int63n(50)))
+				if err := db.AddArc(parent, label, leaf); err != nil {
+					panic(err)
+				}
+			} else {
+				c := db.CreateNode(value.Complex())
+				if err := db.AddArc(parent, label, c); err != nil {
+					panic(err)
+				}
+				grow(c, d-1)
+			}
+		}
+	}
+	grow(db.Root(), depth)
+	return db
+}
+
+// mutateTree rebuilds db with fresh ids, randomly updating some leaf values
+// and dropping/duplicating some subtrees.
+func mutateTree(rng *rand.Rand, src *oem.Database) *oem.Database {
+	dst := oem.New()
+	var copyNode func(s oem.NodeID) (oem.NodeID, bool)
+	copyNode = func(s oem.NodeID) (oem.NodeID, bool) {
+		v := src.MustValue(s)
+		if !v.IsComplex() {
+			if rng.Intn(10) == 0 {
+				v = value.Int(rng.Int63n(50) + 100) // value update
+			}
+			return dst.CreateNode(v), true
+		}
+		id := dst.CreateNode(value.Complex())
+		for _, a := range src.Out(s) {
+			if rng.Intn(12) == 0 {
+				continue // drop subtree
+			}
+			c, ok := copyNode(a.Child)
+			if !ok {
+				continue
+			}
+			if err := dst.AddArc(id, a.Label, c); err != nil {
+				panic(err)
+			}
+		}
+		return id, true
+	}
+	for _, a := range src.Out(src.Root()) {
+		if rng.Intn(12) == 0 {
+			continue
+		}
+		c, _ := copyNode(a.Child)
+		if err := dst.AddArc(dst.Root(), a.Label, c); err != nil {
+			panic(err)
+		}
+	}
+	// Occasionally graft a brand-new subtree.
+	if rng.Intn(2) == 0 {
+		n := dst.CreateNode(value.Complex())
+		if err := dst.AddArc(dst.Root(), "new", n); err != nil {
+			panic(err)
+		}
+		leaf := dst.CreateNode(value.Str("fresh"))
+		if err := dst.AddArc(n, "leaf", leaf); err != nil {
+			panic(err)
+		}
+	}
+	return dst
+}
+
+func TestMeasure(t *testing.T) {
+	set := change.Set{
+		change.CreNode{Node: 5, Value: value.Int(1)},
+		change.AddArc{Parent: 1, Label: "x", Child: 5},
+		change.UpdNode{Node: 5, Value: value.Int(2)},
+		change.RemArc{Parent: 1, Label: "y", Child: 2},
+	}
+	c := Measure(set)
+	if c.Creates != 1 || c.Adds != 1 || c.Updates != 1 || c.Removes != 1 || c.Total() != 4 {
+		t.Errorf("Measure = %+v", c)
+	}
+}
+
+// TestMatchingQualityMatchesIdentityFloor: on a realistic evolution with
+// fresh ids, the default-threshold matcher should find a script no larger
+// than a small multiple of the identity differ's (which knows the true
+// object correspondence).
+func TestMatchingQualityMatchesIdentityFloor(t *testing.T) {
+	ev := guidegen.NewEvolver(5, 200)
+	old := ev.DB.Clone()
+	ev.Step(12)
+	floor, err := DiffIdentity(old, ev.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := reIDFull(t, ev.DB)
+	set, err := Diff(old, fresh, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := Measure(set).Total(), Measure(floor).Total()
+	if got > 2*want+4 {
+		t.Errorf("matching script = %d ops, identity floor = %d — matcher quality regressed", got, want)
+	}
+	applyAndCheckIso(t, old, fresh, set)
+}
+
+// reIDFull re-copies db with fresh ids, preserving labels and structure.
+func reIDFull(t *testing.T, db *oem.Database) *oem.Database {
+	t.Helper()
+	out := oem.New()
+	remap := map[oem.NodeID]oem.NodeID{}
+	var cp func(n oem.NodeID) oem.NodeID
+	cp = func(n oem.NodeID) oem.NodeID {
+		if id, ok := remap[n]; ok {
+			return id
+		}
+		id := out.CreateNode(db.MustValue(n))
+		remap[n] = id
+		for _, a := range db.Out(n) {
+			c := cp(a.Child)
+			if err := out.AddArc(id, a.Label, c); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return id
+	}
+	for _, a := range db.Out(db.Root()) {
+		c := cp(a.Child)
+		if err := out.AddArc(out.Root(), a.Label, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}

@@ -1,0 +1,26 @@
+package oemio
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRead: arbitrary bytes must never panic the reader; successful reads
+// yield databases that re-marshal.
+func FuzzRead(f *testing.F) {
+	db := sampleDB(nil)
+	data, _ := Marshal(db)
+	f.Add(string(data))
+	f.Add(`{"root":1,"nodes":[{"id":1,"kind":"complex"}],"arcs":[]}`)
+	f.Add(`{"root":1}`)
+	f.Add(`garbage`)
+	f.Fuzz(func(t *testing.T, src string) {
+		back, err := Read(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if _, err := Marshal(back); err != nil {
+			t.Fatalf("re-marshal of accepted input failed: %v", err)
+		}
+	})
+}

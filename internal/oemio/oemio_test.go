@@ -1,0 +1,174 @@
+package oemio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/oem"
+	"repro/internal/timestamp"
+	"repro/internal/value"
+)
+
+func sampleDB(t testing.TB) *oem.Database {
+	b := oem.NewBuilder()
+	r := b.Root()
+	rest := b.ComplexArc(r, "restaurant")
+	b.AtomArc(rest, "name", value.Str("Bangkok Cuisine"))
+	b.AtomArc(rest, "price", value.Int(10))
+	b.AtomArc(rest, "rating", value.Real(4.5))
+	b.AtomArc(rest, "open", value.Bool(true))
+	b.AtomArc(rest, "since", value.Time(timestamp.MustParse("1Jan97")))
+	b.AtomArc(rest, "note", value.Null())
+	// Cycle and sharing.
+	park := b.ComplexArc(rest, "parking")
+	b.Arc(park, "nearby-eats", rest)
+	rest2 := b.ComplexArc(r, "restaurant")
+	b.Arc(rest2, "parking", park)
+	return b.Build()
+}
+
+func TestRoundTripWriteRead(t *testing.T) {
+	db := sampleDB(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !db.Equal(back) {
+		t.Errorf("round trip changed database:\nin:\n%s\nout:\n%s", db, back)
+	}
+}
+
+func TestRoundTripMarshalUnmarshal(t *testing.T) {
+	db := sampleDB(t)
+	data, err := Marshal(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !db.Equal(back) {
+		t.Error("marshal/unmarshal round trip changed database")
+	}
+}
+
+func TestArcOrderPreserved(t *testing.T) {
+	db := oem.New()
+	var kids []oem.NodeID
+	for i := 0; i < 10; i++ {
+		c := db.CreateNode(value.Int(int64(i)))
+		if err := db.AddArc(db.Root(), "x", c); err != nil {
+			t.Fatal(err)
+		}
+		kids = append(kids, c)
+	}
+	data, err := Marshal(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := back.Out(back.Root())
+	for i, a := range out {
+		if a.Child != kids[i] {
+			t.Fatalf("arc %d child = %s, want %s (order lost)", i, a.Child, kids[i])
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := map[string]string{
+		"garbage":      "not json",
+		"missing root": `{"root":1,"nodes":[],"arcs":[]}`,
+		"atomic root":  `{"root":1,"nodes":[{"id":1,"kind":"int","value":3}],"arcs":[]}`,
+		"bad kind":     `{"root":1,"nodes":[{"id":1,"kind":"complex"},{"id":2,"kind":"widget"}],"arcs":[]}`,
+		"dangling arc": `{"root":1,"nodes":[{"id":1,"kind":"complex"}],"arcs":[{"p":1,"l":"x","c":9}]}`,
+		"dup node":     `{"root":1,"nodes":[{"id":1,"kind":"complex"},{"id":2,"kind":"int","value":1},{"id":2,"kind":"int","value":2}],"arcs":[]}`,
+		"bad root id":  `{"root":7,"nodes":[{"id":7,"kind":"complex"}],"arcs":[]}`,
+		"bad time":     `{"root":1,"nodes":[{"id":1,"kind":"complex"},{"id":2,"kind":"time","value":"whenever"}],"arcs":[]}`,
+		"bad string":   `{"root":1,"nodes":[{"id":1,"kind":"complex"},{"id":2,"kind":"string","value":7}],"arcs":[]}`,
+	}
+	for name, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: decode succeeded, want error", name)
+		}
+	}
+}
+
+func TestValueKindsRoundTrip(t *testing.T) {
+	vals := []value.Value{
+		value.Null(),
+		value.Bool(true),
+		value.Bool(false),
+		value.Int(-42),
+		value.Int(1 << 40), // beyond float64 exactness threshold is avoided; still large
+		value.Real(3.14159),
+		value.Str(""),
+		value.Str("with \"quotes\" and \n newline"),
+		value.Time(timestamp.MustParse("8Jan97")),
+	}
+	for _, v := range vals {
+		kind, payload := EncodeValue(v)
+		back, err := DecodeValue(kind, payload)
+		if err != nil {
+			t.Errorf("DecodeValue(%s): %v", v, err)
+			continue
+		}
+		if !back.Equal(v) {
+			t.Errorf("round trip %s -> %s", v, back)
+		}
+	}
+}
+
+// Property: random trees round-trip exactly.
+func TestRoundTripProperty(t *testing.T) {
+	prop := func(seed int64, sizes []uint8) bool {
+		db := oem.New()
+		parents := []oem.NodeID{db.Root()}
+		for i, s := range sizes {
+			if i > 60 {
+				break
+			}
+			var v value.Value
+			switch s % 4 {
+			case 0:
+				v = value.Int(int64(s))
+			case 1:
+				v = value.Str(strings.Repeat("x", int(s%7)))
+			case 2:
+				v = value.Real(float64(s) / 2)
+			default:
+				v = value.Complex()
+			}
+			n := db.CreateNode(v)
+			p := parents[int(s)%len(parents)]
+			if err := db.AddArc(p, "l"+string(rune('a'+s%5)), n); err != nil {
+				return false
+			}
+			if v.IsComplex() {
+				parents = append(parents, n)
+			}
+		}
+		data, err := Marshal(db)
+		if err != nil {
+			return false
+		}
+		back, err := Unmarshal(data)
+		if err != nil {
+			return false
+		}
+		return db.Equal(back)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,167 @@
+package qss
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/oem"
+	"repro/internal/oemio"
+	"repro/internal/timestamp"
+)
+
+// Client is the QSC side of Figure 7: it connects to a QSS server, manages
+// subscriptions, and receives notifications.
+type Client struct {
+	c   net.Conn
+	enc *json.Encoder
+
+	mu      sync.Mutex
+	pending map[int64]chan *Response
+	nextSeq int64
+	notifCh chan ClientNotification
+	readErr error
+	done    chan struct{}
+}
+
+// ClientNotification is a decoded server push.
+type ClientNotification struct {
+	Subscription string
+	At           timestamp.Time
+	Answer       *oem.Database
+}
+
+// Dial connects to a QSS server.
+func Dial(addr string) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(nc), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(nc net.Conn) *Client {
+	cl := &Client{
+		c:       nc,
+		enc:     json.NewEncoder(nc),
+		pending: make(map[int64]chan *Response),
+		notifCh: make(chan ClientNotification, 64),
+		done:    make(chan struct{}),
+	}
+	go cl.readLoop()
+	return cl
+}
+
+// Notifications returns the channel of pushed notifications. It is closed
+// when the connection ends.
+func (cl *Client) Notifications() <-chan ClientNotification { return cl.notifCh }
+
+// Close terminates the connection.
+func (cl *Client) Close() error { return cl.c.Close() }
+
+func (cl *Client) readLoop() {
+	dec := json.NewDecoder(bufio.NewReader(cl.c))
+	for {
+		var resp Response
+		if err := dec.Decode(&resp); err != nil {
+			cl.mu.Lock()
+			cl.readErr = err
+			for _, ch := range cl.pending {
+				close(ch)
+			}
+			cl.pending = make(map[int64]chan *Response)
+			cl.mu.Unlock()
+			close(cl.notifCh)
+			close(cl.done)
+			return
+		}
+		if resp.Notification != nil {
+			n := resp.Notification
+			at, err := timestamp.Parse(n.At)
+			if err != nil {
+				continue
+			}
+			answer, err := oemio.Unmarshal(n.Answer)
+			if err != nil {
+				continue
+			}
+			select {
+			case cl.notifCh <- ClientNotification{Subscription: n.Subscription, At: at, Answer: answer}:
+			default:
+				// Slow consumer: drop rather than stall the read loop.
+			}
+			continue
+		}
+		cl.mu.Lock()
+		ch := cl.pending[resp.Seq]
+		delete(cl.pending, resp.Seq)
+		cl.mu.Unlock()
+		if ch != nil {
+			ch <- &resp
+		}
+	}
+}
+
+func (cl *Client) call(req *Request) (*Response, error) {
+	cl.mu.Lock()
+	if cl.readErr != nil {
+		err := cl.readErr
+		cl.mu.Unlock()
+		return nil, err
+	}
+	cl.nextSeq++
+	seq := cl.nextSeq
+	ch := make(chan *Response, 1)
+	cl.pending[seq] = ch
+	// Encode while holding the lock: the server numbers responses by
+	// arrival order, so our sequence assignment must match the wire order.
+	err := cl.enc.Encode(req)
+	cl.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	resp, ok := <-ch
+	if !ok {
+		return nil, errors.New("qss: connection closed")
+	}
+	if resp.Error != "" {
+		return nil, fmt.Errorf("qss: server: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+// Subscribe creates a subscription on the server. source names a
+// server-side source; freq may be empty for manual polling.
+func (cl *Client) Subscribe(name, source, sourceName, polling, filter, freq string) error {
+	_, err := cl.call(&Request{
+		Op: "subscribe", Name: name, Source: source, SourceName: sourceName,
+		Polling: polling, Filter: filter, Freq: freq,
+	})
+	return err
+}
+
+// Unsubscribe removes a subscription.
+func (cl *Client) Unsubscribe(name string) error {
+	_, err := cl.call(&Request{Op: "unsubscribe", Name: name})
+	return err
+}
+
+// List returns subscription names.
+func (cl *Client) List() ([]string, error) {
+	resp, err := cl.call(&Request{Op: "list"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Names, nil
+}
+
+// Poll triggers a manual poll at the given time ("" = server clock now) —
+// the paper's explicit-request mode.
+func (cl *Client) Poll(name, at string) error {
+	_, err := cl.call(&Request{Op: "poll", Name: name, Time: at})
+	return err
+}

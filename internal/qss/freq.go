@@ -1,0 +1,184 @@
+package qss
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/timestamp"
+)
+
+// Freq is a frequency specification (paper Section 6): it induces the
+// sequence of polling times t1, t2, ... for a subscription.
+type Freq interface {
+	// Next returns the first polling time strictly after t.
+	Next(t timestamp.Time) timestamp.Time
+	// String renders the specification in its textual form.
+	String() string
+}
+
+// Every polls at a fixed interval ("every 10 minutes").
+type Every struct{ Interval time.Duration }
+
+// Next implements Freq.
+func (e Every) Next(t timestamp.Time) timestamp.Time { return t.Add(e.Interval) }
+
+func (e Every) String() string { return "every " + e.Interval.String() }
+
+// Daily polls once a day at a fixed local (UTC) time ("every night at
+// 11:30pm").
+type Daily struct {
+	Hour, Minute int
+}
+
+// Next implements Freq.
+func (d Daily) Next(t timestamp.Time) timestamp.Time {
+	g := t.Go()
+	cand := time.Date(g.Year(), g.Month(), g.Day(), d.Hour, d.Minute, 0, 0, time.UTC)
+	if !cand.After(g) {
+		cand = cand.AddDate(0, 0, 1)
+	}
+	return timestamp.FromTime(cand)
+}
+
+func (d Daily) String() string { return fmt.Sprintf("every day at %02d:%02d", d.Hour, d.Minute) }
+
+// Weekly polls once a week on a fixed weekday and time ("every Friday at
+// 5:00pm").
+type Weekly struct {
+	Day          time.Weekday
+	Hour, Minute int
+}
+
+// Next implements Freq.
+func (w Weekly) Next(t timestamp.Time) timestamp.Time {
+	g := t.Go()
+	cand := time.Date(g.Year(), g.Month(), g.Day(), w.Hour, w.Minute, 0, 0, time.UTC)
+	delta := (int(w.Day) - int(cand.Weekday()) + 7) % 7
+	cand = cand.AddDate(0, 0, delta)
+	if !cand.After(g) {
+		cand = cand.AddDate(0, 0, 7)
+	}
+	return timestamp.FromTime(cand)
+}
+
+func (w Weekly) String() string {
+	return fmt.Sprintf("every %s at %02d:%02d", w.Day, w.Hour, w.Minute)
+}
+
+// ParseFreq parses textual frequency specifications:
+//
+//	every 10 minutes | every 2 hours | every 30 seconds
+//	every day at 11:30pm | every night at 11:30pm | every morning at 9am
+//	every Friday at 5:00pm
+func ParseFreq(s string) (Freq, error) {
+	fields := strings.Fields(strings.ToLower(strings.TrimSpace(s)))
+	if len(fields) < 2 || fields[0] != "every" {
+		return nil, fmt.Errorf("qss: unrecognized frequency %q (must start with 'every')", s)
+	}
+	rest := fields[1:]
+
+	// "every N <unit>"
+	if n, err := strconv.Atoi(rest[0]); err == nil {
+		if len(rest) != 2 || n <= 0 {
+			return nil, fmt.Errorf("qss: bad interval in %q", s)
+		}
+		unit, err := parseUnit(rest[1])
+		if err != nil {
+			return nil, fmt.Errorf("qss: %v in %q", err, s)
+		}
+		return Every{Interval: time.Duration(n) * unit}, nil
+	}
+
+	// "every <day-word> at <time>"
+	if len(rest) == 3 && rest[1] == "at" {
+		h, m, err := parseClock(rest[2])
+		if err != nil {
+			return nil, fmt.Errorf("qss: %v in %q", err, s)
+		}
+		switch rest[0] {
+		case "day", "night", "morning", "evening":
+			return Daily{Hour: h, Minute: m}, nil
+		}
+		if wd, ok := weekdays[rest[0]]; ok {
+			return Weekly{Day: wd, Hour: h, Minute: m}, nil
+		}
+		return nil, fmt.Errorf("qss: unknown day %q in %q", rest[0], s)
+	}
+
+	// "every minute/hour/day/week"
+	if len(rest) == 1 {
+		switch rest[0] {
+		case "minute":
+			return Every{Interval: time.Minute}, nil
+		case "hour":
+			return Every{Interval: time.Hour}, nil
+		case "day", "night":
+			return Daily{}, nil
+		case "week":
+			return Weekly{}, nil
+		}
+	}
+	return nil, fmt.Errorf("qss: unrecognized frequency %q", s)
+}
+
+var weekdays = map[string]time.Weekday{
+	"sunday": time.Sunday, "monday": time.Monday, "tuesday": time.Tuesday,
+	"wednesday": time.Wednesday, "thursday": time.Thursday,
+	"friday": time.Friday, "saturday": time.Saturday,
+}
+
+func parseUnit(u string) (time.Duration, error) {
+	switch strings.TrimSuffix(u, "s") {
+	case "second", "sec":
+		return time.Second, nil
+	case "minute", "min":
+		return time.Minute, nil
+	case "hour", "hr":
+		return time.Hour, nil
+	case "day":
+		return 24 * time.Hour, nil
+	case "week":
+		return 7 * 24 * time.Hour, nil
+	}
+	return 0, fmt.Errorf("unknown unit %q", u)
+}
+
+// parseClock parses "5pm", "5:00pm", "11:30pm", "09:15", "23:59".
+func parseClock(s string) (hour, minute int, err error) {
+	ampm := ""
+	switch {
+	case strings.HasSuffix(s, "am"):
+		ampm = "am"
+		s = strings.TrimSuffix(s, "am")
+	case strings.HasSuffix(s, "pm"):
+		ampm = "pm"
+		s = strings.TrimSuffix(s, "pm")
+	}
+	parts := strings.SplitN(s, ":", 2)
+	hour, err = strconv.Atoi(parts[0])
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad hour %q", s)
+	}
+	if len(parts) == 2 {
+		minute, err = strconv.Atoi(parts[1])
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad minute %q", s)
+		}
+	}
+	switch ampm {
+	case "pm":
+		if hour < 12 {
+			hour += 12
+		}
+	case "am":
+		if hour == 12 {
+			hour = 0
+		}
+	}
+	if hour < 0 || hour > 23 || minute < 0 || minute > 59 {
+		return 0, 0, fmt.Errorf("clock time %q out of range", s)
+	}
+	return hour, minute, nil
+}

@@ -1,0 +1,112 @@
+package qss
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/guidegen"
+	"repro/internal/oem"
+	"repro/internal/timestamp"
+)
+
+// TestLongRunEvolvingSource drives many polling cycles over a synthetic
+// evolving guide and cross-checks QSS's accumulated history against ground
+// truth from the source at every step.
+func TestLongRunEvolvingSource(t *testing.T) {
+	ev := guidegen.NewEvolver(3, 60)
+	src := wrapperMutable(ev)
+	svc := NewService(nil)
+
+	err := svc.Subscribe(Subscription{
+		Name:       "Guide",
+		SourceName: "guide",
+		Source:     src,
+		Polling:    `select guide.restaurant`,
+		Filter:     `select Guide.restaurant<cre at T> where T > t[-1]`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	at := timestamp.MustParse("1Jan97")
+	totalNotified := 0
+	for cycle := 0; cycle < 30; cycle++ {
+		// Evolve the source between polls.
+		if cycle > 0 {
+			if err := src.Mutate(func(*oem.Database) error {
+				ev.Step(6)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		n, err := svc.Poll("Guide", at)
+		if err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+		if n != nil {
+			totalNotified += n.Result.Len()
+		}
+		// Invariant: QSS's current snapshot is isomorphic to the packaged
+		// ground truth (same restaurants with same content).
+		d, _, err := svc.History("Guide")
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth, err := src.Poll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var roots []oem.NodeID
+		for _, a := range truth.Out(truth.Root()) {
+			if a.Label == "restaurant" {
+				roots = append(roots, a.Child)
+			}
+		}
+		want, _ := truth.CopySubgraph(roots, "restaurant", nil)
+		if !oem.Isomorphic(d.Current(), want) {
+			t.Fatalf("cycle %d: QSS snapshot diverged from source ground truth", cycle)
+		}
+		at = at.Add(24 * time.Hour)
+	}
+	if totalNotified < 5 {
+		t.Errorf("only %d creations notified over 30 cycles; evolution too quiet?", totalNotified)
+	}
+	// The whole accumulated history is feasible.
+	d, times, err := svc.History("Guide")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 30 {
+		t.Errorf("poll times = %d", len(times))
+	}
+	if !d.Feasible() {
+		t.Error("long-run DOEM history infeasible")
+	}
+	// And truncation midway keeps it consistent.
+	if err := svc.Truncate("Guide", times[len(times)/2]); err != nil {
+		t.Fatal(err)
+	}
+	d, _, _ = svc.History("Guide")
+	if !d.Feasible() {
+		t.Error("truncated long-run history infeasible")
+	}
+}
+
+// wrapperMutable wraps an evolver's database as a mutable source without
+// importing wrapper in this file's callers repeatedly.
+func wrapperMutable(ev *guidegen.Evolver) *mutableSource {
+	return &mutableSource{db: ev.DB}
+}
+
+// mutableSource is a minimal in-package mutable source (mirrors
+// wrapper.Mutable; defined here to keep the integration test focused).
+type mutableSource struct {
+	db *oem.Database
+}
+
+func (m *mutableSource) Poll() (*oem.Database, error) { return m.db.Clone(), nil }
+func (m *mutableSource) StableIDs() bool              { return true }
+func (m *mutableSource) Mutate(fn func(*oem.Database) error) error {
+	return fn(m.db)
+}

@@ -1,0 +1,362 @@
+// Package qss implements the paper's Query Subscription Service
+// (Section 6, Figures 6-7): standing queries over changes in autonomous,
+// semistructured information sources.
+//
+// For each subscription, QSS periodically sends a *polling query* (Lorel)
+// to the source's wrapper, packages the result as an OEM database,
+// infers the changes from the previous result with oemdiff (the paper's
+// OEMdiff module), folds them into a DOEM database, and evaluates the
+// *filter query* (Chorel, with the polling-time variables t[0], t[-1], ...)
+// over it. Non-empty filter results are delivered as notifications.
+package qss
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/change"
+	"repro/internal/doem"
+	"repro/internal/lorel"
+	"repro/internal/oem"
+	"repro/internal/oemdiff"
+	"repro/internal/timestamp"
+	"repro/internal/wrapper"
+)
+
+// Subscription describes one standing query (paper: S = <f, Ql, Qc>).
+type Subscription struct {
+	// Name identifies the subscription; the filter query addresses the
+	// accumulated DOEM database by this name ("LyttonRestaurants").
+	Name string
+	// SourceName is the database name the polling query addresses
+	// ("guide"). Defaults to "source".
+	SourceName string
+	// Source is the wrapper to poll.
+	Source wrapper.Source
+	// Polling is the Lorel polling query Ql.
+	Polling string
+	// Filter is the Chorel filter query Qc; it may use t[0], t[-1], ...
+	Filter string
+	// Freq schedules the polling times. Optional when polls are driven
+	// manually (the paper's explicit-request mode).
+	Freq Freq
+}
+
+// Notification is one filter-query delivery.
+type Notification struct {
+	Subscription string
+	At           timestamp.Time
+	// Result is the filter query result.
+	Result *lorel.Result
+	// Answer is the result materialized as a self-contained OEM database
+	// (what travels to a remote client).
+	Answer *oem.Database
+}
+
+// Service is the QSS server core: the Subscription Manager, Query Manager,
+// OEMdiff module, DOEM Manager and Chorel engine of Figure 7, without the
+// network layer (see Server).
+type Service struct {
+	mu     sync.Mutex
+	subs   map[string]*subState
+	notify func(Notification)
+}
+
+type subState struct {
+	// mu serializes polls and state swaps for this subscription.
+	mu  sync.Mutex
+	sub Subscription
+	d   *doem.Database
+	// remap maps source node ids to packaged ids (stable-id sources).
+	remap map[oem.NodeID]oem.NodeID
+	// nextID allocates packaged ids monotonically, never reusing ids of
+	// objects deleted from the DOEM database.
+	nextID    oem.NodeID
+	pollTimes []timestamp.Time
+}
+
+// Errors.
+var (
+	ErrDuplicate = errors.New("qss: subscription already exists")
+	ErrNoSuchSub = errors.New("qss: no such subscription")
+	ErrStalePoll = errors.New("qss: polling time not after previous poll")
+)
+
+// NewService returns a service delivering notifications through fn
+// (which must be safe for concurrent use).
+func NewService(fn func(Notification)) *Service {
+	if fn == nil {
+		fn = func(Notification) {}
+	}
+	return &Service{subs: make(map[string]*subState), notify: fn}
+}
+
+// Subscribe registers a subscription. The polling and filter queries are
+// parsed eagerly so errors surface at subscription time.
+func (s *Service) Subscribe(sub Subscription) error {
+	if sub.Name == "" {
+		return errors.New("qss: subscription needs a name")
+	}
+	if sub.SourceName == "" {
+		sub.SourceName = "source"
+	}
+	if sub.Source == nil {
+		return errors.New("qss: subscription needs a source")
+	}
+	if _, err := lorel.Parse(sub.Polling); err != nil {
+		return fmt.Errorf("qss: polling query: %w", err)
+	}
+	if _, err := lorel.Parse(sub.Filter); err != nil {
+		return fmt.Errorf("qss: filter query: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.subs[sub.Name]; dup {
+		return fmt.Errorf("%w: %q", ErrDuplicate, sub.Name)
+	}
+	st := &subState{
+		sub: sub,
+		// R0 is the empty OEM database (paper Section 6).
+		d:      doem.New(oem.New()),
+		remap:  make(map[oem.NodeID]oem.NodeID),
+		nextID: 1, // the packaged root; alloc pre-increments past it
+	}
+	s.subs[sub.Name] = st
+	return nil
+}
+
+// Unsubscribe removes a subscription.
+func (s *Service) Unsubscribe(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.subs[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchSub, name)
+	}
+	delete(s.subs, name)
+	return nil
+}
+
+// List returns the subscription names, sorted.
+func (s *Service) List() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var names []string
+	for n := range s.subs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// History returns the accumulated DOEM database and polling times of a
+// subscription (for inspection and the examples).
+func (s *Service) History(name string) (*doem.Database, []timestamp.Time, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.subs[name]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %q", ErrNoSuchSub, name)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.d, append([]timestamp.Time(nil), st.pollTimes...), nil
+}
+
+// Truncate collapses a subscription's history up to and including t into
+// its base snapshot — the paper's Section 6.1 space-conservation strategy
+// ("trading accuracy for space"). Filter queries can no longer distinguish
+// changes at or before t. Polling times at or before t are dropped too, so
+// t[-i] references keep their alignment with surviving history.
+func (s *Service) Truncate(name string, t timestamp.Time) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.subs[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchSub, name)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	td, err := st.d.Truncate(t)
+	if err != nil {
+		return fmt.Errorf("qss: truncate: %w", err)
+	}
+	st.d = td
+	var kept []timestamp.Time
+	for _, pt := range st.pollTimes {
+		if pt.After(t) {
+			kept = append(kept, pt)
+		}
+	}
+	st.pollTimes = kept
+	st.pruneRemap()
+	return nil
+}
+
+// Poll performs one polling cycle for the named subscription at time t:
+// poll the source, evaluate the polling query, diff against the previous
+// result, extend the DOEM history, evaluate the filter, and deliver a
+// notification if the filter result is non-empty. It returns the
+// notification (nil when empty) — Figure 6's dataflow.
+func (s *Service) Poll(name string, t timestamp.Time) (*Notification, error) {
+	s.mu.Lock()
+	st, ok := s.subs[name]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchSub, name)
+	}
+	s.mu.Unlock()
+	// Polls of one subscription are serialized; different subscriptions
+	// poll concurrently.
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.pollTimes) > 0 && !t.After(st.pollTimes[len(st.pollTimes)-1]) {
+		return nil, fmt.Errorf("%w: %s", ErrStalePoll, t)
+	}
+
+	// 1. Query Manager: polling query over the source snapshot.
+	snap, err := st.sub.Source.Poll()
+	if err != nil {
+		return nil, fmt.Errorf("qss: polling source: %w", err)
+	}
+	eng := lorel.NewEngine()
+	eng.Register(st.sub.SourceName, lorel.NewOEMGraph(snap))
+	res, err := eng.Query(st.sub.Polling)
+	if err != nil {
+		return nil, fmt.Errorf("qss: polling query: %w", err)
+	}
+
+	// 2. Package the result as an OEM database R_i (recursively including
+	// all subobjects, paper Section 6).
+	pkg := st.packageResult(snap, res)
+
+	// 3. OEMdiff: infer U_i with U_i(R_{i-1}) = R_i.
+	prev := st.d.Current()
+	var ops change.Set
+	if st.sub.Source.StableIDs() {
+		ops, err = oemdiff.DiffIdentity(prev, pkg)
+	} else {
+		next := st.d.MaxID()
+		if m := maxID(pkg); m > next {
+			next = m
+		}
+		ops, err = oemdiff.Diff(prev, pkg, &oemdiff.Options{
+			AllocID: func() oem.NodeID { next++; return next },
+		})
+	}
+	if err != nil {
+		return nil, fmt.Errorf("qss: differencing: %w", err)
+	}
+
+	// 4. DOEM Manager: extend the history.
+	if len(ops) > 0 {
+		if err := st.d.Apply(t, ops); err != nil {
+			return nil, fmt.Errorf("qss: applying changes: %w", err)
+		}
+		st.pruneRemap()
+	}
+	st.pollTimes = append(st.pollTimes, t)
+
+	// 5. Chorel engine: evaluate the filter with t[i] bound.
+	feng := lorel.NewEngine()
+	feng.Register(st.sub.Name, st.d)
+	feng.SetPollTimes(st.pollTimes)
+	fres, err := feng.Query(st.sub.Filter)
+	if err != nil {
+		return nil, fmt.Errorf("qss: filter query: %w", err)
+	}
+	if fres.Len() == 0 {
+		return nil, nil
+	}
+	n := &Notification{
+		Subscription: name,
+		At:           t,
+		Result:       fres,
+		Answer:       fres.Answer(),
+	}
+	s.notify(*n)
+	return n, nil
+}
+
+// packageResult copies the subobject closure of the polling-query result
+// into a fresh database. Source node ids map to stable packaged ids; ids
+// whose objects were deleted from the DOEM database are never reused.
+func (st *subState) packageResult(snap *oem.Database, res *lorel.Result) *oem.Database {
+	out := oem.New()
+	alloc := func() oem.NodeID {
+		st.nextID++
+		return st.nextID
+	}
+	remap := st.remap
+	if !st.sub.Source.StableIDs() {
+		// Source ids are meaningless across polls; use a per-poll map so
+		// the persistent remap does not grow without bound.
+		remap = make(map[oem.NodeID]oem.NodeID)
+	}
+	copied := make(map[oem.NodeID]bool)
+	var copyNode func(src oem.NodeID) oem.NodeID
+	copyNode = func(src oem.NodeID) oem.NodeID {
+		id, ok := remap[src]
+		if !ok {
+			id = alloc()
+			remap[src] = id
+		}
+		if copied[src] {
+			return id
+		}
+		copied[src] = true
+		if !out.Has(id) {
+			if err := out.CreateNodeWithID(id, snap.MustValue(src)); err != nil {
+				panic(fmt.Sprintf("qss: packaging: %v", err))
+			}
+		}
+		for _, a := range snap.Out(src) {
+			c := copyNode(a.Child)
+			if err := out.AddArc(id, a.Label, c); err != nil {
+				panic(fmt.Sprintf("qss: packaging: %v", err))
+			}
+		}
+		return id
+	}
+	for _, row := range res.Rows {
+		for _, cell := range row.Cells {
+			if !cell.IsNode() {
+				continue
+			}
+			label := cell.Label
+			if label == "" {
+				label = "result"
+			}
+			id := copyNode(cell.Node())
+			if !out.HasArc(out.Root(), label, id) {
+				if err := out.AddArc(out.Root(), label, id); err != nil {
+					panic(fmt.Sprintf("qss: packaging: %v", err))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// pruneRemap drops remap entries whose packaged object has been deleted
+// from the DOEM database, so a reappearing source object is treated as a
+// fresh creation (ids are never reused, paper Section 2.2).
+func (st *subState) pruneRemap() {
+	cur := st.d.Current()
+	for src, id := range st.remap {
+		if !cur.Has(id) {
+			delete(st.remap, src)
+		}
+	}
+}
+
+func maxID(db *oem.Database) oem.NodeID {
+	var m oem.NodeID
+	for _, id := range db.Nodes() {
+		if id > m {
+			m = id
+		}
+	}
+	return m
+}

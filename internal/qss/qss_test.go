@@ -1,0 +1,446 @@
+package qss
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/guidegen"
+	"repro/internal/oem"
+	"repro/internal/timestamp"
+	"repro/internal/value"
+	"repro/internal/wrapper"
+)
+
+// paperSource builds the mutable Guide source of Example 6.1, plus the ids
+// for mutating it.
+func paperSource(t testing.TB) (*wrapper.Mutable, *guidegen.PaperIDs) {
+	t.Helper()
+	db, ids := guidegen.PaperGuide()
+	return wrapper.NewMutable(db), ids
+}
+
+// TestPaperExample61 replays the paper's QSS timeline exactly:
+//
+//	t1 = 30Dec96: both restaurants are new -> notified of both
+//	t2 = 31Dec96: no change              -> no notification
+//	t3 = 1Jan97:  Hakata added           -> notified of Hakata only
+func TestPaperExample61(t *testing.T) {
+	src, ids := paperSource(t)
+	var delivered []Notification
+	svc := NewService(func(n Notification) { delivered = append(delivered, n) })
+
+	err := svc.Subscribe(Subscription{
+		Name:       "Restaurants",
+		SourceName: "guide",
+		Source:     src,
+		Polling:    `select guide.restaurant`,
+		Filter:     `select Restaurants.restaurant<cre at T> where T > t[-1]`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// t1: initial poll. R0 = empty, so both restaurants carry cre(t1) and
+	// t[-1] = -inf: both are reported.
+	n1, err := svc.Poll("Restaurants", timestamp.MustParse("30Dec96"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 == nil {
+		t.Fatal("t1: expected a notification")
+	}
+	if got := n1.Result.Len(); got != 2 {
+		t.Fatalf("t1: %d results, want 2 (both initial restaurants)\n%s", got, n1.Result)
+	}
+
+	// t2: nothing changed; cre annotations now predate t[-1] = t1.
+	n2, err := svc.Poll("Restaurants", timestamp.MustParse("31Dec96"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 != nil {
+		t.Fatalf("t2: unexpected notification:\n%s", n2.Result)
+	}
+
+	// Before t3: Hakata is added to the source (Example 2.2's change).
+	err = src.Mutate(func(db *oem.Database) error {
+		r := db.CreateNode(value.Complex())
+		nm := db.CreateNode(value.Str("Hakata"))
+		if err := db.AddArc(ids.Guide, "restaurant", r); err != nil {
+			return err
+		}
+		return db.AddArc(r, "name", nm)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// t3: exactly the new restaurant is reported.
+	n3, err := svc.Poll("Restaurants", timestamp.MustParse("1Jan97"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n3 == nil {
+		t.Fatal("t3: expected a notification")
+	}
+	if got := n3.Result.Len(); got != 1 {
+		t.Fatalf("t3: %d results, want 1 (Hakata)\n%s", got, n3.Result)
+	}
+	// The notification's materialized answer contains the Hakata name.
+	ans := n3.Answer
+	rests := ans.OutLabeled(ans.Root(), "restaurant")
+	if len(rests) != 1 {
+		t.Fatalf("answer restaurants = %d", len(rests))
+	}
+	names := ans.OutLabeled(rests[0].Child, "name")
+	if len(names) != 1 || !ans.MustValue(names[0].Child).Equal(value.Str("Hakata")) {
+		t.Error("answer does not carry the Hakata name subobject")
+	}
+
+	// Delivery callback saw the two notifications.
+	if len(delivered) != 2 {
+		t.Errorf("delivered = %d notifications, want 2", len(delivered))
+	}
+
+	// The accumulated history has steps at t1 and t3 only (t2 was a no-op).
+	d, times, err := svc.History("Restaurants")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 3 {
+		t.Errorf("poll times = %d, want 3", len(times))
+	}
+	if got := len(d.Steps()); got != 2 {
+		t.Errorf("history steps = %d, want 2", got)
+	}
+	if !d.Feasible() {
+		t.Error("accumulated DOEM database infeasible")
+	}
+}
+
+// TestLyttonSubscription runs the paper's Section 6 polling/filter pair
+// (restaurants with Lytton in their address).
+func TestLyttonSubscription(t *testing.T) {
+	src, ids := paperSource(t)
+	svc := NewService(nil)
+	err := svc.Subscribe(Subscription{
+		Name:       "LyttonRestaurants",
+		SourceName: "guide",
+		Source:     src,
+		Polling:    `select guide.restaurant where guide.restaurant.address.# like "%Lytton%"`,
+		Filter:     `select LyttonRestaurants.restaurant<cre at T> where T > t[-1]`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1, err := svc.Poll("LyttonRestaurants", timestamp.MustParse("30Dec96"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both paper restaurants have Lytton addresses.
+	if n1 == nil || n1.Result.Len() != 2 {
+		t.Fatalf("t1 notification = %v", n1)
+	}
+	// Add a restaurant NOT on Lytton: no notification.
+	err = src.Mutate(func(db *oem.Database) error {
+		r := db.CreateNode(value.Complex())
+		ad := db.CreateNode(value.Str("500 University"))
+		if err := db.AddArc(ids.Guide, "restaurant", r); err != nil {
+			return err
+		}
+		return db.AddArc(r, "address", ad)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := svc.Poll("LyttonRestaurants", timestamp.MustParse("31Dec96"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 != nil {
+		t.Fatalf("non-Lytton restaurant triggered notification:\n%s", n2.Result)
+	}
+	// Add one ON Lytton: notified.
+	err = src.Mutate(func(db *oem.Database) error {
+		r := db.CreateNode(value.Complex())
+		ad := db.CreateNode(value.Str("230 Lytton"))
+		if err := db.AddArc(ids.Guide, "restaurant", r); err != nil {
+			return err
+		}
+		return db.AddArc(r, "address", ad)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n3, err := svc.Poll("LyttonRestaurants", timestamp.MustParse("1Jan97"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n3 == nil || n3.Result.Len() != 1 {
+		t.Fatalf("t3 notification = %v", n3)
+	}
+}
+
+// TestValueChangeSurfacesAsUpdate: a price change in the source becomes an
+// upd annotation queryable through the filter.
+func TestValueChangeSurfacesAsUpdate(t *testing.T) {
+	src, ids := paperSource(t)
+	svc := NewService(nil)
+	err := svc.Subscribe(Subscription{
+		Name:       "Prices",
+		SourceName: "guide",
+		Source:     src,
+		Polling:    `select guide.restaurant`,
+		Filter: `select N, NV from Prices.restaurant R, R.name N, R.price<upd at T to NV>
+			where T > t[-1]`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Poll("Prices", timestamp.MustParse("30Dec96")); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Mutate(func(db *oem.Database) error {
+		return db.UpdateNode(ids.Price, value.Int(20))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	n, err := svc.Poll("Prices", timestamp.MustParse("31Dec96"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == nil || n.Result.Len() != 1 {
+		t.Fatalf("price-update notification = %v", n)
+	}
+	names := n.Result.Values("name")
+	nvs := n.Result.Values("new-value")
+	if len(names) != 1 || !names[0].Equal(value.Str("Bangkok Cuisine")) {
+		t.Errorf("names = %v", names)
+	}
+	if len(nvs) != 1 || !nvs[0].Equal(value.Int(20)) {
+		t.Errorf("new values = %v", nvs)
+	}
+}
+
+// TestUnstableSourceUsesMatchingDiff: the same timeline with id-unstable
+// snapshots still produces correct creation notifications.
+func TestUnstableSourceUsesMatchingDiff(t *testing.T) {
+	inner, ids := paperSource(t)
+	src := wrapper.Unstable{Inner: inner}
+	svc := NewService(nil)
+	err := svc.Subscribe(Subscription{
+		Name:       "Restaurants",
+		SourceName: "guide",
+		Source:     src,
+		Polling:    `select guide.restaurant`,
+		Filter:     `select Restaurants.restaurant<cre at T> where T > t[-1]`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1, err := svc.Poll("Restaurants", timestamp.MustParse("30Dec96"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 == nil || n1.Result.Len() != 2 {
+		t.Fatalf("t1 = %v", n1)
+	}
+	// Unchanged source: the matching differ must find nothing new.
+	n2, err := svc.Poll("Restaurants", timestamp.MustParse("31Dec96"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 != nil {
+		t.Fatalf("matching diff hallucinated changes:\n%s", n2.Result)
+	}
+	// Adding a distinctive restaurant is detected as a creation.
+	err = inner.Mutate(func(db *oem.Database) error {
+		r := db.CreateNode(value.Complex())
+		nm := db.CreateNode(value.Str("Hakata"))
+		if err := db.AddArc(ids.Guide, "restaurant", r); err != nil {
+			return err
+		}
+		return db.AddArc(r, "name", nm)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n3, err := svc.Poll("Restaurants", timestamp.MustParse("1Jan97"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n3 == nil || n3.Result.Len() != 1 {
+		t.Fatalf("t3 = %v", n3)
+	}
+}
+
+// TestDisappearReappear: an object that leaves the result and returns gets
+// a fresh identity (ids are never reused).
+func TestDisappearReappear(t *testing.T) {
+	src, ids := paperSource(t)
+	svc := NewService(nil)
+	err := svc.Subscribe(Subscription{
+		Name:       "R",
+		SourceName: "guide",
+		Source:     src,
+		Polling:    `select guide.restaurant`,
+		Filter:     `select R.restaurant<cre at T> where T > t[-1]`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Poll("R", timestamp.MustParse("1Jan97")); err != nil {
+		t.Fatal(err)
+	}
+	// Remove Janta from the source.
+	var jantaArc oem.Arc
+	if err := src.Mutate(func(db *oem.Database) error {
+		for _, a := range db.OutLabeled(ids.Guide, "restaurant") {
+			if a.Child == ids.Janta {
+				jantaArc = a
+			}
+		}
+		return db.RemoveArc(jantaArc.Parent, jantaArc.Label, jantaArc.Child)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Poll("R", timestamp.MustParse("2Jan97")); err != nil {
+		t.Fatal(err)
+	}
+	// Bring Janta back: QSS must treat it as a new object.
+	if err := src.Mutate(func(db *oem.Database) error {
+		return db.AddArc(jantaArc.Parent, jantaArc.Label, jantaArc.Child)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	n, err := svc.Poll("R", timestamp.MustParse("3Jan97"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == nil || n.Result.Len() != 1 {
+		t.Fatalf("reappearance = %v, want 1 creation", n)
+	}
+	d, _, _ := svc.History("R")
+	if !d.Feasible() {
+		t.Error("history with reappearance infeasible")
+	}
+}
+
+func TestSubscribeValidation(t *testing.T) {
+	src, _ := paperSource(t)
+	svc := NewService(nil)
+	base := Subscription{Name: "x", Source: src, Polling: "select a.b", Filter: "select c.d"}
+
+	bad := base
+	bad.Name = ""
+	if err := svc.Subscribe(bad); err == nil {
+		t.Error("empty name accepted")
+	}
+	bad = base
+	bad.Source = nil
+	if err := svc.Subscribe(bad); err == nil {
+		t.Error("nil source accepted")
+	}
+	bad = base
+	bad.Polling = "not a query"
+	if err := svc.Subscribe(bad); err == nil {
+		t.Error("bad polling query accepted")
+	}
+	bad = base
+	bad.Filter = "select"
+	if err := svc.Subscribe(bad); err == nil {
+		t.Error("bad filter query accepted")
+	}
+	if err := svc.Subscribe(base); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Subscribe(base); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("duplicate: %v", err)
+	}
+	if err := svc.Unsubscribe("x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Unsubscribe("x"); !errors.Is(err, ErrNoSuchSub) {
+		t.Errorf("double unsubscribe: %v", err)
+	}
+}
+
+func TestPollGuards(t *testing.T) {
+	src, _ := paperSource(t)
+	svc := NewService(nil)
+	if _, err := svc.Poll("nope", timestamp.MustParse("1Jan97")); !errors.Is(err, ErrNoSuchSub) {
+		t.Errorf("poll missing sub: %v", err)
+	}
+	err := svc.Subscribe(Subscription{
+		Name: "g", SourceName: "guide", Source: src,
+		Polling: `select guide.restaurant`, Filter: `select g.restaurant`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Poll("g", timestamp.MustParse("2Jan97")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Poll("g", timestamp.MustParse("2Jan97")); !errors.Is(err, ErrStalePoll) {
+		t.Errorf("stale poll: %v", err)
+	}
+	if _, err := svc.Poll("g", timestamp.MustParse("1Jan97")); !errors.Is(err, ErrStalePoll) {
+		t.Errorf("backwards poll: %v", err)
+	}
+}
+
+// TestPollingQueryChangeDetection exercises the multi-step scenario where
+// the *result of the polling query* changes because an attribute changed,
+// not membership: the Lytton filter sees a restaurant whose address moves
+// onto Lytton.
+func TestAddressMoveEntersResult(t *testing.T) {
+	src, ids := paperSource(t)
+	svc := NewService(nil)
+	err := svc.Subscribe(Subscription{
+		Name:       "Lytton",
+		SourceName: "guide",
+		Source:     src,
+		Polling:    `select guide.restaurant where guide.restaurant.address.# like "%Lytton%"`,
+		Filter:     `select Lytton.restaurant<cre at T> where T > t[-1]`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Poll("Lytton", timestamp.MustParse("1Jan97")); err != nil {
+		t.Fatal(err)
+	}
+	// Janta's address changes away from Lytton: it leaves the result.
+	if err := src.Mutate(func(db *oem.Database) error {
+		return db.UpdateNode(ids.JantaAddr, value.Str("500 University"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	n, err := svc.Poll("Lytton", timestamp.MustParse("2Jan97"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != nil {
+		t.Fatalf("departure triggered creation notification: %v", n.Result)
+	}
+	// And it moves back: it re-enters as a new object.
+	if err := src.Mutate(func(db *oem.Database) error {
+		return db.UpdateNode(ids.JantaAddr, value.Str("120 Lytton"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	n, err = svc.Poll("Lytton", timestamp.MustParse("3Jan97"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == nil || n.Result.Len() != 1 {
+		t.Fatalf("re-entry = %v, want 1", n)
+	}
+}
+
+// Tiny sanity check that History on an unknown name errors.
+func TestHistoryMissing(t *testing.T) {
+	svc := NewService(nil)
+	if _, _, err := svc.History("ghost"); !errors.Is(err, ErrNoSuchSub) {
+		t.Errorf("History: %v", err)
+	}
+}

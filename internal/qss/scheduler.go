@@ -1,0 +1,133 @@
+package qss
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/timestamp"
+)
+
+// Clock abstracts time so schedulers can run against the real clock or a
+// simulated one in tests and examples.
+type Clock interface {
+	// Now returns the current instant.
+	Now() timestamp.Time
+	// Sleep blocks until the given instant (or an implementation-defined
+	// wakeup, for simulated clocks).
+	SleepUntil(t timestamp.Time)
+}
+
+// RealClock is the wall clock.
+type RealClock struct{}
+
+// Now implements Clock.
+func (RealClock) Now() timestamp.Time { return timestamp.FromTime(time.Now()) }
+
+// SleepUntil implements Clock.
+func (RealClock) SleepUntil(t timestamp.Time) {
+	d := t.Sub(timestamp.FromTime(time.Now()))
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// SimClock is a manually advanced clock for deterministic runs.
+type SimClock struct {
+	mu  sync.Mutex
+	now timestamp.Time
+}
+
+// NewSimClock starts a simulated clock at the given instant.
+func NewSimClock(start timestamp.Time) *SimClock { return &SimClock{now: start} }
+
+// Now implements Clock.
+func (c *SimClock) Now() timestamp.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// SleepUntil implements Clock: simulated time jumps forward immediately.
+func (c *SimClock) SleepUntil(t timestamp.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t.After(c.now) {
+		c.now = t
+	}
+}
+
+// Scheduler drives a subscription's polls at its frequency specification's
+// times until Stop is called.
+type Scheduler struct {
+	svc   *Service
+	clock Clock
+
+	mu      sync.Mutex
+	stopped map[string]chan struct{}
+	wg      sync.WaitGroup
+	onError func(sub string, err error)
+}
+
+// NewScheduler builds a scheduler over svc. onError (optional) observes
+// polling failures; polling continues afterwards.
+func NewScheduler(svc *Service, clock Clock, onError func(sub string, err error)) *Scheduler {
+	if onError == nil {
+		onError = func(string, error) {}
+	}
+	return &Scheduler{svc: svc, clock: clock, stopped: make(map[string]chan struct{}), onError: onError}
+}
+
+// Start begins polling the named subscription per its frequency spec.
+func (sch *Scheduler) Start(name string, freq Freq) {
+	stop := make(chan struct{})
+	sch.mu.Lock()
+	if old, ok := sch.stopped[name]; ok {
+		close(old)
+	}
+	sch.stopped[name] = stop
+	sch.mu.Unlock()
+
+	sch.wg.Add(1)
+	go func() {
+		defer sch.wg.Done()
+		next := freq.Next(sch.clock.Now())
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sch.clock.SleepUntil(next)
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := sch.svc.Poll(name, next); err != nil {
+				sch.onError(name, err)
+			}
+			next = freq.Next(next)
+		}
+	}()
+}
+
+// Stop ends polling for the named subscription.
+func (sch *Scheduler) Stop(name string) {
+	sch.mu.Lock()
+	if ch, ok := sch.stopped[name]; ok {
+		close(ch)
+		delete(sch.stopped, name)
+	}
+	sch.mu.Unlock()
+}
+
+// StopAll ends every poller and waits for them to exit.
+func (sch *Scheduler) StopAll() {
+	sch.mu.Lock()
+	for name, ch := range sch.stopped {
+		close(ch)
+		delete(sch.stopped, name)
+	}
+	sch.mu.Unlock()
+	sch.wg.Wait()
+}

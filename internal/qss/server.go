@@ -1,0 +1,230 @@
+package qss
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/oemio"
+	"repro/internal/timestamp"
+	"repro/internal/wrapper"
+)
+
+// The QSS wire protocol (Figure 7's QSS/QSC split) is JSON-lines over TCP:
+// the client sends request objects, the server replies with one response
+// per request and pushes notification objects asynchronously.
+
+// Request is a client -> server message.
+type Request struct {
+	Op         string `json:"op"` // subscribe | unsubscribe | list | poll
+	Name       string `json:"name,omitempty"`
+	Source     string `json:"source,omitempty"` // server-side source name
+	SourceName string `json:"source_name,omitempty"`
+	Polling    string `json:"polling,omitempty"`
+	Filter     string `json:"filter,omitempty"`
+	Freq       string `json:"freq,omitempty"`
+	Time       string `json:"time,omitempty"` // manual poll time
+}
+
+// Response is a server -> client message. Exactly one of the payload
+// fields is set, per the request op; Notification is used for asynchronous
+// pushes (Seq 0).
+type Response struct {
+	Seq          int64             `json:"seq"`
+	OK           bool              `json:"ok"`
+	Error        string            `json:"error,omitempty"`
+	Names        []string          `json:"names,omitempty"`
+	Notification *WireNotification `json:"notification,omitempty"`
+}
+
+// WireNotification is a notification serialized for the wire.
+type WireNotification struct {
+	Subscription string          `json:"subscription"`
+	At           string          `json:"at"`
+	Answer       json.RawMessage `json:"answer"`
+}
+
+// Server hosts a Service over TCP. Sources are registered server-side by
+// name; clients reference them in subscribe requests.
+type Server struct {
+	svc     *Service
+	sched   *Scheduler
+	clock   Clock
+	sources map[string]wrapper.Source
+
+	mu     sync.Mutex
+	owners map[string]*conn // subscription -> owning connection
+	ln     net.Listener
+	wg     sync.WaitGroup
+}
+
+type conn struct {
+	c   net.Conn
+	enc *json.Encoder
+	mu  sync.Mutex
+}
+
+func (c *conn) send(r *Response) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.enc.Encode(r)
+}
+
+// NewServer builds a QSS server over the given sources, polling with clock.
+func NewServer(sources map[string]wrapper.Source, clock Clock) *Server {
+	s := &Server{
+		clock:   clock,
+		sources: sources,
+		owners:  make(map[string]*conn),
+	}
+	s.svc = NewService(s.deliver)
+	s.sched = NewScheduler(s.svc, clock, nil)
+	return s
+}
+
+// Service exposes the underlying service (for in-process use and tests).
+func (s *Server) Service() *Service { return s.svc }
+
+// deliver pushes a notification to the owning connection, if any.
+func (s *Server) deliver(n Notification) {
+	s.mu.Lock()
+	owner := s.owners[n.Subscription]
+	s.mu.Unlock()
+	if owner == nil {
+		return
+	}
+	answer, err := oemio.Marshal(n.Answer)
+	if err != nil {
+		return
+	}
+	_ = owner.send(&Response{OK: true, Notification: &WireNotification{
+		Subscription: n.Subscription,
+		At:           n.At.String(),
+		Answer:       answer,
+	}})
+}
+
+// Serve accepts connections on ln until Close.
+func (s *Server) Serve(ln net.Listener) {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(nc)
+		}()
+	}
+}
+
+// Close stops the listener and all pollers.
+func (s *Server) Close() {
+	s.mu.Lock()
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.sched.StopAll()
+	s.wg.Wait()
+}
+
+func (s *Server) handle(nc net.Conn) {
+	defer nc.Close()
+	cn := &conn{c: nc, enc: json.NewEncoder(nc)}
+	dec := json.NewDecoder(bufio.NewReader(nc))
+	var owned []string
+	defer func() {
+		// Drop this connection's subscriptions (the client is gone).
+		for _, name := range owned {
+			s.sched.Stop(name)
+			_ = s.svc.Unsubscribe(name)
+			s.mu.Lock()
+			delete(s.owners, name)
+			s.mu.Unlock()
+		}
+	}()
+	var seq int64
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		seq++
+		resp := s.dispatch(cn, &req, &owned)
+		resp.Seq = seq
+		if err := cn.send(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(cn *conn, req *Request, owned *[]string) *Response {
+	fail := func(err error) *Response { return &Response{Error: err.Error()} }
+	switch req.Op {
+	case "subscribe":
+		src, ok := s.sources[req.Source]
+		if !ok {
+			return fail(fmt.Errorf("qss: unknown source %q", req.Source))
+		}
+		sub := Subscription{
+			Name:       req.Name,
+			SourceName: req.SourceName,
+			Source:     src,
+			Polling:    req.Polling,
+			Filter:     req.Filter,
+		}
+		if req.Freq != "" {
+			f, err := ParseFreq(req.Freq)
+			if err != nil {
+				return fail(err)
+			}
+			sub.Freq = f
+		}
+		if err := s.svc.Subscribe(sub); err != nil {
+			return fail(err)
+		}
+		s.mu.Lock()
+		s.owners[req.Name] = cn
+		s.mu.Unlock()
+		*owned = append(*owned, req.Name)
+		if sub.Freq != nil {
+			s.sched.Start(req.Name, sub.Freq)
+		}
+		return &Response{OK: true}
+	case "unsubscribe":
+		s.sched.Stop(req.Name)
+		if err := s.svc.Unsubscribe(req.Name); err != nil {
+			return fail(err)
+		}
+		s.mu.Lock()
+		delete(s.owners, req.Name)
+		s.mu.Unlock()
+		return &Response{OK: true}
+	case "list":
+		return &Response{OK: true, Names: s.svc.List()}
+	case "poll":
+		t := s.clock.Now()
+		if req.Time != "" {
+			var err error
+			t, err = timestamp.Parse(req.Time)
+			if err != nil {
+				return fail(err)
+			}
+		}
+		if _, err := s.svc.Poll(req.Name, t); err != nil {
+			return fail(err)
+		}
+		return &Response{OK: true}
+	default:
+		return fail(errors.New("qss: unknown op"))
+	}
+}

@@ -1,0 +1,270 @@
+package qss
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/oem"
+	"repro/internal/timestamp"
+	"repro/internal/value"
+	"repro/internal/wrapper"
+)
+
+// startServer launches a server on a random port and returns its address
+// and a cleanup function.
+func startServer(t *testing.T, sources map[string]wrapper.Source) (string, *Server) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(sources, NewSimClock(timestamp.MustParse("1Jan97")))
+	go srv.Serve(ln)
+	t.Cleanup(srv.Close)
+	return ln.Addr().String(), srv
+}
+
+func TestClientServerEndToEnd(t *testing.T) {
+	src, ids := paperSource(t)
+	addr, _ := startServer(t, map[string]wrapper.Source{"guide": src})
+
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	err = cl.Subscribe("Restaurants", "guide", "guide",
+		`select guide.restaurant`,
+		`select Restaurants.restaurant<cre at T> where T > t[-1]`,
+		"") // manual polling
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	names, err := cl.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "Restaurants" {
+		t.Fatalf("List = %v", names)
+	}
+
+	// Manual poll (explicit-request mode): initial snapshot notifies.
+	if err := cl.Poll("Restaurants", "30Dec96"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-cl.Notifications():
+		if n.Subscription != "Restaurants" {
+			t.Errorf("notification for %q", n.Subscription)
+		}
+		if got := len(n.Answer.OutLabeled(n.Answer.Root(), "restaurant")); got != 2 {
+			t.Errorf("notified restaurants = %d, want 2", got)
+		}
+		if !n.At.Equal(timestamp.MustParse("30Dec96")) {
+			t.Errorf("notification time = %s", n.At)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no notification within 5s")
+	}
+
+	// Unchanged poll: no notification expected; verify via a follow-up
+	// change that we receive exactly one more.
+	if err := cl.Poll("Restaurants", "31Dec96"); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Mutate(func(db *oem.Database) error {
+		r := db.CreateNode(value.Complex())
+		nm := db.CreateNode(value.Str("Hakata"))
+		if err := db.AddArc(ids.Guide, "restaurant", r); err != nil {
+			return err
+		}
+		return db.AddArc(r, "name", nm)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Poll("Restaurants", "1Jan97"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-cl.Notifications():
+		if !n.At.Equal(timestamp.MustParse("1Jan97")) {
+			t.Errorf("second notification at %s, want 1Jan97 (none expected for 31Dec96)", n.At)
+		}
+		if got := len(n.Answer.OutLabeled(n.Answer.Root(), "restaurant")); got != 1 {
+			t.Errorf("second notification restaurants = %d, want 1", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no second notification within 5s")
+	}
+
+	// Unsubscribe and verify.
+	if err := cl.Unsubscribe("Restaurants"); err != nil {
+		t.Fatal(err)
+	}
+	names, err = cl.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 0 {
+		t.Errorf("List after unsubscribe = %v", names)
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	src, _ := paperSource(t)
+	addr, _ := startServer(t, map[string]wrapper.Source{"guide": src})
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if err := cl.Subscribe("x", "nosuchsource", "guide", "select a.b", "select c.d", ""); err == nil {
+		t.Error("unknown source accepted")
+	}
+	if err := cl.Poll("ghost", "1Jan97"); err == nil {
+		t.Error("poll of unknown subscription accepted")
+	}
+	if err := cl.Unsubscribe("ghost"); err == nil {
+		t.Error("unsubscribe of unknown subscription accepted")
+	}
+	if err := cl.Subscribe("y", "guide", "guide", "select guide.restaurant", "select y.restaurant", "every nonsense"); err == nil {
+		t.Error("bad frequency accepted")
+	}
+}
+
+func TestConnectionCleanupRemovesSubscriptions(t *testing.T) {
+	src, _ := paperSource(t)
+	addr, srv := startServer(t, map[string]wrapper.Source{"guide": src})
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Subscribe("gone", "guide", "guide",
+		"select guide.restaurant", "select gone.restaurant", ""); err != nil {
+		t.Fatal(err)
+	}
+	cl.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(srv.Service().List()) == 0 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("subscriptions survived disconnect: %v", srv.Service().List())
+}
+
+func TestSchedulerWithSimClock(t *testing.T) {
+	src, _ := paperSource(t)
+	var mu = make(chan Notification, 16)
+	svc := NewService(func(n Notification) { mu <- n })
+	if err := svc.Subscribe(Subscription{
+		Name: "R", SourceName: "guide", Source: src,
+		Polling: `select guide.restaurant`,
+		Filter:  `select R.restaurant<cre at T> where T > t[-1]`,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	clock := NewSimClock(timestamp.MustParse("30Dec96"))
+	sch := NewScheduler(svc, clock, func(sub string, err error) { t.Errorf("poll error: %v", err) })
+	sch.Start("R", Every{Interval: 24 * time.Hour})
+	// The first simulated poll fires essentially immediately.
+	select {
+	case n := <-mu:
+		if n.Result.Len() != 2 {
+			t.Errorf("scheduled poll results = %d", n.Result.Len())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("scheduler did not poll")
+	}
+	sch.StopAll()
+}
+
+func TestParseFreqSpecs(t *testing.T) {
+	cases := map[string]string{
+		"every 10 minutes":       "every 10m0s",
+		"every 2 hours":          "every 2h0m0s",
+		"every 30 seconds":       "every 30s",
+		"every minute":           "every 1m0s",
+		"every Friday at 5:00pm": "every Friday at 17:00",
+		"every night at 11:30pm": "every day at 23:30",
+		"every day at 9am":       "every day at 09:00",
+	}
+	for in, want := range cases {
+		f, err := ParseFreq(in)
+		if err != nil {
+			t.Errorf("ParseFreq(%q): %v", in, err)
+			continue
+		}
+		if f.String() != want {
+			t.Errorf("ParseFreq(%q) = %q, want %q", in, f.String(), want)
+		}
+	}
+	for _, bad := range []string{"", "sometimes", "every", "every -1 hours", "every blursday at 5pm", "every day at 25:00"} {
+		if _, err := ParseFreq(bad); err == nil {
+			t.Errorf("ParseFreq(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestFreqNext(t *testing.T) {
+	// Daily 23:30, from 30Dec96 10:00 -> 30Dec96 23:30; from 23:30 -> next day.
+	d := Daily{Hour: 23, Minute: 30}
+	at := timestamp.MustParse("30Dec96 10:00")
+	n1 := d.Next(at)
+	if n1.String() != "30Dec96 23:30" {
+		t.Errorf("Daily.Next = %s", n1)
+	}
+	n2 := d.Next(n1)
+	if n2.String() != "31Dec96 23:30" {
+		t.Errorf("Daily.Next chained = %s", n2)
+	}
+	// Weekly Friday 17:00. 1Jan97 was a Wednesday.
+	w := Weekly{Day: time.Friday, Hour: 17}
+	n3 := w.Next(timestamp.MustParse("1Jan97"))
+	if n3.String() != "3Jan97 17:00" {
+		t.Errorf("Weekly.Next = %s", n3)
+	}
+	n4 := w.Next(n3)
+	if n4.String() != "10Jan97 17:00" {
+		t.Errorf("Weekly.Next chained = %s", n4)
+	}
+	// Every 10 minutes.
+	e := Every{Interval: 10 * time.Minute}
+	n5 := e.Next(timestamp.MustParse("1Jan97"))
+	if n5.String() != "1Jan97 00:10" {
+		t.Errorf("Every.Next = %s", n5)
+	}
+}
+
+func TestServerSurvivesMalformedClient(t *testing.T) {
+	src, _ := paperSource(t)
+	addr, _ := startServer(t, map[string]wrapper.Source{"guide": src})
+	// A client that sends garbage: the server must drop the connection
+	// without affecting other clients.
+	bad, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bad.Write([]byte("this is not json\n")); err != nil {
+		t.Fatal(err)
+	}
+	bad.Close()
+
+	good, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer good.Close()
+	names, err := good.List()
+	if err != nil {
+		t.Fatalf("healthy client broken by peer garbage: %v", err)
+	}
+	if len(names) != 0 {
+		t.Errorf("names = %v", names)
+	}
+}

@@ -1,0 +1,87 @@
+package qss
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/oem"
+	"repro/internal/timestamp"
+	"repro/internal/value"
+)
+
+func TestServiceTruncate(t *testing.T) {
+	src, ids := paperSource(t)
+	svc := NewService(nil)
+	err := svc.Subscribe(Subscription{
+		Name: "R", SourceName: "guide", Source: src,
+		Polling: `select guide.restaurant`,
+		Filter:  `select R.restaurant<cre at T> where T > t[-1]`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPoll := func(day string) {
+		t.Helper()
+		if _, err := svc.Poll("R", timestamp.MustParse(day)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustPoll("1Jan97")
+	if err := src.Mutate(func(db *oem.Database) error {
+		r := db.CreateNode(value.Complex())
+		nm := db.CreateNode(value.Str("Hakata"))
+		if err := db.AddArc(ids.Guide, "restaurant", r); err != nil {
+			return err
+		}
+		return db.AddArc(r, "name", nm)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mustPoll("2Jan97")
+
+	d, times, err := svc.History("R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	beforeAnnots := d.NumAnnotations()
+	if len(times) != 2 {
+		t.Fatalf("times = %v", times)
+	}
+
+	// Truncate through the first poll: its creations collapse away.
+	if err := svc.Truncate("R", timestamp.MustParse("1Jan97")); err != nil {
+		t.Fatal(err)
+	}
+	d, times, err = svc.History("R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumAnnotations() >= beforeAnnots {
+		t.Errorf("annotations = %d, want fewer than %d", d.NumAnnotations(), beforeAnnots)
+	}
+	if len(times) != 1 || !times[0].Equal(timestamp.MustParse("2Jan97")) {
+		t.Errorf("times after truncate = %v", times)
+	}
+	if !d.Feasible() {
+		t.Error("truncated subscription history infeasible")
+	}
+
+	// Polling continues to work after truncation.
+	if err := src.Mutate(func(db *oem.Database) error {
+		r := db.CreateNode(value.Complex())
+		return db.AddArc(ids.Guide, "restaurant", r)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	n, err := svc.Poll("R", timestamp.MustParse("3Jan97"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == nil || n.Result.Len() != 1 {
+		t.Fatalf("post-truncate poll = %v", n)
+	}
+
+	if err := svc.Truncate("ghost", timestamp.MustParse("1Jan97")); !errors.Is(err, ErrNoSuchSub) {
+		t.Errorf("truncate missing sub: %v", err)
+	}
+}

@@ -1,0 +1,196 @@
+// Package timestamp implements the discrete, totally ordered time domain
+// used by OEM histories and DOEM annotations (paper Section 2.2).
+//
+// A Time is either a finite instant (with second resolution, which is ample
+// for a change-history domain) or one of the two infinities. Negative
+// infinity is the value of the QSS variable t[-i] before the i-th poll has
+// happened (paper Section 6); positive infinity is a convenient "end of
+// time" for range scans.
+//
+// In keeping with Lorel's extensive use of coercion, Parse accepts any of a
+// number of textual forms, including the paper's "1Jan97" style.
+package timestamp
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Time is an instant in the history time domain.
+// The zero value is the finite instant at Unix second 0.
+type Time struct {
+	sec int64
+	inf int8 // -1: -infinity, +1: +infinity, 0: finite
+}
+
+// NegInf and PosInf are the two infinite instants.
+var (
+	NegInf = Time{inf: -1}
+	PosInf = Time{inf: +1}
+)
+
+// FromUnix returns the finite instant at the given Unix second.
+func FromUnix(sec int64) Time { return Time{sec: sec} }
+
+// FromTime converts a stdlib time.Time (truncated to seconds).
+func FromTime(t time.Time) Time { return Time{sec: t.Unix()} }
+
+// Unix returns the Unix second of a finite instant.
+// It panics on an infinite instant.
+func (t Time) Unix() int64 {
+	if t.inf != 0 {
+		panic("timestamp: Unix called on infinite Time")
+	}
+	return t.sec
+}
+
+// IsFinite reports whether t is neither +inf nor -inf.
+func (t Time) IsFinite() bool { return t.inf == 0 }
+
+// Compare returns -1, 0 or +1 as t is before, equal to, or after u.
+func (t Time) Compare(u Time) int {
+	switch {
+	case t.inf != u.inf:
+		if t.inf < u.inf {
+			return -1
+		}
+		return 1
+	case t.inf != 0: // both the same infinity
+		return 0
+	case t.sec < u.sec:
+		return -1
+	case t.sec > u.sec:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Before reports whether t < u.
+func (t Time) Before(u Time) bool { return t.Compare(u) < 0 }
+
+// After reports whether t > u.
+func (t Time) After(u Time) bool { return t.Compare(u) > 0 }
+
+// Equal reports whether t == u.
+func (t Time) Equal(u Time) bool { return t.Compare(u) == 0 }
+
+// Add returns t shifted by d (truncated to seconds).
+// Shifting an infinite instant returns it unchanged.
+func (t Time) Add(d time.Duration) Time {
+	if t.inf != 0 {
+		return t
+	}
+	return Time{sec: t.sec + int64(d/time.Second)}
+}
+
+// Sub returns the duration t-u for two finite instants.
+func (t Time) Sub(u Time) time.Duration {
+	if t.inf != 0 || u.inf != 0 {
+		panic("timestamp: Sub on infinite Time")
+	}
+	return time.Duration(t.sec-u.sec) * time.Second
+}
+
+// Go returns the stdlib time.Time of a finite instant, in UTC.
+func (t Time) Go() time.Time {
+	if t.inf != 0 {
+		panic("timestamp: Go called on infinite Time")
+	}
+	return time.Unix(t.sec, 0).UTC()
+}
+
+// String renders t in the paper's compact style ("1Jan97") when the instant
+// is at midnight UTC, and in a fuller form otherwise.
+func (t Time) String() string {
+	switch t.inf {
+	case -1:
+		return "-inf"
+	case +1:
+		return "+inf"
+	}
+	g := t.Go()
+	if g.Hour() == 0 && g.Minute() == 0 && g.Second() == 0 {
+		return g.Format("2Jan06")
+	}
+	if g.Second() == 0 {
+		return g.Format("2Jan06 15:04")
+	}
+	return g.Format("2Jan06 15:04:05")
+}
+
+// layouts lists the accepted textual forms, most specific first.
+var layouts = []string{
+	"2Jan06 15:04:05",
+	"2Jan06 15:04",
+	"2Jan06 3:04pm",
+	"2Jan06 3:04PM",
+	"2Jan06",
+	"2Jan2006 15:04:05",
+	"2Jan2006 15:04",
+	"2Jan2006 3:04pm",
+	"2Jan2006",
+	"2 Jan 2006 15:04:05",
+	"2 Jan 2006",
+	time.RFC3339,
+	"2006-01-02T15:04:05",
+	"2006-01-02 15:04:05",
+	"2006-01-02 15:04",
+	"2006-01-02",
+	"01/02/2006",
+	"Jan 2, 2006",
+}
+
+// ErrParse reports an unrecognized textual timestamp.
+var ErrParse = errors.New("timestamp: unrecognized time format")
+
+// Parse converts a textual timestamp in any recognized format.
+// Recognized forms include the paper's "1Jan97" and "4Jan97", RFC 3339,
+// "2006-01-02 15:04:05", "1Jan97 11:30pm", "-inf"/"+inf", and a bare
+// integer Unix second.
+func Parse(s string) (Time, error) {
+	s = strings.TrimSpace(s)
+	switch strings.ToLower(s) {
+	case "-inf", "-infinity":
+		return NegInf, nil
+	case "+inf", "inf", "+infinity", "infinity":
+		return PosInf, nil
+	}
+	for _, layout := range layouts {
+		if g, err := time.ParseInLocation(layout, s, time.UTC); err == nil {
+			return FromTime(g), nil
+		}
+	}
+	if sec, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return FromUnix(sec), nil
+	}
+	return Time{}, fmt.Errorf("%w: %q", ErrParse, s)
+}
+
+// MustParse is Parse that panics on error; for tests and literals.
+func MustParse(s string) Time {
+	t, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Min returns the earlier of t and u.
+func Min(t, u Time) Time {
+	if t.Compare(u) <= 0 {
+		return t
+	}
+	return u
+}
+
+// Max returns the later of t and u.
+func Max(t, u Time) Time {
+	if t.Compare(u) >= 0 {
+		return t
+	}
+	return u
+}

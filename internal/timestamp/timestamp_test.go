@@ -1,0 +1,180 @@
+package timestamp
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestParsePaperStyle(t *testing.T) {
+	tests := []struct {
+		in   string
+		want string // canonical String()
+	}{
+		{"1Jan97", "1Jan97"},
+		{"4Jan97", "4Jan97"},
+		{"8Jan97", "8Jan97"},
+		{"30Dec96", "30Dec96"},
+		{"1Jan97 11:30pm", "1Jan97 23:30"},
+		{"1997-01-01", "1Jan97"},
+		{"1997-01-05 10:30:00", "5Jan97 10:30"},
+		{"Jan 5, 1997", "5Jan97"},
+		{"-inf", "-inf"},
+		{"+inf", "+inf"},
+		{"inf", "+inf"},
+	}
+	for _, tt := range tests {
+		got, err := Parse(tt.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tt.in, err)
+			continue
+		}
+		if got.String() != tt.want {
+			t.Errorf("Parse(%q).String() = %q, want %q", tt.in, got.String(), tt.want)
+		}
+	}
+}
+
+func TestParseTwoDigitYear(t *testing.T) {
+	// POSIX-style pivot: 69..99 -> 19xx, 00..68 -> 20xx.
+	got := MustParse("1Jan97")
+	if y := got.Go().Year(); y != 1997 {
+		t.Errorf("1Jan97 parsed to year %d, want 1997", y)
+	}
+	got = MustParse("1Jan05")
+	if y := got.Go().Year(); y != 2005 {
+		t.Errorf("1Jan05 parsed to year %d, want 2005", y)
+	}
+}
+
+func TestParseUnixSecond(t *testing.T) {
+	got, err := Parse("852076800")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Unix() != 852076800 {
+		t.Errorf("Unix = %d, want 852076800", got.Unix())
+	}
+}
+
+func TestParseError(t *testing.T) {
+	if _, err := Parse("not a time"); err == nil {
+		t.Error("Parse of garbage succeeded, want error")
+	}
+	if _, err := Parse(""); err == nil {
+		t.Error("Parse of empty string succeeded, want error")
+	}
+}
+
+func TestOrdering(t *testing.T) {
+	t1 := MustParse("1Jan97")
+	t2 := MustParse("5Jan97")
+	t3 := MustParse("8Jan97")
+	if !t1.Before(t2) || !t2.Before(t3) {
+		t.Error("paper timestamps not in order")
+	}
+	if !NegInf.Before(t1) || !t3.Before(PosInf) {
+		t.Error("infinities not ordered around finite instants")
+	}
+	if !NegInf.Before(PosInf) {
+		t.Error("-inf not before +inf")
+	}
+	if NegInf.Compare(NegInf) != 0 || PosInf.Compare(PosInf) != 0 {
+		t.Error("infinity not equal to itself")
+	}
+	if !t2.After(t1) || !t2.Equal(t2) {
+		t.Error("After/Equal inconsistent")
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	t1 := MustParse("1Jan97")
+	t2 := t1.Add(4 * 24 * time.Hour)
+	if t2.String() != "5Jan97" {
+		t.Errorf("1Jan97 + 4d = %s, want 5Jan97", t2)
+	}
+	if d := t2.Sub(t1); d != 4*24*time.Hour {
+		t.Errorf("Sub = %v, want 96h", d)
+	}
+	if !NegInf.Add(time.Hour).Equal(NegInf) {
+		t.Error("adding to -inf should stay -inf")
+	}
+}
+
+func TestInfinitePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"Unix": func() { NegInf.Unix() },
+		"Go":   func() { PosInf.Go() },
+		"Sub":  func() { PosInf.Sub(NegInf) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on infinite Time did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	a, b := MustParse("1Jan97"), MustParse("5Jan97")
+	if !Min(a, b).Equal(a) || !Max(a, b).Equal(b) {
+		t.Error("Min/Max wrong")
+	}
+	if !Min(NegInf, a).Equal(NegInf) || !Max(a, PosInf).Equal(PosInf) {
+		t.Error("Min/Max with infinities wrong")
+	}
+}
+
+func TestCompareIsTotalOrder(t *testing.T) {
+	// Property: Compare is antisymmetric and transitive over arbitrary instants.
+	mk := func(sec int64, infSel uint8) Time {
+		switch infSel % 5 {
+		case 0:
+			return NegInf
+		case 1:
+			return PosInf
+		default:
+			return FromUnix(sec % 1e6)
+		}
+	}
+	anti := func(s1 int64, i1 uint8, s2 int64, i2 uint8) bool {
+		a, b := mk(s1, i1), mk(s2, i2)
+		return a.Compare(b) == -b.Compare(a)
+	}
+	if err := quick.Check(anti, nil); err != nil {
+		t.Error(err)
+	}
+	trans := func(s1 int64, i1 uint8, s2 int64, i2 uint8, s3 int64, i3 uint8) bool {
+		a, b, c := mk(s1, i1), mk(s2, i2), mk(s3, i3)
+		if a.Compare(b) <= 0 && b.Compare(c) <= 0 {
+			return a.Compare(c) <= 0
+		}
+		return true
+	}
+	if err := quick.Check(trans, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	// Property: String() of a second-resolution instant reparses to the same instant.
+	rt := func(sec uint32) bool {
+		// Stay within the two-digit-year pivot window (1969..2068) that the
+		// compact "2Jan06" rendering can represent unambiguously.
+		orig := FromUnix(int64(sec) % 3_000_000_000)
+		back, err := Parse(orig.String())
+		return err == nil && back.Equal(orig)
+	}
+	if err := quick.Check(rt, nil); err != nil {
+		t.Error(err)
+	}
+	for _, inf := range []Time{NegInf, PosInf} {
+		back, err := Parse(inf.String())
+		if err != nil || !back.Equal(inf) {
+			t.Errorf("round trip of %s failed", inf)
+		}
+	}
+}

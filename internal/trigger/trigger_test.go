@@ -1,0 +1,239 @@
+package trigger
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/change"
+	"repro/internal/doem"
+	"repro/internal/guidegen"
+	"repro/internal/oem"
+	"repro/internal/timestamp"
+	"repro/internal/value"
+)
+
+func newManager(t *testing.T) (*Manager, *guidegen.PaperIDs) {
+	t.Helper()
+	db, ids := guidegen.PaperGuide()
+	return NewManager("guide", doem.New(db)), ids
+}
+
+func TestPriceUpdateTrigger(t *testing.T) {
+	m, ids := newManager(t)
+	var fired []Firing
+	err := m.Add(Trigger{
+		Name: "price-watch",
+		Query: `select N, NV from guide.restaurant R, R.name N, R.price<upd at T to NV>
+			where T > t[-1] and NV > 15`,
+		Action: func(f Firing) error { fired = append(fired, f); return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An unrelated change does not fire.
+	if err := m.Apply(timestamp.MustParse("1Jan97"), change.Set{
+		change.CreNode{Node: 500, Value: value.Str("note")},
+		change.AddArc{Parent: ids.Bangkok, Label: "comment", Child: 500},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 0 {
+		t.Fatalf("unrelated change fired trigger: %v", fired)
+	}
+	// A qualifying price update fires once with the right bindings.
+	if err := m.Apply(timestamp.MustParse("2Jan97"), change.Set{
+		change.UpdNode{Node: ids.Price, Value: value.Int(20)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 1 {
+		t.Fatalf("fired %d times, want 1", len(fired))
+	}
+	f := fired[0]
+	if f.Trigger != "price-watch" || f.Depth != 0 {
+		t.Errorf("firing = %+v", f)
+	}
+	names := f.Result.Values("name")
+	if len(names) != 1 || !names[0].Equal(value.Str("Bangkok Cuisine")) {
+		t.Errorf("names = %v", names)
+	}
+	// A below-threshold update does not fire (condition part).
+	if err := m.Apply(timestamp.MustParse("3Jan97"), change.Set{
+		change.UpdNode{Node: ids.Price, Value: value.Int(12)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 1 {
+		t.Errorf("below-threshold update fired")
+	}
+}
+
+func TestEventScopedToLatestStep(t *testing.T) {
+	// The t[-1] guard means old events do not re-fire on later steps.
+	m, ids := newManager(t)
+	count := 0
+	err := m.Add(Trigger{
+		Name:   "new-restaurants",
+		Query:  `select guide.<add at T>restaurant where T > t[-1]`,
+		Action: func(Firing) error { count++; return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Apply(guidegen.T1, change.Set{
+		change.CreNode{Node: 100, Value: value.Complex()},
+		change.CreNode{Node: 101, Value: value.Str("Hakata")},
+		change.AddArc{Parent: ids.Guide, Label: "restaurant", Child: 100},
+		change.AddArc{Parent: 100, Label: "name", Child: 101},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Fatalf("count = %d after addition", count)
+	}
+	// A later unrelated step must not re-fire on the old addition.
+	if err := m.Apply(guidegen.T2, change.Set{
+		change.UpdNode{Node: ids.Price, Value: value.Int(11)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Errorf("old event re-fired: count = %d", count)
+	}
+}
+
+func TestCascade(t *testing.T) {
+	// A trigger that reacts to new restaurants by stamping them with a
+	// "status: unreviewed" child — applied through Queue, observed by a
+	// second trigger.
+	m, ids := newManager(t)
+	var stamped, observed int
+	nextID := oem.NodeID(1000)
+	err := m.Add(Trigger{
+		Name:  "stamp-new",
+		Query: `select R from guide.<add at T>restaurant R where T > t[-1]`,
+		Action: func(f Firing) error {
+			stamped++
+			for _, id := range f.Result.FirstColumnNodes() {
+				nextID++
+				m.Queue(change.Set{
+					change.CreNode{Node: nextID, Value: value.Str("unreviewed")},
+					change.AddArc{Parent: id, Label: "status", Child: nextID},
+				})
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.Add(Trigger{
+		Name:   "watch-status",
+		Query:  `select guide.restaurant.<add at T>status where T > t[-1]`,
+		Action: func(f Firing) error { observed++; return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Apply(guidegen.T1, change.Set{
+		change.CreNode{Node: 100, Value: value.Complex()},
+		change.AddArc{Parent: ids.Guide, Label: "restaurant", Child: 100},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if stamped != 1 || observed != 1 {
+		t.Errorf("stamped=%d observed=%d, want 1/1", stamped, observed)
+	}
+	// The cascaded change is in the history, at a later instant.
+	d := m.DOEM()
+	if got := len(d.Current().OutLabeled(100, "status")); got != 1 {
+		t.Errorf("status children = %d", got)
+	}
+	if len(d.Steps()) != 2 {
+		t.Errorf("steps = %d, want 2 (original + cascaded)", len(d.Steps()))
+	}
+}
+
+func TestCascadeDepthLimit(t *testing.T) {
+	// A self-perpetuating trigger hits the depth limit instead of looping.
+	m, ids := newManager(t)
+	nextID := oem.NodeID(2000)
+	err := m.Add(Trigger{
+		Name:  "loop",
+		Query: `select guide.restaurant.<add at T>echo where T > t[-1]`,
+		Action: func(f Firing) error {
+			nextID++
+			m.Queue(change.Set{
+				change.CreNode{Node: nextID, Value: value.Str("echo")},
+				change.AddArc{Parent: ids.Bangkok, Label: "echo", Child: nextID},
+			})
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.MaxCascade = 3
+	seed := change.Set{
+		change.CreNode{Node: 1999, Value: value.Str("echo")},
+		change.AddArc{Parent: ids.Bangkok, Label: "echo", Child: 1999},
+	}
+	err = m.Apply(guidegen.T1, seed)
+	if !errors.Is(err, ErrCascadeDepth) {
+		t.Errorf("runaway cascade: %v, want ErrCascadeDepth", err)
+	}
+}
+
+func TestActionErrorAborts(t *testing.T) {
+	m, ids := newManager(t)
+	boom := fmt.Errorf("action exploded")
+	err := m.Add(Trigger{
+		Name:   "bad",
+		Query:  `select guide.restaurant.price<upd at T> where T > t[-1]`,
+		Action: func(Firing) error { return boom },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.Apply(guidegen.T1, change.Set{
+		change.UpdNode{Node: ids.Price, Value: value.Int(20)},
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("Apply error = %v, want wrapped action error", err)
+	}
+	// The triggering change itself was applied (actions observe it).
+	if v := m.DOEM().Current().MustValue(ids.Price); !v.Equal(value.Int(20)) {
+		t.Error("triggering change rolled back unexpectedly")
+	}
+}
+
+func TestManagerAdminOps(t *testing.T) {
+	m, _ := newManager(t)
+	tr := Trigger{Name: "x", Query: "select guide.restaurant", Action: func(Firing) error { return nil }}
+	if err := m.Add(tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(tr); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("dup: %v", err)
+	}
+	if got := m.List(); len(got) != 1 || got[0] != "x" {
+		t.Errorf("List = %v", got)
+	}
+	if err := m.Remove("x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Remove("x"); !errors.Is(err, ErrNoSuchTrig) {
+		t.Errorf("remove missing: %v", err)
+	}
+	bad := Trigger{Name: "y", Query: "not a query", Action: func(Firing) error { return nil }}
+	if err := m.Add(bad); err == nil {
+		t.Error("bad query accepted")
+	}
+	if err := m.Add(Trigger{Name: "", Query: "select x.y", Action: func(Firing) error { return nil }}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := m.Add(Trigger{Name: "z", Query: "select x.y"}); err == nil {
+		t.Error("nil action accepted")
+	}
+}

@@ -1,0 +1,375 @@
+// Package value implements the atomic-value ADT of OEM and Lorel's
+// "forgiving" coercion semantics (paper Sections 2, 4.1).
+//
+// An OEM object is either complex (value C) or atomic with a value of type
+// integer, real, string, boolean, or timestamp. Lorel comparisons first try
+// to coerce both operands to a common type; when coercion fails the
+// comparison evaluates to false rather than raising an error — the behaviour
+// Example 4.1 of the paper depends on.
+package value
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/timestamp"
+)
+
+// Kind identifies the type of a Value.
+type Kind uint8
+
+// The value kinds. KindComplex is the paper's reserved value C.
+const (
+	KindComplex Kind = iota
+	KindNull
+	KindBool
+	KindInt
+	KindReal
+	KindString
+	KindTime
+)
+
+// String returns the lowercase kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindComplex:
+		return "complex"
+	case KindNull:
+		return "null"
+	case KindBool:
+		return "bool"
+	case KindInt:
+		return "int"
+	case KindReal:
+		return "real"
+	case KindString:
+		return "string"
+	case KindTime:
+		return "time"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is an immutable OEM value. The zero Value is the complex marker C.
+type Value struct {
+	kind Kind
+	b    bool
+	i    int64
+	r    float64
+	s    string
+	t    timestamp.Time
+}
+
+// Complex returns the reserved complex-object value C.
+func Complex() Value { return Value{kind: KindComplex} }
+
+// Null returns the null atomic value.
+func Null() Value { return Value{kind: KindNull} }
+
+// Bool returns a boolean atomic value.
+func Bool(b bool) Value { return Value{kind: KindBool, b: b} }
+
+// Int returns an integer atomic value.
+func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// Real returns a real atomic value.
+func Real(r float64) Value { return Value{kind: KindReal, r: r} }
+
+// String returns a string atomic value.
+func Str(s string) Value { return Value{kind: KindString, s: s} }
+
+// Time returns a timestamp atomic value.
+func Time(t timestamp.Time) Value { return Value{kind: KindTime, t: t} }
+
+// Kind returns the kind of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsComplex reports whether v is the complex marker C.
+func (v Value) IsComplex() bool { return v.kind == KindComplex }
+
+// IsAtomic reports whether v is an atomic value (anything but C).
+func (v Value) IsAtomic() bool { return v.kind != KindComplex }
+
+// AsBool returns the boolean payload; valid only for KindBool.
+func (v Value) AsBool() bool { return v.b }
+
+// AsInt returns the integer payload; valid only for KindInt.
+func (v Value) AsInt() int64 { return v.i }
+
+// AsReal returns the real payload; valid only for KindReal.
+func (v Value) AsReal() float64 { return v.r }
+
+// AsString returns the string payload; valid only for KindString.
+func (v Value) AsString() string { return v.s }
+
+// AsTime returns the timestamp payload; valid only for KindTime.
+func (v Value) AsTime() timestamp.Time { return v.t }
+
+// String renders v for display: strings are quoted, C is the paper's "C".
+func (v Value) String() string {
+	switch v.kind {
+	case KindComplex:
+		return "C"
+	case KindNull:
+		return "null"
+	case KindBool:
+		return strconv.FormatBool(v.b)
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindReal:
+		return strconv.FormatFloat(v.r, 'g', -1, 64)
+	case KindString:
+		return strconv.Quote(v.s)
+	case KindTime:
+		return v.t.String()
+	default:
+		return "?"
+	}
+}
+
+// Display renders v for end-user output: strings unquoted.
+func (v Value) Display() string {
+	if v.kind == KindString {
+		return v.s
+	}
+	return v.String()
+}
+
+// Equal reports exact (kind-sensitive) equality; use Compare for Lorel's
+// coercing equality.
+func (v Value) Equal(u Value) bool {
+	if v.kind != u.kind {
+		return false
+	}
+	switch v.kind {
+	case KindComplex, KindNull:
+		return true
+	case KindBool:
+		return v.b == u.b
+	case KindInt:
+		return v.i == u.i
+	case KindReal:
+		return v.r == u.r
+	case KindString:
+		return v.s == u.s
+	case KindTime:
+		return v.t.Equal(u.t)
+	}
+	return false
+}
+
+// asReal coerces v to a real number.
+func (v Value) asReal() (float64, bool) {
+	switch v.kind {
+	case KindInt:
+		return float64(v.i), true
+	case KindReal:
+		return v.r, true
+	case KindBool:
+		if v.b {
+			return 1, true
+		}
+		return 0, true
+	case KindString:
+		r, err := strconv.ParseFloat(strings.TrimSpace(v.s), 64)
+		return r, err == nil
+	default:
+		return 0, false
+	}
+}
+
+// asTime coerces v to a timestamp.
+func (v Value) asTime() (timestamp.Time, bool) {
+	switch v.kind {
+	case KindTime:
+		return v.t, true
+	case KindString:
+		t, err := timestamp.Parse(v.s)
+		return t, err == nil
+	case KindInt:
+		return timestamp.FromUnix(v.i), true
+	default:
+		return timestamp.Time{}, false
+	}
+}
+
+// Compare performs Lorel's coercing three-way comparison. It returns the
+// ordering (-1, 0, +1) and whether the operands were comparable at all.
+// Incomparable operands (coercion failure, complex or null operands) return
+// ok=false, which every predicate then treats as false (paper Example 4.1).
+func Compare(a, b Value) (cmp int, ok bool) {
+	if a.kind == KindComplex || b.kind == KindComplex {
+		return 0, false
+	}
+	if a.kind == KindNull || b.kind == KindNull {
+		return 0, false
+	}
+	// Same kind: direct comparison.
+	if a.kind == b.kind {
+		switch a.kind {
+		case KindBool:
+			return boolCmp(a.b, b.b), true
+		case KindInt:
+			return intCmp(a.i, b.i), true
+		case KindReal:
+			return realCmp(a.r, b.r), true
+		case KindString:
+			return strings.Compare(a.s, b.s), true
+		case KindTime:
+			return a.t.Compare(b.t), true
+		}
+	}
+	// Time against anything coercible to time.
+	if a.kind == KindTime || b.kind == KindTime {
+		at, aok := a.asTime()
+		bt, bok := b.asTime()
+		if aok && bok {
+			return at.Compare(bt), true
+		}
+		return 0, false
+	}
+	// Otherwise coerce numerically.
+	ar, aok := a.asReal()
+	br, bok := b.asReal()
+	if aok && bok {
+		return realCmp(ar, br), true
+	}
+	return 0, false
+}
+
+func boolCmp(a, b bool) int {
+	switch {
+	case a == b:
+		return 0
+	case b:
+		return -1
+	default:
+		return 1
+	}
+}
+
+func intCmp(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func realCmp(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Like reports whether v matches the SQL-style pattern (with % matching any
+// substring and _ matching any single byte), used by Lorel's like operator.
+// Non-string values are coerced to their display string first.
+func (v Value) Like(pattern string) bool {
+	if v.kind == KindComplex {
+		return false
+	}
+	return likeMatch(v.Display(), pattern)
+}
+
+// likeMatch matches s against a SQL LIKE pattern iteratively.
+func likeMatch(s, pattern string) bool {
+	// Dynamic programming over pattern/string positions, linear-space.
+	// prev[j] = does pattern[:j] match s[:i-1].
+	m, n := len(s), len(pattern)
+	prev := make([]bool, n+1)
+	cur := make([]bool, n+1)
+	prev[0] = true
+	for j := 1; j <= n; j++ {
+		prev[j] = prev[j-1] && pattern[j-1] == '%'
+	}
+	for i := 1; i <= m; i++ {
+		cur[0] = false
+		for j := 1; j <= n; j++ {
+			switch pattern[j-1] {
+			case '%':
+				cur[j] = cur[j-1] || prev[j]
+			case '_':
+				cur[j] = prev[j-1]
+			default:
+				cur[j] = prev[j-1] && pattern[j-1] == s[i-1]
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev[n]
+}
+
+// Arith applies a coercing arithmetic operator (+, -, *, /) to two values.
+// String concatenation is supported for + on two strings. Failure to coerce
+// returns ok=false.
+func Arith(op string, a, b Value) (Value, bool) {
+	if op == "+" && a.kind == KindString && b.kind == KindString {
+		return Str(a.s + b.s), true
+	}
+	// Integer-preserving arithmetic when both sides are ints.
+	if a.kind == KindInt && b.kind == KindInt {
+		switch op {
+		case "+":
+			return Int(a.i + b.i), true
+		case "-":
+			return Int(a.i - b.i), true
+		case "*":
+			return Int(a.i * b.i), true
+		case "/":
+			if b.i == 0 {
+				return Value{}, false
+			}
+			if a.i%b.i == 0 {
+				return Int(a.i / b.i), true
+			}
+			return Real(float64(a.i) / float64(b.i)), true
+		}
+		return Value{}, false
+	}
+	ar, aok := a.asReal()
+	br, bok := b.asReal()
+	if !aok || !bok {
+		return Value{}, false
+	}
+	switch op {
+	case "+":
+		return Real(ar + br), true
+	case "-":
+		return Real(ar - br), true
+	case "*":
+		return Real(ar * br), true
+	case "/":
+		if br == 0 {
+			return Value{}, false
+		}
+		return Real(ar / br), true
+	}
+	return Value{}, false
+}
+
+// Truthy reports whether v counts as true in a boolean context.
+func (v Value) Truthy() bool {
+	switch v.kind {
+	case KindBool:
+		return v.b
+	case KindInt:
+		return v.i != 0
+	case KindReal:
+		return v.r != 0
+	case KindString:
+		return v.s != ""
+	default:
+		return false
+	}
+}

@@ -1,0 +1,275 @@
+package value
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/timestamp"
+)
+
+func TestKindsAndAccessors(t *testing.T) {
+	if !Complex().IsComplex() || Complex().IsAtomic() {
+		t.Error("Complex misclassified")
+	}
+	if Int(7).AsInt() != 7 || Int(7).Kind() != KindInt {
+		t.Error("Int accessor wrong")
+	}
+	if Real(2.5).AsReal() != 2.5 {
+		t.Error("Real accessor wrong")
+	}
+	if Str("x").AsString() != "x" {
+		t.Error("Str accessor wrong")
+	}
+	if Bool(true).AsBool() != true {
+		t.Error("Bool accessor wrong")
+	}
+	ts := timestamp.MustParse("1Jan97")
+	if !Time(ts).AsTime().Equal(ts) {
+		t.Error("Time accessor wrong")
+	}
+	var zero Value
+	if !zero.IsComplex() {
+		t.Error("zero Value should be complex C")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	tests := []struct {
+		v    Value
+		want string
+	}{
+		{Complex(), "C"},
+		{Null(), "null"},
+		{Int(10), "10"},
+		{Real(20.5), "20.5"},
+		{Str("moderate"), `"moderate"`},
+		{Bool(false), "false"},
+		{Time(timestamp.MustParse("1Jan97")), "1Jan97"},
+	}
+	for _, tt := range tests {
+		if got := tt.v.String(); got != tt.want {
+			t.Errorf("String(%v) = %q, want %q", tt.v.Kind(), got, tt.want)
+		}
+	}
+	if Str("moderate").Display() != "moderate" {
+		t.Error("Display should not quote strings")
+	}
+}
+
+// TestPaperExample41Coercions checks the exact comparisons in paper
+// Example 4.1: price < 20.5 with an int price (coerces, true), a string
+// price "moderate" (coercion fails, false), and a missing price (handled
+// at the query layer).
+func TestPaperExample41Coercions(t *testing.T) {
+	// 10 < 20.5 coerces int->real and succeeds.
+	cmp, ok := Compare(Int(10), Real(20.5))
+	if !ok || cmp != -1 {
+		t.Errorf("Compare(10, 20.5) = %d,%v; want -1,true", cmp, ok)
+	}
+	// "moderate" vs 20.5: coercion fails, comparison is not ok.
+	if _, ok := Compare(Str("moderate"), Real(20.5)); ok {
+		t.Error(`Compare("moderate", 20.5) should fail to coerce`)
+	}
+	// A numeric string does coerce.
+	cmp, ok = Compare(Str("30"), Real(20.5))
+	if !ok || cmp != 1 {
+		t.Errorf(`Compare("30", 20.5) = %d,%v; want 1,true`, cmp, ok)
+	}
+}
+
+func TestCompareSameKind(t *testing.T) {
+	tests := []struct {
+		a, b Value
+		cmp  int
+		ok   bool
+	}{
+		{Int(1), Int(2), -1, true},
+		{Int(2), Int(2), 0, true},
+		{Real(3.5), Real(1.5), 1, true},
+		{Str("a"), Str("b"), -1, true},
+		{Str("b"), Str("b"), 0, true},
+		{Bool(false), Bool(true), -1, true},
+		{Bool(true), Bool(true), 0, true},
+		{Time(timestamp.MustParse("1Jan97")), Time(timestamp.MustParse("5Jan97")), -1, true},
+	}
+	for _, tt := range tests {
+		cmp, ok := Compare(tt.a, tt.b)
+		if cmp != tt.cmp || ok != tt.ok {
+			t.Errorf("Compare(%s, %s) = %d,%v; want %d,%v", tt.a, tt.b, cmp, ok, tt.cmp, tt.ok)
+		}
+	}
+}
+
+func TestCompareTimeCoercion(t *testing.T) {
+	// A string in any recognized format coerces to time (paper Section 4.2:
+	// "any recognizable format is allowed and is converted automatically").
+	cmp, ok := Compare(Str("4Jan97"), Time(timestamp.MustParse("5Jan97")))
+	if !ok || cmp != -1 {
+		t.Errorf(`Compare("4Jan97", 5Jan97) = %d,%v; want -1,true`, cmp, ok)
+	}
+	cmp, ok = Compare(Time(timestamp.MustParse("8Jan97")), Str("1997-01-05"))
+	if !ok || cmp != 1 {
+		t.Errorf("time vs ISO string = %d,%v; want 1,true", cmp, ok)
+	}
+	if _, ok := Compare(Time(timestamp.MustParse("1Jan97")), Str("nonsense")); ok {
+		t.Error("garbage string should not coerce to time")
+	}
+}
+
+func TestCompareIncomparable(t *testing.T) {
+	cases := [][2]Value{
+		{Complex(), Int(1)},
+		{Int(1), Complex()},
+		{Null(), Int(1)},
+		{Str("abc"), Int(1)},
+		{Complex(), Complex()},
+	}
+	for _, c := range cases {
+		if _, ok := Compare(c[0], c[1]); ok {
+			t.Errorf("Compare(%s, %s) should be incomparable", c[0], c[1])
+		}
+	}
+}
+
+func TestEqualExact(t *testing.T) {
+	if Int(1).Equal(Real(1)) {
+		t.Error("exact Equal must be kind-sensitive")
+	}
+	if !Int(1).Equal(Int(1)) || !Str("x").Equal(Str("x")) {
+		t.Error("Equal false negative")
+	}
+	if !Complex().Equal(Complex()) || !Null().Equal(Null()) {
+		t.Error("C/null equality")
+	}
+}
+
+func TestLike(t *testing.T) {
+	tests := []struct {
+		s, pat string
+		want   bool
+	}{
+		{"120 Lytton", "%Lytton%", true},
+		{"440 University Ave", "%Lytton%", false},
+		{"Lytton", "Lytton", true},
+		{"Lytton lot 2", "Lytton%", true},
+		{"abc", "a_c", true},
+		{"abbc", "a_c", false},
+		{"", "%", true},
+		{"", "", true},
+		{"x", "", false},
+		{"anything", "%%", true},
+		{"Thai Garden", "%Thai%", true},
+	}
+	for _, tt := range tests {
+		if got := Str(tt.s).Like(tt.pat); got != tt.want {
+			t.Errorf("Like(%q, %q) = %v, want %v", tt.s, tt.pat, got, tt.want)
+		}
+	}
+	// Non-strings coerce to their display text.
+	if !Int(120).Like("1%") {
+		t.Error("int should match like pattern via display string")
+	}
+	if Complex().Like("%") {
+		t.Error("complex value should never match like")
+	}
+}
+
+func TestArith(t *testing.T) {
+	if v, ok := Arith("+", Int(2), Int(3)); !ok || !v.Equal(Int(5)) {
+		t.Errorf("2+3 = %s,%v", v, ok)
+	}
+	if v, ok := Arith("/", Int(7), Int(2)); !ok || !v.Equal(Real(3.5)) {
+		t.Errorf("7/2 = %s,%v; want 3.5", v, ok)
+	}
+	if v, ok := Arith("/", Int(6), Int(2)); !ok || !v.Equal(Int(3)) {
+		t.Errorf("6/2 = %s,%v; want int 3", v, ok)
+	}
+	if _, ok := Arith("/", Int(1), Int(0)); ok {
+		t.Error("division by zero should fail")
+	}
+	if v, ok := Arith("+", Str("a"), Str("b")); !ok || !v.Equal(Str("ab")) {
+		t.Error("string concat failed")
+	}
+	if v, ok := Arith("*", Str("4"), Real(2.5)); !ok || !v.Equal(Real(10)) {
+		t.Errorf(`"4"*2.5 = %s,%v; want 10`, v, ok)
+	}
+	if _, ok := Arith("+", Complex(), Int(1)); ok {
+		t.Error("arith on complex should fail")
+	}
+}
+
+func TestTruthy(t *testing.T) {
+	for _, v := range []Value{Bool(true), Int(1), Real(0.5), Str("x")} {
+		if !v.Truthy() {
+			t.Errorf("%s should be truthy", v)
+		}
+	}
+	for _, v := range []Value{Bool(false), Int(0), Real(0), Str(""), Null(), Complex()} {
+		if v.Truthy() {
+			t.Errorf("%s should be falsy", v)
+		}
+	}
+}
+
+// Property: Compare is symmetric-consistent (Compare(a,b) = -Compare(b,a)
+// whenever comparable, and comparability itself is symmetric).
+func TestCompareSymmetry(t *testing.T) {
+	gen := func(sel uint8, i int64, r float64, s string) Value {
+		switch sel % 6 {
+		case 0:
+			return Int(i % 1000)
+		case 1:
+			return Real(r)
+		case 2:
+			return Str(s)
+		case 3:
+			return Bool(i%2 == 0)
+		case 4:
+			return Null()
+		default:
+			return Time(timestamp.FromUnix(i % 1e9))
+		}
+	}
+	prop := func(sel1 uint8, i1 int64, r1 float64, s1 string, sel2 uint8, i2 int64, r2 float64, s2 string) bool {
+		a := gen(sel1, i1, r1, s1)
+		b := gen(sel2, i2, r2, s2)
+		c1, ok1 := Compare(a, b)
+		c2, ok2 := Compare(b, a)
+		if ok1 != ok2 {
+			return false
+		}
+		if !ok1 {
+			return true
+		}
+		return c1 == -c2
+	}
+	cfg := &quick.Config{MaxCount: 500}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: likeMatch with a pattern that is the string itself always matches,
+// unless the string contains pattern metacharacters.
+func TestLikeSelfMatch(t *testing.T) {
+	prop := func(s string) bool {
+		if strings.ContainsAny(s, "%_") {
+			return true
+		}
+		return Str(s).Like(s)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: "%" matches everything; "" matches only "".
+func TestLikeUniversal(t *testing.T) {
+	prop := func(s string) bool {
+		return Str(s).Like("%") && (Str(s).Like("") == (s == ""))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
