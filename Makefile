@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench harness examples fuzz clean
+.PHONY: all build test race vet cover bench harness examples fuzz clean
 
 all: build test
 
@@ -15,6 +15,9 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
 
 cover:
 	$(GO) test -cover ./...
@@ -43,6 +46,7 @@ fuzz:
 	$(GO) test -fuzz='^FuzzMarkup$$' -fuzztime=30s -run xxx ./internal/htmldiff/
 	$(GO) test -fuzz='^FuzzParse$$' -fuzztime=30s -run xxx ./internal/timestamp/
 	$(GO) test -fuzz='^FuzzRead$$' -fuzztime=30s -run xxx ./internal/oemio/
+	$(GO) test -fuzz='^FuzzWALRecordDecode$$' -fuzztime=30s -run xxx ./internal/wal/
 
 clean:
 	rm -f test_output.txt bench_output.txt htmldiff-output.html

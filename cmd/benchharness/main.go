@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -28,6 +29,7 @@ import (
 	"repro/internal/timestamp"
 	"repro/internal/trigger"
 	"repro/internal/value"
+	"repro/internal/wal"
 	"repro/internal/wrapper"
 )
 
@@ -51,6 +53,7 @@ func main() {
 	b7()
 	b8()
 	b9()
+	b10()
 
 	fmt.Println(strings.Repeat("=", 64))
 	if failures > 0 {
@@ -243,6 +246,75 @@ func b9() {
 			panic(err)
 		}
 		fmt.Printf("  %10.1f %10d\n", th, oemdiff.Measure(set).Total())
+	}
+}
+
+// b10 compares WAL-backed persistence (an append-only log of change sets)
+// with full-snapshot rewrites as a history grows: the per-set persistence
+// cost, the cost of loading a store (checkpoint + log replay), and the cost
+// of a bare crash-recovery scan over the log.
+func b10() {
+	fmt.Println("\n-- B10: WAL vs snapshot persistence cost vs history length --")
+	fmt.Printf("  %8s %14s %14s %12s %12s\n", "steps", "wal-append/op", "snapshot/op", "load", "recovery")
+	opt := &wal.Options{Sync: wal.SyncNever}
+	for _, steps := range []int{10, 50, scale(200)} {
+		initial, h := guidegen.GenerateHistory(2, 100, steps, 8)
+		if len(h) == 0 {
+			continue
+		}
+
+		perOp := func(s *lore.Store) time.Duration {
+			if err := s.PutDOEM("guide", doem.New(initial)); err != nil {
+				panic(err)
+			}
+			start := time.Now()
+			for _, step := range h {
+				if err := s.ApplySet("guide", step.At, step.Ops); err != nil {
+					panic(err)
+				}
+			}
+			return time.Since(start) / time.Duration(len(h))
+		}
+
+		walRoot, err := os.MkdirTemp("", "b10wal")
+		if err != nil {
+			panic(err)
+		}
+		defer os.RemoveAll(walRoot)
+		ws, err := lore.OpenWAL(walRoot, opt)
+		if err != nil {
+			panic(err)
+		}
+		walPer := perOp(ws)
+		ws.Close()
+
+		snapRoot, err := os.MkdirTemp("", "b10snap")
+		if err != nil {
+			panic(err)
+		}
+		defer os.RemoveAll(snapRoot)
+		ss, err := lore.Open(snapRoot)
+		if err != nil {
+			panic(err)
+		}
+		snapPer := perOp(ss)
+
+		load := measure(func() {
+			s, err := lore.OpenWAL(walRoot, opt)
+			if err != nil {
+				panic(err)
+			}
+			s.Close()
+		})
+		logDir := filepath.Join(walRoot, "guide.doemwal")
+		recovery := measure(func() {
+			l, err := wal.Open(logDir, opt)
+			if err != nil {
+				panic(err)
+			}
+			l.Close()
+		})
+		fmt.Printf("  %8d %14s %14s %12s %12s\n", len(h), walPer, snapPer, load, recovery)
 	}
 }
 

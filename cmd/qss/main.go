@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	qss [-listen ADDR] [-guide N] [-library N] [-evolve DUR] [-csv NAME=PATH:KEY:ROW]...
+//	qss [-listen ADDR] [-guide N] [-library N] [-evolve DUR] [-waldir DIR] [-walsync POLICY] [-csv NAME=PATH:KEY:ROW]...
 //
 // Built-in demo sources:
 //
@@ -29,6 +29,7 @@ import (
 	"repro/internal/library"
 	"repro/internal/oem"
 	"repro/internal/qss"
+	"repro/internal/wal"
 	"repro/internal/wrapper"
 )
 
@@ -43,17 +44,19 @@ func main() {
 	libN := flag.Int("library", 30, "books in the demo library source")
 	evolve := flag.Duration("evolve", 2*time.Second, "interval between demo source changes")
 	seed := flag.Int64("seed", 1, "random seed for the demo sources")
+	walDir := flag.String("waldir", "", "directory for per-subscription write-ahead logs (empty: no persistence)")
+	walSync := flag.String("walsync", "interval", "WAL durability: always | interval | never")
 	var csvs csvFlags
 	flag.Var(&csvs, "csv", "CSV source as NAME=PATH:KEY:ROW (repeatable)")
 	flag.Parse()
 
-	if err := run(*listen, *guideN, *libN, *evolve, *seed, csvs); err != nil {
+	if err := run(*listen, *guideN, *libN, *evolve, *seed, *walDir, *walSync, csvs); err != nil {
 		fmt.Fprintln(os.Stderr, "qss:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen string, guideN, libN int, evolve time.Duration, seed int64, csvs []string) error {
+func run(listen string, guideN, libN int, evolve time.Duration, seed int64, walDir, walSync string, csvs []string) error {
 	sources := make(map[string]wrapper.Source)
 
 	// Demo guide: a mutable source evolved by a background goroutine.
@@ -96,6 +99,23 @@ func run(listen string, guideN, libN int, evolve time.Duration, seed int64, csvs
 	}
 	fmt.Printf("qss: listening on %s (sources: %s)\n", ln.Addr(), sourceNames(sources))
 	srv := qss.NewServer(sources, qss.RealClock{})
+	if walDir != "" {
+		var pol wal.SyncPolicy
+		switch walSync {
+		case "always":
+			pol = wal.SyncAlways
+		case "interval":
+			pol = wal.SyncInterval
+		case "never":
+			pol = wal.SyncNever
+		default:
+			return fmt.Errorf("bad -walsync %q (want always, interval, or never)", walSync)
+		}
+		if err := srv.EnableWAL(walDir, &wal.Options{Sync: pol}); err != nil {
+			return err
+		}
+		fmt.Printf("qss: logging subscriptions under %s (sync=%s)\n", walDir, walSync)
+	}
 	srv.Serve(ln)
 	return nil
 }

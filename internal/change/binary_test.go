@@ -1,0 +1,118 @@
+package change
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/timestamp"
+	"repro/internal/value"
+)
+
+func sampleSteps() []Step {
+	return []Step{
+		{
+			At: timestamp.MustParse("1Jan97"),
+			Ops: Set{
+				CreNode{Node: 7, Value: value.Complex()},
+				CreNode{Node: 8, Value: value.Str("Hakata")},
+				AddArc{Parent: 1, Label: "restaurant", Child: 7},
+				AddArc{Parent: 7, Label: "name", Child: 8},
+			},
+		},
+		{
+			At: timestamp.MustParse("4Jan97 11:30"),
+			Ops: Set{
+				UpdNode{Node: 8, Value: value.Int(-42)},
+				RemArc{Parent: 1, Label: "restaurant", Child: 7},
+			},
+		},
+		{
+			At: timestamp.FromUnix(-123456),
+			Ops: Set{
+				UpdNode{Node: 3, Value: value.Real(20.5)},
+				UpdNode{Node: 4, Value: value.Bool(true)},
+				UpdNode{Node: 5, Value: value.Null()},
+				UpdNode{Node: 6, Value: value.Time(timestamp.MustParse("1Feb97"))},
+			},
+		},
+		{At: timestamp.FromUnix(0), Ops: Set{}},
+	}
+}
+
+func TestStepBinaryRoundTrip(t *testing.T) {
+	for i, step := range sampleSteps() {
+		data := AppendStep(nil, step)
+		back, n, err := DecodeStep(data)
+		if err != nil {
+			t.Fatalf("step %d: decode: %v", i, err)
+		}
+		if n != len(data) {
+			t.Errorf("step %d: consumed %d of %d bytes", i, n, len(data))
+		}
+		if !back.At.Equal(step.At) {
+			t.Errorf("step %d: time %s != %s", i, back.At, step.At)
+		}
+		if !reflect.DeepEqual(back.Ops, step.Ops) {
+			t.Errorf("step %d: ops %v != %v", i, back.Ops, step.Ops)
+		}
+	}
+}
+
+func TestStepBinaryConcatenation(t *testing.T) {
+	steps := sampleSteps()
+	var data []byte
+	for _, s := range steps {
+		data = AppendStep(data, s)
+	}
+	off := 0
+	for i, want := range steps {
+		got, n, err := DecodeStep(data[off:])
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		if !got.At.Equal(want.At) || !reflect.DeepEqual(got.Ops, want.Ops) {
+			t.Errorf("step %d mismatch", i)
+		}
+		off += n
+	}
+	if off != len(data) {
+		t.Errorf("consumed %d of %d bytes", off, len(data))
+	}
+}
+
+func TestTimeBinaryInfinities(t *testing.T) {
+	for _, tt := range []timestamp.Time{timestamp.NegInf, timestamp.PosInf, timestamp.FromUnix(852076800)} {
+		data := AppendTime(nil, tt)
+		back, n, err := DecodeTime(data)
+		if err != nil || n != len(data) || !back.Equal(tt) {
+			t.Errorf("round trip of %s: got %s, n=%d, err=%v", tt, back, n, err)
+		}
+	}
+}
+
+// TestDecodeCorruptNeverPanics walks every truncation and a byte-flip sweep
+// of a valid encoding: decoding must either succeed or error, never panic.
+func TestDecodeCorruptNeverPanics(t *testing.T) {
+	var data []byte
+	for _, s := range sampleSteps() {
+		data = AppendStep(data, s)
+	}
+	for i := 0; i < len(data); i++ {
+		if _, _, err := DecodeStep(data[:i]); err == nil && i == 0 {
+			t.Errorf("decode of empty input succeeded")
+		}
+	}
+	for i := 0; i < len(data); i++ {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0xff
+		DecodeStep(mut) // must not panic; errors are fine
+	}
+}
+
+func TestDecodeRejectsHugeLengths(t *testing.T) {
+	// A set claiming 2^40 operations must fail fast, not allocate.
+	data := []byte{timeFinite, 0x00, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x20}
+	if _, _, err := DecodeStep(data); err == nil {
+		t.Fatal("decode of absurd set length succeeded")
+	}
+}

@@ -29,6 +29,11 @@ type Evolver struct {
 	restaurants []oem.NodeID
 	parkings    []oem.NodeID
 	serial      int
+	// nextID is a monotonic id high-water mark. It must never be re-derived
+	// from the live database: garbage collection can delete the
+	// highest-numbered nodes, and re-allocating a deleted id would violate
+	// the paper's Section 2.2 rule that identifiers never recur.
+	nextID oem.NodeID
 }
 
 var cuisines = []string{"Thai", "Indian", "Italian", "Mexican", "Japanese", "French", "Ethiopian", "Greek"}
@@ -110,7 +115,10 @@ func (e *Evolver) Step(nOps int) change.Set {
 	var set change.Set
 	// Build against a scratch copy so validation failures can be retried.
 	touchedUpd := make(map[oem.NodeID]bool)
-	nextID := maxNodeID(e.DB) + 1
+	if e.nextID == 0 {
+		e.nextID = maxNodeID(e.DB) + 1
+	}
+	nextID := e.nextID
 	newArcs := make(map[oem.Arc]bool)
 	for i := 0; i < nOps; i++ {
 		switch e.rng.Intn(10) {
@@ -183,6 +191,7 @@ func (e *Evolver) Step(nOps int) change.Set {
 		// missing step does not matter to workload generators.
 		return change.Set{}
 	}
+	e.nextID = nextID // consume the allocated ids, even across failed steps
 	if _, err := set.Apply(e.DB); err != nil {
 		panic(err)
 	}

@@ -14,20 +14,29 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/change"
 	"repro/internal/doem"
 	"repro/internal/oem"
 	"repro/internal/oemio"
+	"repro/internal/timestamp"
+	"repro/internal/wal"
 )
 
 // Store manages named databases under a directory. The in-memory databases
 // are authoritative; Put persists, Open loads everything found on disk.
 // A Store with an empty directory is purely in-memory.
+//
+// A store opened with OpenWAL persists DOEM databases through per-database
+// write-ahead logs instead of JSON snapshots: ApplySet appends only the
+// delta, and Checkpoint folds the log back into a snapshot.
 type Store struct {
-	dir string
+	dir    string
+	walOpt *wal.Options // non-nil: DOEMs are WAL-backed
 
 	mu    sync.RWMutex
 	oems  map[string]*oem.Database
 	doems map[string]*doem.Database
+	logs  map[string]*wal.Log // open logs, WAL mode only
 }
 
 // ErrNotFound reports a missing database name.
@@ -36,15 +45,36 @@ var ErrNotFound = errors.New("lore: database not found")
 const (
 	oemExt  = ".oem.json"
 	doemExt = ".doem.json"
+	walExt  = ".doemwal"
 )
 
 // Open loads a store from dir, creating the directory if needed. An empty
 // dir yields an in-memory store.
 func Open(dir string) (*Store, error) {
+	return open(dir, nil)
+}
+
+// OpenWAL loads a store whose DOEM databases are WAL-backed: each lives in
+// a <name>.doemwal directory holding a checkpoint snapshot plus log
+// segments, and loading replays the log tail on top of the checkpoint.
+// opt may be nil for default log options. WAL mode requires a directory.
+func OpenWAL(dir string, opt *wal.Options) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("lore: WAL mode requires a directory")
+	}
+	if opt == nil {
+		opt = &wal.Options{}
+	}
+	return open(dir, opt)
+}
+
+func open(dir string, walOpt *wal.Options) (*Store, error) {
 	s := &Store{
-		dir:   dir,
-		oems:  make(map[string]*oem.Database),
-		doems: make(map[string]*doem.Database),
+		dir:    dir,
+		walOpt: walOpt,
+		oems:   make(map[string]*oem.Database),
+		doems:  make(map[string]*doem.Database),
+		logs:   make(map[string]*wal.Log),
 	}
 	if dir == "" {
 		return s, nil
@@ -59,6 +89,26 @@ func Open(dir string) (*Store, error) {
 	for _, ent := range entries {
 		name := ent.Name()
 		switch {
+		case ent.IsDir() && strings.HasSuffix(name, walExt):
+			if walOpt == nil {
+				// A snapshot-mode store ignores WAL directories rather than
+				// replaying state it would then persist divergently.
+				continue
+			}
+			base := strings.TrimSuffix(name, walExt)
+			l, err := wal.Open(filepath.Join(dir, name), walOpt)
+			if err != nil {
+				return nil, fmt.Errorf("lore: opening log %s: %w", name, err)
+			}
+			d, err := l.ReplayDOEM()
+			if err != nil {
+				l.Close()
+				return nil, fmt.Errorf("lore: replaying %s: %w", name, err)
+			}
+			s.doems[base] = d
+			s.logs[base] = l
+		case ent.IsDir():
+			continue
 		case strings.HasSuffix(name, oemExt):
 			data, err := os.ReadFile(filepath.Join(dir, name))
 			if err != nil {
@@ -70,6 +120,10 @@ func Open(dir string) (*Store, error) {
 			}
 			s.oems[strings.TrimSuffix(name, oemExt)] = db
 		case strings.HasSuffix(name, doemExt):
+			base := strings.TrimSuffix(name, doemExt)
+			if _, ok := s.doems[base]; ok {
+				continue // a WAL directory for this name takes precedence
+			}
 			data, err := os.ReadFile(filepath.Join(dir, name))
 			if err != nil {
 				return nil, fmt.Errorf("lore: %w", err)
@@ -78,7 +132,7 @@ func Open(dir string) (*Store, error) {
 			if err != nil {
 				return nil, fmt.Errorf("lore: loading %s: %w", name, err)
 			}
-			s.doems[strings.TrimSuffix(name, doemExt)] = d
+			s.doems[base] = d
 		}
 	}
 	return s, nil
@@ -113,13 +167,41 @@ func (s *Store) GetOEM(name string) (*oem.Database, error) {
 	return db, nil
 }
 
-// PutDOEM stores (and persists) a DOEM database under name.
+// PutDOEM stores (and persists) a DOEM database under name. In WAL mode
+// this starts a fresh log whose checkpoint is the full database; later
+// deltas should go through ApplySet.
 func (s *Store) PutDOEM(name string, d *doem.Database) error {
 	if err := validName(name); err != nil {
 		return err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.walOpt != nil {
+		if old, ok := s.logs[name]; ok {
+			old.Close()
+			delete(s.logs, name)
+		}
+		walDir := filepath.Join(s.dir, name+walExt)
+		if err := os.RemoveAll(walDir); err != nil {
+			return fmt.Errorf("lore: %w", err)
+		}
+		l, err := wal.Open(walDir, s.walOpt)
+		if err != nil {
+			return fmt.Errorf("lore: %w", err)
+		}
+		if err := l.CheckpointDOEM(d); err != nil {
+			l.Close()
+			return fmt.Errorf("lore: %w", err)
+		}
+		// Drop any stale snapshot from a pre-WAL run of the same store.
+		if err := os.Remove(filepath.Join(s.dir, name+doemExt)); err != nil && !os.IsNotExist(err) {
+			l.Close()
+			return fmt.Errorf("lore: %w", err)
+		}
+		s.doems[name] = d
+		s.logs[name] = l
+		return nil
+	}
 	s.doems[name] = d
 	if s.dir == "" {
 		return nil
@@ -129,6 +211,72 @@ func (s *Store) PutDOEM(name string, d *doem.Database) error {
 		return err
 	}
 	return atomicWrite(filepath.Join(s.dir, name+doemExt), data)
+}
+
+// ApplySet applies one timestamped change set to the named DOEM database
+// and persists the result. In WAL mode only the delta is appended —
+// O(|ops|) I/O; in snapshot mode the whole database is rewritten.
+func (s *Store) ApplySet(name string, t timestamp.Time, ops change.Set) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.doems[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if err := d.Apply(t, ops); err != nil {
+		return err
+	}
+	if l, ok := s.logs[name]; ok {
+		if _, err := l.AppendStep(t, ops); err != nil {
+			return fmt.Errorf("lore: %w", err)
+		}
+		return nil
+	}
+	if s.dir == "" {
+		return nil
+	}
+	data, err := d.Marshal()
+	if err != nil {
+		return err
+	}
+	return atomicWrite(filepath.Join(s.dir, name+doemExt), data)
+}
+
+// Checkpoint folds the named database's log into a fresh snapshot and
+// drops the covered segments (Section 6.1 log compaction). In snapshot
+// mode it simply re-persists the database.
+func (s *Store) Checkpoint(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.doems[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if l, ok := s.logs[name]; ok {
+		return l.CheckpointDOEM(d)
+	}
+	if s.dir == "" {
+		return nil
+	}
+	data, err := d.Marshal()
+	if err != nil {
+		return err
+	}
+	return atomicWrite(filepath.Join(s.dir, name+doemExt), data)
+}
+
+// Close releases any open logs. The store must not be used afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for name, l := range s.logs {
+		if err := l.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(s.logs, name)
+	}
+	return first
 }
 
 // GetDOEM retrieves a DOEM database by name.
@@ -153,6 +301,10 @@ func (s *Store) Delete(name string) error {
 	}
 	delete(s.oems, name)
 	delete(s.doems, name)
+	if l, ok := s.logs[name]; ok {
+		l.Close()
+		delete(s.logs, name)
+	}
 	if s.dir == "" {
 		return nil
 	}
@@ -161,6 +313,9 @@ func (s *Store) Delete(name string) error {
 		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
 			return fmt.Errorf("lore: %w", err)
 		}
+	}
+	if err := os.RemoveAll(filepath.Join(s.dir, name+walExt)); err != nil {
+		return fmt.Errorf("lore: %w", err)
 	}
 	return nil
 }
@@ -198,16 +353,37 @@ func validName(name string) error {
 	return nil
 }
 
-// atomicWrite writes data to path via a temporary file and rename, so a
-// crash never leaves a torn file.
+// atomicWrite writes data to path via a temporary file, fsync, atomic
+// rename, and a directory fsync, so a crash never leaves a torn file and
+// the rename itself is durable.
 func atomicWrite(path string, data []byte) error {
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("lore: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("lore: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("lore: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
 		return fmt.Errorf("lore: %w", err)
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("lore: %w", err)
+	}
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		// Directory fsync is advisory on some filesystems; best effort.
+		dir.Sync()
+		dir.Close()
 	}
 	return nil
 }

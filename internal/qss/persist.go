@@ -35,6 +35,11 @@ func (s *Service) ExportState(name string) ([]byte, error) {
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	return st.marshalState(name)
+}
+
+// marshalState serializes the subscription state; st.mu must be held.
+func (st *subState) marshalState(name string) ([]byte, error) {
 	dd, err := st.d.Marshal()
 	if err != nil {
 		return nil, fmt.Errorf("qss: export: %w", err)
@@ -54,6 +59,36 @@ func (s *Service) ExportState(name string) ([]byte, error) {
 // must already exist (Subscribe first — sources and queries are not part of
 // the state) and must not have been polled yet.
 func (s *Service) ImportState(name string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.subs[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchSub, name)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.pollTimes) > 0 {
+		return fmt.Errorf("qss: import into already-polled subscription %q", name)
+	}
+	if err := st.restoreState(data); err != nil {
+		return err
+	}
+	// Under WAL persistence the imported state supersedes whatever the log
+	// replayed: record it as a checkpoint so the next restart agrees.
+	if st.log != nil {
+		ck, err := st.marshalState(name)
+		if err != nil {
+			return err
+		}
+		if err := st.log.Checkpoint(ck, st.log.LastSeq()); err != nil {
+			return fmt.Errorf("qss: import: %w", err)
+		}
+	}
+	return nil
+}
+
+// restoreState deserializes subscription state into st; st.mu must be held.
+func (st *subState) restoreState(data []byte) error {
 	var w wireState
 	if err := json.Unmarshal(data, &w); err != nil {
 		return fmt.Errorf("qss: import: %w", err)
@@ -69,17 +104,6 @@ func (s *Service) ImportState(name string, data []byte) error {
 			return fmt.Errorf("qss: import: %w", err)
 		}
 		times = append(times, t)
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st, ok := s.subs[name]
-	if !ok {
-		return fmt.Errorf("%w: %q", ErrNoSuchSub, name)
-	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if len(st.pollTimes) > 0 {
-		return fmt.Errorf("qss: import into already-polled subscription %q", name)
 	}
 	st.d = d
 	st.nextID = oem.NodeID(w.NextID)

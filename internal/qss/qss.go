@@ -22,6 +22,7 @@ import (
 	"repro/internal/oem"
 	"repro/internal/oemdiff"
 	"repro/internal/timestamp"
+	"repro/internal/wal"
 	"repro/internal/wrapper"
 )
 
@@ -62,6 +63,10 @@ type Service struct {
 	mu     sync.Mutex
 	subs   map[string]*subState
 	notify func(Notification)
+	// walDir/walOpt, when set via EnableWAL, give every subscription a
+	// write-ahead log so restarts recover history without re-polling.
+	walDir string
+	walOpt *wal.Options
 }
 
 type subState struct {
@@ -75,6 +80,8 @@ type subState struct {
 	// objects deleted from the DOEM database.
 	nextID    oem.NodeID
 	pollTimes []timestamp.Time
+	// log, when non-nil, records every poll for crash recovery.
+	log *wal.Log
 }
 
 // Errors.
@@ -123,17 +130,31 @@ func (s *Service) Subscribe(sub Subscription) error {
 		remap:  make(map[oem.NodeID]oem.NodeID),
 		nextID: 1, // the packaged root; alloc pre-increments past it
 	}
+	if s.walDir != "" {
+		if err := s.attachLog(st, sub.Name); err != nil {
+			return err
+		}
+	}
 	s.subs[sub.Name] = st
 	return nil
 }
 
-// Unsubscribe removes a subscription.
+// Unsubscribe removes a subscription. Its write-ahead log, if any, is
+// closed but left on disk: re-subscribing under the same name resumes the
+// recorded history.
 func (s *Service) Unsubscribe(name string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.subs[name]; !ok {
+	st, ok := s.subs[name]
+	if !ok {
 		return fmt.Errorf("%w: %q", ErrNoSuchSub, name)
 	}
+	st.mu.Lock()
+	if st.log != nil {
+		st.log.Close()
+		st.log = nil
+	}
+	st.mu.Unlock()
 	delete(s.subs, name)
 	return nil
 }
@@ -191,6 +212,18 @@ func (s *Service) Truncate(name string, t timestamp.Time) error {
 	}
 	st.pollTimes = kept
 	st.pruneRemap()
+	// Under WAL persistence a truncation is also a log compaction: the
+	// truncated state becomes the checkpoint and covered segments go away
+	// (the paper's space-for-accuracy trade applied to the log).
+	if st.log != nil {
+		ck, err := st.marshalState(name)
+		if err != nil {
+			return err
+		}
+		if err := st.log.Checkpoint(ck, st.log.LastSeq()); err != nil {
+			return fmt.Errorf("qss: truncate checkpoint: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -229,7 +262,7 @@ func (s *Service) Poll(name string, t timestamp.Time) (*Notification, error) {
 
 	// 2. Package the result as an OEM database R_i (recursively including
 	// all subobjects, paper Section 6).
-	pkg := st.packageResult(snap, res)
+	pkg, added := st.packageResult(snap, res)
 
 	// 3. OEMdiff: infer U_i with U_i(R_{i-1}) = R_i.
 	prev := st.d.Current()
@@ -258,6 +291,15 @@ func (s *Service) Poll(name string, t timestamp.Time) (*Notification, error) {
 	}
 	st.pollTimes = append(st.pollTimes, t)
 
+	// 4b. Log the poll. Empty change sets are logged too: the polling time
+	// itself is state (it anchors the filter's t[-i] variables).
+	if st.log != nil {
+		rec := appendPollRecord(nil, t, ops, added, st.nextID)
+		if _, err := st.log.Append(rec); err != nil {
+			return nil, fmt.Errorf("qss: logging poll: %w", err)
+		}
+	}
+
 	// 5. Chorel engine: evaluate the filter with t[i] bound.
 	feng := lorel.NewEngine()
 	feng.Register(st.sub.Name, st.d)
@@ -282,18 +324,23 @@ func (s *Service) Poll(name string, t timestamp.Time) (*Notification, error) {
 // packageResult copies the subobject closure of the polling-query result
 // into a fresh database. Source node ids map to stable packaged ids; ids
 // whose objects were deleted from the DOEM database are never reused.
-func (st *subState) packageResult(snap *oem.Database, res *lorel.Result) *oem.Database {
+// It also reports the remap entries added during this poll (empty for
+// sources without stable ids, whose remap is per-poll) so they can be
+// recorded in the subscription's write-ahead log.
+func (st *subState) packageResult(snap *oem.Database, res *lorel.Result) (*oem.Database, []remapPair) {
 	out := oem.New()
 	alloc := func() oem.NodeID {
 		st.nextID++
 		return st.nextID
 	}
 	remap := st.remap
-	if !st.sub.Source.StableIDs() {
+	persistent := st.sub.Source.StableIDs()
+	if !persistent {
 		// Source ids are meaningless across polls; use a per-poll map so
 		// the persistent remap does not grow without bound.
 		remap = make(map[oem.NodeID]oem.NodeID)
 	}
+	var added []remapPair
 	copied := make(map[oem.NodeID]bool)
 	var copyNode func(src oem.NodeID) oem.NodeID
 	copyNode = func(src oem.NodeID) oem.NodeID {
@@ -301,6 +348,9 @@ func (st *subState) packageResult(snap *oem.Database, res *lorel.Result) *oem.Da
 		if !ok {
 			id = alloc()
 			remap[src] = id
+			if persistent {
+				added = append(added, remapPair{Src: src, ID: id})
+			}
 		}
 		if copied[src] {
 			return id
@@ -336,7 +386,7 @@ func (st *subState) packageResult(snap *oem.Database, res *lorel.Result) *oem.Da
 			}
 		}
 	}
-	return out
+	return out, added
 }
 
 // pruneRemap drops remap entries whose packaged object has been deleted

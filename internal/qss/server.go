@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/oemio"
 	"repro/internal/timestamp"
+	"repro/internal/wal"
 	"repro/internal/wrapper"
 )
 
@@ -88,6 +89,12 @@ func NewServer(sources map[string]wrapper.Source, clock Clock) *Server {
 // Service exposes the underlying service (for in-process use and tests).
 func (s *Server) Service() *Service { return s.svc }
 
+// EnableWAL turns on per-subscription write-ahead logging (see
+// Service.EnableWAL). Call before serving.
+func (s *Server) EnableWAL(dir string, opt *wal.Options) error {
+	return s.svc.EnableWAL(dir, opt)
+}
+
 // deliver pushes a notification to the owning connection, if any.
 func (s *Server) deliver(n Notification) {
 	s.mu.Lock()
@@ -135,6 +142,7 @@ func (s *Server) Close() {
 	}
 	s.sched.StopAll()
 	s.wg.Wait()
+	s.svc.Close()
 }
 
 func (s *Server) handle(nc net.Conn) {

@@ -1,0 +1,164 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Checkpoints. A checkpoint is a single file holding an opaque snapshot
+// payload plus the sequence number of the last record the snapshot covers.
+// It is written atomically (temp file + fsync + rename + directory fsync),
+// so a crash leaves either the old or the new checkpoint, never a torn one.
+// After a checkpoint, segments containing only covered records are deleted:
+// the log's length is bounded by the data written since the last
+// checkpoint, which is the paper's Section 6.1 space-for-accuracy trade in
+// log-compaction form.
+//
+// Layout: "WALCKPT1" magic, uvarint covered sequence, payload, and a
+// trailing CRC-32C of everything before it (4 bytes LE).
+
+const checkpointName = "CHECKPOINT"
+
+var checkpointMagic = []byte("WALCKPT1")
+
+// Checkpoint atomically installs payload as the snapshot covering every
+// record with sequence <= upTo, then deletes fully covered segments.
+func (l *Log) Checkpoint(payload []byte, upTo uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if upTo > l.seq {
+		return fmt.Errorf("wal: checkpoint at %d beyond last record %d", upTo, l.seq)
+	}
+	if upTo < l.ckptSeq {
+		return fmt.Errorf("wal: checkpoint at %d behind existing checkpoint %d", upTo, l.ckptSeq)
+	}
+
+	buf := append([]byte(nil), checkpointMagic...)
+	buf = binary.AppendUvarint(buf, upTo)
+	buf = append(buf, payload...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
+
+	path := filepath.Join(l.dir, checkpointName)
+	tmp := path + ".tmp"
+	if err := writeFileSync(tmp, buf); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if err := syncDir(l.dir); err != nil {
+		return err
+	}
+	l.ckptSeq = upTo
+	l.ckptData = append([]byte(nil), payload...)
+	l.hasCkpt = true
+	return l.compactLocked()
+}
+
+// compactLocked removes segments whose every record is covered by the
+// checkpoint. The caller holds l.mu.
+func (l *Log) compactLocked() error {
+	// If even the newest records are covered, retire the active segment so
+	// it can be deleted too; the next append starts a fresh one.
+	if l.active != nil && l.seq <= l.ckptSeq {
+		if err := l.active.Sync(); err != nil {
+			return fmt.Errorf("wal: compact: %w", err)
+		}
+		if err := l.active.Close(); err != nil {
+			return fmt.Errorf("wal: compact: %w", err)
+		}
+		l.active, l.activePath, l.activeSize = nil, "", 0
+	}
+	paths, firsts, err := l.listSegments()
+	if err != nil {
+		return err
+	}
+	removed := false
+	for i, path := range paths {
+		if path == l.activePath {
+			continue
+		}
+		// The last record of segment i is just before the next segment's
+		// first, or the log's last record for the final segment.
+		last := l.seq
+		if i+1 < len(firsts) {
+			last = firsts[i+1] - 1
+		}
+		if last <= l.ckptSeq {
+			if err := os.Remove(path); err != nil {
+				return fmt.Errorf("wal: compact: %w", err)
+			}
+			removed = true
+		}
+	}
+	if removed {
+		return syncDir(l.dir)
+	}
+	return nil
+}
+
+// LastCheckpoint returns the current checkpoint payload and the sequence it
+// covers. ok is false when the log has no checkpoint.
+func (l *Log) LastCheckpoint() (payload []byte, upTo uint64, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.hasCkpt {
+		return nil, 0, false
+	}
+	return append([]byte(nil), l.ckptData...), l.ckptSeq, true
+}
+
+// loadCheckpoint reads and validates the checkpoint file, if present.
+func (l *Log) loadCheckpoint() error {
+	data, err := os.ReadFile(filepath.Join(l.dir, checkpointName))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	n := len(data)
+	if n < len(checkpointMagic)+1+4 || string(data[:len(checkpointMagic)]) != string(checkpointMagic) {
+		return fmt.Errorf("wal: malformed checkpoint file")
+	}
+	body, sum := data[:n-4], binary.LittleEndian.Uint32(data[n-4:])
+	if crc32.Checksum(body, castagnoli) != sum {
+		return fmt.Errorf("wal: checkpoint checksum mismatch")
+	}
+	rest := body[len(checkpointMagic):]
+	seq, vn := binary.Uvarint(rest)
+	if vn <= 0 {
+		return fmt.Errorf("wal: malformed checkpoint sequence")
+	}
+	l.ckptSeq = seq
+	l.ckptData = append([]byte(nil), rest[vn:]...)
+	l.hasCkpt = true
+	return nil
+}
+
+// writeFileSync writes data to path and fsyncs it before returning.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}
