@@ -2,9 +2,19 @@
 
 GO ?= go
 
-.PHONY: all build test race vet cover bench harness examples fuzz clean
+.PHONY: all build test race vet cover bench harness examples fuzz ci fmtcheck clean
 
 all: build test
+
+# Mirrors .github/workflows/ci.yml locally: formatting gate, build, vet,
+# tests, and the race-detector run that gates the parallel evaluator.
+ci: fmtcheck build test race
+
+fmtcheck:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 build:
 	$(GO) build ./...

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	chorel [-store DIR] [-translate] [-strategy direct|translated] [QUERY...]
+//	chorel [-store DIR] [-translate] [-strategy direct|translated] [-parallel N] [QUERY...]
 //
 // With no QUERY arguments, chorel reads queries from standard input, one
 // per line. The built-in demo database "guide" (the paper's running
@@ -35,9 +35,10 @@ func main() {
 	storeDir := flag.String("store", "", "database store directory to load")
 	translate := flag.Bool("translate", false, "print the Lorel translation instead of evaluating")
 	strategy := flag.String("strategy", "direct", "execution strategy: direct or translated")
+	parallel := flag.Int("parallel", 1, "evaluation workers (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	if err := run(*storeDir, *translate, *strategy, flag.Args()); err != nil {
+	if err := run(*storeDir, *translate, *strategy, *parallel, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "chorel:", err)
 		os.Exit(1)
 	}
@@ -47,13 +48,15 @@ type session struct {
 	eng      *lorel.Engine
 	doems    map[string]*doem.Database
 	strategy string
+	parallel int
 }
 
-func run(storeDir string, translate bool, strategy string, queries []string) error {
+func run(storeDir string, translate bool, strategy string, parallel int, queries []string) error {
 	if strategy != "direct" && strategy != "translated" {
 		return fmt.Errorf("unknown strategy %q", strategy)
 	}
-	s := &session{eng: lorel.NewEngine(), doems: make(map[string]*doem.Database), strategy: strategy}
+	s := &session{eng: lorel.NewEngine(), doems: make(map[string]*doem.Database), strategy: strategy, parallel: parallel}
+	s.eng.SetParallelism(parallel)
 
 	// The paper's running example is always available as "guide".
 	g, ids := guidegen.PaperGuide()
@@ -202,6 +205,7 @@ func (s *session) runQuery(q string) error {
 		// untranslatable (wildcards, virtual annotations).
 		if name := s.addressedDOEM(q); name != "" {
 			cdb := chorel.New(name, s.doems[name])
+			cdb.SetParallelism(s.parallel)
 			res, err := cdb.QueryTranslated(q)
 			if err == nil {
 				fmt.Print(res)

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	qss [-listen ADDR] [-guide N] [-library N] [-evolve DUR] [-waldir DIR] [-walsync POLICY] [-csv NAME=PATH:KEY:ROW]...
+//	qss [-listen ADDR] [-guide N] [-library N] [-evolve DUR] [-parallel N] [-waldir DIR] [-walsync POLICY] [-csv NAME=PATH:KEY:ROW]...
 //
 // Built-in demo sources:
 //
@@ -44,19 +44,20 @@ func main() {
 	libN := flag.Int("library", 30, "books in the demo library source")
 	evolve := flag.Duration("evolve", 2*time.Second, "interval between demo source changes")
 	seed := flag.Int64("seed", 1, "random seed for the demo sources")
+	parallel := flag.Int("parallel", 1, "query evaluation workers per poll (0 = GOMAXPROCS)")
 	walDir := flag.String("waldir", "", "directory for per-subscription write-ahead logs (empty: no persistence)")
 	walSync := flag.String("walsync", "interval", "WAL durability: always | interval | never")
 	var csvs csvFlags
 	flag.Var(&csvs, "csv", "CSV source as NAME=PATH:KEY:ROW (repeatable)")
 	flag.Parse()
 
-	if err := run(*listen, *guideN, *libN, *evolve, *seed, *walDir, *walSync, csvs); err != nil {
+	if err := run(*listen, *guideN, *libN, *evolve, *seed, *parallel, *walDir, *walSync, csvs); err != nil {
 		fmt.Fprintln(os.Stderr, "qss:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen string, guideN, libN int, evolve time.Duration, seed int64, walDir, walSync string, csvs []string) error {
+func run(listen string, guideN, libN int, evolve time.Duration, seed int64, parallel int, walDir, walSync string, csvs []string) error {
 	sources := make(map[string]wrapper.Source)
 
 	// Demo guide: a mutable source evolved by a background goroutine.
@@ -99,6 +100,9 @@ func run(listen string, guideN, libN int, evolve time.Duration, seed int64, walD
 	}
 	fmt.Printf("qss: listening on %s (sources: %s)\n", ln.Addr(), sourceNames(sources))
 	srv := qss.NewServer(sources, qss.RealClock{})
+	if parallel != 1 {
+		srv.Service().SetParallelism(parallel)
+	}
 	if walDir != "" {
 		var pol wal.SyncPolicy
 		switch walSync {

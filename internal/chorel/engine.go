@@ -1,6 +1,8 @@
 package chorel
 
 import (
+	"context"
+
 	"repro/internal/doem"
 	"repro/internal/encoding"
 	"repro/internal/lorel"
@@ -20,6 +22,9 @@ type DB struct {
 	// Lazily built translation-side state; invalidated by Invalidate.
 	enc   *encoding.Encoding
 	trans *lorel.Engine
+
+	// workers is replayed onto the lazily built translation engine.
+	workers int
 }
 
 // New wraps a DOEM database for querying under the given name (the head of
@@ -27,7 +32,7 @@ type DB struct {
 func New(name string, d *doem.Database) *DB {
 	direct := lorel.NewEngine()
 	direct.Register(name, d)
-	return &DB{name: name, d: d, direct: direct}
+	return &DB{name: name, d: d, direct: direct, workers: 1}
 }
 
 // DOEM returns the underlying DOEM database.
@@ -45,6 +50,16 @@ func (db *DB) SetPollTimes(times []timestamp.Time) {
 	}
 }
 
+// SetParallelism forwards the evaluation worker count to both execution
+// strategies (n <= 0 selects GOMAXPROCS; see lorel.Engine.SetParallelism).
+func (db *DB) SetParallelism(n int) {
+	db.direct.SetParallelism(n)
+	db.workers = db.direct.Parallelism()
+	if db.trans != nil {
+		db.trans.SetParallelism(db.workers)
+	}
+}
+
 // Invalidate discards the cached OEM encoding after the DOEM database has
 // been modified with Apply.
 func (db *DB) Invalidate() {
@@ -59,6 +74,7 @@ func (db *DB) Encoding() *encoding.Encoding {
 		db.trans = lorel.NewEngine()
 		db.trans.Register(db.name, lorel.NewOEMGraph(db.enc.DB))
 		db.trans.SetPollTimes(nil)
+		db.trans.SetParallelism(db.workers)
 	}
 	return db.enc
 }
@@ -68,11 +84,21 @@ func (db *DB) Query(src string) (*lorel.Result, error) {
 	return db.direct.Query(src)
 }
 
+// QueryContext is Query with cancellation.
+func (db *DB) QueryContext(ctx context.Context, src string) (*lorel.Result, error) {
+	return db.direct.QueryContext(ctx, src)
+}
+
 // QueryTranslated translates the query to plain Lorel and evaluates it on
 // the OEM encoding — the paper's "on top of Lore" strategy. Node cells in
 // the result reference encoding objects; use MapToDOEM to compare against
 // direct results.
 func (db *DB) QueryTranslated(src string) (*lorel.Result, error) {
+	return db.QueryTranslatedContext(context.Background(), src)
+}
+
+// QueryTranslatedContext is QueryTranslated with cancellation.
+func (db *DB) QueryTranslatedContext(ctx context.Context, src string) (*lorel.Result, error) {
 	q, err := lorel.Parse(src)
 	if err != nil {
 		return nil, err
@@ -85,7 +111,7 @@ func (db *DB) QueryTranslated(src string) (*lorel.Result, error) {
 		return nil, err
 	}
 	db.Encoding()
-	return db.trans.Eval(tq)
+	return db.trans.EvalContext(ctx, tq)
 }
 
 // MapToDOEM maps node ids returned by QueryTranslated (encoding objects)

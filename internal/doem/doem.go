@@ -98,6 +98,11 @@ type ArcEvent struct {
 // (so unannotated Chorel steps and polling reads are cheap) plus the full
 // arc relation including removed arcs, the annotation maps, and the values
 // of nodes that have been deleted from the current snapshot.
+//
+// Concurrency: read methods are pure lookups with no interior mutation, so
+// a Database is safe for any number of concurrent readers once built.
+// Apply and Truncate mutate in place and must exclude readers (see
+// lore.Store.ViewDOEM for the coordinated path).
 type Database struct {
 	current *oem.Database
 	// outAll holds every arc ever present, per parent, in insertion order.

@@ -1,0 +1,97 @@
+package lore_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/chorel"
+	"repro/internal/doem"
+	"repro/internal/guidegen"
+	"repro/internal/lore"
+)
+
+// TestConcurrentQueriesWithApplySet drives N goroutines of parallel Chorel
+// queries through Store.ViewDOEM while another goroutine feeds the
+// remaining history steps through WAL-backed ApplySet — the tentpole's
+// claim that one store serves readers and a writer at once. Run under
+// -race this is the stress gate for the graph layer's read-path contract.
+func TestConcurrentQueriesWithApplySet(t *testing.T) {
+	initial, h := guidegen.GenerateHistory(11, 30, 12, 5)
+	if len(h) < 4 {
+		t.Fatalf("history too short: %d steps", len(h))
+	}
+	// Seed the store with the first few steps applied; the writer streams
+	// in the rest while readers query.
+	seedSteps, liveSteps := h[:2], h[2:]
+	d, err := doem.FromHistory(initial, seedSteps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := lore.OpenWAL(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.PutDOEM("guide", d); err != nil {
+		t.Fatal(err)
+	}
+
+	queries := []string{
+		`select R.name from guide.restaurant R where R.price < 30`,
+		`select C from guide.restaurant.<add at T>comment C where T > 1Jan97`,
+		`select R, T from guide.restaurant<cre at T> R`,
+		`select guide.#`,
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 32)
+
+	// Writer: stream the remaining history into the store.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, step := range liveSteps {
+			if err := s.ApplySet("guide", step.At, step.Ops); err != nil {
+				errCh <- fmt.Errorf("ApplySet at %s: %w", step.At, err)
+				return
+			}
+		}
+	}()
+
+	// Readers: parallel Chorel queries through the coordinated view.
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				q := queries[(w+i)%len(queries)]
+				err := s.ViewDOEM("guide", func(dd *doem.Database) error {
+					db := chorel.New("guide", dd)
+					db.SetParallelism(4)
+					_, qerr := db.Query(q)
+					return qerr
+				})
+				if err != nil {
+					errCh <- fmt.Errorf("worker %d query %q: %w", w, q, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	// The store must have absorbed every step despite the read load.
+	got, err := s.GetDOEM("guide")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last := got.LastStep(); !last.Equal(h[len(h)-1].At) {
+		t.Fatalf("store last step %s, want %s", last, h[len(h)-1].At)
+	}
+}

@@ -29,6 +29,12 @@ import (
 // A store opened with OpenWAL persists DOEM databases through per-database
 // write-ahead logs instead of JSON snapshots: ApplySet appends only the
 // delta, and Checkpoint folds the log back into a snapshot.
+//
+// Concurrency: Store methods are safe to call concurrently. The pointer
+// GetDOEM returns is the live database, which ApplySet mutates in place —
+// callers that query while another goroutine applies change sets must read
+// through ViewDOEM, which excludes mutation for the duration of the
+// callback (readers of different databases never block each other).
 type Store struct {
 	dir    string
 	walOpt *wal.Options // non-nil: DOEMs are WAL-backed
@@ -37,6 +43,12 @@ type Store struct {
 	oems  map[string]*oem.Database
 	doems map[string]*doem.Database
 	logs  map[string]*wal.Log // open logs, WAL mode only
+
+	// locks holds one RWMutex per DOEM name, coordinating ViewDOEM readers
+	// with ApplySet's in-place mutation without serializing reads of
+	// unrelated databases behind the store-wide mu.
+	lkMu  sync.Mutex
+	locks map[string]*sync.RWMutex
 }
 
 // ErrNotFound reports a missing database name.
@@ -75,6 +87,7 @@ func open(dir string, walOpt *wal.Options) (*Store, error) {
 		oems:   make(map[string]*oem.Database),
 		doems:  make(map[string]*doem.Database),
 		logs:   make(map[string]*wal.Log),
+		locks:  make(map[string]*sync.RWMutex),
 	}
 	if dir == "" {
 		return s, nil
@@ -213,6 +226,35 @@ func (s *Store) PutDOEM(name string, d *doem.Database) error {
 	return atomicWrite(filepath.Join(s.dir, name+doemExt), data)
 }
 
+// lockFor returns the RWMutex coordinating readers and writers of the
+// named DOEM database, creating it on first use.
+func (s *Store) lockFor(name string) *sync.RWMutex {
+	s.lkMu.Lock()
+	defer s.lkMu.Unlock()
+	lk, ok := s.locks[name]
+	if !ok {
+		lk = &sync.RWMutex{}
+		s.locks[name] = lk
+	}
+	return lk
+}
+
+// ViewDOEM runs fn with read access to the named DOEM database, holding
+// off ApplySet mutations of that database (and only that database) until
+// fn returns. Any number of ViewDOEM readers run concurrently; use this
+// for queries that may race with a writer. fn must not retain the
+// database past its return.
+func (s *Store) ViewDOEM(name string, fn func(*doem.Database) error) error {
+	d, err := s.GetDOEM(name)
+	if err != nil {
+		return err
+	}
+	lk := s.lockFor(name)
+	lk.RLock()
+	defer lk.RUnlock()
+	return fn(d)
+}
+
 // ApplySet applies one timestamped change set to the named DOEM database
 // and persists the result. In WAL mode only the delta is appended —
 // O(|ops|) I/O; in snapshot mode the whole database is rewritten.
@@ -223,7 +265,15 @@ func (s *Store) ApplySet(name string, t timestamp.Time, ops change.Set) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
-	if err := d.Apply(t, ops); err != nil {
+	// The in-place mutation excludes ViewDOEM readers of this database.
+	// Lock order is always store mu → name lock; ViewDOEM readers hold
+	// only the name lock (GetDOEM's RLock is released before they block),
+	// so the two locks cannot deadlock.
+	lk := s.lockFor(name)
+	lk.Lock()
+	err := d.Apply(t, ops)
+	lk.Unlock()
+	if err != nil {
 		return err
 	}
 	if l, ok := s.logs[name]; ok {

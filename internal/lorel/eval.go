@@ -1,7 +1,9 @@
 package lorel
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -16,14 +18,24 @@ import (
 // expression heads resolve to registered database names ("guide", or a QSS
 // polling-query name such as "LyttonRestaurants").
 //
-// Concurrency: Query and Eval are safe to call concurrently with each
-// other as long as the registered graphs are not mutated meanwhile;
-// Register and SetPollTimes must be serialized with queries by the caller
-// (QSS and the trigger manager each do so).
+// Concurrency: one Engine is safe for concurrent use. Register,
+// SetPollTimes and SetParallelism swap copy-on-write state under a lock;
+// every evaluation snapshots that state once at the start, so concurrent
+// Query/Eval calls never observe a partial update. The registered graphs
+// themselves must honor the read-path contract documented on Graph:
+// queries only read, so graphs may be shared across goroutines as long as
+// nobody mutates them mid-query (lore.Store serializes mutation against
+// readers; QSS and the trigger manager mutate only between evaluations).
 type Engine struct {
+	// mu guards the copy-on-write engine state below. The maps and slices
+	// it protects are never mutated in place once published: writers build
+	// a replacement and swap it, so a snapshot taken under RLock stays
+	// valid for the whole evaluation.
+	mu        sync.RWMutex
 	graphs    map[string]Graph
 	order     []string
 	pollTimes []timestamp.Time
+	workers   int
 
 	// cache holds parsed-and-canonicalized queries by source text.
 	// Evaluation never mutates a canonicalized AST, so cached queries are
@@ -37,46 +49,79 @@ type Engine struct {
 // simply reset (standing-query workloads use few distinct texts).
 const cacheLimit = 256
 
-// NewEngine returns an empty engine.
+// NewEngine returns an empty engine evaluating serially.
 func NewEngine() *Engine {
-	return &Engine{graphs: make(map[string]Graph), cache: make(map[string]*Query)}
+	return &Engine{graphs: make(map[string]Graph), cache: make(map[string]*Query), workers: 1}
 }
 
 // Register makes g available to queries under the given name. Registering
-// an existing name replaces it.
+// an existing name replaces it. Queries already in flight keep evaluating
+// against the graph set they started with.
 func (e *Engine) Register(name string, g Graph) {
-	if _, ok := e.graphs[name]; !ok {
-		e.order = append(e.order, name)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	next := make(map[string]Graph, len(e.graphs)+1)
+	for n, gr := range e.graphs {
+		next[n] = gr
 	}
-	e.graphs[name] = g
+	if _, ok := next[name]; !ok {
+		e.order = append(append([]string(nil), e.order...), name)
+	}
+	next[name] = g
+	e.graphs = next
 }
 
 // Names returns the registered database names in registration order.
-func (e *Engine) Names() []string { return append([]string(nil), e.order...) }
+func (e *Engine) Names() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return append([]string(nil), e.order...)
+}
 
 // SetPollTimes installs the polling-time sequence used to resolve t[0],
 // t[-1], ... (paper Section 6): t[0] is the last element, t[-i] counts back
-// from it, and references beyond the start resolve to -infinity.
+// from it, and references beyond the start resolve to -infinity. Each
+// evaluation snapshots the sequence when it starts, so concurrent queries
+// each see one consistent sequence.
 func (e *Engine) SetPollTimes(times []timestamp.Time) {
-	e.pollTimes = append([]timestamp.Time(nil), times...)
+	copied := append([]timestamp.Time(nil), times...)
+	e.mu.Lock()
+	e.pollTimes = copied
+	e.mu.Unlock()
 }
 
-func (e *Engine) pollTime(idx int) timestamp.Time {
-	// idx is 0 or negative: t[0] = last poll, t[-1] = previous, ...
-	i := len(e.pollTimes) - 1 + idx
-	if i < 0 || len(e.pollTimes) == 0 {
-		return timestamp.NegInf
+// SetParallelism sets the number of worker goroutines used to evaluate the
+// outermost from-clause binding stream. n <= 0 selects runtime.GOMAXPROCS.
+// With n == 1 (the default) evaluation is strictly serial. Parallel
+// results are byte-identical to serial ones: bindings are partitioned in
+// order, per-worker shards preserve that order, and the merge deduplicates
+// in the same sequence serial evaluation would.
+func (e *Engine) SetParallelism(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
 	}
-	if i >= len(e.pollTimes) {
-		return timestamp.PosInf
-	}
-	return e.pollTimes[i]
+	e.mu.Lock()
+	e.workers = n
+	e.mu.Unlock()
+}
+
+// Parallelism returns the configured worker count.
+func (e *Engine) Parallelism() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.workers
 }
 
 // Query parses, canonicalizes and evaluates a query. Parsed queries are
 // cached by source text, so repeated evaluation of standing queries pays
 // only for evaluation.
 func (e *Engine) Query(src string) (*Result, error) {
+	return e.QueryContext(context.Background(), src)
+}
+
+// QueryContext is Query with cancellation: evaluation aborts with the
+// context's error shortly after ctx is cancelled.
+func (e *Engine) QueryContext(ctx context.Context, src string) (*Result, error) {
 	e.cacheMu.Lock()
 	q, ok := e.cache[src]
 	e.cacheMu.Unlock()
@@ -96,7 +141,7 @@ func (e *Engine) Query(src string) (*Result, error) {
 		e.cache[src] = q
 		e.cacheMu.Unlock()
 	}
-	return e.Eval(q)
+	return e.EvalContext(ctx, q)
 }
 
 // binding is a variable binding: a graph node (optionally viewed as of a
@@ -181,13 +226,103 @@ type pathResult struct {
 	env *env
 }
 
+// evaluation carries the per-query state of one Eval call: an immutable
+// snapshot of the engine's graphs and polling times, the caller's context,
+// and a cancellation-check counter. Engine state mutated after the
+// snapshot (Register, SetPollTimes) does not affect an evaluation in
+// flight, which is what makes one Engine safe for concurrent queries.
+// Each parallel worker gets its own evaluation (sharing the snapshots) so
+// the counter is not contended.
+type evaluation struct {
+	graphs    map[string]Graph
+	pollTimes []timestamp.Time
+	ctx       context.Context
+	tick      int
+}
+
+// newEvaluation snapshots the engine state for one query.
+func (e *Engine) newEvaluation(ctx context.Context) *evaluation {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return &evaluation{graphs: e.graphs, pollTimes: e.pollTimes, ctx: ctx}
+}
+
+// fork clones the evaluation for a parallel worker: shared snapshots, own
+// cancellation counter.
+func (ev *evaluation) fork() *evaluation {
+	return &evaluation{graphs: ev.graphs, pollTimes: ev.pollTimes, ctx: ev.ctx}
+}
+
+// cancelCheckInterval is how many checkCancel calls pass between real
+// context polls; checks sit on per-tuple and per-frontier hot paths, so the
+// interval trades abort latency against overhead.
+const cancelCheckInterval = 1024
+
+// checkCancel polls the context every cancelCheckInterval calls.
+func (ev *evaluation) checkCancel() error {
+	ev.tick++
+	if ev.tick%cancelCheckInterval != 0 {
+		return nil
+	}
+	select {
+	case <-ev.ctx.Done():
+		return ev.ctx.Err()
+	default:
+		return nil
+	}
+}
+
+func (ev *evaluation) pollTime(idx int) timestamp.Time {
+	// idx is 0 or negative: t[0] = last poll, t[-1] = previous, ...
+	i := len(ev.pollTimes) - 1 + idx
+	if i < 0 || len(ev.pollTimes) == 0 {
+		return timestamp.NegInf
+	}
+	if i >= len(ev.pollTimes) {
+		return timestamp.PosInf
+	}
+	return ev.pollTimes[i]
+}
+
 // Eval evaluates a canonicalized query.
 func (e *Engine) Eval(q *Query) (*Result, error) {
+	return e.EvalContext(context.Background(), q)
+}
+
+// EvalContext evaluates a canonicalized query under a context. When the
+// engine's parallelism is above one, the outermost from-clause binding
+// stream is partitioned across that many workers; the merged result is
+// byte-identical to serial evaluation.
+func (e *Engine) EvalContext(ctx context.Context, q *Query) (*Result, error) {
+	ev := e.newEvaluation(ctx)
+	gens := make([]FromItem, 0, len(q.From)+len(q.WhereGens))
+	gens = append(gens, q.From...)
+	gens = append(gens, q.WhereGens...)
+	strict := len(q.From) // generators at index >= strict are existential
+	if w := e.Parallelism(); w > 1 {
+		res, done, err := ev.evalParallel(q, gens, strict, w)
+		if done {
+			return res, err
+		}
+	}
 	res := &Result{}
 	seen := make(map[string]bool)
-	emit := func(en *env) error {
+	emit := ev.emitter(q, &res.Rows, seen)
+	if err := ev.enumerate(gens, 0, strict, nil, emit); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// emitter builds the tuple sink for one evaluation: it applies the where
+// clause, builds rows, and appends rows unseen in seen to *rows.
+func (ev *evaluation) emitter(q *Query, rows *[]Row, seen map[string]bool) func(*env) error {
+	return func(en *env) error {
 		if q.Where != nil {
-			ok, err := e.evalBool(en, q.Where)
+			ok, err := ev.evalBool(en, q.Where)
 			if err != nil {
 				return err
 			}
@@ -195,39 +330,34 @@ func (e *Engine) Eval(q *Query) (*Result, error) {
 				return nil
 			}
 		}
-		rows, err := e.buildRows(en, q.Select)
+		built, err := ev.buildRows(en, q.Select)
 		if err != nil {
 			return err
 		}
-		for _, row := range rows {
+		for _, row := range built {
 			k := row.key()
 			if !seen[k] {
 				seen[k] = true
-				res.Rows = append(res.Rows, row)
+				*rows = append(*rows, row)
 			}
 		}
 		return nil
 	}
-	gens := make([]FromItem, 0, len(q.From)+len(q.WhereGens))
-	gens = append(gens, q.From...)
-	gens = append(gens, q.WhereGens...)
-	strict := len(q.From) // generators at index >= strict are existential
-	if err := e.enumerate(gens, 0, strict, nil, emit); err != nil {
-		return nil, err
-	}
-	return res, nil
 }
 
 // enumerate produces the cross product of generator bindings. Strict
 // generators (from clause) eliminate the tuple when empty; existential
 // generators (hoisted where paths) bind null instead, so disjunctions over
 // missing paths still evaluate.
-func (e *Engine) enumerate(gens []FromItem, i, strict int, en *env, emit func(*env) error) error {
+func (ev *evaluation) enumerate(gens []FromItem, i, strict int, en *env, emit func(*env) error) error {
+	if err := ev.checkCancel(); err != nil {
+		return err
+	}
 	if i == len(gens) {
 		return emit(en)
 	}
 	g := gens[i]
-	results, err := e.evalPath(en, g.Path)
+	results, err := ev.evalPath(en, g.Path)
 	if err != nil {
 		return err
 	}
@@ -243,10 +373,10 @@ func (e *Engine) enumerate(gens []FromItem, i, strict int, en *env, emit func(*e
 		for _, v := range pathAnnotVars(g.Path) {
 			nen = nen.extend(v, binding{kind: bNull})
 		}
-		return e.enumerate(gens, i+1, strict, nen, emit)
+		return ev.enumerate(gens, i+1, strict, nen, emit)
 	}
 	for _, r := range results {
-		if err := e.enumerate(gens, i+1, strict, r.env.extend(g.Var, r.b), emit); err != nil {
+		if err := ev.enumerate(gens, i+1, strict, r.env.extend(g.Var, r.b), emit); err != nil {
 			return err
 		}
 	}
@@ -254,11 +384,11 @@ func (e *Engine) enumerate(gens []FromItem, i, strict int, en *env, emit func(*e
 }
 
 // evalPath evaluates a path expression in an environment.
-func (e *Engine) evalPath(en *env, p *PathExpr) ([]pathResult, error) {
+func (ev *evaluation) evalPath(en *env, p *PathExpr) ([]pathResult, error) {
 	var frontier []pathResult
 	if b, ok := en.lookup(p.Head); ok {
 		frontier = []pathResult{{b: b, env: en}}
-	} else if g, ok := e.graphs[p.Head]; ok {
+	} else if g, ok := ev.graphs[p.Head]; ok {
 		frontier = []pathResult{{b: nodeBinding(g, g.Root()), env: en}}
 	} else {
 		return nil, errf(p.P, "unknown name %q (neither a variable in scope nor a registered database)", p.Head)
@@ -268,7 +398,10 @@ func (e *Engine) evalPath(en *env, p *PathExpr) ([]pathResult, error) {
 		dedup := make(map[string]bool)
 		bindsVars := stepBindsVars(step)
 		for _, cur := range frontier {
-			expanded, err := e.expandStep(cur, step)
+			if err := ev.checkCancel(); err != nil {
+				return nil, err
+			}
+			expanded, err := ev.expandStep(cur, step)
 			if err != nil {
 				return nil, err
 			}
@@ -321,7 +454,7 @@ func stepBindsVars(s *PathStep) bool {
 }
 
 // expandStep applies one path step to one binding.
-func (e *Engine) expandStep(cur pathResult, step *PathStep) ([]pathResult, error) {
+func (ev *evaluation) expandStep(cur pathResult, step *PathStep) ([]pathResult, error) {
 	if cur.b.kind != bNode {
 		return nil, nil // cannot traverse from a value or null
 	}
@@ -329,7 +462,7 @@ func (e *Engine) expandStep(cur pathResult, step *PathStep) ([]pathResult, error
 
 	// Regular path group: (a.b|c) with an optional quantifier.
 	if step.Group != nil {
-		return e.expandGroup(cur, step.Group), nil
+		return ev.expandGroup(cur, step.Group), nil
 	}
 
 	// '#' wildcard: all nodes reachable in zero or more steps.
@@ -338,12 +471,15 @@ func (e *Engine) expandStep(cur pathResult, step *PathStep) ([]pathResult, error
 		seen := map[oem.NodeID]bool{cur.b.id: true}
 		stack := []oem.NodeID{cur.b.id}
 		for len(stack) > 0 {
+			if err := ev.checkCancel(); err != nil {
+				return nil, err
+			}
 			n := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			nb := cur.b
 			nb.id = n
 			out = append(out, pathResult{b: nb, env: cur.env})
-			for _, a := range e.liveArcs(cur.b, g, n) {
+			for _, a := range ev.liveArcs(cur.b, g, n) {
 				if !seen[a.Child] {
 					seen[a.Child] = true
 					stack = append(stack, a.Child)
@@ -363,7 +499,7 @@ func (e *Engine) expandStep(cur pathResult, step *PathStep) ([]pathResult, error
 			nb.hasAsOf = true
 			nb.asOf = *asOf
 		}
-		rs, err := e.applyNodeAnnot(pathResult{b: nb, env: en}, step.Node)
+		rs, err := ev.applyNodeAnnot(pathResult{b: nb, env: en}, step.Node)
 		if err != nil {
 			return err
 		}
@@ -373,7 +509,7 @@ func (e *Engine) expandStep(cur pathResult, step *PathStep) ([]pathResult, error
 
 	switch {
 	case step.Arc == nil:
-		for _, a := range e.liveArcs(cur.b, g, cur.b.id) {
+		for _, a := range ev.liveArcs(cur.b, g, cur.b.id) {
 			if !labelMatch(step, a.Label) {
 				continue
 			}
@@ -401,7 +537,7 @@ func (e *Engine) expandStep(cur pathResult, step *PathStep) ([]pathResult, error
 			}
 		}
 	case step.Arc.Op == OpAt:
-		t, ok, err := e.evalTime(cur.env, step.Arc.AtExpr)
+		t, ok, err := ev.evalTime(cur.env, step.Arc.AtExpr)
 		if err != nil {
 			return nil, err
 		}
@@ -429,7 +565,7 @@ func (e *Engine) expandStep(cur pathResult, step *PathStep) ([]pathResult, error
 // quantifier controls repetition. Group labels support '%' globs like
 // ordinary steps. Bindings inherit the time-travel instant; environments
 // are unchanged (groups bind no variables).
-func (e *Engine) expandGroup(cur pathResult, grp *PathGroup) []pathResult {
+func (ev *evaluation) expandGroup(cur pathResult, grp *PathGroup) []pathResult {
 	g := cur.b.g
 
 	// followSeq walks one fixed label sequence from a node set.
@@ -439,7 +575,7 @@ func (e *Engine) expandGroup(cur pathResult, grp *PathGroup) []pathResult {
 			next := make(map[oem.NodeID]bool)
 			glob := strings.Contains(label, "%")
 			for n := range frontier {
-				for _, a := range e.liveArcs(cur.b, g, n) {
+				for _, a := range ev.liveArcs(cur.b, g, n) {
 					if glob {
 						if !value.Str(a.Label).Like(label) {
 							continue
@@ -516,7 +652,7 @@ func sortNodeIDs(ids []oem.NodeID) {
 
 // liveArcs returns the arcs of n visible to an unannotated step: the
 // current snapshot, or the snapshot as of the binding's time-travel instant.
-func (e *Engine) liveArcs(b binding, g Graph, n oem.NodeID) []oem.Arc {
+func (ev *evaluation) liveArcs(b binding, g Graph, n oem.NodeID) []oem.Arc {
 	if !b.hasAsOf {
 		return g.Out(n)
 	}
@@ -531,7 +667,7 @@ func (e *Engine) liveArcs(b binding, g Graph, n oem.NodeID) []oem.Arc {
 
 // applyNodeAnnot filters/expands one reached node through a node annotation
 // expression.
-func (e *Engine) applyNodeAnnot(r pathResult, ann *AnnotExpr) ([]pathResult, error) {
+func (ev *evaluation) applyNodeAnnot(r pathResult, ann *AnnotExpr) ([]pathResult, error) {
 	if ann == nil {
 		return []pathResult{r}, nil
 	}
@@ -564,7 +700,7 @@ func (e *Engine) applyNodeAnnot(r pathResult, ann *AnnotExpr) ([]pathResult, err
 		}
 		return out, nil
 	case OpAt:
-		t, ok, err := e.evalTime(r.env, ann.AtExpr)
+		t, ok, err := ev.evalTime(r.env, ann.AtExpr)
 		if err != nil || !ok {
 			return nil, err
 		}
@@ -595,8 +731,8 @@ func annotKindFor(op AnnotOp) doem.AnnotKind {
 
 // evalTime evaluates an expression to a timestamp (coercing strings and
 // time values).
-func (e *Engine) evalTime(en *env, ex Expr) (timestamp.Time, bool, error) {
-	bs, err := e.evalOperand(en, ex)
+func (ev *evaluation) evalTime(en *env, ex Expr) (timestamp.Time, bool, error) {
+	bs, err := ev.evalOperand(en, ex)
 	if err != nil {
 		return timestamp.Time{}, false, err
 	}
@@ -620,14 +756,14 @@ func (e *Engine) evalTime(en *env, ex Expr) (timestamp.Time, bool, error) {
 }
 
 // evalOperand evaluates an expression to its set of bindings.
-func (e *Engine) evalOperand(en *env, ex Expr) ([]binding, error) {
+func (ev *evaluation) evalOperand(en *env, ex Expr) ([]binding, error) {
 	switch x := ex.(type) {
 	case *ConstExpr:
 		return []binding{valueBinding(x.Val)}, nil
 	case *TimeRefExpr:
-		return []binding{valueBinding(value.Time(e.pollTime(x.Index)))}, nil
+		return []binding{valueBinding(value.Time(ev.pollTime(x.Index)))}, nil
 	case *PathValueExpr:
-		rs, err := e.evalPath(en, x.Path)
+		rs, err := ev.evalPath(en, x.Path)
 		if err != nil {
 			return nil, err
 		}
@@ -639,11 +775,11 @@ func (e *Engine) evalOperand(en *env, ex Expr) ([]binding, error) {
 	case *BinExpr:
 		switch x.Op {
 		case "+", "-", "*", "/":
-			ls, err := e.evalOperand(en, x.L)
+			ls, err := ev.evalOperand(en, x.L)
 			if err != nil {
 				return nil, err
 			}
-			rs, err := e.evalOperand(en, x.R)
+			rs, err := ev.evalOperand(en, x.R)
 			if err != nil {
 				return nil, err
 			}
@@ -666,20 +802,20 @@ func (e *Engine) evalOperand(en *env, ex Expr) ([]binding, error) {
 			return out, nil
 		default:
 			// A boolean expression in operand position.
-			ok, err := e.evalBool(en, x)
+			ok, err := ev.evalBool(en, x)
 			if err != nil {
 				return nil, err
 			}
 			return []binding{valueBinding(value.Bool(ok))}, nil
 		}
 	case *NotExpr, *ExistsExpr:
-		ok, err := e.evalBool(en, ex)
+		ok, err := ev.evalBool(en, ex)
 		if err != nil {
 			return nil, err
 		}
 		return []binding{valueBinding(value.Bool(ok))}, nil
 	case *AggExpr:
-		v, err := e.evalAggregate(en, x)
+		v, err := ev.evalAggregate(en, x)
 		if err != nil {
 			return nil, err
 		}
@@ -692,8 +828,8 @@ func (e *Engine) evalOperand(en *env, ex Expr) ([]binding, error) {
 // current tuple environment. count tallies matches; min/max/sum/avg fold
 // the coercible numeric (or, for min/max, comparable) values and yield null
 // on an empty fold.
-func (e *Engine) evalAggregate(en *env, agg *AggExpr) (value.Value, error) {
-	rs, err := e.evalPath(en, agg.Path)
+func (ev *evaluation) evalAggregate(en *env, agg *AggExpr) (value.Value, error) {
+	rs, err := ev.evalPath(en, agg.Path)
 	if err != nil {
 		return value.Value{}, err
 	}
@@ -745,30 +881,30 @@ func (e *Engine) evalAggregate(en *env, agg *AggExpr) (value.Value, error) {
 // evalBool evaluates an expression as a predicate. Comparisons over path
 // sets are existential; coercion failures and null bindings yield false
 // (the Lorel "forgiving" semantics of Example 4.1).
-func (e *Engine) evalBool(en *env, ex Expr) (bool, error) {
+func (ev *evaluation) evalBool(en *env, ex Expr) (bool, error) {
 	switch x := ex.(type) {
 	case *BinExpr:
 		switch x.Op {
 		case "and":
-			l, err := e.evalBool(en, x.L)
+			l, err := ev.evalBool(en, x.L)
 			if err != nil || !l {
 				return false, err
 			}
-			return e.evalBool(en, x.R)
+			return ev.evalBool(en, x.R)
 		case "or":
-			l, err := e.evalBool(en, x.L)
+			l, err := ev.evalBool(en, x.L)
 			if err != nil || l {
 				return l, err
 			}
-			return e.evalBool(en, x.R)
+			return ev.evalBool(en, x.R)
 		case "=", "!=", "<", "<=", ">", ">=":
-			return e.evalCompare(en, x)
+			return ev.evalCompare(en, x)
 		case "like":
-			ls, err := e.evalOperand(en, x.L)
+			ls, err := ev.evalOperand(en, x.L)
 			if err != nil {
 				return false, err
 			}
-			rs, err := e.evalOperand(en, x.R)
+			rs, err := ev.evalOperand(en, x.R)
 			if err != nil {
 				return false, err
 			}
@@ -792,15 +928,15 @@ func (e *Engine) evalBool(en *env, ex Expr) (bool, error) {
 			return false, errf(x.P, "operator %q is not a predicate", x.Op)
 		}
 	case *NotExpr:
-		ok, err := e.evalBool(en, x.E)
+		ok, err := ev.evalBool(en, x.E)
 		return !ok, err
 	case *ExistsExpr:
-		rs, err := e.evalPath(en, x.In)
+		rs, err := ev.evalPath(en, x.In)
 		if err != nil {
 			return false, err
 		}
 		for _, r := range rs {
-			ok, err := e.evalBool(r.env.extend(x.Var, r.b), x.Cond)
+			ok, err := ev.evalBool(r.env.extend(x.Var, r.b), x.Cond)
 			if err != nil {
 				return false, err
 			}
@@ -812,7 +948,7 @@ func (e *Engine) evalBool(en *env, ex Expr) (bool, error) {
 	case *ConstExpr:
 		return x.Val.Truthy(), nil
 	case *PathValueExpr:
-		bs, err := e.evalOperand(en, ex)
+		bs, err := ev.evalOperand(en, ex)
 		if err != nil {
 			return false, err
 		}
@@ -828,12 +964,12 @@ func (e *Engine) evalBool(en *env, ex Expr) (bool, error) {
 	return false, errf(ex.Pos(), "cannot evaluate %s as a predicate", ex)
 }
 
-func (e *Engine) evalCompare(en *env, x *BinExpr) (bool, error) {
-	ls, err := e.evalOperand(en, x.L)
+func (ev *evaluation) evalCompare(en *env, x *BinExpr) (bool, error) {
+	ls, err := ev.evalOperand(en, x.L)
 	if err != nil {
 		return false, err
 	}
-	rs, err := e.evalOperand(en, x.R)
+	rs, err := ev.evalOperand(en, x.R)
 	if err != nil {
 		return false, err
 	}
@@ -877,10 +1013,10 @@ func (e *Engine) evalCompare(en *env, x *BinExpr) (bool, error) {
 // buildRows constructs result rows for one satisfied tuple. Select items
 // normally evaluate to single bindings; items that still denote sets fan
 // out into one row per combination.
-func (e *Engine) buildRows(en *env, items []SelectItem) ([]Row, error) {
+func (ev *evaluation) buildRows(en *env, items []SelectItem) ([]Row, error) {
 	cells := make([][]binding, len(items))
 	for i, item := range items {
-		bs, err := e.evalOperand(en, item.Expr)
+		bs, err := ev.evalOperand(en, item.Expr)
 		if err != nil {
 			return nil, err
 		}

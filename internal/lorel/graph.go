@@ -14,6 +14,15 @@ import (
 // the paper's "a standard Lorel query over a DOEM database has exactly the
 // semantics of the same query asked over the current snapshot").
 //
+// Concurrency contract: every method is a read. Implementations must be
+// safe for any number of concurrent readers as long as the underlying
+// database is not mutated mid-query — parallel evaluation fans one query
+// out across goroutines that all read the same Graph. Both *doem.Database
+// and *oem.Database honor this (their read methods are pure map and slice
+// lookups with no interior caching); whoever mutates a shared database
+// (doem.Apply, oem mutators) must exclude running queries, e.g. via
+// lore.Store.ViewDOEM or wrapper.Mutable.
+//
 // *doem.Database satisfies Graph directly.
 type Graph interface {
 	// Root returns the root object.

@@ -1,0 +1,97 @@
+package lorel
+
+import "sync"
+
+// evalParallel evaluates a canonicalized query by partitioning the
+// outermost from-clause binding stream across workers goroutines.
+//
+// The outermost generator's bindings are computed serially (path expansion
+// for a single generator is cheap relative to the nested enumeration it
+// feeds), then split into contiguous ranges, one per worker. Each worker
+// owns a forked evaluation and enumerates the remaining generators for its
+// range exactly as serial evaluation would, collecting rows into a private
+// shard with a private dedup map. Shards are concatenated in partition
+// order under a global dedup, which yields the same row sequence as serial
+// evaluation: dedup keeps the first occurrence, so deduplicating
+// already-deduplicated shards in order is equivalent to deduplicating the
+// full serial stream.
+//
+// done reports whether parallel evaluation handled the query; when false
+// the caller must fall back to serial evaluation (no generators to
+// partition, or too few outer bindings to be worth fanning out — the
+// serial path also owns the empty-generator existential-null semantics).
+func (ev *evaluation) evalParallel(q *Query, gens []FromItem, strict, workers int) (res *Result, done bool, err error) {
+	if len(gens) == 0 {
+		return nil, false, nil
+	}
+	outer, err := ev.evalPath(nil, gens[0].Path)
+	if err != nil {
+		return nil, true, err
+	}
+	if len(outer) < 2 {
+		return nil, false, nil
+	}
+	if workers > len(outer) {
+		workers = len(outer)
+	}
+
+	type shard struct {
+		rows []Row
+		// errAt is the outer-binding index at which err occurred; the
+		// merge returns the error with the smallest index, which is the
+		// first error serial evaluation would have hit.
+		errAt int
+		err   error
+	}
+	shards := make([]shard, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * len(outer) / workers
+		hi := (w + 1) * len(outer) / workers
+		wg.Add(1)
+		go func(sh *shard, lo, hi int) {
+			defer wg.Done()
+			wev := ev.fork()
+			seen := make(map[string]bool)
+			emit := wev.emitter(q, &sh.rows, seen)
+			for i := lo; i < hi; i++ {
+				r := outer[i]
+				en := r.env.extend(gens[0].Var, r.b)
+				if err := wev.enumerate(gens, 1, strict, en, emit); err != nil {
+					sh.errAt, sh.err = i, err
+					return
+				}
+			}
+		}(&shards[w], lo, hi)
+	}
+	wg.Wait()
+
+	// Workers are not cancelled when a sibling fails: each runs its range
+	// to completion (or its own first error), so the minimum error index
+	// across shards identifies exactly the error serial evaluation
+	// reports. Errors are rare; the wasted work is an acceptable price
+	// for byte-identical error behavior.
+	var firstErr error
+	firstAt := -1
+	for i := range shards {
+		if shards[i].err != nil && (firstAt < 0 || shards[i].errAt < firstAt) {
+			firstAt, firstErr = shards[i].errAt, shards[i].err
+		}
+	}
+	if firstErr != nil {
+		return nil, true, firstErr
+	}
+
+	res = &Result{}
+	seen := make(map[string]bool)
+	for i := range shards {
+		for _, row := range shards[i].rows {
+			k := row.key()
+			if !seen[k] {
+				seen[k] = true
+				res.Rows = append(res.Rows, row)
+			}
+		}
+	}
+	return res, true, nil
+}

@@ -1,0 +1,363 @@
+package lorel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/doem"
+	"repro/internal/guidegen"
+	"repro/internal/oem"
+	"repro/internal/timestamp"
+)
+
+// syntheticEngines builds serial and parallel engines over the same
+// randomly evolved guide DOEM, with identical polling times installed.
+func syntheticEngines(t testing.TB, seed int64, restaurants, steps, ops, workers int) (*Engine, *Engine) {
+	t.Helper()
+	initial, h := guidegen.GenerateHistory(seed, restaurants, steps, ops)
+	d, err := doem.FromHistory(initial, h)
+	if err != nil {
+		t.Fatalf("building DOEM: %v", err)
+	}
+	var times []timestamp.Time
+	for _, step := range h {
+		times = append(times, step.At)
+	}
+	serial := NewEngine()
+	serial.Register("guide", d)
+	serial.SetPollTimes(times)
+	par := NewEngine()
+	par.Register("guide", d)
+	par.SetPollTimes(times)
+	par.SetParallelism(workers)
+	return serial, par
+}
+
+// randomQuery composes a random Chorel query over the synthetic guide
+// vocabulary: nested generators, wildcards, globs, arc and node
+// annotations, time references and where clauses of varying shape.
+func randomQuery(rng *rand.Rand) string {
+	labels := []string{"name", "price", "cuisine", "address", "comment", "parking", "nearby-eats"}
+	cuisines := []string{"thai", "italian", "mexican", "diner", "sushi", "bbq"}
+	lbl := func() string { return labels[rng.Intn(len(labels))] }
+	date := func() string { return fmt.Sprintf("%dJan97", 1+rng.Intn(9)) }
+
+	from := []string{"guide.restaurant R"}
+	sel := []string{"R"}
+	var where []string
+
+	switch rng.Intn(8) {
+	case 0: // reachability wildcard
+		from = append(from, "R.# C")
+		sel = append(sel, "C")
+		if rng.Intn(2) == 0 {
+			where = append(where, fmt.Sprintf("C = %q", cuisines[rng.Intn(len(cuisines))]))
+		}
+	case 1: // label glob
+		from = append(from, "R.%a% X")
+		sel = append(sel, "X")
+	case 2: // arc add annotation with bound time
+		from = append(from, fmt.Sprintf("R.<add at T>%s C", lbl()))
+		sel = append(sel, "C", "T")
+		if rng.Intn(2) == 0 {
+			where = append(where, "T > "+date())
+		}
+	case 3: // arc rem annotation
+		from = append(from, fmt.Sprintf("R.<rem at T>%s C", lbl()))
+		sel = append(sel, "T")
+	case 4: // node upd annotation on price
+		from = append(from, "R.price P")
+		sel = append(sel, "T", "NV")
+		from[1] = "R.price<upd at T to NV> P"
+	case 5: // plain nested generator
+		from = append(from, fmt.Sprintf("R.%s X", lbl()))
+		sel = append(sel, "X")
+	case 6: // snapshot at a past instant
+		from = append(from, fmt.Sprintf("R.<at %s>%s X", date(), lbl()))
+		sel = append(sel, "X")
+	case 7: // aggregate in the where clause
+		where = append(where, fmt.Sprintf("count(R.%s) >= %d", lbl(), rng.Intn(3)))
+		sel = append(sel, "R.name")
+	}
+
+	switch rng.Intn(5) {
+	case 0:
+		where = append(where, fmt.Sprintf("R.price < %d", 5+rng.Intn(40)))
+	case 1:
+		where = append(where, fmt.Sprintf("R.cuisine = %q", cuisines[rng.Intn(len(cuisines))]))
+	case 2:
+		where = append(where, fmt.Sprintf("R.name like %q", "%"+string(rune('a'+rng.Intn(26)))+"%"))
+	case 3:
+		where = append(where, fmt.Sprintf("exists C in R.comment : C != %q", "x"))
+	case 4: // creation-time predicate via an existential generator
+		from = append(from, fmt.Sprintf("R.%s<cre at CT> Y", lbl()))
+		where = append(where, "CT > "+date())
+	}
+
+	q := "select " + join(sel) + " from " + join(from)
+	if len(where) > 0 {
+		op := " and "
+		if rng.Intn(3) == 0 {
+			op = " or "
+		}
+		q += " where " + joinWith(where, op)
+	}
+	return q
+}
+
+func join(xs []string) string { return joinWith(xs, ", ") }
+
+func joinWith(xs []string, sep string) string {
+	out := ""
+	for i, x := range xs {
+		if i > 0 {
+			out += sep
+		}
+		out += x
+	}
+	return out
+}
+
+func rowKeys(res *Result) []string {
+	keys := make([]string, len(res.Rows))
+	for i, r := range res.Rows {
+		keys[i] = r.key()
+	}
+	return keys
+}
+
+// TestParallelMatchesSerialRandom is the tentpole property test: on 120
+// randomized queries over randomized histories, parallel evaluation must
+// produce a Result byte-identical to serial evaluation (same rows, same
+// order), and identical errors when a query fails.
+func TestParallelMatchesSerialRandom(t *testing.T) {
+	const queriesPerDB = 40
+	total, okCount := 0, 0
+	for dbSeed := int64(0); dbSeed < 3; dbSeed++ {
+		serial, par := syntheticEngines(t, dbSeed, 25, 6, 6, 4)
+		rng := rand.New(rand.NewSource(100 + dbSeed))
+		for i := 0; i < queriesPerDB; i++ {
+			q := randomQuery(rng)
+			total++
+			rs, errS := serial.Query(q)
+			rp, errP := par.Query(q)
+			if (errS == nil) != (errP == nil) {
+				t.Fatalf("db %d query %q: serial err=%v, parallel err=%v", dbSeed, q, errS, errP)
+			}
+			if errS != nil {
+				if errS.Error() != errP.Error() {
+					t.Fatalf("db %d query %q: error mismatch:\nserial:   %v\nparallel: %v", dbSeed, q, errS, errP)
+				}
+				continue
+			}
+			okCount++
+			if rs.String() != rp.String() {
+				t.Fatalf("db %d query %q: results differ:\nserial:\n%s\nparallel:\n%s", dbSeed, q, rs, rp)
+			}
+			sk, pk := rowKeys(rs), rowKeys(rp)
+			for j := range sk {
+				if sk[j] != pk[j] {
+					t.Fatalf("db %d query %q: row %d key differs: %s vs %s", dbSeed, q, j, sk[j], pk[j])
+				}
+			}
+		}
+	}
+	if total < 100 {
+		t.Fatalf("property test ran only %d queries, want >= 100", total)
+	}
+	// Guard against the generator degrading into queries that all fail to
+	// parse (which would compare errors instead of results).
+	if okCount*10 < total*9 {
+		t.Fatalf("only %d/%d random queries evaluated cleanly", okCount, total)
+	}
+}
+
+// TestParallelMatchesSerialPaperQueries pins the equivalence on the
+// paper's own examples at several worker counts, including counts above
+// the binding count.
+func TestParallelMatchesSerialPaperQueries(t *testing.T) {
+	queries := []string{
+		`select guide.restaurant`,
+		`select guide.restaurant.name`,
+		`select R.name from guide.restaurant R where R.price < 20`,
+		`select C from guide.restaurant.<add at T>comment C where T > 1Mar97`,
+		`select N, T, NV from guide.restaurant R, R.name N, R.price<upd at T to NV>`,
+		`select guide.#`,
+	}
+	e, _, d := paperEngine(t)
+	for _, workers := range []int{2, 3, 8, 64} {
+		par := NewEngine()
+		par.Register("guide", d)
+		par.SetParallelism(workers)
+		for _, q := range queries {
+			rs, err := e.Query(q)
+			if err != nil {
+				t.Fatalf("%q serial: %v", q, err)
+			}
+			rp, err := par.Query(q)
+			if err != nil {
+				t.Fatalf("%q parallel(%d): %v", q, workers, err)
+			}
+			if rs.String() != rp.String() {
+				t.Errorf("%q parallel(%d) differs:\nserial:\n%s\nparallel:\n%s", q, workers, rs, rp)
+			}
+		}
+	}
+}
+
+// TestParallelErrorMatchesSerial checks that a query failing mid-stream
+// reports the same error in both modes (the parallel merge must pick the
+// first error in binding order, not whichever worker failed first).
+func TestParallelErrorMatchesSerial(t *testing.T) {
+	serial, par := syntheticEngines(t, 1, 25, 4, 4, 4)
+	// "+" is not a predicate, so the where clause errors on the first
+	// tuple that reaches it.
+	q := `select R from guide.restaurant R where R.price + 1`
+	_, errS := serial.Query(q)
+	_, errP := par.Query(q)
+	if errS == nil || errP == nil {
+		t.Fatalf("expected errors, got serial=%v parallel=%v", errS, errP)
+	}
+	if errS.Error() != errP.Error() {
+		t.Fatalf("error mismatch:\nserial:   %v\nparallel: %v", errS, errP)
+	}
+}
+
+// gateGraph wraps a Graph so a test can freeze evaluation mid-query: after
+// threshold Out calls it closes reached and blocks every subsequent Out
+// until release is closed. This makes cancellation tests deterministic on
+// any machine speed: the test cancels while evaluation is provably
+// mid-flight, then releases and requires a prompt context.Canceled.
+type gateGraph struct {
+	Graph
+	threshold int32
+	calls     int32
+	reached   chan struct{}
+	release   chan struct{}
+	once      sync.Once
+}
+
+func newGateGraph(g Graph, threshold int32) *gateGraph {
+	return &gateGraph{Graph: g, threshold: threshold, reached: make(chan struct{}), release: make(chan struct{})}
+}
+
+func (g *gateGraph) Out(n oem.NodeID) []oem.Arc {
+	if atomic.AddInt32(&g.calls, 1) >= g.threshold {
+		g.once.Do(func() { close(g.reached) })
+		<-g.release
+	}
+	return g.Graph.Out(n)
+}
+
+func cancellationDB(t testing.TB) *doem.Database {
+	t.Helper()
+	initial, h := guidegen.GenerateHistory(2, 150, 3, 4)
+	d, err := doem.FromHistory(initial, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func testCancellation(t *testing.T, workers int) {
+	g := newGateGraph(cancellationDB(t), 100)
+	e := NewEngine()
+	e.Register("guide", g)
+	e.SetParallelism(workers)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	done := make(chan error, 1)
+	go func() {
+		// Reachability from every restaurant touches the whole shared
+		// parking/nearby-eats component: far more work than the gate
+		// threshold, so the query cannot finish before the gate trips.
+		_, err := e.QueryContext(ctx, `select C from guide.restaurant R, R.# C where C = "no such value"`)
+		done <- err
+	}()
+
+	select {
+	case <-g.reached:
+	case <-time.After(30 * time.Second):
+		t.Fatal("query never reached the gate")
+	}
+	cancel()
+	close(g.release)
+
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("query did not abort after cancellation")
+	}
+}
+
+func TestCancellationSerial(t *testing.T)   { testCancellation(t, 1) }
+func TestCancellationParallel(t *testing.T) { testCancellation(t, 4) }
+
+// TestConcurrentEngineUse exercises one Engine from many goroutines —
+// queries in both modes interleaved with SetPollTimes and Register — and
+// relies on the race detector to catch unsynchronized state. It also
+// checks that every concurrent query still returns the serial answer.
+func TestConcurrentEngineUse(t *testing.T) {
+	serial, par := syntheticEngines(t, 4, 20, 5, 5, 4)
+	queries := []string{
+		`select R.name from guide.restaurant R where R.price < 25`,
+		`select C from guide.restaurant.<add at T>comment C where T > t[-2]`,
+		`select guide.#`,
+	}
+	want := make([]string, len(queries))
+	for i, q := range queries {
+		res, err := serial.Query(q)
+		if err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+		want[i] = res.String()
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				qi := (w + i) % len(queries)
+				res, err := par.Query(queries[qi])
+				if err != nil {
+					errCh <- fmt.Errorf("%q: %w", queries[qi], err)
+					return
+				}
+				if got := res.String(); got != want[qi] {
+					errCh <- fmt.Errorf("%q: concurrent result differs", queries[qi])
+					return
+				}
+			}
+		}(w)
+	}
+	// Engine-state writers running alongside the queries. Re-installing
+	// the same poll times keeps the concurrent answers comparable.
+	times := append([]timestamp.Time(nil), par.newEvaluation(nil).pollTimes...)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		extra, _ := guidegen.PaperGuide()
+		for i := 0; i < 20; i++ {
+			par.SetPollTimes(times)
+			par.Register(fmt.Sprintf("scratch%d", i%3), NewOEMGraph(extra))
+		}
+	}()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}

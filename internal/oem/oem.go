@@ -41,6 +41,10 @@ func (a Arc) String() string {
 }
 
 // Database is an OEM database: the 4-tuple (N, A, v, r) of Definition 2.1.
+//
+// Concurrency: read methods (including Out/In, which return live slices
+// callers must not modify) are pure lookups, so a Database is safe for
+// concurrent readers once built; mutators must exclude them.
 type Database struct {
 	values map[NodeID]value.Value
 	out    map[NodeID][]Arc // insertion-ordered outgoing arcs

@@ -11,6 +11,7 @@
 package qss
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -67,6 +68,9 @@ type Service struct {
 	// write-ahead log so restarts recover history without re-polling.
 	walDir string
 	walOpt *wal.Options
+	// workers is the evaluation parallelism applied to the per-poll
+	// polling- and filter-query engines (0 = serial).
+	workers int
 }
 
 type subState struct {
@@ -98,6 +102,15 @@ func NewService(fn func(Notification)) *Service {
 		fn = func(Notification) {}
 	}
 	return &Service{subs: make(map[string]*subState), notify: fn}
+}
+
+// SetParallelism sets the evaluation worker count used by every poll's
+// polling- and filter-query engines (n <= 0 selects GOMAXPROCS; see
+// lorel.Engine.SetParallelism). Polls already in flight are unaffected.
+func (s *Service) SetParallelism(n int) {
+	s.mu.Lock()
+	s.workers = n
+	s.mu.Unlock()
 }
 
 // Subscribe registers a subscription. The polling and filter queries are
@@ -233,8 +246,15 @@ func (s *Service) Truncate(name string, t timestamp.Time) error {
 // notification if the filter result is non-empty. It returns the
 // notification (nil when empty) — Figure 6's dataflow.
 func (s *Service) Poll(name string, t timestamp.Time) (*Notification, error) {
+	return s.PollContext(context.Background(), name, t)
+}
+
+// PollContext is Poll with cancellation: the polling and filter query
+// evaluations abort shortly after ctx is cancelled.
+func (s *Service) PollContext(ctx context.Context, name string, t timestamp.Time) (*Notification, error) {
 	s.mu.Lock()
 	st, ok := s.subs[name]
+	workers := s.workers
 	if !ok {
 		s.mu.Unlock()
 		return nil, fmt.Errorf("%w: %q", ErrNoSuchSub, name)
@@ -255,7 +275,10 @@ func (s *Service) Poll(name string, t timestamp.Time) (*Notification, error) {
 	}
 	eng := lorel.NewEngine()
 	eng.Register(st.sub.SourceName, lorel.NewOEMGraph(snap))
-	res, err := eng.Query(st.sub.Polling)
+	if workers != 0 {
+		eng.SetParallelism(workers)
+	}
+	res, err := eng.QueryContext(ctx, st.sub.Polling)
 	if err != nil {
 		return nil, fmt.Errorf("qss: polling query: %w", err)
 	}
@@ -304,7 +327,10 @@ func (s *Service) Poll(name string, t timestamp.Time) (*Notification, error) {
 	feng := lorel.NewEngine()
 	feng.Register(st.sub.Name, st.d)
 	feng.SetPollTimes(st.pollTimes)
-	fres, err := feng.Query(st.sub.Filter)
+	if workers != 0 {
+		feng.SetParallelism(workers)
+	}
+	fres, err := feng.QueryContext(ctx, st.sub.Filter)
 	if err != nil {
 		return nil, fmt.Errorf("qss: filter query: %w", err)
 	}
