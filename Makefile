@@ -2,12 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build test race vet cover bench harness examples fuzz ci fmtcheck clean
+.PHONY: all build test race vet lint cover bench harness examples fuzz ci fmtcheck clean
 
 all: build test
 
 # Mirrors .github/workflows/ci.yml locally: formatting gate, build, vet,
 # tests, and the race-detector run that gates the parallel evaluator.
+# (CI additionally runs `make lint`, which needs network access to
+# install its tools.)
 ci: fmtcheck build test race
 
 fmtcheck:
@@ -28,6 +30,14 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis beyond vet plus vulnerability scanning; mirrors the CI
+# lint job. Installs the tools on first use (network required).
+lint:
+	$(GO) install honnef.co/go/tools/cmd/staticcheck@latest
+	$(GO) install golang.org/x/vuln/cmd/govulncheck@latest
+	$$($(GO) env GOPATH)/bin/staticcheck ./...
+	$$($(GO) env GOPATH)/bin/govulncheck ./...
 
 cover:
 	$(GO) test -cover ./...
@@ -57,6 +67,8 @@ fuzz:
 	$(GO) test -fuzz='^FuzzParse$$' -fuzztime=30s -run xxx ./internal/timestamp/
 	$(GO) test -fuzz='^FuzzRead$$' -fuzztime=30s -run xxx ./internal/oemio/
 	$(GO) test -fuzz='^FuzzWALRecordDecode$$' -fuzztime=30s -run xxx ./internal/wal/
+	$(GO) test -fuzz='^FuzzRequestDecode$$' -fuzztime=30s -run xxx ./internal/qss/
+	$(GO) test -fuzz='^FuzzReadLine$$' -fuzztime=30s -run xxx ./internal/qss/
 
 clean:
 	rm -f test_output.txt bench_output.txt htmldiff-output.html

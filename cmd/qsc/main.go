@@ -6,7 +6,7 @@
 //
 //	qsc -connect ADDR list
 //	qsc -connect ADDR poll NAME [TIME]
-//	qsc -connect ADDR watch NAME SOURCE POLLING FILTER [FREQ]
+//	qsc -connect ADDR [-reconnect] [-ping DUR] [-idle DUR] watch NAME SOURCE POLLING FILTER [FREQ]
 //
 // Example (against the demo server):
 //
@@ -14,12 +14,24 @@
 //	  'select guide.restaurant' \
 //	  'select NewRestaurants.restaurant<cre at T> where T > t[-1]' \
 //	  'every 3 seconds'
+//
+// With -reconnect, watch survives server restarts and network drops: the
+// client redials with backoff, resumes its subscription (replaying what
+// the server buffered during the outage) and dedupes notifications, so
+// each one prints exactly once. -ping keeps a server-side idle timeout
+// from reaping the connection; -idle tears down (and, with -reconnect,
+// redials) a connection whose server has gone silent. Ctrl-C exits
+// cleanly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/oem"
 	"repro/internal/qss"
@@ -28,12 +40,15 @@ import (
 func main() {
 	addr := flag.String("connect", "127.0.0.1:4997", "qss server address")
 	sourceName := flag.String("source-name", "", "name the polling query uses for the source (default: the source name)")
+	reconnect := flag.Bool("reconnect", false, "auto-reconnect and resume subscriptions (watch mode)")
+	ping := flag.Duration("ping", 0, "ping the server at this interval to defeat its idle timeout (0 = off)")
+	idle := flag.Duration("idle", 0, "give up on a connection silent for this long (0 = never)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
 	}
-	if err := run(*addr, *sourceName, args); err != nil {
+	if err := run(*addr, *sourceName, *reconnect, *ping, *idle, args); err != nil {
 		fmt.Fprintln(os.Stderr, "qsc:", err)
 		os.Exit(1)
 	}
@@ -43,19 +58,21 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   qsc [-connect ADDR] list
   qsc [-connect ADDR] poll NAME [TIME]
-  qsc [-connect ADDR] watch NAME SOURCE POLLING FILTER [FREQ]`)
+  qsc [-connect ADDR] [-reconnect] [-ping DUR] [-idle DUR] watch NAME SOURCE POLLING FILTER [FREQ]`)
 	os.Exit(2)
 }
 
-func run(addr, sourceName string, args []string) error {
-	cl, err := qss.Dial(addr)
-	if err != nil {
-		return err
-	}
-	defer cl.Close()
+func run(addr, sourceName string, reconnect bool, ping, idle time.Duration, args []string) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	switch args[0] {
 	case "list":
+		cl, err := qss.Dial(addr)
+		if err != nil {
+			return err
+		}
+		defer cl.Close()
 		names, err := cl.List()
 		if err != nil {
 			return err
@@ -72,6 +89,11 @@ func run(addr, sourceName string, args []string) error {
 		if len(args) > 2 {
 			at = args[2]
 		}
+		cl, err := qss.Dial(addr)
+		if err != nil {
+			return err
+		}
+		defer cl.Close()
 		return cl.Poll(args[1], at)
 	case "watch":
 		if len(args) < 5 {
@@ -86,18 +108,110 @@ func run(addr, sourceName string, args []string) error {
 		if sn == "" {
 			sn = source
 		}
-		if err := cl.Subscribe(name, source, sn, polling, filter, freq); err != nil {
-			return err
+		if reconnect {
+			return watchRobust(ctx, addr, name, source, sn, polling, filter, freq, ping, idle)
 		}
-		fmt.Printf("qsc: subscribed %q; waiting for notifications (Ctrl-C to stop)\n", name)
-		for n := range cl.Notifications() {
-			fmt.Printf("\n== %s @ %s ==\n", n.Subscription, n.At)
-			printAnswer(n.Answer)
-		}
-		return nil
+		return watchOnce(ctx, addr, name, source, sn, polling, filter, freq, idle)
 	default:
 		usage()
 		return nil
+	}
+}
+
+// watchOnce watches over a single connection; any failure ends the watch.
+func watchOnce(ctx context.Context, addr, name, source, sourceName, polling, filter, freq string, idle time.Duration) error {
+	cl, err := qss.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	if idle > 0 {
+		cl.SetIdleTimeout(idle)
+	}
+	if err := cl.Subscribe(name, source, sourceName, polling, filter, freq); err != nil {
+		return err
+	}
+	fmt.Printf("qsc: subscribed %q; waiting for notifications (Ctrl-C to stop)\n", name)
+	go func() {
+		<-ctx.Done()
+		cl.Close()
+	}()
+	for {
+		select {
+		case <-ctx.Done():
+			fmt.Println("qsc: interrupted")
+			return nil
+		case h, ok := <-cl.Health():
+			if ok {
+				printHealth(h)
+			}
+		case n, ok := <-cl.Notifications():
+			if !ok {
+				if ctx.Err() != nil {
+					fmt.Println("qsc: interrupted")
+					return nil
+				}
+				return cl.Err()
+			}
+			printNotification(n)
+		}
+	}
+}
+
+// watchRobust watches through connection failures, resuming on reconnect.
+func watchRobust(ctx context.Context, addr, name, source, sourceName, polling, filter, freq string, ping, idle time.Duration) error {
+	rc := qss.DialRobust(addr, &qss.RobustOptions{
+		PingInterval: ping,
+		IdleTimeout:  idle,
+		OnEvent: func(event string, err error) {
+			if err != nil {
+				fmt.Printf("qsc: %s: %v\n", event, err)
+			} else {
+				fmt.Printf("qsc: %s\n", event)
+			}
+		},
+	})
+	defer rc.Close()
+	go func() {
+		<-ctx.Done()
+		rc.Close()
+	}()
+	if err := rc.Subscribe(name, source, sourceName, polling, filter, freq); err != nil {
+		return err
+	}
+	fmt.Printf("qsc: subscribed %q; reconnecting on failure (Ctrl-C to stop)\n", name)
+	notifs, health := rc.Notifications(), rc.Health()
+	for notifs != nil || health != nil {
+		select {
+		case h, ok := <-health:
+			if !ok {
+				health = nil
+				continue
+			}
+			printHealth(h)
+		case n, ok := <-notifs:
+			if !ok {
+				notifs = nil
+				continue
+			}
+			printNotification(n)
+		}
+	}
+	fmt.Println("qsc: interrupted")
+	return nil
+}
+
+func printNotification(n qss.ClientNotification) {
+	fmt.Printf("\n== %s @ %s ==\n", n.Subscription, n.At)
+	printAnswer(n.Answer)
+}
+
+func printHealth(h qss.ClientHealth) {
+	if h.Error != "" {
+		fmt.Printf("qsc: health %s: %s -> %s (failures=%d: %s)\n",
+			h.Subscription, h.From, h.To, h.Failures, h.Error)
+	} else {
+		fmt.Printf("qsc: health %s: %s -> %s\n", h.Subscription, h.From, h.To)
 	}
 }
 

@@ -14,17 +14,29 @@
 //
 // CSV sources re-read PATH on every poll, exposing rows as ROW objects
 // keyed by the KEY column.
+//
+// Fault tolerance (see docs/robustness.md): -heartbeat, -idle-timeout,
+// -write-timeout, -max-msg and -linger harden the wire layer;
+// -retry-initial, -retry-max, -degraded-after, -suspend-after and -probe
+// tune poll retry and subscription health. The -chaos-* flags wrap every
+// source with seeded fault injection for resilience testing. SIGINT or
+// SIGTERM triggers a graceful shutdown (pollers stopped, WAL flushed,
+// connections drained).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"net"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/guidegen"
 	"repro/internal/library"
 	"repro/internal/oem"
@@ -38,39 +50,87 @@ type csvFlags []string
 func (c *csvFlags) String() string     { return strings.Join(*c, ",") }
 func (c *csvFlags) Set(s string) error { *c = append(*c, s); return nil }
 
+type config struct {
+	listen   string
+	guideN   int
+	libN     int
+	evolve   time.Duration
+	seed     int64
+	parallel int
+	walDir   string
+	walSync  string
+	csvs     []string
+
+	heartbeat    time.Duration
+	idleTimeout  time.Duration
+	writeTimeout time.Duration
+	maxMsg       int
+	linger       time.Duration
+	drain        time.Duration
+
+	retryInitial  time.Duration
+	retryMax      time.Duration
+	degradedAfter int
+	suspendAfter  int
+	probe         time.Duration
+
+	chaosSeed    int64
+	chaosErrRate float64
+	chaosLatency time.Duration
+}
+
 func main() {
-	listen := flag.String("listen", "127.0.0.1:4997", "address to listen on")
-	guideN := flag.Int("guide", 50, "restaurants in the demo guide source")
-	libN := flag.Int("library", 30, "books in the demo library source")
-	evolve := flag.Duration("evolve", 2*time.Second, "interval between demo source changes")
-	seed := flag.Int64("seed", 1, "random seed for the demo sources")
-	parallel := flag.Int("parallel", 1, "query evaluation workers per poll (0 = GOMAXPROCS)")
-	walDir := flag.String("waldir", "", "directory for per-subscription write-ahead logs (empty: no persistence)")
-	walSync := flag.String("walsync", "interval", "WAL durability: always | interval | never")
+	var cfg config
+	flag.StringVar(&cfg.listen, "listen", "127.0.0.1:4997", "address to listen on")
+	flag.IntVar(&cfg.guideN, "guide", 50, "restaurants in the demo guide source")
+	flag.IntVar(&cfg.libN, "library", 30, "books in the demo library source")
+	flag.DurationVar(&cfg.evolve, "evolve", 2*time.Second, "interval between demo source changes")
+	flag.Int64Var(&cfg.seed, "seed", 1, "random seed for the demo sources")
+	flag.IntVar(&cfg.parallel, "parallel", 1, "query evaluation workers per poll (0 = GOMAXPROCS)")
+	flag.StringVar(&cfg.walDir, "waldir", "", "directory for per-subscription write-ahead logs (empty: no persistence)")
+	flag.StringVar(&cfg.walSync, "walsync", "interval", "WAL durability: always | interval | never")
 	var csvs csvFlags
 	flag.Var(&csvs, "csv", "CSV source as NAME=PATH:KEY:ROW (repeatable)")
-	flag.Parse()
 
-	if err := run(*listen, *guideN, *libN, *evolve, *seed, *parallel, *walDir, *walSync, csvs); err != nil {
+	flag.DurationVar(&cfg.heartbeat, "heartbeat", 0, "push idle keep-alives to clients at this interval (0 = off)")
+	flag.DurationVar(&cfg.idleTimeout, "idle-timeout", 0, "drop connections silent for this long (0 = never)")
+	flag.DurationVar(&cfg.writeTimeout, "write-timeout", 0, "per-message write deadline (0 = none)")
+	flag.IntVar(&cfg.maxMsg, "max-msg", 0, "max request line size in bytes (0 = 1 MiB default)")
+	flag.DurationVar(&cfg.linger, "linger", 0, "keep a disconnected client's subscriptions resumable for this long")
+	flag.DurationVar(&cfg.drain, "drain", 5*time.Second, "graceful-shutdown window for connected clients")
+
+	flag.DurationVar(&cfg.retryInitial, "retry-initial", 0, "initial poll retry backoff (0 = default 1s)")
+	flag.DurationVar(&cfg.retryMax, "retry-max", 0, "max poll retry backoff (0 = default 1m)")
+	flag.IntVar(&cfg.degradedAfter, "degraded-after", 0, "consecutive poll failures before a subscription is degraded (0 = default 3)")
+	flag.IntVar(&cfg.suspendAfter, "suspend-after", 0, "consecutive poll failures before a subscription is suspended (0 = default 8)")
+	flag.DurationVar(&cfg.probe, "probe", 0, "probe interval while suspended (0 = default 1m)")
+
+	flag.Int64Var(&cfg.chaosSeed, "chaos-seed", 0, "seed for source fault injection")
+	flag.Float64Var(&cfg.chaosErrRate, "chaos-error-rate", 0, "probability each source poll fails (0 = chaos off)")
+	flag.DurationVar(&cfg.chaosLatency, "chaos-latency", 0, "max injected source poll latency")
+	flag.Parse()
+	cfg.csvs = csvs
+
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "qss:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen string, guideN, libN int, evolve time.Duration, seed int64, parallel int, walDir, walSync string, csvs []string) error {
+func run(cfg config) error {
 	sources := make(map[string]wrapper.Source)
 
 	// Demo guide: a mutable source evolved by a background goroutine.
-	ev := guidegen.NewEvolver(seed, guideN)
+	ev := guidegen.NewEvolver(cfg.seed, cfg.guideN)
 	guideSrc := wrapper.NewMutable(ev.DB)
 	sources["guide"] = guideSrc
 
 	// Demo library.
-	sim := library.New(seed, libN)
+	sim := library.New(cfg.seed, cfg.libN)
 	libSrc := wrapper.NewMutable(sim.DB())
 	sources["library"] = libSrc
 
-	for _, spec := range csvs {
+	for _, spec := range cfg.csvs {
 		name, src, err := parseCSVSpec(spec)
 		if err != nil {
 			return err
@@ -78,11 +138,31 @@ func run(listen string, guideN, libN int, evolve time.Duration, seed int64, para
 		sources[name] = src
 	}
 
-	// Background evolution of the demo sources.
-	rng := rand.New(rand.NewSource(seed))
+	// Chaos mode: wrap every source with seeded, reproducible fault
+	// injection to exercise the retry/health machinery end to end.
+	if cfg.chaosErrRate > 0 || cfg.chaosLatency > 0 {
+		for name, src := range sources {
+			sources[name] = faults.NewSource(src,
+				faults.Random(cfg.chaosSeed, cfg.chaosErrRate, cfg.chaosLatency))
+		}
+		fmt.Printf("qss: chaos on (seed=%d error-rate=%g latency<=%s)\n",
+			cfg.chaosSeed, cfg.chaosErrRate, cfg.chaosLatency)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Background evolution of the demo sources, stopped on shutdown.
+	rng := rand.New(rand.NewSource(cfg.seed))
 	go func() {
+		t := time.NewTicker(cfg.evolve)
+		defer t.Stop()
 		for {
-			time.Sleep(evolve)
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+			}
 			guideSrc.Mutate(func(*oem.Database) error {
 				ev.Step(2 + rng.Intn(4))
 				return nil
@@ -94,18 +174,32 @@ func run(listen string, guideN, libN int, evolve time.Duration, seed int64, para
 		}
 	}()
 
-	ln, err := net.Listen("tcp", listen)
+	ln, err := net.Listen("tcp", cfg.listen)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("qss: listening on %s (sources: %s)\n", ln.Addr(), sourceNames(sources))
-	srv := qss.NewServer(sources, qss.RealClock{})
-	if parallel != 1 {
-		srv.Service().SetParallelism(parallel)
+	srv := qss.NewServerWith(sources, qss.RealClock{}, qss.ServerConfig{
+		Retry: qss.RetryPolicy{
+			Initial:       cfg.retryInitial,
+			Max:           cfg.retryMax,
+			DegradedAfter: cfg.degradedAfter,
+			SuspendAfter:  cfg.suspendAfter,
+			Probe:         cfg.probe,
+		},
+		Seed:              cfg.seed,
+		HeartbeatInterval: cfg.heartbeat,
+		IdleTimeout:       cfg.idleTimeout,
+		WriteTimeout:      cfg.writeTimeout,
+		MaxMessage:        cfg.maxMsg,
+		Linger:            cfg.linger,
+	})
+	if cfg.parallel != 1 {
+		srv.Service().SetParallelism(cfg.parallel)
 	}
-	if walDir != "" {
+	if cfg.walDir != "" {
 		var pol wal.SyncPolicy
-		switch walSync {
+		switch cfg.walSync {
 		case "always":
 			pol = wal.SyncAlways
 		case "interval":
@@ -113,14 +207,29 @@ func run(listen string, guideN, libN int, evolve time.Duration, seed int64, para
 		case "never":
 			pol = wal.SyncNever
 		default:
-			return fmt.Errorf("bad -walsync %q (want always, interval, or never)", walSync)
+			return fmt.Errorf("bad -walsync %q (want always, interval, or never)", cfg.walSync)
 		}
-		if err := srv.EnableWAL(walDir, &wal.Options{Sync: pol}); err != nil {
+		if err := srv.EnableWAL(cfg.walDir, &wal.Options{Sync: pol}); err != nil {
 			return err
 		}
-		fmt.Printf("qss: logging subscriptions under %s (sync=%s)\n", walDir, walSync)
+		fmt.Printf("qss: logging subscriptions under %s (sync=%s)\n", cfg.walDir, cfg.walSync)
 	}
-	srv.Serve(ln)
+
+	served := make(chan struct{})
+	go func() {
+		defer close(served)
+		srv.Serve(ln)
+	}()
+	select {
+	case <-ctx.Done():
+		// Graceful shutdown: stop pollers, give clients the drain window,
+		// flush and close the WAL.
+		fmt.Println("qss: shutting down")
+		srv.Shutdown(cfg.drain)
+		<-served
+	case <-served:
+		srv.Close()
+	}
 	return nil
 }
 

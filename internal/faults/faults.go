@@ -1,0 +1,289 @@
+// Package faults provides deterministic fault injection for robustness
+// tests and chaos-style soak runs: a flaky wrapper.Source that fails,
+// delays or hangs chosen polls, a flaky net.Conn that tears writes and
+// stalls or drops mid-message, and a flaky net.Listener that injects
+// temporary Accept errors.
+//
+// All injection is driven by operation count (1-based) through a plan
+// function, so a scripted plan is exactly reproducible and a seeded
+// Random plan produces the same fault sequence for the same seed.
+package faults
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/oem"
+	"repro/internal/wrapper"
+)
+
+// ErrInjected is the error returned by injected source failures (wrapped
+// with position detail).
+var ErrInjected = errors.New("faults: injected failure")
+
+// SourceFault describes what to inject into one Poll call. The zero value
+// injects nothing.
+type SourceFault struct {
+	// Err, when non-nil, is returned instead of polling the inner source.
+	Err error
+	// Latency delays the poll before it proceeds (or fails).
+	Latency time.Duration
+	// Hang blocks the poll until Source.Release is called. Combine with a
+	// test timeout; a hung poll holds the subscription's poll slot.
+	Hang bool
+}
+
+// Source wraps a wrapper.Source with per-poll fault injection.
+type Source struct {
+	inner wrapper.Source
+	plan  func(poll int) SourceFault
+
+	mu      sync.Mutex
+	polls   int
+	release chan struct{}
+}
+
+// NewSource wraps inner. plan receives the 1-based poll count and decides
+// the injection; a nil plan injects nothing. The plan is called under the
+// source lock, so stateful plans need no extra synchronization.
+func NewSource(inner wrapper.Source, plan func(poll int) SourceFault) *Source {
+	return &Source{inner: inner, plan: plan, release: make(chan struct{})}
+}
+
+// Poll implements wrapper.Source.
+func (s *Source) Poll() (*oem.Database, error) {
+	s.mu.Lock()
+	s.polls++
+	var f SourceFault
+	if s.plan != nil {
+		f = s.plan(s.polls)
+	}
+	release := s.release
+	s.mu.Unlock()
+
+	if f.Latency > 0 {
+		time.Sleep(f.Latency)
+	}
+	if f.Hang {
+		<-release
+	}
+	if f.Err != nil {
+		return nil, f.Err
+	}
+	return s.inner.Poll()
+}
+
+// StableIDs implements wrapper.Source.
+func (s *Source) StableIDs() bool { return s.inner.StableIDs() }
+
+// Polls returns how many times Poll has been called.
+func (s *Source) Polls() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.polls
+}
+
+// Release unblocks every current and future hung poll.
+func (s *Source) Release() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-s.release:
+		// Already released.
+	default:
+		close(s.release)
+	}
+}
+
+// Script builds a plan from an explicit poll-number-to-fault table.
+func Script(table map[int]SourceFault) func(int) SourceFault {
+	return func(poll int) SourceFault { return table[poll] }
+}
+
+// FailPolls fails exactly the listed 1-based polls with err.
+func FailPolls(err error, polls ...int) func(int) SourceFault {
+	set := make(map[int]bool, len(polls))
+	for _, p := range polls {
+		set[p] = true
+	}
+	return func(poll int) SourceFault {
+		if set[poll] {
+			return SourceFault{Err: err}
+		}
+		return SourceFault{}
+	}
+}
+
+// FailRange fails every poll in [from, to] (inclusive, 1-based) with err.
+func FailRange(err error, from, to int) func(int) SourceFault {
+	return func(poll int) SourceFault {
+		if poll >= from && poll <= to {
+			return SourceFault{Err: err}
+		}
+		return SourceFault{}
+	}
+}
+
+// Random builds a seeded plan injecting errors with probability errRate
+// and uniform latency in [0, maxLatency). The same seed yields the same
+// fault sequence, call for call.
+func Random(seed int64, errRate float64, maxLatency time.Duration) func(int) SourceFault {
+	rng := rand.New(rand.NewSource(seed))
+	var mu sync.Mutex
+	return func(int) SourceFault {
+		mu.Lock()
+		defer mu.Unlock()
+		var f SourceFault
+		if errRate > 0 && rng.Float64() < errRate {
+			f.Err = ErrInjected
+		}
+		if maxLatency > 0 {
+			f.Latency = time.Duration(rng.Int63n(int64(maxLatency)))
+		}
+		return f
+	}
+}
+
+// ConnFault describes what to inject into one Read or Write call. The
+// zero value injects nothing.
+type ConnFault struct {
+	// Stall delays the operation before it proceeds.
+	Stall time.Duration
+	// Torn, on a write, transmits only the first Torn bytes and then
+	// fails — a torn mid-message write.
+	Torn int
+	// Drop closes the connection before the operation completes.
+	Drop bool
+	// Err fails the operation (after any torn bytes were transmitted).
+	Err error
+}
+
+// ConnScript builds a per-operation plan from an explicit
+// operation-number-to-fault table.
+func ConnScript(table map[int]ConnFault) func(int) ConnFault {
+	return func(op int) ConnFault { return table[op] }
+}
+
+// Conn wraps a net.Conn with per-operation fault injection. Reads and
+// writes are counted separately, each 1-based.
+type Conn struct {
+	net.Conn
+
+	mu            sync.Mutex
+	reads, writes int
+	onRead        func(op int) ConnFault
+	onWrite       func(op int) ConnFault
+}
+
+// NewConn wraps inner. onRead/onWrite receive the operation count and
+// decide the injection; nil plans inject nothing.
+func NewConn(inner net.Conn, onRead, onWrite func(op int) ConnFault) *Conn {
+	return &Conn{Conn: inner, onRead: onRead, onWrite: onWrite}
+}
+
+// Read implements net.Conn.
+func (c *Conn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	c.reads++
+	var f ConnFault
+	if c.onRead != nil {
+		f = c.onRead(c.reads)
+	}
+	c.mu.Unlock()
+	if f.Stall > 0 {
+		time.Sleep(f.Stall)
+	}
+	if f.Drop {
+		c.Conn.Close()
+		return 0, errors.New("faults: connection dropped")
+	}
+	if f.Err != nil {
+		return 0, f.Err
+	}
+	return c.Conn.Read(p)
+}
+
+// Write implements net.Conn.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	c.writes++
+	var f ConnFault
+	if c.onWrite != nil {
+		f = c.onWrite(c.writes)
+	}
+	c.mu.Unlock()
+	if f.Stall > 0 {
+		time.Sleep(f.Stall)
+	}
+	if f.Torn > 0 && f.Torn < len(p) {
+		n, err := c.Conn.Write(p[:f.Torn])
+		if f.Drop {
+			c.Conn.Close()
+		}
+		if err == nil {
+			err = errors.New("faults: torn write")
+		}
+		return n, err
+	}
+	if f.Drop {
+		c.Conn.Close()
+		return 0, errors.New("faults: connection dropped")
+	}
+	if f.Err != nil {
+		return 0, f.Err
+	}
+	return c.Conn.Write(p)
+}
+
+// Kill severs the underlying connection (both directions), simulating an
+// abrupt network failure.
+func (c *Conn) Kill() error { return c.Conn.Close() }
+
+// Listener wraps a net.Listener, injecting errors into Accept by attempt
+// count (1-based). A nil error from the plan accepts normally.
+type Listener struct {
+	net.Listener
+
+	mu       sync.Mutex
+	attempts int
+	plan     func(attempt int) error
+}
+
+// NewListener wraps inner with the given Accept plan.
+func NewListener(inner net.Listener, plan func(attempt int) error) *Listener {
+	return &Listener{Listener: inner, plan: plan}
+}
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	l.mu.Lock()
+	l.attempts++
+	n := l.attempts
+	l.mu.Unlock()
+	if l.plan != nil {
+		if err := l.plan(n); err != nil {
+			return nil, err
+		}
+	}
+	return l.Listener.Accept()
+}
+
+// Attempts returns how many times Accept has been called.
+func (l *Listener) Attempts() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.attempts
+}
+
+// TemporaryError returns a net.Error whose Temporary method reports true —
+// the shape of transient Accept failures (EMFILE, ECONNABORTED).
+func TemporaryError(msg string) net.Error { return &tempError{msg} }
+
+type tempError struct{ s string }
+
+func (e *tempError) Error() string   { return e.s }
+func (e *tempError) Timeout() bool   { return false }
+func (e *tempError) Temporary() bool { return true }

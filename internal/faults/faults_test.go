@@ -1,0 +1,230 @@
+package faults
+
+import (
+	"errors"
+	"io"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/oem"
+	"repro/internal/value"
+	"repro/internal/wrapper"
+)
+
+func okSource() wrapper.Source {
+	return wrapper.Func{
+		PollFunc: func() (*oem.Database, error) {
+			db := oem.New()
+			n := db.CreateNode(value.Str("x"))
+			if err := db.AddArc(db.Root(), "a", n); err != nil {
+				return nil, err
+			}
+			return db, nil
+		},
+		Stable: true,
+	}
+}
+
+func TestFailPollsPlacement(t *testing.T) {
+	boom := errors.New("boom")
+	src := NewSource(okSource(), FailPolls(boom, 2, 4))
+	var got []bool
+	for i := 0; i < 5; i++ {
+		_, err := src.Poll()
+		got = append(got, err != nil)
+		if err != nil && !errors.Is(err, boom) {
+			t.Fatalf("poll %d: err = %v, want boom", i+1, err)
+		}
+	}
+	want := []bool{false, true, false, true, false}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("failure placement = %v, want %v", got, want)
+	}
+	if src.Polls() != 5 {
+		t.Errorf("Polls() = %d, want 5", src.Polls())
+	}
+}
+
+func TestFailRangePlacement(t *testing.T) {
+	boom := errors.New("boom")
+	src := NewSource(okSource(), FailRange(boom, 2, 3))
+	for i, wantErr := range []bool{false, true, true, false} {
+		if _, err := src.Poll(); (err != nil) != wantErr {
+			t.Errorf("poll %d: err = %v, want failure=%v", i+1, err, wantErr)
+		}
+	}
+}
+
+func TestScriptLatencyAndError(t *testing.T) {
+	boom := errors.New("boom")
+	src := NewSource(okSource(), Script(map[int]SourceFault{
+		1: {Latency: 10 * time.Millisecond},
+		2: {Err: boom},
+	}))
+	start := time.Now()
+	if _, err := src.Poll(); err != nil {
+		t.Fatalf("poll 1: %v", err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Errorf("poll 1 returned after %v, want >= 10ms latency", d)
+	}
+	if _, err := src.Poll(); !errors.Is(err, boom) {
+		t.Fatalf("poll 2: err = %v, want boom", err)
+	}
+	if _, err := src.Poll(); err != nil {
+		t.Fatalf("poll 3 (past script): %v", err)
+	}
+}
+
+func TestRandomSameSeedSameSequence(t *testing.T) {
+	run := func(seed int64) []bool {
+		src := NewSource(okSource(), Random(seed, 0.5, 0))
+		var seq []bool
+		for i := 0; i < 64; i++ {
+			_, err := src.Poll()
+			seq = append(seq, err != nil)
+			if err != nil && !errors.Is(err, ErrInjected) {
+				t.Fatalf("unexpected error %v", err)
+			}
+		}
+		return seq
+	}
+	a, b := run(42), run(42)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different fault sequences")
+	}
+	c := run(43)
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical fault sequences (suspicious)")
+	}
+	fails := 0
+	for _, f := range a {
+		if f {
+			fails++
+		}
+	}
+	if fails == 0 || fails == len(a) {
+		t.Errorf("errRate 0.5 produced %d/%d failures", fails, len(a))
+	}
+}
+
+func TestHangAndRelease(t *testing.T) {
+	src := NewSource(okSource(), Script(map[int]SourceFault{1: {Hang: true}}))
+	done := make(chan error, 1)
+	go func() {
+		_, err := src.Poll()
+		done <- err
+	}()
+	select {
+	case <-done:
+		t.Fatal("hung poll returned before Release")
+	case <-time.After(20 * time.Millisecond):
+	}
+	src.Release()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("released poll failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("poll still hung after Release")
+	}
+	// Release is sticky and idempotent.
+	src.Release()
+	if _, err := src.Poll(); err != nil {
+		t.Fatalf("poll after release: %v", err)
+	}
+}
+
+func TestConnTornWrite(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	fc := NewConn(a, nil, ConnScript(map[int]ConnFault{1: {Torn: 3}}))
+
+	got := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, 16)
+		n, _ := b.Read(buf)
+		got <- buf[:n]
+	}()
+
+	n, err := fc.Write([]byte("hello world"))
+	if err == nil {
+		t.Fatal("torn write reported no error")
+	}
+	if n != 3 {
+		t.Errorf("torn write wrote %d bytes, want 3", n)
+	}
+	select {
+	case onWire := <-got:
+		if string(onWire) != "hel" {
+			t.Errorf("peer saw %q, want %q", onWire, "hel")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("peer never saw the torn bytes")
+	}
+
+	// Later writes go through untouched.
+	go func() { io.ReadFull(b, make([]byte, 2)) }()
+	if _, err := fc.Write([]byte("ok")); err != nil {
+		t.Fatalf("write after torn write: %v", err)
+	}
+}
+
+func TestConnDropAndErr(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	boom := errors.New("io glitch")
+	fc := NewConn(a, ConnScript(map[int]ConnFault{1: {Err: boom}, 2: {Drop: true}}), nil)
+	if _, err := fc.Read(make([]byte, 1)); !errors.Is(err, boom) {
+		t.Fatalf("read 1: err = %v, want injected glitch", err)
+	}
+	if _, err := fc.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read 2: drop reported no error")
+	}
+	// The underlying conn really is closed.
+	if _, err := a.Write([]byte("x")); err == nil {
+		t.Error("underlying conn still writable after Drop")
+	}
+}
+
+func TestListenerTemporaryErrors(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inner.Close()
+	ln := NewListener(inner, func(attempt int) error {
+		if attempt <= 2 {
+			return TemporaryError("simulated EMFILE")
+		}
+		return nil
+	})
+	for i := 0; i < 2; i++ {
+		_, err := ln.Accept()
+		if err == nil {
+			t.Fatalf("accept %d: no injected error", i+1)
+		}
+		var tmp interface{ Temporary() bool }
+		if !errors.As(err, &tmp) || !tmp.Temporary() {
+			t.Fatalf("accept %d: %v is not a temporary net.Error", i+1, err)
+		}
+	}
+	go func() {
+		nc, err := net.Dial("tcp", inner.Addr().String())
+		if err == nil {
+			nc.Close()
+		}
+	}()
+	nc, err := ln.Accept()
+	if err != nil {
+		t.Fatalf("accept 3: %v", err)
+	}
+	nc.Close()
+	if ln.Attempts() != 3 {
+		t.Errorf("Attempts() = %d, want 3", ln.Attempts())
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/oem"
 	"repro/internal/oemio"
@@ -14,24 +16,45 @@ import (
 )
 
 // Client is the QSC side of Figure 7: it connects to a QSS server, manages
-// subscriptions, and receives notifications.
+// subscriptions, and receives notifications. A Client is bound to one
+// connection; see RobustClient for automatic reconnection.
 type Client struct {
-	c   net.Conn
-	enc *json.Encoder
+	c    net.Conn
+	enc  *json.Encoder
+	idle atomic.Int64 // read-idle timeout, ns; 0 = none
 
-	mu      sync.Mutex
-	pending map[int64]chan *Response
-	nextSeq int64
-	notifCh chan ClientNotification
-	readErr error
-	done    chan struct{}
+	mu       sync.Mutex
+	pending  map[int64]chan *Response
+	nextSeq  int64
+	notifCh  chan ClientNotification
+	healthCh chan ClientHealth
+	readErr  error
+	done     chan struct{}
 }
 
 // ClientNotification is a decoded server push.
 type ClientNotification struct {
 	Subscription string
 	At           timestamp.Time
-	Answer       *oem.Database
+	// Seq is the server's per-subscription notification sequence; used
+	// to dedupe replays across reconnects (0 from pre-sequence servers).
+	Seq    uint64
+	Answer *oem.Database
+}
+
+// ClientHealth is a decoded subscription health-transition push.
+type ClientHealth struct {
+	Subscription string
+	From, To     string
+	At           timestamp.Time
+	Error        string
+	Failures     int
+}
+
+// SubSpec captures the arguments of Subscribe so a subscription can be
+// re-established after a reconnect.
+type SubSpec struct {
+	Name, Source, SourceName, Polling, Filter, Freq string
 }
 
 // Dial connects to a QSS server.
@@ -46,11 +69,12 @@ func Dial(addr string) (*Client, error) {
 // NewClient wraps an established connection.
 func NewClient(nc net.Conn) *Client {
 	cl := &Client{
-		c:       nc,
-		enc:     json.NewEncoder(nc),
-		pending: make(map[int64]chan *Response),
-		notifCh: make(chan ClientNotification, 64),
-		done:    make(chan struct{}),
+		c:        nc,
+		enc:      json.NewEncoder(nc),
+		pending:  make(map[int64]chan *Response),
+		notifCh:  make(chan ClientNotification, 256),
+		healthCh: make(chan ClientHealth, 16),
+		done:     make(chan struct{}),
 	}
 	go cl.readLoop()
 	return cl
@@ -60,12 +84,41 @@ func NewClient(nc net.Conn) *Client {
 // when the connection ends.
 func (cl *Client) Notifications() <-chan ClientNotification { return cl.notifCh }
 
+// Health returns the channel of pushed health transitions. It is closed
+// when the connection ends.
+func (cl *Client) Health() <-chan ClientHealth { return cl.healthCh }
+
+// Done is closed when the connection ends.
+func (cl *Client) Done() <-chan struct{} { return cl.done }
+
+// Err returns the read error that ended the connection, if any.
+func (cl *Client) Err() error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.readErr
+}
+
+// SetIdleTimeout arms a rolling read deadline: if the server sends
+// nothing (not even heartbeats) for d, the connection is torn down. The
+// deadline takes effect immediately, including for an in-flight read.
+func (cl *Client) SetIdleTimeout(d time.Duration) {
+	cl.idle.Store(int64(d))
+	if d > 0 {
+		_ = cl.c.SetReadDeadline(time.Now().Add(d))
+	} else {
+		_ = cl.c.SetReadDeadline(time.Time{})
+	}
+}
+
 // Close terminates the connection.
 func (cl *Client) Close() error { return cl.c.Close() }
 
 func (cl *Client) readLoop() {
 	dec := json.NewDecoder(bufio.NewReader(cl.c))
 	for {
+		if d := cl.idle.Load(); d > 0 {
+			_ = cl.c.SetReadDeadline(time.Now().Add(time.Duration(d)))
+		}
 		var resp Response
 		if err := dec.Decode(&resp); err != nil {
 			cl.mu.Lock()
@@ -76,8 +129,32 @@ func (cl *Client) readLoop() {
 			cl.pending = make(map[int64]chan *Response)
 			cl.mu.Unlock()
 			close(cl.notifCh)
+			close(cl.healthCh)
 			close(cl.done)
 			return
+		}
+		if resp.Heartbeat {
+			continue // keep-alive; the deadline reset above is the point
+		}
+		if resp.Health != nil {
+			h := resp.Health
+			at, err := timestamp.Parse(h.At)
+			if err != nil {
+				continue
+			}
+			select {
+			case cl.healthCh <- ClientHealth{
+				Subscription: h.Subscription,
+				From:         h.From,
+				To:           h.To,
+				At:           at,
+				Error:        h.Error,
+				Failures:     h.Failures,
+			}:
+			default:
+				// Slow consumer: drop rather than stall the read loop.
+			}
+			continue
 		}
 		if resp.Notification != nil {
 			n := resp.Notification
@@ -90,11 +167,14 @@ func (cl *Client) readLoop() {
 				continue
 			}
 			select {
-			case cl.notifCh <- ClientNotification{Subscription: n.Subscription, At: at, Answer: answer}:
+			case cl.notifCh <- ClientNotification{Subscription: n.Subscription, At: at, Seq: n.Seq, Answer: answer}:
 			default:
 				// Slow consumer: drop rather than stall the read loop.
 			}
 			continue
+		}
+		if resp.Seq == 0 {
+			continue // gap notices and other unmatched pushes
 		}
 		cl.mu.Lock()
 		ch := cl.pending[resp.Seq]
@@ -137,11 +217,26 @@ func (cl *Client) call(req *Request) (*Response, error) {
 // Subscribe creates a subscription on the server. source names a
 // server-side source; freq may be empty for manual polling.
 func (cl *Client) Subscribe(name, source, sourceName, polling, filter, freq string) error {
-	_, err := cl.call(&Request{
-		Op: "subscribe", Name: name, Source: source, SourceName: sourceName,
+	_, err := cl.subscribe(SubSpec{
+		Name: name, Source: source, SourceName: sourceName,
 		Polling: polling, Filter: filter, Freq: freq,
-	})
+	}, false)
 	return err
+}
+
+// subscribe issues the subscribe request; resume asks the server to adopt
+// an orphaned subscription of the same name, replaying buffered pushes.
+// resumed reports whether an orphan was in fact adopted — false means a
+// fresh subscription whose notification sequence restarts from 1.
+func (cl *Client) subscribe(sp SubSpec, resume bool) (resumed bool, err error) {
+	resp, err := cl.call(&Request{
+		Op: "subscribe", Name: sp.Name, Source: sp.Source, SourceName: sp.SourceName,
+		Polling: sp.Polling, Filter: sp.Filter, Freq: sp.Freq, Resume: resume,
+	})
+	if err != nil {
+		return false, err
+	}
+	return resp.Resumed, nil
 }
 
 // Unsubscribe removes a subscription.
@@ -163,5 +258,12 @@ func (cl *Client) List() ([]string, error) {
 // the paper's explicit-request mode.
 func (cl *Client) Poll(name, at string) error {
 	_, err := cl.call(&Request{Op: "poll", Name: name, Time: at})
+	return err
+}
+
+// Ping round-trips a no-op request, refreshing the server's idle timer
+// for this connection and verifying liveness.
+func (cl *Client) Ping() error {
+	_, err := cl.call(&Request{Op: "ping"})
 	return err
 }

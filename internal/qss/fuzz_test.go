@@ -1,0 +1,102 @@
+package qss
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/oemio"
+	"repro/internal/timestamp"
+)
+
+// FuzzRequestDecode throws arbitrary bytes at the wire decoding paths: a
+// Request must either fail to parse or round-trip losslessly, and the
+// push-decoding steps a client applies to a Response (timestamp and OEM
+// answer parsing) must never panic.
+func FuzzRequestDecode(f *testing.F) {
+	f.Add([]byte(`{"op":"subscribe","name":"R","source":"guide","source_name":"guide","polling":"select guide.restaurant","filter":"select R.restaurant","freq":"every 1h","resume":true}`))
+	f.Add([]byte(`{"op":"list"}`))
+	f.Add([]byte(`{"op":"poll","name":"R","time":"1Jan97 02:00:01"}`))
+	f.Add([]byte(`{"op":"ping"}`))
+	f.Add([]byte(`{"seq":1,"ok":true,"notification":{"subscription":"R","at":"1Jan97","nseq":3,"answer":{"root":1,"nodes":[{"id":1,"value":null}]}}}`))
+	f.Add([]byte(`{"seq":0,"ok":true,"health":{"subscription":"R","from":"healthy","to":"degraded","at":"1Jan97","failures":2}}`))
+	f.Add([]byte(`{"ok":true,"heartbeat":true}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"op":`))
+	f.Add(bytes.Repeat([]byte("["), 1024))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req Request
+		if err := json.Unmarshal(data, &req); err == nil {
+			out, err := json.Marshal(&req)
+			if err != nil {
+				t.Fatalf("marshal of decoded request failed: %v", err)
+			}
+			var again Request
+			if err := json.Unmarshal(out, &again); err != nil {
+				t.Fatalf("re-decode of %q failed: %v", out, err)
+			}
+			if !reflect.DeepEqual(req, again) {
+				t.Fatalf("request round-trip mismatch: %+v vs %+v", req, again)
+			}
+		}
+
+		var resp Response
+		if err := json.Unmarshal(data, &resp); err == nil {
+			// Exercise the same parsing a client's read loop applies to
+			// pushes; errors are fine, panics are not.
+			if n := resp.Notification; n != nil {
+				_, _ = timestamp.Parse(n.At)
+				_, _ = oemio.Unmarshal(n.Answer)
+			}
+			if h := resp.Health; h != nil {
+				_, _ = timestamp.Parse(h.At)
+			}
+		}
+	})
+}
+
+// FuzzReadLine checks the size-limited line reader: it must never panic,
+// must never return a line over the limit, and must resynchronize so that
+// a well-formed line after arbitrary garbage is still delivered intact.
+func FuzzReadLine(f *testing.F) {
+	f.Add([]byte("hello\n"), 16)
+	f.Add([]byte("too long line ............................\nshort\n"), 16)
+	f.Add([]byte(""), 1)
+	f.Add(bytes.Repeat([]byte("x"), 9000), 64)
+
+	f.Fuzz(func(t *testing.T, data []byte, max int) {
+		if max <= 0 || max > 1<<16 {
+			max = 64
+		}
+		sentinel := []byte("{\"op\":\"ping\"}")
+		input := append(append([]byte{}, data...), '\n')
+		input = append(input, sentinel...)
+		input = append(input, '\n')
+
+		br := bufio.NewReaderSize(bytes.NewReader(input), 16)
+		sawSentinel := false
+		for {
+			line, tooLong, err := readLine(br, max)
+			if err != nil {
+				break
+			}
+			if tooLong && line != nil {
+				t.Fatal("tooLong line returned content")
+			}
+			if !tooLong && len(line) > max {
+				t.Fatalf("returned %d-byte line over %d-byte limit", len(line), max)
+			}
+			if bytes.Equal(line, sentinel) {
+				sawSentinel = true
+			}
+		}
+		// The sentinel fits any max >= len(sentinel) and arrives after the
+		// fuzzed garbage's newline, so resync must deliver it.
+		if max >= len(sentinel) && !bytes.Contains(data, sentinel) && !sawSentinel {
+			t.Fatal("reader failed to resynchronize after garbage")
+		}
+	})
+}

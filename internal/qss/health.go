@@ -1,0 +1,193 @@
+package qss
+
+import (
+	"time"
+
+	"repro/internal/timestamp"
+)
+
+// Health is a subscription's poll-health state. The scheduler drives the
+// machine from consecutive poll outcomes:
+//
+//	Healthy    --failures >= DegradedAfter-->  Degraded
+//	Degraded   --failures >= SuspendAfter-->   Suspended
+//	Suspended  --first success-->              Recovering
+//	Recovering --successes >= RecoverAfter-->  Healthy
+//	Recovering --any failure-->                Suspended
+//
+// A suspended subscription is not dropped: its accumulated DOEM history
+// keeps serving filter queries and History calls (graceful degradation),
+// and polling continues at the slower Probe cadence until the source
+// answers again.
+type Health int
+
+// Health states, ordered from best to worst-but-probing.
+const (
+	Healthy Health = iota
+	Degraded
+	Suspended
+	Recovering
+)
+
+// String implements fmt.Stringer; the forms travel on the wire.
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Suspended:
+		return "suspended"
+	case Recovering:
+		return "recovering"
+	}
+	return "unknown"
+}
+
+// RetryPolicy controls poll retry, backoff and the health thresholds.
+// Durations are rounded to the history time domain's second resolution;
+// see DefaultRetryPolicy for the zero-value substitutions.
+type RetryPolicy struct {
+	// Initial is the backoff after the first failure (min 1s).
+	Initial time.Duration
+	// Max caps the exponential backoff.
+	Max time.Duration
+	// Multiplier grows the backoff per consecutive failure (min 1).
+	Multiplier float64
+	// Jitter adds a uniform random extra of up to Jitter*backoff, in
+	// whole seconds, to decorrelate retries. 0 disables jitter.
+	Jitter float64
+	// DegradedAfter is the consecutive-failure count entering Degraded.
+	DegradedAfter int
+	// SuspendAfter is the consecutive-failure count entering Suspended.
+	SuspendAfter int
+	// Probe is the poll cadence while Suspended.
+	Probe time.Duration
+	// RecoverAfter is the consecutive-success count leaving Recovering.
+	RecoverAfter int
+}
+
+// DefaultRetryPolicy returns the production defaults.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		Initial:       time.Second,
+		Max:           time.Minute,
+		Multiplier:    2,
+		Jitter:        0.25,
+		DegradedAfter: 3,
+		SuspendAfter:  8,
+		Probe:         time.Minute,
+		RecoverAfter:  2,
+	}
+}
+
+// withDefaults substitutes defaults for zero fields and clamps the rest
+// to sane bounds.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	d := DefaultRetryPolicy()
+	if p.Initial <= 0 {
+		p.Initial = d.Initial
+	}
+	if p.Initial < time.Second {
+		p.Initial = time.Second // timestamp resolution floor
+	}
+	if p.Max <= 0 {
+		p.Max = d.Max
+	}
+	if p.Max < p.Initial {
+		p.Max = p.Initial
+	}
+	if p.Multiplier < 1 {
+		if p.Multiplier == 0 {
+			p.Multiplier = d.Multiplier
+		} else {
+			p.Multiplier = 1
+		}
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	if p.DegradedAfter <= 0 {
+		p.DegradedAfter = d.DegradedAfter
+	}
+	if p.SuspendAfter <= 0 {
+		p.SuspendAfter = d.SuspendAfter
+	}
+	if p.SuspendAfter < p.DegradedAfter {
+		p.SuspendAfter = p.DegradedAfter
+	}
+	if p.Probe < time.Second {
+		if p.Probe <= 0 {
+			p.Probe = d.Probe
+		} else {
+			p.Probe = time.Second
+		}
+	}
+	if p.RecoverAfter <= 0 {
+		p.RecoverAfter = d.RecoverAfter
+	}
+	return p
+}
+
+// HealthEvent reports one health-state transition.
+type HealthEvent struct {
+	Subscription string
+	From, To     Health
+	// At is the polling time of the attempt that caused the transition.
+	At timestamp.Time
+	// Err is the poll error for failure-driven transitions, nil otherwise.
+	Err error
+	// Failures is the consecutive-failure count after the attempt.
+	Failures int
+}
+
+// healthTracker runs the state machine for one subscription. Callers
+// synchronize access (the scheduler guards it with its mutex).
+type healthTracker struct {
+	pol       RetryPolicy
+	state     Health
+	failures  int // consecutive failures
+	successes int // consecutive successes since entering Recovering
+}
+
+// onFailure records a failed poll; changed reports a state transition.
+func (h *healthTracker) onFailure() (from, to Health, changed bool) {
+	h.failures++
+	h.successes = 0
+	from = h.state
+	switch h.state {
+	case Suspended:
+		// Stay suspended; keep probing.
+	case Recovering:
+		h.state = Suspended
+	default:
+		if h.failures >= h.pol.SuspendAfter {
+			h.state = Suspended
+		} else if h.failures >= h.pol.DegradedAfter {
+			h.state = Degraded
+		}
+	}
+	return from, h.state, from != h.state
+}
+
+// onSuccess records a successful poll; changed reports a state transition.
+func (h *healthTracker) onSuccess() (from, to Health, changed bool) {
+	h.failures = 0
+	from = h.state
+	switch h.state {
+	case Degraded:
+		h.state = Healthy
+	case Suspended:
+		h.successes = 1
+		h.state = Recovering
+		if h.successes >= h.pol.RecoverAfter {
+			h.state = Healthy
+		}
+	case Recovering:
+		h.successes++
+		if h.successes >= h.pol.RecoverAfter {
+			h.state = Healthy
+		}
+	}
+	return from, h.state, from != h.state
+}

@@ -1,0 +1,464 @@
+package qss
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/oem"
+	"repro/internal/timestamp"
+	"repro/internal/value"
+	"repro/internal/wrapper"
+)
+
+// TestLifecycleHealthTransitions drives a flaky source through the full
+// health state machine — retry with backoff, degradation, suspension with
+// probing, recovery — entirely on the simulated clock, and checks every
+// transition (state and polling time) deterministically.
+func TestLifecycleHealthTransitions(t *testing.T) {
+	src, _ := paperSource(t)
+	boom := errors.New("source unreachable")
+	// Polls 2..7 fail; 1 and 8+ succeed.
+	flaky := faults.NewSource(src, faults.FailRange(boom, 2, 7))
+
+	svc := NewService(nil)
+	if err := svc.Subscribe(Subscription{
+		Name: "R", SourceName: "guide", Source: flaky,
+		Polling: `select guide.restaurant`,
+		Filter:  `select R.restaurant<cre at T> where T > t[-1]`,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	events := make(chan HealthEvent, 16)
+	clock := NewSimClock(timestamp.MustParse("1Jan97"))
+	sch := NewSchedulerWith(svc, clock, SchedulerOptions{
+		Policy: RetryPolicy{
+			Initial: time.Second, Max: 8 * time.Second, Multiplier: 2, Jitter: 0,
+			DegradedAfter: 2, SuspendAfter: 4, Probe: 10 * time.Second, RecoverAfter: 2,
+		},
+		OnHealth: func(ev HealthEvent) { events <- ev },
+	})
+	sch.Start("R", Every{Interval: time.Hour})
+	defer sch.StopAll()
+
+	// Attempt schedule (from 1Jan97 00:00, hourly freq, backoff 1s*2^k
+	// capped at 8s, probe 10s):
+	//   #1 01:00:00 ok      #2 02:00:00 fail    #3 02:00:01 fail->degraded
+	//   #4 02:00:03 fail    #5 02:00:07 fail->suspended
+	//   #6 02:00:17 fail    #7 02:00:27 fail (probes)
+	//   #8 02:00:37 ok->recovering   #9 03:00:37 ok->healthy
+	want := []struct {
+		from, to Health
+		at       string
+		failures int
+	}{
+		{Healthy, Degraded, "1Jan97 02:00:01", 2},
+		{Degraded, Suspended, "1Jan97 02:00:07", 4},
+		{Suspended, Recovering, "1Jan97 02:00:37", 0},
+		{Recovering, Healthy, "1Jan97 03:00:37", 0},
+	}
+	for i, w := range want {
+		select {
+		case ev := <-events:
+			if ev.Subscription != "R" {
+				t.Fatalf("event %d: subscription %q", i, ev.Subscription)
+			}
+			if ev.From != w.from || ev.To != w.to {
+				t.Fatalf("event %d: %s -> %s, want %s -> %s", i, ev.From, ev.To, w.from, w.to)
+			}
+			if !ev.At.Equal(timestamp.MustParse(w.at)) {
+				t.Fatalf("event %d (%s -> %s): at %s, want %s", i, w.from, w.to, ev.At, w.at)
+			}
+			if ev.Failures != w.failures {
+				t.Fatalf("event %d: failures = %d, want %d", i, ev.Failures, w.failures)
+			}
+			if w.to == Degraded || w.to == Suspended {
+				if ev.Err == nil {
+					t.Fatalf("event %d: failure transition without error", i)
+				}
+			} else if ev.Err != nil {
+				t.Fatalf("event %d: recovery transition with error %v", i, ev.Err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("timed out waiting for transition %d (%s -> %s)", i, w.from, w.to)
+		}
+	}
+	if got := sch.Health("R"); got != Healthy {
+		t.Errorf("final health = %s", got)
+	}
+
+	// Graceful degradation: the last-known history kept serving all along
+	// and reflects the successful polls.
+	d, times, err := svc.History("R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(times) < 2 {
+		t.Errorf("successful polls recorded = %d, want >= 2", len(times))
+	}
+	if got := len(d.Current().OutLabeled(d.Current().Root(), "restaurant")); got != 2 {
+		t.Errorf("history restaurants = %d, want 2", got)
+	}
+}
+
+// TestSuspendedKeepsServingHistory pins the graceful-degradation claim:
+// while a subscription is suspended, History and filter evaluation over
+// the accumulated DOEM database still work.
+func TestSuspendedKeepsServingHistory(t *testing.T) {
+	src, _ := paperSource(t)
+	boom := errors.New("down")
+	flaky := faults.NewSource(src, faults.FailRange(boom, 2, 1<<30))
+	svc := NewService(nil)
+	if err := svc.Subscribe(Subscription{
+		Name: "R", SourceName: "guide", Source: flaky,
+		Polling: `select guide.restaurant`,
+		Filter:  `select R.restaurant<cre at T> where T > t[-1]`,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	events := make(chan HealthEvent, 16)
+	clock := NewSimClock(timestamp.MustParse("1Jan97"))
+	sch := NewSchedulerWith(svc, clock, SchedulerOptions{
+		Policy: RetryPolicy{
+			Initial: time.Second, Max: time.Second, Multiplier: 1, Jitter: 0,
+			DegradedAfter: 1, SuspendAfter: 2, Probe: time.Minute, RecoverAfter: 2,
+		},
+		OnHealth: func(ev HealthEvent) { events <- ev },
+	})
+	sch.Start("R", Every{Interval: time.Hour})
+	defer sch.StopAll()
+
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case ev := <-events:
+			if ev.To != Suspended {
+				continue
+			}
+		case <-deadline:
+			t.Fatal("never suspended")
+		}
+		break
+	}
+	if got := sch.Health("R"); got != Suspended {
+		t.Fatalf("health = %s, want suspended", got)
+	}
+	d, times, err := svc.History("R")
+	if err != nil {
+		t.Fatalf("suspended subscription stopped serving history: %v", err)
+	}
+	if len(times) != 1 {
+		t.Errorf("poll times = %d, want 1 (the successful initial poll)", len(times))
+	}
+	if got := len(d.Current().OutLabeled(d.Current().Root(), "restaurant")); got != 2 {
+		t.Errorf("last-known snapshot restaurants = %d, want 2", got)
+	}
+}
+
+// killableDialer dials addr, remembers the latest raw connection so a
+// test can sever it out from under the client, and can hold off redials
+// to make the disconnected window deterministic.
+type killableDialer struct {
+	addr    string
+	mu      sync.Mutex
+	cur     net.Conn
+	blocked bool
+}
+
+func (k *killableDialer) dial() (net.Conn, error) {
+	k.mu.Lock()
+	blocked := k.blocked
+	k.mu.Unlock()
+	if blocked {
+		return nil, errors.New("dial blocked by test")
+	}
+	nc, err := net.Dial("tcp", k.addr)
+	if err == nil {
+		k.mu.Lock()
+		k.cur = nc
+		k.mu.Unlock()
+	}
+	return nc, err
+}
+
+// kill severs the current connection and blocks redials until allow.
+func (k *killableDialer) kill() {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.blocked = true
+	if k.cur != nil {
+		k.cur.Close()
+	}
+}
+
+func (k *killableDialer) allow() {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.blocked = false
+}
+
+// TestKillAndReconnectNoDupNoLoss severs a client's connection, polls the
+// subscription while it is orphaned, and verifies the reconnecting client
+// resumes it and receives every notification exactly once.
+func TestKillAndReconnectNoDupNoLoss(t *testing.T) {
+	src, ids := paperSource(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServerWith(map[string]wrapper.Source{"guide": src},
+		NewSimClock(timestamp.MustParse("1Jan97")),
+		ServerConfig{Linger: time.Minute})
+	go srv.Serve(ln)
+	t.Cleanup(srv.Close)
+
+	kd := &killableDialer{addr: ln.Addr().String()}
+	rc := NewRobustClient(kd.dial, &RobustOptions{
+		ReconnectInitial: 50 * time.Millisecond,
+		ReconnectMax:     200 * time.Millisecond,
+	})
+	defer rc.Close()
+
+	if err := rc.Subscribe("R", "guide", "guide",
+		`select guide.restaurant`,
+		`select R.restaurant<cre at T> where T > t[-1]`,
+		""); err != nil {
+		t.Fatal(err)
+	}
+
+	poll := func(at string) {
+		t.Helper()
+		if _, err := srv.Service().Poll("R", timestamp.MustParse(at)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	addRestaurant := func(name string) {
+		t.Helper()
+		if err := src.Mutate(func(db *oem.Database) error {
+			r := db.CreateNode(value.Complex())
+			nm := db.CreateNode(value.Str(name))
+			if err := db.AddArc(ids.Guide, "restaurant", r); err != nil {
+				return err
+			}
+			return db.AddArc(r, "name", nm)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recv := func(wantSeq uint64, wantCount int) {
+		t.Helper()
+		select {
+		case n := <-rc.Notifications():
+			if n.Seq != wantSeq {
+				t.Fatalf("notification seq = %d, want %d", n.Seq, wantSeq)
+			}
+			if got := len(n.Answer.OutLabeled(n.Answer.Root(), "restaurant")); got != wantCount {
+				t.Fatalf("seq %d: %d restaurants, want %d", wantSeq, got, wantCount)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("timed out waiting for notification seq %d", wantSeq)
+		}
+	}
+
+	// Live delivery before the fault.
+	poll("30Dec96")
+	recv(1, 2)
+
+	// Sever the connection (holding off redials); wait until the server
+	// notices and orphans the subscription (it keeps buffering during the
+	// linger window).
+	kd.kill()
+	deadline := time.Now().Add(10 * time.Second)
+	for len(srv.Orphaned()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("server never orphaned the subscription")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// A notification produced while disconnected must not be lost.
+	addRestaurant("Hakata")
+	poll("31Dec96")
+
+	// The client reconnects, resumes, and replays the buffered delivery.
+	kd.allow()
+	recv(2, 1)
+
+	// And live delivery continues with no duplicates.
+	addRestaurant("Zao")
+	poll("1Jan97")
+	recv(3, 1)
+
+	// Exactly three notifications total: nothing duplicated, nothing extra.
+	select {
+	case n := <-rc.Notifications():
+		t.Fatalf("unexpected extra notification seq %d", n.Seq)
+	case <-time.After(200 * time.Millisecond):
+	}
+
+	// The resumed subscription is still registered server-side.
+	names, err := rc.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "R" {
+		t.Errorf("List after resume = %v", names)
+	}
+	if len(srv.Orphaned()) != 0 {
+		t.Errorf("subscription still orphaned after resume: %v", srv.Orphaned())
+	}
+}
+
+// TestServerRestartResetsDedupeWatermark: when the server itself restarts
+// (losing orphan state), the resubscription is fresh and its notification
+// sequence restarts from 1 — the client must reset its dedupe watermark
+// instead of swallowing the new stream as replays.
+func TestServerRestartResetsDedupeWatermark(t *testing.T) {
+	src, _ := paperSource(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	srv1 := NewServerWith(map[string]wrapper.Source{"guide": src},
+		NewSimClock(timestamp.MustParse("1Jan97")),
+		ServerConfig{Linger: time.Minute})
+	go srv1.Serve(ln)
+
+	rc := DialRobust(addr, &RobustOptions{
+		ReconnectInitial: 50 * time.Millisecond,
+		ReconnectMax:     200 * time.Millisecond,
+	})
+	defer rc.Close()
+	if err := rc.Subscribe("R", "guide", "guide",
+		`select guide.restaurant`,
+		`select R.restaurant<cre at T> where T > t[-1]`,
+		""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv1.Service().Poll("R", timestamp.MustParse("30Dec96")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-rc.Notifications():
+		if n.Seq != 1 {
+			t.Fatalf("first notification seq = %d", n.Seq)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("no notification before restart")
+	}
+
+	// Hard restart: all orphan and sequence state is lost.
+	srv1.Close()
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := NewServerWith(map[string]wrapper.Source{"guide": src},
+		NewSimClock(timestamp.MustParse("1Jan97")),
+		ServerConfig{Linger: time.Minute})
+	go srv2.Serve(ln2)
+	t.Cleanup(srv2.Close)
+
+	// Wait for the client to reconnect and freshly resubscribe.
+	deadline := time.Now().Add(10 * time.Second)
+	for len(srv2.Service().List()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("client never resubscribed to the restarted server")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The restarted stream's nseq is 1 again — it must not be deduped
+	// against the pre-restart watermark (which was also 1).
+	if _, err := srv2.Service().Poll("R", timestamp.MustParse("31Dec96")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-rc.Notifications():
+		if n.Seq != 1 {
+			t.Fatalf("post-restart notification seq = %d, want 1 (fresh stream)", n.Seq)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("post-restart notification was swallowed by the stale dedupe watermark")
+	}
+}
+
+// TestLingerExpiryDropsSubscription verifies the other side of the linger
+// window: without a resume, the orphaned subscription is dropped.
+func TestLingerExpiryDropsSubscription(t *testing.T) {
+	src, _ := paperSource(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServerWith(map[string]wrapper.Source{"guide": src},
+		NewSimClock(timestamp.MustParse("1Jan97")),
+		ServerConfig{Linger: 50 * time.Millisecond})
+	go srv.Serve(ln)
+	t.Cleanup(srv.Close)
+
+	cl, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Subscribe("gone", "guide", "guide",
+		"select guide.restaurant", "select gone.restaurant", ""); err != nil {
+		t.Fatal(err)
+	}
+	cl.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(srv.Service().List()) == 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Errorf("orphaned subscription survived linger expiry: %v", srv.Service().List())
+}
+
+// TestSchedulerPanicBecomesHealthEvent: a panicking source must not kill
+// the poller — the panic surfaces as a poll failure and health event.
+func TestSchedulerPanicBecomesHealthEvent(t *testing.T) {
+	bomb := wrapper.Func{
+		PollFunc: func() (*oem.Database, error) { panic("kaboom") },
+		Stable:   true,
+	}
+	svc := NewService(nil)
+	if err := svc.Subscribe(Subscription{
+		Name: "B", SourceName: "s", Source: bomb,
+		Polling: `select s.x`, Filter: `select B.x`,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	events := make(chan HealthEvent, 4)
+	var errMu sync.Mutex
+	var lastErr error
+	sch := NewSchedulerWith(svc, NewSimClock(timestamp.MustParse("1Jan97")), SchedulerOptions{
+		Policy:   RetryPolicy{Initial: time.Second, DegradedAfter: 1, SuspendAfter: 100},
+		OnError:  func(_ string, err error) { errMu.Lock(); lastErr = err; errMu.Unlock() },
+		OnHealth: func(ev HealthEvent) { events <- ev },
+	})
+	sch.Start("B", Every{Interval: time.Hour})
+	defer sch.StopAll()
+	select {
+	case ev := <-events:
+		if ev.To != Degraded {
+			t.Errorf("transition to %s, want degraded", ev.To)
+		}
+		if ev.Err == nil {
+			t.Fatal("no error on panic-driven transition")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("poller died instead of reporting the panic")
+	}
+	errMu.Lock()
+	defer errMu.Unlock()
+	if lastErr == nil {
+		t.Fatal("onError never saw the panic")
+	}
+}

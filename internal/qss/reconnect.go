@@ -1,0 +1,374 @@
+package qss
+
+import (
+	"errors"
+	"net"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ErrClientClosed is returned by RobustClient calls after Close.
+var ErrClientClosed = errors.New("qss: client closed")
+
+// RobustOptions tunes RobustClient's reconnection behavior.
+type RobustOptions struct {
+	// ReconnectInitial is the backoff after the first failed dial
+	// (default 100ms).
+	ReconnectInitial time.Duration
+	// ReconnectMax caps the exponential redial backoff (default 5s).
+	ReconnectMax time.Duration
+	// PingInterval, when positive, round-trips a ping at this cadence so
+	// a server-side idle timeout does not reap the connection.
+	PingInterval time.Duration
+	// IdleTimeout, when positive, tears the connection down (triggering
+	// a reconnect) if the server sends nothing — not even heartbeats —
+	// for this long.
+	IdleTimeout time.Duration
+	// OnEvent observes connection lifecycle events ("dial", "connected",
+	// "disconnected", "resubscribe <name>") for logging; err may be nil.
+	OnEvent func(event string, err error)
+}
+
+func (o RobustOptions) withDefaults() RobustOptions {
+	if o.ReconnectInitial <= 0 {
+		o.ReconnectInitial = 100 * time.Millisecond
+	}
+	if o.ReconnectMax < o.ReconnectInitial {
+		o.ReconnectMax = 5 * time.Second
+		if o.ReconnectMax < o.ReconnectInitial {
+			o.ReconnectMax = o.ReconnectInitial
+		}
+	}
+	return o
+}
+
+// RobustClient wraps Client with automatic reconnection: when the
+// connection drops it redials with capped exponential backoff, resumes
+// every subscription it owns (replaying server-buffered notifications),
+// and dedupes notifications by the server's per-subscription sequence, so
+// a consumer sees each notification exactly once across reconnects (as
+// long as the server's replay buffer did not overflow — watch for Gap
+// pushes via OnEvent at the wire level).
+type RobustClient struct {
+	dial func() (net.Conn, error)
+	opts RobustOptions
+
+	notifCh  chan ClientNotification
+	healthCh chan ClientHealth
+	done     chan struct{}
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	cur     *Client
+	subs    map[string]SubSpec
+	lastSeq map[string]uint64
+	closed  bool
+}
+
+// DialRobust returns a RobustClient (re)connecting to addr over TCP.
+func DialRobust(addr string, opts *RobustOptions) *RobustClient {
+	return NewRobustClient(func() (net.Conn, error) { return net.Dial("tcp", addr) }, opts)
+}
+
+// NewRobustClient returns a RobustClient using dial to (re)establish its
+// connection; opts may be nil for defaults. The first connection is made
+// asynchronously — API calls block until it is up.
+func NewRobustClient(dial func() (net.Conn, error), opts *RobustOptions) *RobustClient {
+	var o RobustOptions
+	if opts != nil {
+		o = *opts
+	}
+	rc := &RobustClient{
+		dial:     dial,
+		opts:     o.withDefaults(),
+		notifCh:  make(chan ClientNotification, 256),
+		healthCh: make(chan ClientHealth, 64),
+		done:     make(chan struct{}),
+		subs:     make(map[string]SubSpec),
+		lastSeq:  make(map[string]uint64),
+	}
+	rc.cond = sync.NewCond(&rc.mu)
+	go rc.run()
+	return rc
+}
+
+// Notifications returns the deduplicated notification stream. It is
+// closed after Close.
+func (rc *RobustClient) Notifications() <-chan ClientNotification { return rc.notifCh }
+
+// Health returns the subscription health-transition stream. It is closed
+// after Close.
+func (rc *RobustClient) Health() <-chan ClientHealth { return rc.healthCh }
+
+// run is the connection manager: dial, resubscribe, pump, repeat.
+func (rc *RobustClient) run() {
+	defer close(rc.notifCh)
+	defer close(rc.healthCh)
+	backoff := rc.opts.ReconnectInitial
+	for {
+		if rc.isClosed() {
+			return
+		}
+		nc, err := rc.dial()
+		if err != nil {
+			rc.event("dial", err)
+			if !rc.sleep(backoff) {
+				return
+			}
+			backoff *= 2
+			if backoff > rc.opts.ReconnectMax {
+				backoff = rc.opts.ReconnectMax
+			}
+			continue
+		}
+		cl := NewClient(nc)
+		if rc.opts.IdleTimeout > 0 {
+			cl.SetIdleTimeout(rc.opts.IdleTimeout)
+		}
+		if !rc.resubscribe(cl) {
+			// Resume can race the server noticing the old connection died
+			// (the subscription is still "owned" until then) — back off and
+			// redial rather than running with a partial subscription set.
+			cl.Close()
+			if !rc.sleep(backoff) {
+				return
+			}
+			backoff *= 2
+			if backoff > rc.opts.ReconnectMax {
+				backoff = rc.opts.ReconnectMax
+			}
+			continue
+		}
+		backoff = rc.opts.ReconnectInitial
+		rc.setClient(cl)
+		rc.event("connected", nil)
+		stopPing := make(chan struct{})
+		if rc.opts.PingInterval > 0 {
+			go pinger(cl, rc.opts.PingInterval, stopPing)
+		}
+		rc.pump(cl)
+		close(stopPing)
+		rc.setClient(nil)
+		cl.Close()
+		rc.event("disconnected", cl.Err())
+		if rc.isClosed() {
+			return
+		}
+	}
+}
+
+// resubscribe re-establishes every owned subscription with resume
+// semantics. It reports false when any resume fails — whether the
+// connection died mid-way or the server rejected it (e.g. it still
+// considers the old connection the owner) — so the caller backs off and
+// tries again on a fresh connection. Specs are always kept.
+func (rc *RobustClient) resubscribe(cl *Client) bool {
+	rc.mu.Lock()
+	specs := make([]SubSpec, 0, len(rc.subs))
+	for _, sp := range rc.subs {
+		specs = append(specs, sp)
+	}
+	rc.mu.Unlock()
+	sort.Slice(specs, func(i, j int) bool { return specs[i].Name < specs[j].Name })
+	for _, sp := range specs {
+		resumed, err := cl.subscribe(sp, true)
+		if err != nil {
+			rc.event("resubscribe "+sp.Name, err)
+			return false
+		}
+		if !resumed {
+			// Fresh subscription (the server lost the orphan — restart or
+			// linger expiry): its notification sequence restarts from 1,
+			// so the dedupe watermark must too, or every notification
+			// under the old watermark would be swallowed as a replay.
+			rc.mu.Lock()
+			delete(rc.lastSeq, sp.Name)
+			rc.mu.Unlock()
+			rc.event("resubscribe "+sp.Name+" (fresh)", nil)
+		}
+	}
+	return true
+}
+
+// pump forwards pushes from one connection, deduping notifications, until
+// the connection dies or the client is closed.
+func (rc *RobustClient) pump(cl *Client) {
+	notif, health := cl.Notifications(), cl.Health()
+	for notif != nil || health != nil {
+		select {
+		case <-rc.done:
+			return
+		case n, ok := <-notif:
+			if !ok {
+				notif = nil
+				continue
+			}
+			if rc.isDuplicate(n) {
+				continue
+			}
+			select {
+			case rc.notifCh <- n:
+			case <-rc.done:
+				return
+			}
+		case h, ok := <-health:
+			if !ok {
+				health = nil
+				continue
+			}
+			select {
+			case rc.healthCh <- h:
+			case <-rc.done:
+				return
+			}
+		}
+	}
+}
+
+// isDuplicate records n's sequence and reports whether it was already
+// delivered (a replay from the server's resume buffer).
+func (rc *RobustClient) isDuplicate(n ClientNotification) bool {
+	if n.Seq == 0 {
+		return false // pre-sequence server; cannot dedupe
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if n.Seq <= rc.lastSeq[n.Subscription] {
+		return true
+	}
+	rc.lastSeq[n.Subscription] = n.Seq
+	return false
+}
+
+func pinger(cl *Client, interval time.Duration, stop chan struct{}) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-cl.Done():
+			return
+		case <-t.C:
+			if cl.Ping() != nil {
+				return
+			}
+		}
+	}
+}
+
+func (rc *RobustClient) setClient(cl *Client) {
+	rc.mu.Lock()
+	rc.cur = cl
+	rc.cond.Broadcast()
+	rc.mu.Unlock()
+}
+
+func (rc *RobustClient) isClosed() bool {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.closed
+}
+
+// sleep waits d or until Close; it reports false when closed.
+func (rc *RobustClient) sleep(d time.Duration) bool {
+	select {
+	case <-rc.done:
+		return false
+	case <-time.After(d):
+		return true
+	}
+}
+
+func (rc *RobustClient) event(ev string, err error) {
+	if rc.opts.OnEvent != nil {
+		rc.opts.OnEvent(ev, err)
+	}
+}
+
+// client blocks until a connection is up (or the client is closed).
+func (rc *RobustClient) client() (*Client, error) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	for rc.cur == nil && !rc.closed {
+		rc.cond.Wait()
+	}
+	if rc.closed {
+		return nil, ErrClientClosed
+	}
+	return rc.cur, nil
+}
+
+// Subscribe creates a subscription and remembers it for automatic
+// re-subscription after reconnects. It blocks until connected.
+func (rc *RobustClient) Subscribe(name, source, sourceName, polling, filter, freq string) error {
+	sp := SubSpec{
+		Name: name, Source: source, SourceName: sourceName,
+		Polling: polling, Filter: filter, Freq: freq,
+	}
+	cl, err := rc.client()
+	if err != nil {
+		return err
+	}
+	if _, err := cl.subscribe(sp, false); err != nil {
+		return err
+	}
+	rc.mu.Lock()
+	rc.subs[name] = sp
+	rc.mu.Unlock()
+	return nil
+}
+
+// Unsubscribe removes a subscription and forgets its re-subscription spec.
+func (rc *RobustClient) Unsubscribe(name string) error {
+	cl, err := rc.client()
+	if err != nil {
+		return err
+	}
+	if err := cl.Unsubscribe(name); err != nil {
+		return err
+	}
+	rc.mu.Lock()
+	delete(rc.subs, name)
+	delete(rc.lastSeq, name)
+	rc.mu.Unlock()
+	return nil
+}
+
+// List returns subscription names from the server.
+func (rc *RobustClient) List() ([]string, error) {
+	cl, err := rc.client()
+	if err != nil {
+		return nil, err
+	}
+	return cl.List()
+}
+
+// Poll triggers a manual poll (see Client.Poll).
+func (rc *RobustClient) Poll(name, at string) error {
+	cl, err := rc.client()
+	if err != nil {
+		return err
+	}
+	return cl.Poll(name, at)
+}
+
+// Close stops reconnecting and tears down the current connection. The
+// Notifications and Health channels are closed once the manager exits.
+func (rc *RobustClient) Close() error {
+	rc.mu.Lock()
+	if rc.closed {
+		rc.mu.Unlock()
+		return nil
+	}
+	rc.closed = true
+	cur := rc.cur
+	rc.cond.Broadcast()
+	rc.mu.Unlock()
+	close(rc.done)
+	if cur != nil {
+		cur.Close()
+	}
+	return nil
+}

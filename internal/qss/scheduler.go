@@ -1,6 +1,9 @@
 package qss
 
 import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -56,59 +59,194 @@ func (c *SimClock) SleepUntil(t timestamp.Time) {
 	}
 }
 
-// Scheduler drives a subscription's polls at its frequency specification's
-// times until Stop is called.
-type Scheduler struct {
-	svc   *Service
-	clock Clock
-
-	mu      sync.Mutex
-	stopped map[string]chan struct{}
-	wg      sync.WaitGroup
-	onError func(sub string, err error)
+// SchedulerOptions configures fault handling for a Scheduler.
+type SchedulerOptions struct {
+	// Policy drives retry backoff and the health state machine; zero
+	// fields take DefaultRetryPolicy values.
+	Policy RetryPolicy
+	// OnError observes every polling failure (optional). Polling always
+	// continues afterwards, per the retry policy.
+	OnError func(sub string, err error)
+	// OnHealth observes health-state transitions (optional). It is called
+	// from poller goroutines and must be safe for concurrent use.
+	OnHealth func(HealthEvent)
+	// Seed seeds the per-subscription jitter generators, making retry
+	// timing reproducible. 0 is a valid (fixed) seed.
+	Seed int64
 }
 
-// NewScheduler builds a scheduler over svc. onError (optional) observes
-// polling failures; polling continues afterwards.
+// Scheduler drives subscriptions' polls at their frequency specification's
+// times until Stop is called. Failed polls are retried with exponential
+// backoff and jitter; consecutive failures walk the subscription through
+// the Degraded/Suspended health states (see Health) while its accumulated
+// history keeps serving queries. A poll that panics is contained and
+// treated as a failed poll, never killing the poller or the process.
+type Scheduler struct {
+	svc      *Service
+	clock    Clock
+	pol      RetryPolicy
+	onError  func(sub string, err error)
+	onHealth func(HealthEvent)
+	seed     int64
+
+	mu       sync.Mutex
+	stopped  map[string]chan struct{}
+	trackers map[string]*healthTracker
+	wg       sync.WaitGroup
+}
+
+// NewScheduler builds a scheduler over svc with the default retry policy.
+// onError (optional) observes polling failures; polling continues
+// afterwards.
 func NewScheduler(svc *Service, clock Clock, onError func(sub string, err error)) *Scheduler {
+	return NewSchedulerWith(svc, clock, SchedulerOptions{OnError: onError})
+}
+
+// NewSchedulerWith builds a scheduler with explicit fault-handling options.
+func NewSchedulerWith(svc *Service, clock Clock, opts SchedulerOptions) *Scheduler {
+	onError := opts.OnError
 	if onError == nil {
 		onError = func(string, error) {}
 	}
-	return &Scheduler{svc: svc, clock: clock, stopped: make(map[string]chan struct{}), onError: onError}
+	return &Scheduler{
+		svc:      svc,
+		clock:    clock,
+		pol:      opts.Policy.withDefaults(),
+		onError:  onError,
+		onHealth: opts.OnHealth,
+		seed:     opts.Seed,
+		stopped:  make(map[string]chan struct{}),
+		trackers: make(map[string]*healthTracker),
+	}
 }
 
 // Start begins polling the named subscription per its frequency spec.
 func (sch *Scheduler) Start(name string, freq Freq) {
 	stop := make(chan struct{})
+	ht := &healthTracker{pol: sch.pol}
 	sch.mu.Lock()
 	if old, ok := sch.stopped[name]; ok {
 		close(old)
 	}
 	sch.stopped[name] = stop
+	sch.trackers[name] = ht
 	sch.mu.Unlock()
 
 	sch.wg.Add(1)
 	go func() {
 		defer sch.wg.Done()
-		next := freq.Next(sch.clock.Now())
-		for {
-			select {
-			case <-stop:
-				return
-			default:
-			}
-			sch.clock.SleepUntil(next)
-			select {
-			case <-stop:
-				return
-			default:
-			}
-			if _, err := sch.svc.Poll(name, next); err != nil {
-				sch.onError(name, err)
-			}
-			next = freq.Next(next)
+		sch.run(name, freq, stop, ht)
+	}()
+}
+
+// Health reports the current health state of the named subscription
+// (Healthy when it is not scheduled).
+func (sch *Scheduler) Health(name string) Health {
+	sch.mu.Lock()
+	defer sch.mu.Unlock()
+	if ht, ok := sch.trackers[name]; ok {
+		return ht.state
+	}
+	return Healthy
+}
+
+// run is one subscription's poll loop.
+func (sch *Scheduler) run(name string, freq Freq, stop chan struct{}, ht *healthTracker) {
+	// Per-subscription deterministic jitter: seed mixed with the name so
+	// poller start order does not matter.
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	rng := rand.New(rand.NewSource(sch.seed ^ int64(h.Sum64())))
+
+	backoff := sch.pol.Initial
+	next := freq.Next(sch.clock.Now())
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		sch.clock.SleepUntil(next)
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		at := next
+		err := sch.pollSafe(name, at)
+		state := sch.record(name, ht, at, err)
+		if err == nil {
+			backoff = sch.pol.Initial
+			next = freq.Next(at)
+			continue
+		}
+		sch.onError(name, err)
+		if state == Suspended {
+			// Probe cadence: slower, fixed-interval polls until the
+			// source answers again.
+			backoff = sch.pol.Initial
+			next = at.Add(sch.pol.Probe)
+			continue
+		}
+		// Retry with capped exponential backoff plus jitter.
+		d := backoff + jitterFor(rng, backoff, sch.pol.Jitter)
+		next = at.Add(d)
+		backoff = time.Duration(float64(backoff) * sch.pol.Multiplier)
+		if backoff > sch.pol.Max {
+			backoff = sch.pol.Max
+		}
+	}
+}
+
+// pollSafe runs one poll, converting panics into errors so a misbehaving
+// source or query cannot kill the poller goroutine.
+func (sch *Scheduler) pollSafe(name string, t timestamp.Time) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("qss: poll %q panicked: %v", name, r)
 		}
 	}()
+	_, err = sch.svc.Poll(name, t)
+	return err
+}
+
+// record feeds one poll outcome to the subscription's health tracker and
+// emits a transition event if the state changed.
+func (sch *Scheduler) record(name string, ht *healthTracker, at timestamp.Time, err error) Health {
+	sch.mu.Lock()
+	var from, to Health
+	var changed bool
+	if err == nil {
+		from, to, changed = ht.onSuccess()
+	} else {
+		from, to, changed = ht.onFailure()
+	}
+	failures := ht.failures
+	sch.mu.Unlock()
+	if changed && sch.onHealth != nil {
+		sch.onHealth(HealthEvent{
+			Subscription: name,
+			From:         from,
+			To:           to,
+			At:           at,
+			Err:          err,
+			Failures:     failures,
+		})
+	}
+	return to
+}
+
+// jitterFor returns a deterministic pseudo-random extra of up to
+// frac*backoff, in whole seconds (the history time domain's resolution).
+func jitterFor(rng *rand.Rand, backoff time.Duration, frac float64) time.Duration {
+	if frac <= 0 {
+		return 0
+	}
+	maxSec := int64(backoff.Seconds() * frac)
+	if maxSec <= 0 {
+		return 0
+	}
+	return time.Duration(rng.Int63n(maxSec+1)) * time.Second
 }
 
 // Stop ends polling for the named subscription.
@@ -118,6 +256,7 @@ func (sch *Scheduler) Stop(name string) {
 		close(ch)
 		delete(sch.stopped, name)
 	}
+	delete(sch.trackers, name)
 	sch.mu.Unlock()
 }
 
@@ -128,6 +267,7 @@ func (sch *Scheduler) StopAll() {
 		close(ch)
 		delete(sch.stopped, name)
 	}
+	sch.trackers = make(map[string]*healthTracker)
 	sch.mu.Unlock()
 	sch.wg.Wait()
 }

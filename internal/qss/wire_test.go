@@ -1,0 +1,262 @@
+package qss
+
+import (
+	"bufio"
+	"encoding/json"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/oem"
+	"repro/internal/timestamp"
+	"repro/internal/wrapper"
+)
+
+// startServerWith is startServer with an explicit ServerConfig.
+func startServerWith(t *testing.T, sources map[string]wrapper.Source, cfg ServerConfig) (string, *Server) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServerWith(sources, NewSimClock(timestamp.MustParse("1Jan97")), cfg)
+	go srv.Serve(ln)
+	t.Cleanup(srv.Close)
+	return ln.Addr().String(), srv
+}
+
+// TestServeRetriesTemporaryAcceptErrors: transient Accept failures
+// (EMFILE, ECONNABORTED) must not kill the accept loop.
+func TestServeRetriesTemporaryAcceptErrors(t *testing.T) {
+	src, _ := paperSource(t)
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := faults.NewListener(inner, func(attempt int) error {
+		if attempt <= 3 {
+			return faults.TemporaryError("simulated EMFILE")
+		}
+		return nil
+	})
+	srv := NewServer(map[string]wrapper.Source{"guide": src},
+		NewSimClock(timestamp.MustParse("1Jan97")))
+	go srv.Serve(ln)
+	t.Cleanup(srv.Close)
+
+	cl, err := Dial(inner.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.List(); err != nil {
+		t.Fatalf("list after injected accept errors: %v", err)
+	}
+	if got := ln.Attempts(); got < 4 {
+		t.Errorf("accept attempts = %d, want >= 4 (3 injected failures + success)", got)
+	}
+}
+
+// TestWireGarbageAndOversizedLines: malformed and oversized request lines
+// must produce error responses — in sequence — and leave the connection
+// usable, not dead.
+func TestWireGarbageAndOversizedLines(t *testing.T) {
+	src, _ := paperSource(t)
+	addr, _ := startServerWith(t, map[string]wrapper.Source{"guide": src},
+		ServerConfig{MaxMessage: 256})
+
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	br := bufio.NewReader(nc)
+	readResp := func() Response {
+		t.Helper()
+		nc.SetReadDeadline(time.Now().Add(10 * time.Second))
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("connection died: %v", err)
+		}
+		var resp Response
+		if err := json.Unmarshal([]byte(line), &resp); err != nil {
+			t.Fatalf("unparseable response %q: %v", line, err)
+		}
+		return resp
+	}
+
+	// 1: garbage that is not JSON.
+	if _, err := nc.Write([]byte("this is not json\n")); err != nil {
+		t.Fatal(err)
+	}
+	resp := readResp()
+	if resp.Seq != 1 || resp.Error == "" || !strings.Contains(resp.Error, "malformed") {
+		t.Fatalf("garbage line: got seq %d error %q", resp.Seq, resp.Error)
+	}
+
+	// 2: a line over the 256-byte limit (even valid JSON is rejected).
+	big := `{"op":"subscribe","name":"` + strings.Repeat("x", 1000) + `"}` + "\n"
+	if _, err := nc.Write([]byte(big)); err != nil {
+		t.Fatal(err)
+	}
+	resp = readResp()
+	if resp.Seq != 2 || !strings.Contains(resp.Error, "exceeds") {
+		t.Fatalf("oversized line: got seq %d error %q", resp.Seq, resp.Error)
+	}
+
+	// 3: the connection has resynchronized; a normal request still works.
+	if _, err := nc.Write([]byte(`{"op":"list"}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	resp = readResp()
+	if resp.Seq != 3 || !resp.OK || resp.Error != "" {
+		t.Fatalf("list after bad lines: got seq %d ok %v error %q", resp.Seq, resp.OK, resp.Error)
+	}
+}
+
+// TestDispatchRecoversPollPanic: a panicking source turns into an error
+// response on that request; the connection and server survive.
+func TestDispatchRecoversPollPanic(t *testing.T) {
+	bomb := wrapper.Func{
+		PollFunc: func() (*oem.Database, error) { panic("source kaboom") },
+		Stable:   true,
+	}
+	addr, _ := startServer(t, map[string]wrapper.Source{"bomb": bomb})
+
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Subscribe("B", "bomb", "s", "select s.x", "select B.x", ""); err != nil {
+		t.Fatal(err)
+	}
+	err = cl.Poll("B", "1Jan97")
+	if err == nil {
+		t.Fatal("poll of panicking source reported success")
+	}
+	if !strings.Contains(err.Error(), "internal error") || !strings.Contains(err.Error(), "kaboom") {
+		t.Errorf("poll error = %v, want contained panic", err)
+	}
+	// Same connection still works.
+	names, err := cl.List()
+	if err != nil {
+		t.Fatalf("list after panic: %v", err)
+	}
+	if len(names) != 1 || names[0] != "B" {
+		t.Errorf("names after panic = %v", names)
+	}
+}
+
+// TestHeartbeatKeepsIdleClientAlive: with server heartbeats faster than
+// the client's idle timeout, a quiet connection stays up.
+func TestHeartbeatKeepsIdleClientAlive(t *testing.T) {
+	src, _ := paperSource(t)
+	addr, _ := startServerWith(t, map[string]wrapper.Source{"guide": src},
+		ServerConfig{HeartbeatInterval: 50 * time.Millisecond})
+
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.SetIdleTimeout(250 * time.Millisecond)
+	select {
+	case <-cl.Done():
+		t.Fatalf("connection died despite heartbeats: %v", cl.Err())
+	case <-time.After(600 * time.Millisecond):
+	}
+	if _, err := cl.List(); err != nil {
+		t.Fatalf("list after idle period: %v", err)
+	}
+}
+
+// TestClientIdleTimeoutWithoutHeartbeats: without heartbeats, the client's
+// idle timeout tears the connection down (the reconnect trigger).
+func TestClientIdleTimeoutWithoutHeartbeats(t *testing.T) {
+	src, _ := paperSource(t)
+	addr, _ := startServer(t, map[string]wrapper.Source{"guide": src})
+
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.SetIdleTimeout(100 * time.Millisecond)
+	select {
+	case <-cl.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("idle connection never timed out")
+	}
+}
+
+// TestServerIdleTimeoutDropsSilentClient: the server reaps connections
+// that send nothing, unless they ping.
+func TestServerIdleTimeoutDropsSilentClient(t *testing.T) {
+	src, _ := paperSource(t)
+	addr, _ := startServerWith(t, map[string]wrapper.Source{"guide": src},
+		ServerConfig{IdleTimeout: 100 * time.Millisecond})
+
+	silent, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer silent.Close()
+	select {
+	case <-silent.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never dropped the silent connection")
+	}
+
+	// A pinging client outlives several idle windows.
+	chatty, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer chatty.Close()
+	for i := 0; i < 8; i++ {
+		if err := chatty.Ping(); err != nil {
+			t.Fatalf("ping %d: %v", i, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if _, err := chatty.List(); err != nil {
+		t.Fatalf("pinging client was dropped: %v", err)
+	}
+}
+
+// TestTornWriteKillsOnlyThatConnection: a client whose writes tear
+// mid-message loses its own connection; the server keeps serving others.
+func TestTornWriteKillsOnlyThatConnection(t *testing.T) {
+	src, _ := paperSource(t)
+	addr, _ := startServer(t, map[string]wrapper.Source{"guide": src})
+
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := faults.NewConn(nc, nil, faults.ConnScript(map[int]faults.ConnFault{
+		2: {Torn: 5, Drop: true},
+	}))
+	victim := NewClient(fc)
+	defer victim.Close()
+	if _, err := victim.List(); err != nil {
+		t.Fatalf("list before fault: %v", err)
+	}
+	// This request's write tears after 5 bytes and drops the conn; the
+	// server sees a half line then EOF and must just clean up.
+	if err := victim.Subscribe("X", "guide", "guide", "select guide.restaurant", "select X.restaurant", ""); err == nil {
+		t.Fatal("subscribe over torn connection reported success")
+	}
+
+	other, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Close()
+	if _, err := other.List(); err != nil {
+		t.Fatalf("server unusable after torn client write: %v", err)
+	}
+}
