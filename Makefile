@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint cover bench harness examples fuzz ci fmtcheck clean
+.PHONY: all build test race vet lint cover bench bench-json harness examples fuzz ci fmtcheck clean
 
 all: build test
 
@@ -45,6 +45,11 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Machine-readable benchmark report: per-benchmark ns/op, B/op, allocs/op,
+# the measured observability overhead, and a metrics snapshot.
+bench-json:
+	$(GO) run ./cmd/benchharness -json BENCH_4.json
+
 # Regenerates every experiment in EXPERIMENTS.md.
 harness:
 	$(GO) run ./cmd/benchharness
@@ -65,6 +70,8 @@ fuzz:
 	$(GO) test -fuzz='^FuzzToOEM$$' -fuzztime=30s -run xxx ./internal/htmldiff/
 	$(GO) test -fuzz='^FuzzMarkup$$' -fuzztime=30s -run xxx ./internal/htmldiff/
 	$(GO) test -fuzz='^FuzzParse$$' -fuzztime=30s -run xxx ./internal/timestamp/
+	$(GO) test -fuzz='^FuzzLabelRoundTrip$$' -fuzztime=30s -run xxx ./internal/encoding/
+	$(GO) test -fuzz='^FuzzEncodeDecode$$' -fuzztime=30s -run xxx ./internal/encoding/
 	$(GO) test -fuzz='^FuzzRead$$' -fuzztime=30s -run xxx ./internal/oemio/
 	$(GO) test -fuzz='^FuzzWALRecordDecode$$' -fuzztime=30s -run xxx ./internal/wal/
 	$(GO) test -fuzz='^FuzzRequestDecode$$' -fuzztime=30s -run xxx ./internal/qss/

@@ -1,0 +1,227 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/chorel"
+	"repro/internal/doem"
+	"repro/internal/guidegen"
+	"repro/internal/lorel"
+	"repro/internal/obs"
+	"repro/internal/oem"
+	"repro/internal/qss"
+	"repro/internal/timestamp"
+	"repro/internal/wal"
+	"repro/internal/wrapper"
+)
+
+// The -json mode runs a curated benchmark suite through testing.Benchmark
+// and writes a machine-readable report (BENCH_4.json in CI) with per-
+// benchmark ns/op, B/op and allocs/op, the observability overhead measured
+// disabled-vs-enabled, and a metrics snapshot from the instrumented run.
+
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type benchReport struct {
+	Generated time.Time     `json:"generated"`
+	Build     obs.BuildInfo `json:"build"`
+	// ObsDisabledOverheadPct is what default (untraced, collection off)
+	// queries pay for the compiled-in instrumentation: the measured
+	// ns/op of the complete per-query disabled instrumentation sequence
+	// (obs-disabled-per-query) relative to eval-obs-off. The acceptance
+	// bar is <= 2%.
+	ObsDisabledOverheadPct float64 `json:"obs_disabled_overhead_pct"`
+	// ObsEnabledOverheadPct is the cost of switching collection on:
+	// eval-obs-on vs eval-obs-off on the same workload. Negative values
+	// are noise.
+	ObsEnabledOverheadPct float64       `json:"obs_enabled_overhead_pct"`
+	Benchmarks            []benchResult `json:"benchmarks"`
+	// Obs is the metric snapshot accumulated while the suite ran with
+	// collection enabled.
+	Obs *obs.Snap `json:"obs"`
+}
+
+func toResult(name string, r testing.BenchmarkResult) benchResult {
+	return benchResult{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+// paperEngine builds the harness's standard workload: the paper guide with
+// its Example 2.3 history, registered as "guide".
+func paperEngine() *lorel.Engine {
+	db, ids := guidegen.PaperGuide()
+	d, err := doem.FromHistory(db, guidegen.PaperHistory(ids))
+	if err != nil {
+		panic(err)
+	}
+	eng := lorel.NewEngine()
+	eng.Register("guide", d)
+	return eng
+}
+
+func runJSON(path string) error {
+	const evalQuery = `select N, T, NV from guide.restaurant.price<upd at T to NV>, guide.restaurant.name N where T >= 1Jan97 and NV > 15`
+
+	var report benchReport
+	report.Build = obs.ReadBuildInfo()
+
+	bench := func(name string, fn func(b *testing.B)) testing.BenchmarkResult {
+		r := testing.Benchmark(fn)
+		report.Benchmarks = append(report.Benchmarks, toResult(name, r))
+		fmt.Printf("  %-28s %12.0f ns/op %8d B/op %6d allocs/op\n",
+			name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp())
+		return r
+	}
+
+	fmt.Println("benchharness: JSON benchmark suite")
+
+	// Observability overhead on the evaluation hot path: the same query,
+	// instrumentation compiled in, collection off vs on. The "off" run is
+	// what every untraced production query pays.
+	obs.SetEnabled(false)
+	eng := paperEngine()
+	off := bench("eval-obs-off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Query(evalQuery); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// The complete disabled instrumentation sequence one serial query
+	// executes — the gate checks, zero-time reads, nil-trace no-ops and
+	// counter touches — measured in isolation. Its ns/op over the
+	// query's ns/op is the disabled overhead.
+	bc := obs.NewCounter("bench_disabled_counter")
+	bh := obs.NewHistogram("bench_disabled_ns")
+	perQuery := bench("obs-disabled-per-query", func(b *testing.B) {
+		ctx := context.Background()
+		for i := 0; i < b.N; i++ {
+			start := obs.Now()
+			tr := obs.TraceFrom(ctx)
+			psp := tr.StartSpan("parse")
+			psp.EndNote("cache=%s", "hit")
+			sp := tr.StartSpan("eval")
+			bc.Inc()             // queries
+			bc.Add(int64(i & 1)) // bindings
+			bc.Add(0)            // dedup hits
+			bh.ObserveSince(start)
+			tr.Add("bindings", 0)
+			tr.Add("dedup_hits", 0)
+			sp.EndNote("rows=%d", 0)
+		}
+	})
+
+	obs.SetEnabled(true)
+	on := bench("eval-obs-on", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Query(evalQuery); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	offNs := float64(off.T.Nanoseconds()) / float64(off.N)
+	onNs := float64(on.T.Nanoseconds()) / float64(on.N)
+	perQueryNs := float64(perQuery.T.Nanoseconds()) / float64(perQuery.N)
+	report.ObsDisabledOverheadPct = perQueryNs / offNs * 100
+	report.ObsEnabledOverheadPct = (onNs - offNs) / offNs * 100
+
+	// The rest of the suite runs with collection enabled so the report's
+	// obs snapshot reflects the instrumented stack end to end.
+	bench("lorel-parallel4", func(b *testing.B) {
+		peng := paperEngine()
+		peng.SetParallelism(4)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := peng.Query(evalQuery); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	bench("chorel-translate", func(b *testing.B) {
+		const q = `select N from guide.restaurant R, R.name N where R.<add at T>price = "moderate" and T >= 1Jan97`
+		for i := 0; i < b.N; i++ {
+			if _, err := chorel.TranslateString(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	bench("wal-append", func(b *testing.B) {
+		dir, err := os.MkdirTemp("", "benchwal")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		l, err := wal.Open(dir, &wal.Options{Sync: wal.SyncNever})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer l.Close()
+		payload := make([]byte, 256)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := l.Append(payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	bench("qss-poll-cycle", func(b *testing.B) {
+		ev := guidegen.NewEvolver(1, 100)
+		src := wrapper.NewMutable(ev.DB)
+		svc := qss.NewService(nil)
+		if err := svc.Subscribe(qss.Subscription{
+			Name: "R", SourceName: "guide", Source: src,
+			Polling: `select guide.restaurant`,
+			Filter:  `select R.restaurant<cre at T> where T > t[-1]`,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		t := timestamp.MustParse("1Jan97")
+		if _, err := svc.Poll("R", t); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			src.Mutate(func(*oem.Database) error { ev.Step(2); return nil })
+			t = t.Add(3600e9)
+			if _, err := svc.Poll("R", t); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	report.Obs = obs.Snapshot()
+	obs.SetEnabled(false)
+	report.Generated = time.Now().UTC()
+
+	data, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchharness: obs overhead %.3f%% disabled, %.2f%% enabled; report written to %s\n",
+		report.ObsDisabledOverheadPct, report.ObsEnabledOverheadPct, path)
+	return nil
+}

@@ -5,6 +5,13 @@
 // Usage:
 //
 //	benchharness [-quick]
+//	benchharness -json PATH
+//
+// With -json, the harness instead runs a curated testing.Benchmark suite
+// (query evaluation with observability off and on, parallel evaluation,
+// Chorel translation, WAL appends, QSS poll cycles) and writes a
+// machine-readable report with per-benchmark ns/op, B/op, allocs/op, the
+// measured observability overhead, and a metrics snapshot.
 package main
 
 import (
@@ -34,12 +41,22 @@ import (
 	"repro/internal/wrapper"
 )
 
-var quick = flag.Bool("quick", false, "smaller problem sizes")
+var (
+	quick    = flag.Bool("quick", false, "smaller problem sizes")
+	jsonPath = flag.String("json", "", "run the benchmark suite and write a JSON report to this path")
+)
 
 var failures int
 
 func main() {
 	flag.Parse()
+	if *jsonPath != "" {
+		if err := runJSON(*jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "benchharness:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	fmt.Println("DOEM/Chorel reproduction — experiment harness")
 	fmt.Println(strings.Repeat("=", 64))
 

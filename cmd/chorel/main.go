@@ -3,15 +3,20 @@
 //
 // Usage:
 //
-//	chorel [-store DIR] [-translate] [-strategy direct|translated] [-parallel N] [QUERY...]
+//	chorel [-store DIR] [-translate] [-explain] [-strategy direct|translated] [-parallel N] [QUERY...]
 //
 // With no QUERY arguments, chorel reads queries from standard input, one
 // per line. The built-in demo database "guide" (the paper's running
 // example, Figures 2-4) is always registered; databases from -store are
 // registered under their stored names.
 //
+// -explain prints the Chorel→Lorel rewrite plan (rule-by-rule rewrite
+// trace plus the generated Lorel query; see docs/observability.md) instead
+// of evaluating. -version prints build information.
+//
 // Shell commands: .list (databases), .translate QUERY (show the Lorel
-// translation of a Chorel query, Section 5.2), .history NAME, .quit.
+// translation of a Chorel query, Section 5.2), .explain QUERY (show the
+// rewrite plan), .history NAME, .quit.
 package main
 
 import (
@@ -27,6 +32,7 @@ import (
 	"repro/internal/guidegen"
 	"repro/internal/lore"
 	"repro/internal/lorel"
+	"repro/internal/obs"
 	"repro/internal/oem"
 	"repro/internal/timestamp"
 )
@@ -34,11 +40,17 @@ import (
 func main() {
 	storeDir := flag.String("store", "", "database store directory to load")
 	translate := flag.Bool("translate", false, "print the Lorel translation instead of evaluating")
+	explain := flag.Bool("explain", false, "print the Chorel→Lorel rewrite plan instead of evaluating")
 	strategy := flag.String("strategy", "direct", "execution strategy: direct or translated")
 	parallel := flag.Int("parallel", 1, "evaluation workers (0 = GOMAXPROCS)")
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
 
-	if err := run(*storeDir, *translate, *strategy, *parallel, flag.Args()); err != nil {
+	if *version {
+		fmt.Println("chorel", obs.Version())
+		return
+	}
+	if err := run(*storeDir, *translate, *explain, *strategy, *parallel, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "chorel:", err)
 		os.Exit(1)
 	}
@@ -51,7 +63,7 @@ type session struct {
 	parallel int
 }
 
-func run(storeDir string, translate bool, strategy string, parallel int, queries []string) error {
+func run(storeDir string, translate, explain bool, strategy string, parallel int, queries []string) error {
 	if strategy != "direct" && strategy != "translated" {
 		return fmt.Errorf("unknown strategy %q", strategy)
 	}
@@ -91,6 +103,14 @@ func run(storeDir string, translate bool, strategy string, parallel int, queries
 
 	if len(queries) > 0 {
 		for _, q := range queries {
+			if explain {
+				out, err := chorel.Explain(q)
+				if err != nil {
+					return err
+				}
+				fmt.Print(out)
+				continue
+			}
 			if translate {
 				out, err := chorel.TranslateString(q)
 				if err != nil {
@@ -122,7 +142,7 @@ func run(storeDir string, translate bool, strategy string, parallel int, queries
 		case line == ".quit" || line == ".exit":
 			return nil
 		case line == ".help":
-			fmt.Println(".list | .translate QUERY | .history NAME | .quit")
+			fmt.Println(".list | .translate QUERY | .explain QUERY | .history NAME | .quit")
 			fmt.Println("update/insert/delete statements apply to the addressed DOEM database at the current time")
 		case hasVerb(line, "update") || hasVerb(line, "insert") || hasVerb(line, "delete"):
 			if err := s.runUpdate(line); err != nil {
@@ -139,6 +159,14 @@ func run(storeDir string, translate bool, strategy string, parallel int, queries
 				continue
 			}
 			fmt.Println(out)
+		case strings.HasPrefix(line, ".explain ") || hasVerb(line, "explain"):
+			q := strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(line, ".explain"), "explain"))
+			out, err := chorel.Explain(q)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Print(out)
 		case strings.HasPrefix(line, ".history "):
 			name := strings.TrimSpace(strings.TrimPrefix(line, ".history "))
 			d, ok := s.doems[name]

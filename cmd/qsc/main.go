@@ -33,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/oem"
 	"repro/internal/qss"
 )
@@ -43,7 +44,12 @@ func main() {
 	reconnect := flag.Bool("reconnect", false, "auto-reconnect and resume subscriptions (watch mode)")
 	ping := flag.Duration("ping", 0, "ping the server at this interval to defeat its idle timeout (0 = off)")
 	idle := flag.Duration("idle", 0, "give up on a connection silent for this long (0 = never)")
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println("qsc", obs.Version())
+		return
+	}
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()

@@ -15,6 +15,11 @@
 // CSV sources re-read PATH on every poll, exposing rows as ROW objects
 // keyed by the KEY column.
 //
+// Observability (see docs/observability.md): -admin ADDR serves /metrics
+// (expvar-style JSON, or Prometheus text with ?format=prometheus),
+// /healthz with per-subscription poll-health states, and net/http/pprof —
+// and switches metrics collection on. -version prints build information.
+//
 // Fault tolerance (see docs/robustness.md): -heartbeat, -idle-timeout,
 // -write-timeout, -max-msg and -linger harden the wire layer;
 // -retry-initial, -retry-max, -degraded-after, -suspend-after and -probe
@@ -30,6 +35,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -39,6 +45,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/guidegen"
 	"repro/internal/library"
+	"repro/internal/obs"
 	"repro/internal/oem"
 	"repro/internal/qss"
 	"repro/internal/wal"
@@ -60,6 +67,7 @@ type config struct {
 	walDir   string
 	walSync  string
 	csvs     []string
+	admin    string
 
 	heartbeat    time.Duration
 	idleTimeout  time.Duration
@@ -89,6 +97,8 @@ func main() {
 	flag.IntVar(&cfg.parallel, "parallel", 1, "query evaluation workers per poll (0 = GOMAXPROCS)")
 	flag.StringVar(&cfg.walDir, "waldir", "", "directory for per-subscription write-ahead logs (empty: no persistence)")
 	flag.StringVar(&cfg.walSync, "walsync", "interval", "WAL durability: always | interval | never")
+	flag.StringVar(&cfg.admin, "admin", "", "serve /metrics, /healthz and pprof on this address (enables metrics collection; empty = off)")
+	version := flag.Bool("version", false, "print build information and exit")
 	var csvs csvFlags
 	flag.Var(&csvs, "csv", "CSV source as NAME=PATH:KEY:ROW (repeatable)")
 
@@ -111,6 +121,10 @@ func main() {
 	flag.Parse()
 	cfg.csvs = csvs
 
+	if *version {
+		fmt.Println("qss", obs.Version())
+		return
+	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "qss:", err)
 		os.Exit(1)
@@ -215,6 +229,39 @@ func run(cfg config) error {
 		fmt.Printf("qss: logging subscriptions under %s (sync=%s)\n", cfg.walDir, cfg.walSync)
 	}
 
+	// Opt-in admin endpoint: metrics (JSON + Prometheus text), health with
+	// per-subscription poll states, and pprof. Collection is enabled only
+	// when the endpoint is served, so the default run pays one atomic
+	// branch per metric touch. Bind to localhost unless fronted by
+	// something that authenticates (see docs/observability.md).
+	var adminSrv *http.Server
+	if cfg.admin != "" {
+		obs.SetEnabled(true)
+		aln, err := net.Listen("tcp", cfg.admin)
+		if err != nil {
+			return fmt.Errorf("admin: %w", err)
+		}
+		mux := obs.NewAdminMux(obs.AdminOptions{
+			Registry: obs.Default,
+			Health: func() (string, map[string]any) {
+				states := srv.HealthStates()
+				status := "ok"
+				for _, st := range states {
+					if st == qss.Suspended.String() {
+						status = "degraded"
+					}
+				}
+				return status, map[string]any{
+					"subscriptions": states,
+					"orphaned":      srv.Orphaned(),
+				}
+			},
+		})
+		adminSrv = &http.Server{Handler: mux}
+		go func() { _ = adminSrv.Serve(aln) }()
+		fmt.Printf("qss: admin endpoint on http://%s (/metrics, /healthz, /debug/pprof)\n", aln.Addr())
+	}
+
 	served := make(chan struct{})
 	go func() {
 		defer close(served)
@@ -229,6 +276,9 @@ func run(cfg config) error {
 		<-served
 	case <-served:
 		srv.Close()
+	}
+	if adminSrv != nil {
+		_ = adminSrv.Close()
 	}
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/doem"
 	"repro/internal/encoding"
 	"repro/internal/lorel"
+	"repro/internal/obs"
 	"repro/internal/oem"
 	"repro/internal/timestamp"
 	"repro/internal/value"
@@ -99,17 +100,26 @@ func (db *DB) QueryTranslated(src string) (*lorel.Result, error) {
 
 // QueryTranslatedContext is QueryTranslated with cancellation.
 func (db *DB) QueryTranslatedContext(ctx context.Context, src string) (*lorel.Result, error) {
+	tr := obs.TraceFrom(ctx)
+	sp := tr.StartSpan("parse")
 	q, err := lorel.Parse(src)
 	if err != nil {
+		sp.EndNote("error=parse")
 		return nil, err
 	}
 	if err := lorel.Canonicalize(q); err != nil {
+		sp.EndNote("error=canonicalize")
 		return nil, err
 	}
-	tq, err := Translate(q)
+	sp.End()
+	sp = tr.StartSpan("rewrite")
+	tq, steps, err := TranslateTraced(q)
 	if err != nil {
+		sp.EndNote("error=untranslatable")
 		return nil, err
 	}
+	sp.EndNote("steps=%d", len(steps))
+	tr.Add("rewrite_steps", int64(len(steps)))
 	db.Encoding()
 	return db.trans.EvalContext(ctx, tq)
 }

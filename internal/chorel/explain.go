@@ -1,0 +1,81 @@
+package chorel
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/lorel"
+)
+
+// Plan is the result of explaining a Chorel query: the canonicalized
+// source, the rewrite trace of the Chorel→Lorel translation, and the
+// generated Lorel query (empty when the query is untranslatable and must
+// be evaluated directly on the DOEM graph).
+type Plan struct {
+	Source    string        // canonicalized Chorel query
+	Steps     []RewriteStep // rewrite trace, in rule-firing order
+	Lorel     string        // translated Lorel query text
+	FreshVars int           // fresh encoding variables introduced (_t1, ...)
+	Err       error         // non-nil when untranslatable (wraps ErrUntranslatable)
+}
+
+// ExplainQuery parses, canonicalizes and translates a Chorel query without
+// evaluating it, returning the rewrite plan. Parse and canonicalization
+// errors are returned as errors; translation failures are reported inside
+// the plan (the query still runs under direct evaluation).
+func ExplainQuery(src string) (*Plan, error) {
+	q, err := lorel.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := lorel.Canonicalize(q); err != nil {
+		return nil, err
+	}
+	pl := &Plan{Source: RenderTranslated(q)}
+	tq, steps, err := TranslateTraced(q)
+	pl.Steps = steps
+	for _, s := range steps {
+		pl.FreshVars += strings.Count(s.After, "_t")
+	}
+	if err != nil {
+		pl.Err = err
+		return pl, nil
+	}
+	pl.Lorel = RenderTranslated(tq)
+	return pl, nil
+}
+
+// Explain renders the rewrite plan for a Chorel query as the text the
+// `chorel -explain` front door prints.
+func Explain(src string) (string, error) {
+	pl, err := ExplainQuery(src)
+	if err != nil {
+		return "", err
+	}
+	return pl.String(), nil
+}
+
+// String renders the plan in the EXPLAIN output format documented in
+// docs/observability.md.
+func (pl *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chorel (canonical):\n  %s\n", pl.Source)
+	if len(pl.Steps) == 0 {
+		b.WriteString("rewrite steps: none (plain Lorel; no annotation expressions)\n")
+	} else {
+		fmt.Fprintf(&b, "rewrite steps (%d):\n", len(pl.Steps))
+		for i, s := range pl.Steps {
+			fmt.Fprintf(&b, "  %d. [%s] %s\n       => %s\n", i+1, s.Rule, s.Before, s.After)
+		}
+	}
+	switch {
+	case pl.Err != nil && errors.Is(pl.Err, ErrUntranslatable):
+		fmt.Fprintf(&b, "lorel: (untranslatable: %v)\n  strategy: direct evaluation on the DOEM graph\n", pl.Err)
+	case pl.Err != nil:
+		fmt.Fprintf(&b, "lorel: (translation failed: %v)\n", pl.Err)
+	default:
+		fmt.Fprintf(&b, "lorel:\n  %s\n  strategy: evaluate on the Section 5.1 OEM encoding\n", pl.Lorel)
+	}
+	return b.String()
+}

@@ -1,0 +1,122 @@
+package chorel
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestExplainQuerySteps(t *testing.T) {
+	pl, err := ExplainQuery(`select guide.restaurant<cre at T> where T > 31Dec96`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Err != nil {
+		t.Fatalf("plan error: %v", pl.Err)
+	}
+	if len(pl.Steps) == 0 {
+		t.Fatal("no rewrite steps for an annotated query")
+	}
+	rules := make(map[string]bool)
+	for _, s := range pl.Steps {
+		if s.Rule == "" || s.After == "" {
+			t.Errorf("incomplete step: %+v", s)
+		}
+		rules[s.Rule] = true
+	}
+	if !rules["cre-node"] {
+		t.Errorf("missing cre-node rule; fired: %v", rules)
+	}
+	if !strings.Contains(pl.Lorel, "&cre") {
+		t.Errorf("generated Lorel lacks &cre:\n%s", pl.Lorel)
+	}
+}
+
+func TestExplainQueryRuleCoverage(t *testing.T) {
+	cases := []struct {
+		src  string
+		rule string
+	}{
+		{`select C from guide.restaurant.<add at T>comment C`, "add-arc"},
+		{`select C from guide.restaurant.<rem at T>comment C`, "rem-arc"},
+		{`select guide.restaurant<cre at T>`, "cre-node"},
+		{`select T from guide.restaurant.price<upd at T>`, "upd-node"},
+		{`select R.name from guide.restaurant R where R.price < 20`, "objvar-val"},
+	}
+	for _, c := range cases {
+		pl, err := ExplainQuery(c.src)
+		if err != nil {
+			t.Errorf("%q: %v", c.src, err)
+			continue
+		}
+		if pl.Err != nil {
+			t.Errorf("%q: plan error %v", c.src, pl.Err)
+			continue
+		}
+		found := false
+		for _, s := range pl.Steps {
+			if s.Rule == c.rule {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%q: rule %s did not fire; steps %+v", c.src, c.rule, pl.Steps)
+		}
+	}
+}
+
+func TestExplainUntranslatable(t *testing.T) {
+	pl, err := ExplainQuery(`select guide.#`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(pl.Err, ErrUntranslatable) {
+		t.Fatalf("plan error = %v, want ErrUntranslatable", pl.Err)
+	}
+	out := pl.String()
+	if !strings.Contains(out, "direct evaluation") {
+		t.Errorf("untranslatable plan does not fall back to direct evaluation:\n%s", out)
+	}
+}
+
+func TestExplainRendering(t *testing.T) {
+	out, err := Explain(`select guide.restaurant<cre at T> where T > 31Dec96`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"chorel (canonical):",
+		"rewrite steps (",
+		"[cre-node]",
+		"lorel:",
+		"Section 5.1 OEM encoding",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("EXPLAIN output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainParseError(t *testing.T) {
+	if _, err := Explain(`select from where`); err == nil {
+		t.Fatal("want parse error for malformed query")
+	}
+}
+
+// The translated query an EXPLAIN prints must be exactly what Translate
+// produces for evaluation — the plan is documentation, not a second
+// translator.
+func TestExplainMatchesTranslate(t *testing.T) {
+	const src = `select C from guide.restaurant.<add at T>comment C where T >= 1Jan97`
+	pl, err := ExplainQuery(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := TranslateString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Lorel != direct {
+		t.Errorf("EXPLAIN lorel differs from Translate:\nexplain: %s\ndirect:  %s", pl.Lorel, direct)
+	}
+}

@@ -1,0 +1,11 @@
+package chorel
+
+import "repro/internal/obs"
+
+// Translation metrics (see docs/observability.md).
+var (
+	mTranslations   = obs.NewCounter("chorel_translations_total")
+	mUntranslatable = obs.NewCounter("chorel_untranslatable_total")
+	mRewriteSteps   = obs.NewCounter("chorel_rewrite_steps_total")
+	mTranslateNs    = obs.NewHistogram("chorel_translate_ns")
+)

@@ -23,9 +23,11 @@ package chorel
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"repro/internal/encoding"
 	"repro/internal/lorel"
+	"repro/internal/obs"
 )
 
 // ErrUntranslatable reports a Chorel construct the Section 5.2 translation
@@ -48,7 +50,40 @@ var ErrUntranslatable = errors.New("chorel: construct not supported by the Lorel
 // The input must already be canonicalized (single-step generators); the
 // output is a valid Lorel query with no annotation expressions.
 func Translate(q *lorel.Query) (*lorel.Query, error) {
+	out, _, err := TranslateTraced(q)
+	return out, err
+}
+
+// RewriteStep records one annotation rewrite performed by the translation:
+// which rule fired, the Chorel fragment it consumed, and the Lorel
+// generators or expression it produced. The sequence of steps is the
+// rewrite trace EXPLAIN prints.
+type RewriteStep struct {
+	Rule   string // "add-arc", "rem-arc", "cre-node", "upd-node", "objvar-val", "agg-val"
+	Before string // source fragment, in Chorel syntax
+	After  string // generated fragment, in plain Lorel syntax
+}
+
+// TranslateTraced is Translate, additionally returning the rewrite trace.
+// On an untranslatable query the steps performed before the failure are
+// still returned alongside the error.
+func TranslateTraced(q *lorel.Query) (*lorel.Query, []RewriteStep, error) {
+	start := obs.Now()
 	tr := &translator{objVars: make(map[string]bool)}
+	out, err := tr.translate(q)
+	mTranslations.Inc()
+	mTranslateNs.ObserveSince(start)
+	if err != nil {
+		if errors.Is(err, ErrUntranslatable) {
+			mUntranslatable.Inc()
+		}
+		return nil, tr.steps, err
+	}
+	mRewriteSteps.Add(int64(len(tr.steps)))
+	return out, tr.steps, nil
+}
+
+func (tr *translator) translate(q *lorel.Query) (*lorel.Query, error) {
 	out := &lorel.Query{}
 
 	var err error
@@ -79,11 +114,28 @@ func Translate(q *lorel.Query) (*lorel.Query, error) {
 type translator struct {
 	objVars map[string]bool // variables ranging over encoding objects
 	nfresh  int
+	steps   []RewriteStep // rewrite trace, in rule-firing order
 }
 
 func (tr *translator) fresh() string {
 	tr.nfresh++
 	return fmt.Sprintf("_t%d", tr.nfresh)
+}
+
+func (tr *translator) record(rule, before, after string) {
+	tr.steps = append(tr.steps, RewriteStep{Rule: rule, Before: before, After: after})
+}
+
+// renderItems renders generators as "path var, path var" Lorel text.
+func renderItems(items []lorel.FromItem) string {
+	var b strings.Builder
+	for i, g := range items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", g.Path, g.Var)
+	}
+	return b.String()
 }
 
 func (tr *translator) generators(items []lorel.FromItem) ([]lorel.FromItem, error) {
@@ -153,11 +205,14 @@ func (tr *translator) generator(f lorel.FromItem) ([]lorel.FromItem, error) {
 		h := tr.fresh()
 		gen(p.Head, encoding.HistoryLabel(step.Label), h)
 		annLabel := encoding.LabelAdd
+		rule := "add-arc"
 		if step.Arc.Op == lorel.OpRem {
 			annLabel = encoding.LabelRem
+			rule = "rem-arc"
 		}
 		gen(h, annLabel, step.Arc.AtVar)
 		gen(h, encoding.LabelTarget, target)
+		tr.record(rule, fmt.Sprintf("%s.%s%s %s", p.Head, step.Arc, step.Label, target), renderItems(out))
 	default:
 		return nil, fmt.Errorf("%w: %s before a label", ErrUntranslatable, step.Arc.Op)
 	}
@@ -165,15 +220,18 @@ func (tr *translator) generator(f lorel.FromItem) ([]lorel.FromItem, error) {
 
 	// Node annotation on the reached object.
 	if step.Node != nil {
+		mark := len(out)
 		switch step.Node.Op {
 		case lorel.OpCre:
 			gen(target, encoding.LabelCre, step.Node.AtVar)
+			tr.record("cre-node", fmt.Sprintf("%s%s", target, step.Node), renderItems(out[mark:]))
 		case lorel.OpUpd:
 			u := tr.fresh()
 			gen(target, encoding.LabelUpd, u)
 			gen(u, encoding.LabelTime, step.Node.AtVar)
 			gen(u, encoding.LabelOV, step.Node.FromVar)
 			gen(u, encoding.LabelNV, step.Node.ToVar)
+			tr.record("upd-node", fmt.Sprintf("%s%s", target, step.Node), renderItems(out[mark:]))
 		default:
 			return nil, fmt.Errorf("%w: %s after a label", ErrUntranslatable, step.Node.Op)
 		}
@@ -192,6 +250,7 @@ func (tr *translator) expr(e lorel.Expr, valuePos bool) (lorel.Expr, error) {
 			return nil, fmt.Errorf("chorel: Translate requires a canonicalized query (path %s in expression)", x.Path)
 		}
 		if valuePos && tr.objVars[x.Path.Head] {
+			tr.record("objvar-val", x.Path.Head, x.Path.Head+"."+encoding.LabelVal)
 			return &lorel.PathValueExpr{Path: &lorel.PathExpr{
 				Head:  x.Path.Head,
 				Steps: []*lorel.PathStep{{Label: encoding.LabelVal, P: x.Path.P}},
@@ -231,6 +290,7 @@ func (tr *translator) expr(e lorel.Expr, valuePos bool) (lorel.Expr, error) {
 		withVal := &lorel.PathExpr{Head: in.Head, P: in.P}
 		withVal.Steps = append(withVal.Steps, in.Steps...)
 		withVal.Steps = append(withVal.Steps, &lorel.PathStep{Label: encoding.LabelVal, P: x.P})
+		tr.record("agg-val", x.String(), fmt.Sprintf("%s(%s)", x.Fn, withVal))
 		return &lorel.AggExpr{Fn: x.Fn, Path: withVal, P: x.P}, nil
 	case *lorel.ExistsExpr:
 		// The bound variable ranges over encoding objects reached by data

@@ -1,0 +1,68 @@
+package encoding
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/doem"
+	"repro/internal/guidegen"
+	"repro/internal/oem"
+)
+
+// FuzzLabelRoundTrip: HistoryLabel and DataLabel are mutual inverses for
+// every data label, and DataLabel rejects anything that is not a history
+// label.
+func FuzzLabelRoundTrip(f *testing.F) {
+	for _, s := range []string{"price", "name", "comment", "", "&val", "a-history", "&x-history", "restaurant"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, label string) {
+		hist := HistoryLabel(label)
+		back, ok := DataLabel(hist)
+		if !ok {
+			t.Fatalf("DataLabel rejects HistoryLabel(%q) = %q", label, hist)
+		}
+		if back != label {
+			t.Fatalf("round trip %q -> %q -> %q", label, hist, back)
+		}
+		// Anything DataLabel accepts must carry the history shape.
+		if got, ok := DataLabel(label); ok {
+			if !strings.HasPrefix(label, Prefix) || !strings.HasSuffix(label, "-history") {
+				t.Fatalf("DataLabel(%q) = %q accepted a non-history label", label, got)
+			}
+		}
+	})
+}
+
+// FuzzEncodeDecode: for arbitrary generated histories, the Section 5.1
+// encoding decodes back to a database whose re-encoding is isomorphic and
+// whose current snapshot matches.
+func FuzzEncodeDecode(f *testing.F) {
+	f.Add(int64(1), uint8(10), uint8(4), uint8(4))
+	f.Add(int64(42), uint8(1), uint8(1), uint8(1))
+	f.Add(int64(7), uint8(25), uint8(8), uint8(2))
+	f.Fuzz(func(t *testing.T, seed int64, restaurants, steps, ops uint8) {
+		n := int(restaurants%25) + 1
+		st := int(steps%8) + 1
+		op := int(ops%6) + 1
+		initial, h := guidegen.GenerateHistory(seed, n, st, op)
+		d, err := doem.FromHistory(initial, h)
+		if err != nil {
+			t.Fatalf("seed %d n=%d steps=%d ops=%d: %v", seed, n, st, op, err)
+		}
+		enc := Encode(d)
+		if err := enc.DB.Validate(); err != nil {
+			t.Fatalf("encoding invalid: %v", err)
+		}
+		back, err := Decode(enc.DB)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !oem.Isomorphic(Encode(back).DB, enc.DB) {
+			t.Error("re-encoding not isomorphic")
+		}
+		if !oem.Isomorphic(back.Current(), d.Current()) {
+			t.Error("decoded current snapshot differs")
+		}
+	})
+}

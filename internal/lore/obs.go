@@ -1,0 +1,12 @@
+package lore
+
+import "repro/internal/obs"
+
+// Store metrics (see docs/observability.md).
+var (
+	mApplies       = obs.NewCounter("lore_apply_total")
+	mApplyNs       = obs.NewHistogram("lore_apply_ns")
+	mCheckpoints   = obs.NewCounter("lore_checkpoint_total")
+	mCheckpointNs  = obs.NewHistogram("lore_checkpoint_ns")
+	mApplyFailures = obs.NewCounter("lore_apply_failures_total")
+)

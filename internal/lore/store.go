@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/change"
 	"repro/internal/doem"
+	"repro/internal/obs"
 	"repro/internal/oem"
 	"repro/internal/oemio"
 	"repro/internal/timestamp"
@@ -259,6 +260,17 @@ func (s *Store) ViewDOEM(name string, fn func(*doem.Database) error) error {
 // and persists the result. In WAL mode only the delta is appended —
 // O(|ops|) I/O; in snapshot mode the whole database is rewritten.
 func (s *Store) ApplySet(name string, t timestamp.Time, ops change.Set) error {
+	start := obs.Now()
+	err := s.applySet(name, t, ops)
+	mApplies.Inc()
+	mApplyNs.ObserveSince(start)
+	if err != nil {
+		mApplyFailures.Inc()
+	}
+	return err
+}
+
+func (s *Store) applySet(name string, t timestamp.Time, ops change.Set) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	d, ok := s.doems[name]
@@ -296,6 +308,11 @@ func (s *Store) ApplySet(name string, t timestamp.Time, ops change.Set) error {
 // drops the covered segments (Section 6.1 log compaction). In snapshot
 // mode it simply re-persists the database.
 func (s *Store) Checkpoint(name string) error {
+	start := obs.Now()
+	defer func() {
+		mCheckpoints.Inc()
+		mCheckpointNs.ObserveSince(start)
+	}()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	d, ok := s.doems[name]

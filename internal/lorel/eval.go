@@ -7,8 +7,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/doem"
+	"repro/internal/obs"
 	"repro/internal/oem"
 	"repro/internal/timestamp"
 	"repro/internal/value"
@@ -122,18 +124,27 @@ func (e *Engine) Query(src string) (*Result, error) {
 // QueryContext is Query with cancellation: evaluation aborts with the
 // context's error shortly after ctx is cancelled.
 func (e *Engine) QueryContext(ctx context.Context, src string) (*Result, error) {
+	tr := obs.TraceFrom(ctx)
 	e.cacheMu.Lock()
 	q, ok := e.cache[src]
 	e.cacheMu.Unlock()
-	if !ok {
+	if ok {
+		mCacheHits.Inc()
+		tr.StartSpan("parse").EndNote("cache=hit")
+	} else {
+		mCacheMisses.Inc()
+		sp := tr.StartSpan("parse")
 		var err error
 		q, err = Parse(src)
 		if err != nil {
+			sp.EndNote("error=parse")
 			return nil, err
 		}
 		if err := Canonicalize(q); err != nil {
+			sp.EndNote("error=canonicalize")
 			return nil, err
 		}
+		sp.EndNote("cache=miss")
 		e.cacheMu.Lock()
 		if len(e.cache) >= cacheLimit {
 			e.cache = make(map[string]*Query)
@@ -238,22 +249,47 @@ type evaluation struct {
 	pollTimes []timestamp.Time
 	ctx       context.Context
 	tick      int
+
+	// trace is the per-query trace from the context (nil when untraced;
+	// every call on a nil Trace is a no-op). Shared with forked workers —
+	// Trace is internally synchronized.
+	trace *obs.Trace
+	// Per-evaluation stat counters: plain ints, not metrics, so the
+	// per-tuple hot path pays no atomics. Each parallel worker owns its
+	// forked evaluation's counters; the parent sums them after wg.Wait and
+	// flushes once, which keeps collection race-clean under -race.
+	bindings  int64
+	dedupHits int64
 }
 
 // newEvaluation snapshots the engine state for one query.
 func (e *Engine) newEvaluation(ctx context.Context) *evaluation {
+	tr := obs.TraceFrom(ctx)
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return &evaluation{graphs: e.graphs, pollTimes: e.pollTimes, ctx: ctx}
+	return &evaluation{graphs: e.graphs, pollTimes: e.pollTimes, ctx: ctx, trace: tr}
 }
 
-// fork clones the evaluation for a parallel worker: shared snapshots, own
-// cancellation counter.
+// fork clones the evaluation for a parallel worker: shared snapshots and
+// trace, own cancellation counter and stat counters.
 func (ev *evaluation) fork() *evaluation {
-	return &evaluation{graphs: ev.graphs, pollTimes: ev.pollTimes, ctx: ev.ctx}
+	return &evaluation{graphs: ev.graphs, pollTimes: ev.pollTimes, ctx: ev.ctx, trace: ev.trace}
+}
+
+// finish flushes the evaluation's stats to the package metrics and trace.
+func (ev *evaluation) finish(start time.Time, err error) {
+	mQueries.Inc()
+	if err != nil {
+		mQueryErrors.Inc()
+	}
+	mQueryNs.ObserveSince(start)
+	mBindings.Add(ev.bindings)
+	mDedupHits.Add(ev.dedupHits)
+	ev.trace.Add("bindings", ev.bindings)
+	ev.trace.Add("dedup_hits", ev.dedupHits)
 }
 
 // cancelCheckInterval is how many checkCancel calls pass between real
@@ -297,7 +333,20 @@ func (e *Engine) Eval(q *Query) (*Result, error) {
 // stream is partitioned across that many workers; the merged result is
 // byte-identical to serial evaluation.
 func (e *Engine) EvalContext(ctx context.Context, q *Query) (*Result, error) {
+	start := obs.Now()
 	ev := e.newEvaluation(ctx)
+	sp := ev.trace.StartSpan("eval")
+	res, err := e.evalQuery(ev, q)
+	rows := 0
+	if res != nil {
+		rows = len(res.Rows)
+	}
+	sp.EndNote("rows=%d", rows)
+	ev.finish(start, err)
+	return res, err
+}
+
+func (e *Engine) evalQuery(ev *evaluation, q *Query) (*Result, error) {
 	gens := make([]FromItem, 0, len(q.From)+len(q.WhereGens))
 	gens = append(gens, q.From...)
 	gens = append(gens, q.WhereGens...)
@@ -321,6 +370,7 @@ func (e *Engine) EvalContext(ctx context.Context, q *Query) (*Result, error) {
 // clause, builds rows, and appends rows unseen in seen to *rows.
 func (ev *evaluation) emitter(q *Query, rows *[]Row, seen map[string]bool) func(*env) error {
 	return func(en *env) error {
+		ev.bindings++
 		if q.Where != nil {
 			ok, err := ev.evalBool(en, q.Where)
 			if err != nil {
@@ -339,6 +389,8 @@ func (ev *evaluation) emitter(q *Query, rows *[]Row, seen map[string]bool) func(
 			if !seen[k] {
 				seen[k] = true
 				*rows = append(*rows, row)
+			} else {
+				ev.dedupHits++
 			}
 		}
 		return nil

@@ -1,0 +1,18 @@
+package lorel
+
+import "repro/internal/obs"
+
+// Engine metrics (see docs/observability.md). All collection is behind
+// the obs global gate: with observability disabled each counter costs
+// one atomic load per query, not per tuple — the per-tuple stats are
+// plain fields on the evaluation and are flushed once at the end.
+var (
+	mQueries     = obs.NewCounter("lorel_queries_total")
+	mQueryErrors = obs.NewCounter("lorel_query_errors_total")
+	mQueryNs     = obs.NewHistogram("lorel_query_ns")
+	mCacheHits   = obs.NewCounter("lorel_parse_cache_hits_total")
+	mCacheMisses = obs.NewCounter("lorel_parse_cache_misses_total")
+	mBindings    = obs.NewCounter("lorel_bindings_total")
+	mDedupHits   = obs.NewCounter("lorel_dedup_hits_total")
+	mParallel    = obs.NewCounter("lorel_parallel_queries_total")
+)

@@ -35,6 +35,7 @@ func (ev *evaluation) evalParallel(q *Query, gens []FromItem, strict, workers in
 		workers = len(outer)
 	}
 
+	mParallel.Inc()
 	type shard struct {
 		rows []Row
 		// errAt is the outer-binding index at which err occurred; the
@@ -42,6 +43,11 @@ func (ev *evaluation) evalParallel(q *Query, gens []FromItem, strict, workers in
 		// first error serial evaluation would have hit.
 		errAt int
 		err   error
+		// Worker-local stat counters, copied out of the forked evaluation
+		// after the worker finishes and summed into the parent by the merge
+		// loop (never touched concurrently, so collection is race-clean).
+		bindings  int64
+		dedupHits int64
 	}
 	shards := make([]shard, workers)
 	var wg sync.WaitGroup
@@ -49,8 +55,9 @@ func (ev *evaluation) evalParallel(q *Query, gens []FromItem, strict, workers in
 		lo := w * len(outer) / workers
 		hi := (w + 1) * len(outer) / workers
 		wg.Add(1)
-		go func(sh *shard, lo, hi int) {
+		go func(w int, sh *shard, lo, hi int) {
 			defer wg.Done()
+			sp := ev.trace.StartSpan("worker")
 			wev := ev.fork()
 			seen := make(map[string]bool)
 			emit := wev.emitter(q, &sh.rows, seen)
@@ -59,12 +66,18 @@ func (ev *evaluation) evalParallel(q *Query, gens []FromItem, strict, workers in
 				en := r.env.extend(gens[0].Var, r.b)
 				if err := wev.enumerate(gens, 1, strict, en, emit); err != nil {
 					sh.errAt, sh.err = i, err
-					return
+					break
 				}
 			}
-		}(&shards[w], lo, hi)
+			sh.bindings, sh.dedupHits = wev.bindings, wev.dedupHits
+			sp.EndNote("w=%d range=[%d,%d) rows=%d", w, lo, hi, len(sh.rows))
+		}(w, &shards[w], lo, hi)
 	}
 	wg.Wait()
+	for i := range shards {
+		ev.bindings += shards[i].bindings
+		ev.dedupHits += shards[i].dedupHits
+	}
 
 	// Workers are not cancelled when a sibling fails: each runs its range
 	// to completion (or its own first error), so the minimum error index
@@ -82,6 +95,7 @@ func (ev *evaluation) evalParallel(q *Query, gens []FromItem, strict, workers in
 		return nil, true, firstErr
 	}
 
+	msp := ev.trace.StartSpan("merge")
 	res = &Result{}
 	seen := make(map[string]bool)
 	for i := range shards {
@@ -90,8 +104,11 @@ func (ev *evaluation) evalParallel(q *Query, gens []FromItem, strict, workers in
 			if !seen[k] {
 				seen[k] = true
 				res.Rows = append(res.Rows, row)
+			} else {
+				ev.dedupHits++
 			}
 		}
 	}
+	msp.EndNote("workers=%d rows=%d", workers, len(res.Rows))
 	return res, true, nil
 }

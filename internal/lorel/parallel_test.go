@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/doem"
 	"repro/internal/guidegen"
+	"repro/internal/obs"
 	"repro/internal/oem"
 	"repro/internal/timestamp"
 )
@@ -308,6 +309,10 @@ func TestCancellationParallel(t *testing.T) { testCancellation(t, 4) }
 // relies on the race detector to catch unsynchronized state. It also
 // checks that every concurrent query still returns the serial answer.
 func TestConcurrentEngineUse(t *testing.T) {
+	// Metrics collection on, so the instrumentation hooks are part of
+	// what the race detector checks here.
+	prev := obs.SetEnabled(true)
+	defer obs.SetEnabled(prev)
 	serial, par := syntheticEngines(t, 4, 20, 5, 5, 4)
 	queries := []string{
 		`select R.name from guide.restaurant R where R.price < 25`,

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo describes the running binary, read once from the embedded
+// module metadata (runtime/debug.ReadBuildInfo).
+type BuildInfo struct {
+	// Main is the main module path ("repro").
+	Main string `json:"main"`
+	// Version is the main module version ("(devel)" for source builds).
+	Version string `json:"version"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go"`
+	// Revision is the VCS commit, when stamped.
+	Revision string `json:"revision,omitempty"`
+	// Dirty reports uncommitted changes at build time, when stamped.
+	Dirty bool `json:"dirty,omitempty"`
+}
+
+// ReadBuildInfo extracts the binary's build metadata. It degrades
+// gracefully: binaries built without module info still report the
+// runtime's Go version.
+func ReadBuildInfo() BuildInfo {
+	info := BuildInfo{Main: "unknown", Version: "unknown", GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	info.Main = bi.Main.Path
+	info.Version = bi.Main.Version
+	if info.Version == "" {
+		info.Version = "(devel)"
+	}
+	if bi.GoVersion != "" {
+		info.GoVersion = bi.GoVersion
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.modified":
+			info.Dirty = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// String renders the build info on one line, the form the -version
+// flags print.
+func (b BuildInfo) String() string {
+	s := fmt.Sprintf("%s %s (%s)", b.Main, b.Version, b.GoVersion)
+	if b.Revision != "" {
+		rev := b.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " " + rev
+		if b.Dirty {
+			s += "-dirty"
+		}
+	}
+	return s
+}
+
+// Version is a convenience for the -version flags: the one-line form of
+// ReadBuildInfo.
+func Version() string { return ReadBuildInfo().String() }

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"time"
+)
+
+// AdminOptions configures the admin HTTP surface.
+type AdminOptions struct {
+	// Registry is the metric source; nil uses Default.
+	Registry *Registry
+	// Health computes the /healthz detail. status "" or "ok" serves 200;
+	// anything else serves 503 with the status in the payload. nil
+	// reports a bare "ok".
+	Health func() (status string, detail map[string]any)
+}
+
+// NewAdminMux builds the admin endpoint (serve it on a loopback or
+// otherwise access-controlled address — it exposes pprof):
+//
+//	/metrics            expvar-style JSON snapshot of every metric
+//	/metrics?format=prometheus
+//	                    the same snapshot in Prometheus text format
+//	/healthz            build info, uptime, and the Health callback's
+//	                    status and detail (503 unless status is ok)
+//	/debug/pprof/...    net/http/pprof profiles
+func NewAdminMux(opts AdminOptions) *http.ServeMux {
+	reg := opts.Registry
+	if reg == nil {
+		reg = Default
+	}
+	started := time.Now()
+	build := ReadBuildInfo()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap := reg.Snapshot()
+		if f := r.URL.Query().Get("format"); f == "prometheus" || f == "prom" {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			w.Write([]byte(PrometheusText(snap)))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(snap)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		status, detail := "ok", map[string]any(nil)
+		if opts.Health != nil {
+			status, detail = opts.Health()
+			if status == "" {
+				status = "ok"
+			}
+		}
+		payload := map[string]any{
+			"status":         status,
+			"build":          build,
+			"uptime_seconds": int64(time.Since(started).Seconds()),
+		}
+		for k, v := range detail {
+			payload[k] = v
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if status != "ok" {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(payload)
+	})
+	// pprof handlers are registered explicitly so only this mux (not
+	// http.DefaultServeMux) exposes them.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// PrometheusText renders a snapshot in the Prometheus text exposition
+// format (counters and gauges as-is, histograms as summaries with
+// quantile labels over the retained window).
+func PrometheusText(s *Snap) string {
+	var sb strings.Builder
+
+	writeTyped := func(vals map[string]int64, typ string) {
+		names := make([]string, 0, len(vals))
+		for n := range vals {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		typed := make(map[string]bool)
+		for _, n := range names {
+			base, _ := splitLabels(n)
+			if !typed[base] {
+				typed[base] = true
+				fmt.Fprintf(&sb, "# TYPE %s %s\n", base, typ)
+			}
+			fmt.Fprintf(&sb, "%s %d\n", n, vals[n])
+		}
+	}
+	writeTyped(s.Counters, "counter")
+	writeTyped(s.Gauges, "gauge")
+
+	names := make([]string, 0, len(s.Histograms))
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	typed := make(map[string]bool)
+	for _, n := range names {
+		st := s.Histograms[n]
+		base, labels := splitLabels(n)
+		if !typed[base] {
+			typed[base] = true
+			fmt.Fprintf(&sb, "# TYPE %s summary\n", base)
+		}
+		for _, q := range []struct {
+			q string
+			v int64
+		}{{"0.5", st.P50}, {"0.95", st.P95}, {"0.99", st.P99}} {
+			fmt.Fprintf(&sb, "%s{%squantile=%q} %d\n", base, labels, q.q, q.v)
+		}
+		fmt.Fprintf(&sb, "%s_sum%s %d\n", base, wrapLabels(labels), st.Sum)
+		fmt.Fprintf(&sb, "%s_count%s %d\n", base, wrapLabels(labels), st.Count)
+	}
+	return sb.String()
+}
+
+// splitLabels splits `name{a="b"}` into the bare name and `a="b",`
+// (trailing comma, ready to prefix more labels); a plain name yields "".
+func splitLabels(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return name, ""
+	}
+	inner := name[i+1 : len(name)-1]
+	if inner == "" {
+		return name[:i], ""
+	}
+	return name[:i], inner + ","
+}
+
+// wrapLabels re-wraps a splitLabels result for a _sum/_count line.
+func wrapLabels(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + strings.TrimSuffix(labels, ",") + "}"
+}

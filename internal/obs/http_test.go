@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestAdminMetricsJSONAndPrometheus(t *testing.T) {
+	prev := SetEnabled(true)
+	defer SetEnabled(prev)
+	r := NewRegistry()
+	r.NewCounter("hits_total").Add(7)
+	r.NewHistogram("lat_ns").Observe(100)
+	mux := NewAdminMux(AdminOptions{Registry: r})
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "json") {
+		t.Errorf("content type %q", ct)
+	}
+	var snap Snap
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("metrics JSON: %v", err)
+	}
+	if snap.Counter("hits_total") != 7 || snap.Histogram("lat_ns").Count != 1 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=prometheus", nil))
+	body := rec.Body.String()
+	if !strings.Contains(body, "hits_total 7") || !strings.Contains(body, "# TYPE lat_ns summary") {
+		t.Errorf("prometheus body:\n%s", body)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("prometheus content type %q", ct)
+	}
+}
+
+func TestAdminHealthz(t *testing.T) {
+	mux := NewAdminMux(AdminOptions{
+		Registry: NewRegistry(),
+		Health: func() (string, map[string]any) {
+			return "ok", map[string]any{"subscriptions": map[string]string{"R": "healthy"}}
+		},
+	})
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/healthz status %d", rec.Code)
+	}
+	var payload map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &payload); err != nil {
+		t.Fatal(err)
+	}
+	if payload["status"] != "ok" {
+		t.Errorf("status = %v", payload["status"])
+	}
+	if payload["build"] == nil || payload["subscriptions"] == nil {
+		t.Errorf("payload missing build/detail: %v", payload)
+	}
+
+	// Degraded health serves 503.
+	mux = NewAdminMux(AdminOptions{
+		Registry: NewRegistry(),
+		Health:   func() (string, map[string]any) { return "degraded", nil },
+	})
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("degraded /healthz status %d", rec.Code)
+	}
+}
+
+func TestAdminPprof(t *testing.T) {
+	mux := NewAdminMux(AdminOptions{Registry: NewRegistry()})
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "goroutine") {
+		t.Error("pprof index missing profiles")
+	}
+}
+
+func TestBuildInfo(t *testing.T) {
+	bi := ReadBuildInfo()
+	if bi.GoVersion == "" {
+		t.Error("missing go version")
+	}
+	if !strings.Contains(Version(), bi.GoVersion) {
+		t.Errorf("Version() = %q missing go version", Version())
+	}
+}

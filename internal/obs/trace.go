@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// A Trace collects the structured timeline of one query evaluation:
+// named spans (parse, rewrite, eval, per-worker shards, merge) plus
+// integer stats (bindings enumerated, dedup hits). Traces are explicitly
+// requested per query — attach one to a context with WithTrace — and are
+// collected regardless of the global metrics gate.
+//
+// All methods are nil-safe: call sites instrument unconditionally
+// (`defer tr.StartSpan("eval").End()`) and a nil *Trace makes every call
+// a no-op. Non-nil traces are safe for concurrent use, so parallel
+// evaluation workers may record spans and stats directly.
+type Trace struct {
+	// Query is the source text the trace describes.
+	Query string
+
+	began time.Time
+
+	mu    sync.Mutex
+	spans []Span
+	stats map[string]int64
+}
+
+// A Span is one timed stage of a traced evaluation.
+type Span struct {
+	Name string `json:"name"`
+	// Note carries stage detail ("cache=hit", "rows=12 range=[0,40)").
+	Note string `json:"note,omitempty"`
+	// Start is the offset from the beginning of the trace.
+	Start time.Duration `json:"start_ns"`
+	Dur   time.Duration `json:"dur_ns"`
+}
+
+// NewTrace starts a trace for the given query text.
+func NewTrace(query string) *Trace {
+	return &Trace{Query: query, began: time.Now(), stats: make(map[string]int64)}
+}
+
+// A SpanHandle ends one span; returned by StartSpan.
+type SpanHandle struct {
+	t     *Trace
+	name  string
+	start time.Time
+}
+
+// StartSpan opens a named span. End (or EndNote) closes it.
+func (t *Trace) StartSpan(name string) *SpanHandle {
+	if t == nil {
+		return nil
+	}
+	return &SpanHandle{t: t, name: name, start: time.Now()}
+}
+
+// End closes the span with no note.
+func (sh *SpanHandle) End() { sh.EndNote("") }
+
+// EndNote closes the span with a formatted note.
+func (sh *SpanHandle) EndNote(format string, args ...any) {
+	if sh == nil {
+		return
+	}
+	note := format
+	if len(args) > 0 {
+		note = fmt.Sprintf(format, args...)
+	}
+	end := time.Now()
+	sp := Span{
+		Name:  sh.name,
+		Note:  note,
+		Start: sh.start.Sub(sh.t.began),
+		Dur:   end.Sub(sh.start),
+	}
+	sh.t.mu.Lock()
+	sh.t.spans = append(sh.t.spans, sp)
+	sh.t.mu.Unlock()
+}
+
+// Add accumulates a named stat (bindings, dedup hits, ...).
+func (t *Trace) Add(stat string, n int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.stats[stat] += n
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans in completion order.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// Stats returns a copy of the accumulated stats.
+func (t *Trace) Stats() map[string]int64 {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]int64, len(t.stats))
+	for k, v := range t.stats {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders the trace as an indented report: spans sorted by start
+// offset, then stats sorted by name.
+func (t *Trace) String() string {
+	if t == nil {
+		return ""
+	}
+	spans := t.Spans()
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	stats := t.Stats()
+	names := make([]string, 0, len(stats))
+	for n := range stats {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "trace: %s\n", t.Query)
+	for _, sp := range spans {
+		fmt.Fprintf(&sb, "  %-12s +%-12s %-12s %s\n", sp.Name, sp.Start, sp.Dur, sp.Note)
+	}
+	for _, n := range names {
+		fmt.Fprintf(&sb, "  stat %-20s %d\n", n, stats[n])
+	}
+	return sb.String()
+}
+
+type traceKey struct{}
+
+// WithTrace attaches a trace to a context; instrumented evaluations
+// found downstream record into it.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// TraceFrom returns the trace attached to ctx, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}

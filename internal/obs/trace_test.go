@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTraceIsNoOp(t *testing.T) {
+	var tr *Trace
+	tr.StartSpan("x").End()
+	tr.StartSpan("y").EndNote("n=%d", 1)
+	tr.Add("s", 3)
+	if tr.Spans() != nil || tr.Stats() != nil || tr.String() != "" {
+		t.Error("nil trace not inert")
+	}
+}
+
+func TestTraceSpansAndStats(t *testing.T) {
+	tr := NewTrace("select x")
+	sp := tr.StartSpan("parse")
+	time.Sleep(time.Millisecond)
+	sp.EndNote("cache=%s", "miss")
+	tr.StartSpan("eval").End()
+	tr.Add("bindings", 5)
+	tr.Add("bindings", 2)
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d", len(spans))
+	}
+	if spans[0].Name != "parse" || spans[0].Note != "cache=miss" {
+		t.Errorf("span[0] = %+v", spans[0])
+	}
+	if spans[0].Dur < time.Millisecond {
+		t.Errorf("parse dur = %v", spans[0].Dur)
+	}
+	if got := tr.Stats()["bindings"]; got != 7 {
+		t.Errorf("bindings = %d", got)
+	}
+	out := tr.String()
+	for _, want := range []string{"trace: select x", "parse", "eval", "stat bindings", "7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceConcurrent(t *testing.T) {
+	tr := NewTrace("q")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.StartSpan("worker").EndNote("w=%d", w)
+				tr.Add("n", 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := len(tr.Spans()); got != 800 {
+		t.Errorf("spans = %d", got)
+	}
+	if got := tr.Stats()["n"]; got != 800 {
+		t.Errorf("n = %d", got)
+	}
+}
+
+func TestTraceContext(t *testing.T) {
+	if TraceFrom(context.Background()) != nil {
+		t.Error("background context should carry no trace")
+	}
+	if TraceFrom(nil) != nil {
+		t.Error("nil context should carry no trace")
+	}
+	tr := NewTrace("q")
+	ctx := WithTrace(context.Background(), tr)
+	if TraceFrom(ctx) != tr {
+		t.Error("trace lost in context")
+	}
+	if TraceFrom(WithTrace(nil, tr)) != tr {
+		t.Error("WithTrace(nil) should still attach")
+	}
+}

@@ -1,0 +1,52 @@
+package qss
+
+import (
+	"io"
+
+	"repro/internal/obs"
+)
+
+// QSS metrics (see docs/observability.md). Per-subscription poll latency
+// histograms are created at Subscribe time under
+// qss_poll_ns{sub="<name>"}; everything else is service-wide.
+var (
+	mPolls         = obs.NewCounter("qss_polls_total")
+	mPollFailures  = obs.NewCounter("qss_poll_failures_total")
+	mNotifications = obs.NewCounter("qss_notifications_total")
+	mRetries       = obs.NewCounter("qss_retries_total")
+	mWireSent      = obs.NewCounter("qss_wire_sent_bytes_total")
+	mWireRecv      = obs.NewCounter("qss_wire_recv_bytes_total")
+)
+
+// healthTransitionCounter returns the per-target-state transition counter
+// (qss_health_transitions_total{to="degraded"} and friends). Registry
+// creation is idempotent and transitions are rare, so looking it up at
+// event time is fine.
+func healthTransitionCounter(to Health) *obs.Counter {
+	return obs.NewCounter(obs.LabeledName("qss_health_transitions_total", "to", to.String()))
+}
+
+// countingWriter feeds written byte counts into a counter (a no-op while
+// observability is disabled).
+type countingWriter struct {
+	w io.Writer
+	c *obs.Counter
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.c.Add(int64(n))
+	return n, err
+}
+
+// countingReader is countingWriter's read-side twin.
+type countingReader struct {
+	r io.Reader
+	c *obs.Counter
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.c.Add(int64(n))
+	return n, err
+}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/change"
 	"repro/internal/doem"
 	"repro/internal/lorel"
+	"repro/internal/obs"
 	"repro/internal/oem"
 	"repro/internal/oemdiff"
 	"repro/internal/timestamp"
@@ -78,6 +79,9 @@ type subState struct {
 	mu  sync.Mutex
 	sub Subscription
 	d   *doem.Database
+	// pollNs is this subscription's poll-latency histogram,
+	// qss_poll_ns{sub="<name>"}.
+	pollNs *obs.Histogram
 	// remap maps source node ids to packaged ids (stable-id sources).
 	remap map[oem.NodeID]oem.NodeID
 	// nextID allocates packaged ids monotonically, never reusing ids of
@@ -142,6 +146,7 @@ func (s *Service) Subscribe(sub Subscription) error {
 		d:      doem.New(oem.New()),
 		remap:  make(map[oem.NodeID]oem.NodeID),
 		nextID: 1, // the packaged root; alloc pre-increments past it
+		pollNs: obs.NewHistogram(obs.LabeledName("qss_poll_ns", "sub", sub.Name)),
 	}
 	if s.walDir != "" {
 		if err := s.attachLog(st, sub.Name); err != nil {
@@ -252,6 +257,26 @@ func (s *Service) Poll(name string, t timestamp.Time) (*Notification, error) {
 // PollContext is Poll with cancellation: the polling and filter query
 // evaluations abort shortly after ctx is cancelled.
 func (s *Service) PollContext(ctx context.Context, name string, t timestamp.Time) (*Notification, error) {
+	start := obs.Now()
+	n, err := s.pollContext(ctx, name, t)
+	mPolls.Inc()
+	if err != nil {
+		mPollFailures.Inc()
+	} else if n != nil {
+		mNotifications.Inc()
+	}
+	if !start.IsZero() {
+		s.mu.Lock()
+		st := s.subs[name]
+		s.mu.Unlock()
+		if st != nil {
+			st.pollNs.ObserveSince(start)
+		}
+	}
+	return n, err
+}
+
+func (s *Service) pollContext(ctx context.Context, name string, t timestamp.Time) (*Notification, error) {
 	s.mu.Lock()
 	st, ok := s.subs[name]
 	workers := s.workers
@@ -268,8 +293,12 @@ func (s *Service) PollContext(ctx context.Context, name string, t timestamp.Time
 		return nil, fmt.Errorf("%w: %s", ErrStalePoll, t)
 	}
 
+	tr := obs.TraceFrom(ctx)
+
 	// 1. Query Manager: polling query over the source snapshot.
+	sp := tr.StartSpan("source-poll")
 	snap, err := st.sub.Source.Poll()
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("qss: polling source: %w", err)
 	}
@@ -288,6 +317,7 @@ func (s *Service) PollContext(ctx context.Context, name string, t timestamp.Time
 	pkg, added := st.packageResult(snap, res)
 
 	// 3. OEMdiff: infer U_i with U_i(R_{i-1}) = R_i.
+	sp = tr.StartSpan("diff")
 	prev := st.d.Current()
 	var ops change.Set
 	if st.sub.Source.StableIDs() {
@@ -301,24 +331,31 @@ func (s *Service) PollContext(ctx context.Context, name string, t timestamp.Time
 			AllocID: func() oem.NodeID { next++; return next },
 		})
 	}
+	sp.EndNote("ops=%d", len(ops))
 	if err != nil {
 		return nil, fmt.Errorf("qss: differencing: %w", err)
 	}
 
 	// 4. DOEM Manager: extend the history.
+	sp = tr.StartSpan("apply")
 	if len(ops) > 0 {
 		if err := st.d.Apply(t, ops); err != nil {
+			sp.End()
 			return nil, fmt.Errorf("qss: applying changes: %w", err)
 		}
 		st.pruneRemap()
 	}
 	st.pollTimes = append(st.pollTimes, t)
+	sp.End()
 
 	// 4b. Log the poll. Empty change sets are logged too: the polling time
 	// itself is state (it anchors the filter's t[-i] variables).
 	if st.log != nil {
+		sp = tr.StartSpan("wal-append")
 		rec := appendPollRecord(nil, t, ops, added, st.nextID)
-		if _, err := st.log.Append(rec); err != nil {
+		_, err := st.log.Append(rec)
+		sp.End()
+		if err != nil {
 			return nil, fmt.Errorf("qss: logging poll: %w", err)
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/timestamp"
 )
 
@@ -150,6 +151,17 @@ func (sch *Scheduler) Health(name string) Health {
 	return Healthy
 }
 
+// States returns the health state of every scheduled subscription.
+func (sch *Scheduler) States() map[string]Health {
+	sch.mu.Lock()
+	defer sch.mu.Unlock()
+	out := make(map[string]Health, len(sch.trackers))
+	for name, ht := range sch.trackers {
+		out[name] = ht.state
+	}
+	return out
+}
+
 // run is one subscription's poll loop.
 func (sch *Scheduler) run(name string, freq Freq, stop chan struct{}, ht *healthTracker) {
 	// Per-subscription deterministic jitter: seed mixed with the name so
@@ -181,6 +193,7 @@ func (sch *Scheduler) run(name string, freq Freq, stop chan struct{}, ht *health
 			continue
 		}
 		sch.onError(name, err)
+		mRetries.Inc()
 		if state == Suspended {
 			// Probe cadence: slower, fixed-interval polls until the
 			// source answers again.
@@ -223,6 +236,9 @@ func (sch *Scheduler) record(name string, ht *healthTracker, at timestamp.Time, 
 	}
 	failures := ht.failures
 	sch.mu.Unlock()
+	if changed && obs.Enabled() {
+		healthTransitionCounter(to).Inc()
+	}
 	if changed && sch.onHealth != nil {
 		sch.onHealth(HealthEvent{
 			Subscription: name,

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/oemio"
 	"repro/internal/timestamp"
 	"repro/internal/wal"
@@ -208,7 +209,40 @@ func NewServerWith(sources map[string]wrapper.Source, clock Clock, cfg ServerCon
 		Seed:     cfg.Seed,
 		OnHealth: s.deliverHealth,
 	})
+	// Computed gauges read server state at snapshot time (the registry
+	// evaluates them outside its lock, so taking s.mu here is safe). A
+	// later server re-registers the names, which is the right behavior for
+	// the one-server-per-process deployments cmd/qss runs.
+	obs.RegisterGaugeFunc("qss_linger_buffered", s.lingerBuffered)
+	obs.RegisterGaugeFunc("qss_orphaned_subscriptions", func() int64 {
+		return int64(len(s.Orphaned()))
+	})
 	return s
+}
+
+// lingerBuffered reports the total number of pushes buffered for orphaned
+// subscriptions awaiting resume — the linger-buffer depth gauge.
+func (s *Server) lingerBuffered() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int64
+	for _, rec := range s.subs {
+		if rec.owner == nil {
+			n += int64(len(rec.buf))
+		}
+	}
+	return n
+}
+
+// HealthStates reports the health state of every scheduled subscription
+// as strings, for the admin /healthz endpoint.
+func (s *Server) HealthStates() map[string]string {
+	states := s.sched.States()
+	out := make(map[string]string, len(states))
+	for name, h := range states {
+		out[name] = h.String()
+	}
+	return out
 }
 
 // Service exposes the underlying service (for in-process use and tests).
@@ -415,7 +449,11 @@ func (s *Server) Shutdown(drain time.Duration) {
 
 func (s *Server) handle(nc net.Conn) {
 	defer nc.Close()
-	cn := &conn{c: nc, enc: json.NewEncoder(nc), writeTimeout: s.cfg.WriteTimeout}
+	cn := &conn{
+		c:            nc,
+		enc:          json.NewEncoder(&countingWriter{w: nc, c: mWireSent}),
+		writeTimeout: s.cfg.WriteTimeout,
+	}
 	s.mu.Lock()
 	if s.closing {
 		s.mu.Unlock()
@@ -457,7 +495,7 @@ func (s *Server) handle(nc net.Conn) {
 		s.releaseOwned(cn, owned)
 	}()
 
-	br := bufio.NewReader(nc)
+	br := bufio.NewReader(&countingReader{r: nc, c: mWireRecv})
 	var seq int64
 	for {
 		if s.cfg.IdleTimeout > 0 {

@@ -1,0 +1,86 @@
+package timestamp
+
+import "testing"
+
+// TestLayoutTable exercises every documented textual form once: each
+// parses to the expected instant, and its rendering re-parses to the
+// same instant.
+func TestLayoutTable(t *testing.T) {
+	cases := []struct {
+		in   string
+		unix int64
+	}{
+		{"1Jan97", 852076800},
+		{"4Jan97 11:30pm", 852420600},
+		{"4Jan97 11:30PM", 852420600},
+		{"4Jan97 23:30", 852420600},
+		{"4Jan97 23:30:15", 852420615},
+		{"4Jan1997 23:30:15", 852420615},
+		{"4Jan1997 23:30", 852420600},
+		{"4Jan1997 11:30pm", 852420600},
+		{"4Jan1997", 852336000},
+		{"4 Jan 1997 23:30:15", 852420615},
+		{"4 Jan 1997", 852336000},
+		{"1997-01-04T23:30:15Z", 852420615},
+		{"1997-01-04T23:30:15", 852420615},
+		{"1997-01-04 23:30:15", 852420615},
+		{"1997-01-04 23:30", 852420600},
+		{"1997-01-04", 852336000},
+		{"01/04/1997", 852336000},
+		{"Jan 4, 1997", 852336000},
+		{"852420615", 852420615},
+		{"  1Jan97  ", 852076800}, // surrounding whitespace is trimmed
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if got.Unix() != c.unix {
+			t.Errorf("Parse(%q) = %d, want %d", c.in, got.Unix(), c.unix)
+			continue
+		}
+		back, err := Parse(got.String())
+		if err != nil {
+			t.Errorf("rendering %q of %q does not re-parse: %v", got, c.in, err)
+			continue
+		}
+		if !back.Equal(got) {
+			t.Errorf("%q: round trip %s -> %s", c.in, got, back)
+		}
+	}
+}
+
+// TestInfinitySpellings: every accepted spelling of the infinities.
+func TestInfinitySpellings(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Time
+	}{
+		{"-inf", NegInf}, {"-infinity", NegInf}, {"-INF", NegInf},
+		{"+inf", PosInf}, {"inf", PosInf}, {"+infinity", PosInf},
+		{"infinity", PosInf}, {"INF", PosInf},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if err != nil || !got.Equal(c.want) {
+			t.Errorf("Parse(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+}
+
+// TestInfinityArithmetic: Add is the identity on infinities; Min and Max
+// treat them as the extremes of the order.
+func TestInfinityArithmetic(t *testing.T) {
+	mid := MustParse("1Jan97")
+	if !NegInf.Add(1e12).Equal(NegInf) || !PosInf.Add(-1e12).Equal(PosInf) {
+		t.Error("Add must leave infinities unchanged")
+	}
+	if !Min(NegInf, mid).Equal(NegInf) || !Max(PosInf, mid).Equal(PosInf) {
+		t.Error("infinities are not order extremes")
+	}
+	if !Min(PosInf, mid).Equal(mid) || !Max(NegInf, mid).Equal(mid) {
+		t.Error("finite instant must win against the opposite infinity")
+	}
+}

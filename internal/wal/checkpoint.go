@@ -59,6 +59,7 @@ func (l *Log) Checkpoint(payload []byte, upTo uint64) error {
 	l.ckptSeq = upTo
 	l.ckptData = append([]byte(nil), payload...)
 	l.hasCkpt = true
+	mCheckpoints.Inc()
 	return l.compactLocked()
 }
 

@@ -1,0 +1,26 @@
+package wal
+
+import "repro/internal/obs"
+
+// Log metrics (see docs/observability.md). Counters and histograms are
+// no-ops while observability is disabled, so the append path pays one
+// atomic load per metric touch.
+var (
+	mAppends     = obs.NewCounter("wal_appends_total")
+	mAppendNs    = obs.NewHistogram("wal_append_ns")
+	mFsyncs      = obs.NewCounter("wal_fsync_total")
+	mFsyncNs     = obs.NewHistogram("wal_fsync_ns")
+	mBytes       = obs.NewCounter("wal_bytes_written_total")
+	mSegments    = obs.NewCounter("wal_segments_created_total")
+	mCheckpoints = obs.NewCounter("wal_checkpoints_total")
+)
+
+// syncActive fsyncs the active segment under the fsync histogram. The
+// caller holds l.mu and has checked l.active != nil.
+func (l *Log) syncActive() error {
+	start := obs.Now()
+	err := l.active.Sync()
+	mFsyncs.Inc()
+	mFsyncNs.ObserveSince(start)
+	return err
+}

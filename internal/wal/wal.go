@@ -25,6 +25,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // SyncPolicy selects when appends reach stable storage.
@@ -243,6 +245,7 @@ func truncateFile(path string, size int64) error {
 // Append writes one record with the next sequence number and returns it.
 // Durability follows the configured SyncPolicy.
 func (l *Log) Append(payload []byte) (uint64, error) {
+	start := obs.Now()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
@@ -258,19 +261,22 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	}
 	l.activeSize += int64(len(frame))
 	l.seq = seq
+	mBytes.Add(int64(len(frame)))
 	switch l.opt.Sync {
 	case SyncAlways:
-		if err := l.active.Sync(); err != nil {
+		if err := l.syncActive(); err != nil {
 			return 0, fmt.Errorf("wal: sync: %w", err)
 		}
 	case SyncInterval:
 		if time.Since(l.lastSync) >= l.opt.SyncEvery {
-			if err := l.active.Sync(); err != nil {
+			if err := l.syncActive(); err != nil {
 				return 0, fmt.Errorf("wal: sync: %w", err)
 			}
 			l.lastSync = time.Now()
 		}
 	}
+	mAppends.Inc()
+	mAppendNs.ObserveSince(start)
 	return seq, nil
 }
 
@@ -298,6 +304,7 @@ func (l *Log) rotateIfNeeded(frameLen int64) error {
 		f.Close()
 		return err
 	}
+	mSegments.Inc()
 	l.active, l.activePath, l.activeSize = f, path, 0
 	return nil
 }
@@ -312,7 +319,7 @@ func (l *Log) Sync() error {
 	if l.active == nil {
 		return nil
 	}
-	if err := l.active.Sync(); err != nil {
+	if err := l.syncActive(); err != nil {
 		return fmt.Errorf("wal: sync: %w", err)
 	}
 	l.lastSync = time.Now()
