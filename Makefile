@@ -46,9 +46,10 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Machine-readable benchmark report: per-benchmark ns/op, B/op, allocs/op,
-# the measured observability overhead, and a metrics snapshot.
+# the measured observability overhead, the indexed-vs-noindex <at T>
+# speedups, and a metrics snapshot.
 bench-json:
-	$(GO) run ./cmd/benchharness -json BENCH_4.json
+	$(GO) run ./cmd/benchharness -json BENCH_5.json
 
 # Regenerates every experiment in EXPERIMENTS.md.
 harness:
@@ -76,6 +77,7 @@ fuzz:
 	$(GO) test -fuzz='^FuzzWALRecordDecode$$' -fuzztime=30s -run xxx ./internal/wal/
 	$(GO) test -fuzz='^FuzzRequestDecode$$' -fuzztime=30s -run xxx ./internal/qss/
 	$(GO) test -fuzz='^FuzzReadLine$$' -fuzztime=30s -run xxx ./internal/qss/
+	$(GO) test -fuzz='^FuzzIndexSnapshotParity$$' -fuzztime=30s -run xxx ./internal/index/
 
 clean:
 	rm -f test_output.txt bench_output.txt htmldiff-output.html

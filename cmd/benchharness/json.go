@@ -11,6 +11,7 @@ import (
 	"repro/internal/chorel"
 	"repro/internal/doem"
 	"repro/internal/guidegen"
+	"repro/internal/index"
 	"repro/internal/lorel"
 	"repro/internal/obs"
 	"repro/internal/oem"
@@ -47,8 +48,17 @@ type benchReport struct {
 	// are noise.
 	ObsEnabledOverheadPct float64       `json:"obs_enabled_overhead_pct"`
 	Benchmarks            []benchResult `json:"benchmarks"`
+	// IndexAtQuerySpeedup10k is the speedup of repeated <at T> snapshot
+	// queries from the internal/index fast paths at the ~10k-annotation
+	// tier: atquery-10k-noindex ns/op over atquery-10k-indexed ns/op. The
+	// acceptance bar is >= 2.
+	IndexAtQuerySpeedup10k float64 `json:"index_at_query_speedup_10k"`
+	// IndexAtSnapshotSpeedup10k is the same ratio for repeated O_t(D)
+	// snapshot extraction at a fixed T, which the index memoizes.
+	IndexAtSnapshotSpeedup10k float64 `json:"index_at_snapshot_speedup_10k"`
 	// Obs is the metric snapshot accumulated while the suite ran with
-	// collection enabled.
+	// collection enabled; it includes the index_* cache counters from the
+	// indexed benchmarks.
 	Obs *obs.Snap `json:"obs"`
 }
 
@@ -208,6 +218,81 @@ func runJSON(path string) error {
 			}
 		}
 	})
+
+	// B12 in JSON form: repeated <at T> snapshot queries over a ~10k-
+	// annotation synthetic guide, through the internal/index fast paths vs
+	// the raw database (the -noindex mode). Queries fix T so the repeated
+	// evaluations exercise the (generation, T) view cache the way a client
+	// re-asking for one historical state does. Collection stays enabled so
+	// the report's obs snapshot carries the index cache hit/miss counters.
+	initial, hist := guidegen.GenerateHistory(9, 40, 1250, 10)
+	d10k, err := doem.FromHistory(initial, hist)
+	if err != nil {
+		return err
+	}
+	steps := d10k.Steps()
+	at := steps[len(steps)/2]
+	atQuery := fmt.Sprintf(`select P from guide.<at %q>restaurant.price P where P < 20`, at.String())
+	ig := index.NewGraph(d10k)
+	rawEng := lorel.NewEngine()
+	rawEng.Register("guide", d10k)
+	idxEng := lorel.NewEngine()
+	idxEng.Register("guide", ig)
+	rawRes, err := rawEng.Query(atQuery)
+	if err != nil {
+		return err
+	}
+	idxRes, err := idxEng.Query(atQuery)
+	if err != nil {
+		return err
+	}
+	if rawRes.String() != idxRes.String() {
+		return fmt.Errorf("indexed <at T> query diverged from raw evaluation")
+	}
+
+	// The indexed-vs-raw timings run with collection off — the production
+	// default, and the configuration the -noindex comparison is about.
+	obs.SetEnabled(false)
+	qIdx := bench("atquery-10k-indexed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := idxEng.Query(atQuery); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	qRaw := bench("atquery-10k-noindex", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := rawEng.Query(atQuery); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	sIdx := bench("atsnapshot-10k-indexed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ig.SnapshotAt(at)
+		}
+	})
+	sRaw := bench("atsnapshot-10k-noindex", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			d10k.SnapshotAt(at)
+		}
+	})
+
+	// A short instrumented pass over the same workload so the index cache
+	// hit/miss/build counters land in the report's obs snapshot (they are
+	// the same counters /metrics serves).
+	obs.SetEnabled(true)
+	ig.Invalidate() // force one observed build and cache miss
+	for i := 0; i < 100; i++ {
+		if _, err := idxEng.Query(atQuery); err != nil {
+			return err
+		}
+		ig.SnapshotAt(at)
+	}
+	report.IndexAtQuerySpeedup10k = float64(qRaw.T.Nanoseconds()) / float64(qRaw.N) /
+		(float64(qIdx.T.Nanoseconds()) / float64(qIdx.N))
+	report.IndexAtSnapshotSpeedup10k = float64(sRaw.T.Nanoseconds()) / float64(sRaw.N) /
+		(float64(sIdx.T.Nanoseconds()) / float64(sIdx.N))
 
 	report.Obs = obs.Snapshot()
 	obs.SetEnabled(false)

@@ -29,6 +29,7 @@ import (
 	"repro/internal/encoding"
 	"repro/internal/guidegen"
 	"repro/internal/htmldiff"
+	"repro/internal/index"
 	"repro/internal/lore"
 	"repro/internal/lorel"
 	"repro/internal/oem"
@@ -73,6 +74,7 @@ func main() {
 	b9()
 	b10()
 	b11()
+	b12()
 
 	fmt.Println(strings.Repeat("=", 64))
 	if failures > 0 {
@@ -395,6 +397,65 @@ func b11() {
 	}
 	eng.SetParallelism(1)
 	check("B11", "parallel results byte-identical to serial at every worker count", identical)
+}
+
+// b12 compares indexed evaluation (internal/index: adjacency indexes,
+// binary-searched annotations, the (generation, T) view cache) against the
+// raw database — the -noindex escape hatch — on repeated <at T> snapshot
+// work as the annotation count grows. Two measurements per tier: a Lorel
+// query that resolves arcs and values at T, and direct O_t(D) snapshot
+// extraction, which the indexed wrapper memoizes. Gates on byte-identical
+// results between the two modes.
+func b12() {
+	fmt.Println("\n-- B12: annotation-time indexes — repeated <at T> snapshot queries, indexed vs -noindex --")
+	fmt.Printf("  %8s %8s %12s %12s %8s %12s %12s %8s\n",
+		"annots", "steps", "query-raw", "query-idx", "speedup", "snap-raw", "snap-idx", "speedup")
+	identical := true
+	for _, steps := range []int{8, 77, scale(770)} {
+		initial, h := guidegen.GenerateHistory(9, 40, steps, 100)
+		d, err := doem.FromHistory(initial, h)
+		if err != nil {
+			panic(err)
+		}
+		ts := d.Steps()
+		at := ts[len(ts)/2]
+		q := fmt.Sprintf(`select P from guide.<at %q>restaurant.price P where P < 20`, at.String())
+
+		raw := lorel.NewEngine()
+		raw.Register("guide", d)
+		ig := index.NewGraph(d)
+		idx := lorel.NewEngine()
+		idx.Register("guide", ig)
+
+		rawRes, err := raw.Query(q)
+		if err != nil {
+			panic(err)
+		}
+		idxRes, err := idx.Query(q)
+		if err != nil {
+			panic(err)
+		}
+		if rawRes.String() != idxRes.String() || !d.SnapshotAt(at).Equal(ig.SnapshotAt(at)) {
+			identical = false
+		}
+
+		qRaw := measure(func() {
+			if _, err := raw.Query(q); err != nil {
+				panic(err)
+			}
+		})
+		qIdx := measure(func() {
+			if _, err := idx.Query(q); err != nil {
+				panic(err)
+			}
+		})
+		sRaw := measure(func() { d.SnapshotAt(at) })
+		sIdx := measure(func() { ig.SnapshotAt(at) })
+		fmt.Printf("  %8d %8d %12s %12s %7.2fx %12s %12s %8.0fx\n",
+			d.NumAnnotations(), len(h), qRaw, qIdx, float64(qRaw)/float64(qIdx),
+			sRaw, sIdx, float64(sRaw)/float64(sIdx))
+	}
+	check("B12", "indexed <at T> queries and snapshots byte-identical to raw", identical)
 }
 
 // --- quantitative series ---

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	chorel [-store DIR] [-translate] [-explain] [-strategy direct|translated] [-parallel N] [QUERY...]
+//	chorel [-store DIR] [-translate] [-explain] [-strategy direct|translated] [-parallel N] [-noindex] [QUERY...]
 //
 // With no QUERY arguments, chorel reads queries from standard input, one
 // per line. The built-in demo database "guide" (the paper's running
@@ -30,6 +30,7 @@ import (
 	"repro/internal/chorel"
 	"repro/internal/doem"
 	"repro/internal/guidegen"
+	"repro/internal/index"
 	"repro/internal/lore"
 	"repro/internal/lorel"
 	"repro/internal/obs"
@@ -43,8 +44,13 @@ func main() {
 	explain := flag.Bool("explain", false, "print the Chorel→Lorel rewrite plan instead of evaluating")
 	strategy := flag.String("strategy", "direct", "execution strategy: direct or translated")
 	parallel := flag.Int("parallel", 1, "evaluation workers (0 = GOMAXPROCS)")
+	noindex := flag.Bool("noindex", false, "disable secondary indexes and snapshot caching (unindexed baseline)")
 	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+
+	if *noindex {
+		index.SetEnabled(false)
+	}
 
 	if *version {
 		fmt.Println("chorel", obs.Version())
@@ -223,7 +229,9 @@ func (s *session) runUpdate(stmt string) error {
 
 func (s *session) register(name string, d *doem.Database) {
 	s.doems[name] = d
-	s.eng.Register(name, d)
+	// index.Wrap serves d through secondary indexes unless indexing is
+	// disabled (-noindex or REPRO_NOINDEX).
+	s.eng.Register(name, index.Wrap(d))
 }
 
 func (s *session) runQuery(q string) error {

@@ -44,6 +44,7 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/guidegen"
+	"repro/internal/index"
 	"repro/internal/library"
 	"repro/internal/obs"
 	"repro/internal/oem"
@@ -95,6 +96,7 @@ func main() {
 	flag.DurationVar(&cfg.evolve, "evolve", 2*time.Second, "interval between demo source changes")
 	flag.Int64Var(&cfg.seed, "seed", 1, "random seed for the demo sources")
 	flag.IntVar(&cfg.parallel, "parallel", 1, "query evaluation workers per poll (0 = GOMAXPROCS)")
+	noindex := flag.Bool("noindex", false, "disable secondary indexes and poll-time snapshot caching")
 	flag.StringVar(&cfg.walDir, "waldir", "", "directory for per-subscription write-ahead logs (empty: no persistence)")
 	flag.StringVar(&cfg.walSync, "walsync", "interval", "WAL durability: always | interval | never")
 	flag.StringVar(&cfg.admin, "admin", "", "serve /metrics, /healthz and pprof on this address (enables metrics collection; empty = off)")
@@ -124,6 +126,9 @@ func main() {
 	if *version {
 		fmt.Println("qss", obs.Version())
 		return
+	}
+	if *noindex {
+		index.SetEnabled(false)
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "qss:", err)

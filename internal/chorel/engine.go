@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/doem"
 	"repro/internal/encoding"
+	"repro/internal/index"
 	"repro/internal/lorel"
 	"repro/internal/obs"
 	"repro/internal/oem"
@@ -20,6 +21,10 @@ type DB struct {
 	d      *doem.Database
 	direct *lorel.Engine
 
+	// indexed is the secondary-index wrapper the direct engine queries
+	// through; nil when indexing is off (the engine then sees d itself).
+	indexed *index.Graph
+
 	// Lazily built translation-side state; invalidated by Invalidate.
 	enc   *encoding.Encoding
 	trans *lorel.Engine
@@ -29,12 +34,31 @@ type DB struct {
 }
 
 // New wraps a DOEM database for querying under the given name (the head of
-// path expressions, e.g. "guide").
+// path expressions, e.g. "guide"). When indexing is enabled (the default;
+// see index.Enabled) the direct engine queries through an index.Graph.
 func New(name string, d *doem.Database) *DB {
-	direct := lorel.NewEngine()
-	direct.Register(name, d)
-	return &DB{name: name, d: d, direct: direct, workers: 1}
+	db := &DB{name: name, d: d, direct: lorel.NewEngine(), workers: 1}
+	db.SetIndexing(index.Enabled())
+	return db
 }
+
+// SetIndexing switches the direct-evaluation strategy between the indexed
+// wrapper and the raw DOEM database (the -noindex escape hatch).
+func (db *DB) SetIndexing(on bool) {
+	if on {
+		if db.indexed == nil {
+			db.indexed = index.NewGraph(db.d)
+		}
+		db.direct.Register(db.name, db.indexed)
+		return
+	}
+	db.indexed = nil
+	db.direct.Register(db.name, db.d)
+}
+
+// Indexed reports whether direct evaluation currently runs through the
+// secondary indexes.
+func (db *DB) Indexed() bool { return db.indexed != nil }
 
 // DOEM returns the underlying DOEM database.
 func (db *DB) DOEM() *doem.Database { return db.d }
@@ -61,11 +85,14 @@ func (db *DB) SetParallelism(n int) {
 	}
 }
 
-// Invalidate discards the cached OEM encoding after the DOEM database has
-// been modified with Apply.
+// Invalidate discards the cached OEM encoding and the secondary indexes
+// after the DOEM database has been modified with Apply.
 func (db *DB) Invalidate() {
 	db.enc = nil
 	db.trans = nil
+	if db.indexed != nil {
+		db.indexed.Invalidate()
+	}
 }
 
 // Encoding returns (building if needed) the OEM encoding of the database.

@@ -116,7 +116,16 @@ type Database struct {
 	arcAnn        map[oem.Arc][]ArcAnnot
 	// steps records the timestamps of applied change sets, ascending.
 	steps []timestamp.Time
+	// version counts successful Apply calls; secondary indexes compare it
+	// against the generation they were built at to detect staleness.
+	version uint64
 }
+
+// Version returns a counter that advances on every successful Apply.
+// Readers holding the database's read lock (see lore.Store.ViewDOEM) see a
+// stable value; derived structures such as internal/index use it as the
+// graph generation of their cache keys.
+func (d *Database) Version() uint64 { return d.version }
 
 // Errors returned by Apply.
 var (
@@ -314,7 +323,12 @@ func (d *Database) Apply(t timestamp.Time, ops change.Set) error {
 	if err := ops.Validate(d.current); err != nil {
 		return err
 	}
-	// Record old values for upd annotations before mutating.
+	// Record old values for upd annotations before mutating. Validate has
+	// ruled out cre+upd of one node in a single set, so every updated
+	// node already exists in the pre-step snapshot; together with the
+	// canonical application order below this makes the attached
+	// annotations independent of the set's input order (Def. 2.2 — see
+	// TestApplyOrderIndependence).
 	oldValues := make(map[oem.NodeID]value.Value)
 	for _, op := range ops {
 		if u, ok := op.(change.UpdNode); ok {
@@ -365,6 +379,7 @@ func (d *Database) Apply(t timestamp.Time, ops change.Set) error {
 		d.current.GarbageCollect()
 	}
 	d.steps = append(d.steps, t)
+	d.version++
 	return nil
 }
 
@@ -391,7 +406,7 @@ func (d *Database) SnapshotAt(t timestamp.Time) *oem.Database {
 		panic("doem: root id mismatch in snapshot materialization")
 	}
 	// Create every node ever, with its value at time t.
-	ids := d.allNodeIDs()
+	ids := d.AllNodeIDs()
 	for _, id := range ids {
 		if id == d.Root() {
 			continue
@@ -417,7 +432,9 @@ func (d *Database) SnapshotAt(t timestamp.Time) *oem.Database {
 // Original returns O_0(D), the snapshot before the first recorded change.
 func (d *Database) Original() *oem.Database { return d.SnapshotAt(timestamp.NegInf) }
 
-func (d *Database) allNodeIDs() []oem.NodeID {
+// AllNodeIDs returns the ids of every node ever present in the database —
+// current nodes plus nodes deleted by unreachability — in ascending order.
+func (d *Database) AllNodeIDs() []oem.NodeID {
 	seen := make(map[oem.NodeID]bool)
 	var ids []oem.NodeID
 	for _, id := range d.current.Nodes() {
@@ -486,7 +503,7 @@ func (d *Database) ExtractHistory() change.History {
 		times = append(times, t)
 		return s
 	}
-	for _, id := range d.allNodeIDs() {
+	for _, id := range d.AllNodeIDs() {
 		anns := d.nodeAnn[id]
 		ups := d.UpdTriples(id)
 		upIdx := 0
@@ -505,7 +522,7 @@ func (d *Database) ExtractHistory() change.History {
 			}
 		}
 	}
-	for _, id := range d.allNodeIDs() {
+	for _, id := range d.AllNodeIDs() {
 		for _, arc := range d.outAll[id] {
 			for _, a := range d.arcAnn[arc] {
 				s := stepFor(a.At)
@@ -637,7 +654,7 @@ func (d *Database) NumAnnotations() int {
 func (d *Database) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "doem root=%s steps=%d annotations=%d\n", d.Root(), len(d.steps), d.NumAnnotations())
-	for _, id := range d.allNodeIDs() {
+	for _, id := range d.AllNodeIDs() {
 		v, _ := d.Value(id)
 		fmt.Fprintf(&b, "  %s = %s", id, v)
 		for _, a := range d.nodeAnn[id] {

@@ -74,7 +74,7 @@ func (d *Database) Marshal() ([]byte, error) {
 		w.DeadArcs = append(w.DeadArcs, toWireArc(a))
 	}
 	sortWireArcs(w.DeadArcs)
-	for _, id := range d.allNodeIDs() {
+	for _, id := range d.AllNodeIDs() {
 		for _, ann := range d.nodeAnn[id] {
 			wa := wireNodeAnn{Node: uint64(id), Kind: ann.Kind.String(), At: ann.At.String()}
 			if ann.Kind == AnnotUpd {

@@ -1,0 +1,25 @@
+package index
+
+import (
+	"time"
+
+	"repro/internal/change"
+	"repro/internal/doem"
+	"repro/internal/value"
+)
+
+// timestampDur converts whole seconds to the duration timestamp.Add takes.
+func timestampDur(s int64) time.Duration { return time.Duration(s) * time.Second }
+
+// mutationSet builds a small valid change set against d's current state:
+// one new restaurant with a name, hung off the root.
+func mutationSet(d *doem.Database) change.Set {
+	r := d.MaxID() + 1
+	nm := r + 1
+	return change.Set{
+		change.CreNode{Node: r, Value: value.Complex()},
+		change.CreNode{Node: nm, Value: value.Str("Parity Cafe")},
+		change.AddArc{Parent: d.Root(), Label: "restaurant", Child: r},
+		change.AddArc{Parent: r, Label: "name", Child: nm},
+	}
+}

@@ -16,6 +16,8 @@ import (
 
 	"repro/internal/change"
 	"repro/internal/doem"
+	"repro/internal/index"
+	"repro/internal/lorel"
 	"repro/internal/obs"
 	"repro/internal/oem"
 	"repro/internal/oemio"
@@ -50,6 +52,12 @@ type Store struct {
 	// unrelated databases behind the store-wide mu.
 	lkMu  sync.Mutex
 	locks map[string]*sync.RWMutex
+
+	// indexes caches one secondary-index wrapper per DOEM name, created
+	// lazily by IndexedDOEM, invalidated by ApplySet and dropped when the
+	// database is replaced or deleted.
+	idxMu   sync.Mutex
+	indexes map[string]*index.Graph
 }
 
 // ErrNotFound reports a missing database name.
@@ -190,6 +198,7 @@ func (s *Store) PutDOEM(name string, d *doem.Database) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.dropIndex(name)
 	if s.walOpt != nil {
 		if old, ok := s.logs[name]; ok {
 			old.Close()
@@ -288,6 +297,7 @@ func (s *Store) applySet(name string, t timestamp.Time, ops change.Set) error {
 	if err != nil {
 		return err
 	}
+	s.invalidateIndex(name)
 	if l, ok := s.logs[name]; ok {
 		if _, err := l.AppendStep(t, ops); err != nil {
 			return fmt.Errorf("lore: %w", err)
@@ -357,6 +367,63 @@ func (s *Store) GetDOEM(name string) (*doem.Database, error) {
 	return d, nil
 }
 
+// IndexedDOEM returns the store's secondary-index wrapper (internal/index)
+// for the named DOEM database, creating it on first use. The wrapper is
+// shared between callers; ApplySet invalidates it after every mutation.
+// Read through it under the database's read lock (ViewIndexed) whenever
+// writers may be active.
+func (s *Store) IndexedDOEM(name string) (*index.Graph, error) {
+	d, err := s.GetDOEM(name)
+	if err != nil {
+		return nil, err
+	}
+	s.idxMu.Lock()
+	defer s.idxMu.Unlock()
+	if s.indexes == nil {
+		s.indexes = make(map[string]*index.Graph)
+	}
+	if ig, ok := s.indexes[name]; ok && ig.DOEM() == d {
+		return ig, nil
+	}
+	ig := index.NewGraph(d)
+	s.indexes[name] = ig
+	return ig, nil
+}
+
+// ViewIndexed is the query-path analogue of ViewDOEM: it runs fn with the
+// database's read lock held, passing the indexed view when indexing is
+// enabled (index.Enabled) and the raw database otherwise.
+func (s *Store) ViewIndexed(name string, fn func(lorel.Graph) error) error {
+	if !index.Enabled() {
+		return s.ViewDOEM(name, func(d *doem.Database) error { return fn(d) })
+	}
+	ig, err := s.IndexedDOEM(name)
+	if err != nil {
+		return err
+	}
+	lk := s.lockFor(name)
+	lk.RLock()
+	defer lk.RUnlock()
+	return fn(ig)
+}
+
+// invalidateIndex drops the cached index structures for name, if any.
+func (s *Store) invalidateIndex(name string) {
+	s.idxMu.Lock()
+	if ig, ok := s.indexes[name]; ok {
+		ig.Invalidate()
+	}
+	s.idxMu.Unlock()
+}
+
+// dropIndex forgets the index wrapper entirely (database replaced or
+// deleted).
+func (s *Store) dropIndex(name string) {
+	s.idxMu.Lock()
+	delete(s.indexes, name)
+	s.idxMu.Unlock()
+}
+
 // Delete removes a database (either kind) and its files.
 func (s *Store) Delete(name string) error {
 	s.mu.Lock()
@@ -368,6 +435,7 @@ func (s *Store) Delete(name string) error {
 	}
 	delete(s.oems, name)
 	delete(s.doems, name)
+	s.dropIndex(name)
 	if l, ok := s.logs[name]; ok {
 		l.Close()
 		delete(s.logs, name)

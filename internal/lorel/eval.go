@@ -2,9 +2,10 @@ package lorel
 
 import (
 	"context"
-	"fmt"
+	"reflect"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -195,19 +196,86 @@ func (b binding) valueOf() (value.Value, bool) {
 	}
 }
 
-// key returns a dedup key for result rows.
-func (b binding) key() string {
+// key returns a dedup key for result rows. Value keys carry the value's
+// kind so values of different kinds with identical renderings (Int(5) and
+// Real(5) both print "5") cannot collide.
+func (b binding) key() string { return string(b.appendKey(nil)) }
+
+// appendKey appends b's dedup key to dst. Dedup runs once per candidate
+// row, so this path sticks to strconv appends and avoids fmt.
+func (b binding) appendKey(dst []byte) []byte {
 	switch b.kind {
 	case bNode:
+		dst = append(dst, 'n')
+		dst = strconv.AppendUint(dst, uint64(graphTag(b.g)), 16)
+		dst = append(dst, ':')
+		dst = strconv.AppendInt(dst, int64(b.id), 10)
 		if b.hasAsOf {
-			return fmt.Sprintf("n%p:%d@%s", b.g, b.id, b.asOf)
+			dst = append(dst, '@')
+			dst = appendTimeKey(dst, b.asOf)
 		}
-		return fmt.Sprintf("n%p:%d", b.g, b.id)
+		return dst
 	case bValue:
-		return "v" + b.val.String()
+		dst = append(dst, 'v')
+		dst = strconv.AppendInt(dst, int64(b.val.Kind()), 10)
+		dst = append(dst, ':')
+		return append(dst, b.val.String()...)
 	default:
-		return "null"
+		return append(dst, "null"...)
 	}
+}
+
+// visitKey is the comparable form of a binding's identity, used for the
+// per-step frontier dedup where allocating string keys would dominate.
+// All bindings in one frontier come from the same path head, so the key
+// does not need to discriminate graphs.
+type visitKey struct {
+	kind    bindKind
+	id      oem.NodeID
+	valKind uint8
+	val     string
+	hasAsOf bool
+	asOf    timestamp.Time
+}
+
+func (b binding) visitKey() visitKey {
+	k := visitKey{kind: b.kind}
+	switch b.kind {
+	case bNode:
+		k.id = b.id
+		k.hasAsOf = b.hasAsOf
+		if b.hasAsOf {
+			k.asOf = b.asOf
+		}
+	case bValue:
+		k.valKind = uint8(b.val.Kind())
+		k.val = b.val.String()
+	}
+	return k
+}
+
+func appendTimeKey(dst []byte, t timestamp.Time) []byte {
+	if !t.IsFinite() {
+		if t.Equal(timestamp.PosInf) {
+			return append(dst, "+inf"...)
+		}
+		return append(dst, "-inf"...)
+	}
+	return strconv.AppendInt(dst, t.Unix(), 10)
+}
+
+// graphTag returns a per-graph discriminator for dedup keys so equal node
+// ids from different registered graphs cannot collide in one result.
+func graphTag(g Graph) uintptr {
+	if og, ok := g.(OEMGraph); ok {
+		return reflect.ValueOf(og.DB).Pointer()
+	}
+	v := reflect.ValueOf(g)
+	switch v.Kind() {
+	case reflect.Pointer, reflect.UnsafePointer, reflect.Map, reflect.Chan, reflect.Func:
+		return v.Pointer()
+	}
+	return 0
 }
 
 // env is an immutable chain of variable bindings.
@@ -369,6 +437,7 @@ func (e *Engine) evalQuery(ev *evaluation, q *Query) (*Result, error) {
 // emitter builds the tuple sink for one evaluation: it applies the where
 // clause, builds rows, and appends rows unseen in seen to *rows.
 func (ev *evaluation) emitter(q *Query, rows *[]Row, seen map[string]bool) func(*env) error {
+	var kb []byte // reused key buffer; map lookups on string(kb) do not allocate
 	return func(en *env) error {
 		ev.bindings++
 		if q.Where != nil {
@@ -385,9 +454,9 @@ func (ev *evaluation) emitter(q *Query, rows *[]Row, seen map[string]bool) func(
 			return err
 		}
 		for _, row := range built {
-			k := row.key()
-			if !seen[k] {
-				seen[k] = true
+			kb = row.appendKey(kb[:0])
+			if !seen[string(kb)] {
+				seen[string(kb)] = true
 				*rows = append(*rows, row)
 			} else {
 				ev.dedupHits++
@@ -446,28 +515,69 @@ func (ev *evaluation) evalPath(en *env, p *PathExpr) ([]pathResult, error) {
 		return nil, errf(p.P, "unknown name %q (neither a variable in scope nor a registered database)", p.Head)
 	}
 	for _, step := range p.Steps {
-		var next []pathResult
-		dedup := make(map[string]bool)
+		next := make([]pathResult, 0, len(frontier))
 		bindsVars := stepBindsVars(step)
+
+		// Dedup state. Frontiers are overwhelmingly uniform — node
+		// bindings sharing one as-of state — so dedup starts on bare
+		// NodeIDs and migrates to full visitKeys only if a binding breaks
+		// the pattern.
+		var (
+			ids map[oem.NodeID]bool
+			gen map[visitKey]bool
+			ref binding // as-of template shared by every entry in ids
+		)
+		fresh := func(b binding) bool {
+			if gen == nil && b.kind == bNode {
+				if ids == nil {
+					ids = make(map[oem.NodeID]bool, 2*len(frontier))
+					ref = b
+				}
+				if b.hasAsOf == ref.hasAsOf && (!b.hasAsOf || b.asOf == ref.asOf) {
+					if ids[b.id] {
+						return false
+					}
+					ids[b.id] = true
+					return true
+				}
+			}
+			if gen == nil {
+				gen = make(map[visitKey]bool, len(ids)+16)
+				for id := range ids {
+					rb := ref
+					rb.id = id
+					gen[rb.visitKey()] = true
+				}
+			}
+			k := b.visitKey()
+			if gen[k] {
+				return false
+			}
+			gen[k] = true
+			return true
+		}
+
 		for _, cur := range frontier {
 			if err := ev.checkCancel(); err != nil {
 				return nil, err
 			}
-			expanded, err := ev.expandStep(cur, step)
+			start := len(next)
+			var err error
+			next, err = ev.expandStep(next, cur, step)
 			if err != nil {
 				return nil, err
 			}
-			for _, r := range expanded {
-				if !bindsVars {
-					// Environments are unchanged, so identical targets from
-					// different parents are redundant.
-					k := r.b.key()
-					if dedup[k] {
+			if !bindsVars {
+				// Environments are unchanged, so identical targets from
+				// different parents are redundant.
+				kept := next[:start]
+				for _, r := range next[start:] {
+					if !fresh(r.b) {
 						continue
 					}
-					dedup[k] = true
+					kept = append(kept, r)
 				}
-				next = append(next, r)
+				next = kept
 			}
 		}
 		frontier = next
@@ -505,26 +615,29 @@ func stepBindsVars(s *PathStep) bool {
 	return false
 }
 
-// expandStep applies one path step to one binding.
-func (ev *evaluation) expandStep(cur pathResult, step *PathStep) ([]pathResult, error) {
+// expandStep applies one path step to one binding, appending the reached
+// bindings to dst. The append style lets one evalPath step accumulate its
+// whole frontier in a single slice instead of allocating a short-lived
+// slice per expanded binding.
+func (ev *evaluation) expandStep(dst []pathResult, cur pathResult, step *PathStep) ([]pathResult, error) {
 	if cur.b.kind != bNode {
-		return nil, nil // cannot traverse from a value or null
+		return dst, nil // cannot traverse from a value or null
 	}
 	g := cur.b.g
 
 	// Regular path group: (a.b|c) with an optional quantifier.
 	if step.Group != nil {
-		return ev.expandGroup(cur, step.Group), nil
+		return ev.expandGroup(dst, cur, step.Group), nil
 	}
 
 	// '#' wildcard: all nodes reachable in zero or more steps.
 	if step.Hash {
-		var out []pathResult
+		out := dst
 		seen := map[oem.NodeID]bool{cur.b.id: true}
 		stack := []oem.NodeID{cur.b.id}
 		for len(stack) > 0 {
 			if err := ev.checkCancel(); err != nil {
-				return nil, err
+				return dst, err
 			}
 			n := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
@@ -543,7 +656,7 @@ func (ev *evaluation) expandStep(cur pathResult, step *PathStep) ([]pathResult, 
 
 	// Select candidate (arc, envExtension) pairs according to the arc
 	// annotation expression.
-	var out []pathResult
+	out := dst
 	appendChild := func(child oem.NodeID, en *env, asOf *timestamp.Time) error {
 		nb := cur.b
 		nb.id = child
@@ -551,16 +664,24 @@ func (ev *evaluation) expandStep(cur pathResult, step *PathStep) ([]pathResult, 
 			nb.hasAsOf = true
 			nb.asOf = *asOf
 		}
-		rs, err := ev.applyNodeAnnot(pathResult{b: nb, env: en}, step.Node)
-		if err != nil {
-			return err
-		}
-		out = append(out, rs...)
-		return nil
+		var err error
+		out, err = ev.applyNodeAnnot(out, pathResult{b: nb, env: en}, step.Node)
+		return err
 	}
 
 	switch {
 	case step.Arc == nil:
+		// Exact-label steps over the current snapshot resolve from the
+		// adjacency index when the graph provides one; the arcs come back
+		// in the same insertion order the scan below would produce.
+		if ls, ok := g.(LabelSeeker); ok && exactLabel(step) && !cur.b.hasAsOf {
+			for _, a := range ls.OutLabeled(cur.b.id, step.Label) {
+				if err := appendChild(a.Child, cur.env, nil); err != nil {
+					return nil, err
+				}
+			}
+			break
+		}
 		for _, a := range ev.liveArcs(cur.b, g, cur.b.id) {
 			if !labelMatch(step, a.Label) {
 				continue
@@ -571,7 +692,14 @@ func (ev *evaluation) expandStep(cur pathResult, step *PathStep) ([]pathResult, 
 		}
 	case step.Arc.Op == OpAdd || step.Arc.Op == OpRem:
 		wantKind := annotKindFor(step.Arc.Op)
-		for _, a := range g.OutAll(cur.b.id) {
+		// Exact-label annotation steps read the (parent, label) slice of
+		// the full arc relation instead of scanning every arc ever; the
+		// index preserves insertion order within the label.
+		arcs := g.OutAll(cur.b.id)
+		if as, ok := g.(AllLabelSeeker); ok && exactLabel(step) {
+			arcs = as.OutAllLabeled(cur.b.id, step.Label)
+		}
+		for _, a := range arcs {
 			if !labelMatch(step, a.Label) {
 				continue
 			}
@@ -594,7 +722,21 @@ func (ev *evaluation) expandStep(cur pathResult, step *PathStep) ([]pathResult, 
 			return nil, err
 		}
 		if !ok {
-			return nil, nil
+			return dst, nil
+		}
+		// A materialized time-t view skips the per-arc annotation scans;
+		// it is OutAll filtered by liveness, so filtering it by label
+		// visits the same arcs in the same order as the fallback.
+		if ts, ok := g.(TimeSeeker); ok {
+			for _, a := range ts.OutAt(cur.b.id, t) {
+				if !labelMatch(step, a.Label) {
+					continue
+				}
+				if err := appendChild(a.Child, cur.env, &t); err != nil {
+					return nil, err
+				}
+			}
+			break
 		}
 		for _, a := range g.OutAll(cur.b.id) {
 			if !labelMatch(step, a.Label) {
@@ -617,8 +759,10 @@ func (ev *evaluation) expandStep(cur pathResult, step *PathStep) ([]pathResult, 
 // quantifier controls repetition. Group labels support '%' globs like
 // ordinary steps. Bindings inherit the time-travel instant; environments
 // are unchanged (groups bind no variables).
-func (ev *evaluation) expandGroup(cur pathResult, grp *PathGroup) []pathResult {
+func (ev *evaluation) expandGroup(dst []pathResult, cur pathResult, grp *PathGroup) []pathResult {
 	g := cur.b.g
+
+	ls, hasLS := g.(LabelSeeker)
 
 	// followSeq walks one fixed label sequence from a node set.
 	followSeq := func(start map[oem.NodeID]bool, seq []string) map[oem.NodeID]bool {
@@ -626,6 +770,21 @@ func (ev *evaluation) expandGroup(cur pathResult, grp *PathGroup) []pathResult {
 		for _, label := range seq {
 			next := make(map[oem.NodeID]bool)
 			glob := strings.Contains(label, "%")
+			if hasLS && !glob && !cur.b.hasAsOf {
+				// Exact labels over the current snapshot come straight
+				// from the adjacency index; the frontier is a set, so
+				// arc order is immaterial here.
+				for n := range frontier {
+					for _, a := range ls.OutLabeled(n, label) {
+						next[a.Child] = true
+					}
+				}
+				frontier = next
+				if len(frontier) == 0 {
+					break
+				}
+				continue
+			}
 			for n := range frontier {
 				for _, a := range ev.liveArcs(cur.b, g, n) {
 					if glob {
@@ -689,7 +848,7 @@ func (ev *evaluation) expandGroup(cur pathResult, grp *PathGroup) []pathResult {
 		ids = append(ids, n)
 	}
 	sortNodeIDs(ids)
-	out := make([]pathResult, 0, len(ids))
+	out := dst
 	for _, n := range ids {
 		nb := cur.b
 		nb.id = n
@@ -708,6 +867,9 @@ func (ev *evaluation) liveArcs(b binding, g Graph, n oem.NodeID) []oem.Arc {
 	if !b.hasAsOf {
 		return g.Out(n)
 	}
+	if ts, ok := g.(TimeSeeker); ok {
+		return ts.OutAt(n, b.asOf)
+	}
 	var arcs []oem.Arc
 	for _, a := range g.OutAll(n) {
 		if g.ArcLiveAt(a, b.asOf) {
@@ -718,25 +880,24 @@ func (ev *evaluation) liveArcs(b binding, g Graph, n oem.NodeID) []oem.Arc {
 }
 
 // applyNodeAnnot filters/expands one reached node through a node annotation
-// expression.
-func (ev *evaluation) applyNodeAnnot(r pathResult, ann *AnnotExpr) ([]pathResult, error) {
+// expression, appending the surviving bindings to dst.
+func (ev *evaluation) applyNodeAnnot(dst []pathResult, r pathResult, ann *AnnotExpr) ([]pathResult, error) {
 	if ann == nil {
-		return []pathResult{r}, nil
+		return append(dst, r), nil
 	}
 	g := r.b.g
 	switch ann.Op {
 	case OpCre:
 		ct, ok := g.CreTime(r.b.id)
 		if !ok {
-			return nil, nil
+			return dst, nil
 		}
 		en := r.env
 		if ann.AtVar != "" {
 			en = en.extend(ann.AtVar, valueBinding(value.Time(ct)))
 		}
-		return []pathResult{{b: r.b, env: en}}, nil
+		return append(dst, pathResult{b: r.b, env: en}), nil
 	case OpUpd:
-		var out []pathResult
 		for _, u := range g.UpdTriples(r.b.id) {
 			en := r.env
 			if ann.AtVar != "" {
@@ -748,30 +909,36 @@ func (ev *evaluation) applyNodeAnnot(r pathResult, ann *AnnotExpr) ([]pathResult
 			if ann.ToVar != "" {
 				en = en.extend(ann.ToVar, valueBinding(u.New))
 			}
-			out = append(out, pathResult{b: r.b, env: en})
+			dst = append(dst, pathResult{b: r.b, env: en})
 		}
-		return out, nil
+		return dst, nil
 	case OpAt:
 		t, ok, err := ev.evalTime(r.env, ann.AtExpr)
 		if err != nil || !ok {
-			return nil, err
+			return dst, err
 		}
 		nb := r.b
 		nb.hasAsOf = true
 		nb.asOf = t
-		return []pathResult{{b: nb, env: r.env}}, nil
+		return append(dst, pathResult{b: nb, env: r.env}), nil
 	default:
-		return nil, errf(ann.P, "%s annotation cannot follow a label", ann.Op)
+		return dst, errf(ann.P, "%s annotation cannot follow a label", ann.Op)
 	}
 }
 
 // labelMatch matches an arc label against a step: exact for quoted labels,
 // with '%' globbing otherwise.
 func labelMatch(step *PathStep, label string) bool {
-	if step.Quoted || !strings.Contains(step.Label, "%") {
+	if exactLabel(step) {
 		return step.Label == label
 	}
 	return value.Str(label).Like(step.Label)
+}
+
+// exactLabel reports whether the step's label matches by string equality
+// only (no '%' globbing), making it servable from a label index.
+func exactLabel(step *PathStep) bool {
+	return step.Quoted || !strings.Contains(step.Label, "%")
 }
 
 func annotKindFor(op AnnotOp) doem.AnnotKind {
@@ -1067,6 +1234,7 @@ func (ev *evaluation) evalCompare(en *env, x *BinExpr) (bool, error) {
 // out into one row per combination.
 func (ev *evaluation) buildRows(en *env, items []SelectItem) ([]Row, error) {
 	cells := make([][]binding, len(items))
+	single := true
 	for i, item := range items {
 		bs, err := ev.evalOperand(en, item.Expr)
 		if err != nil {
@@ -1075,7 +1243,26 @@ func (ev *evaluation) buildRows(en *env, items []SelectItem) ([]Row, error) {
 		if len(bs) == 0 {
 			bs = []binding{{kind: bNull}}
 		}
+		if len(bs) != 1 {
+			single = false
+		}
 		cells[i] = bs
+	}
+	// Fast path: every item resolved to one binding — exactly one row, no
+	// cross-product recursion.
+	if single {
+		allNull := true
+		row := Row{Cells: make([]Cell, len(items))}
+		for i, bs := range cells {
+			row.Cells[i] = Cell{Label: items[i].Label, b: bs[0]}
+			if bs[0].kind != bNull {
+				allNull = false
+			}
+		}
+		if allNull {
+			return nil, nil
+		}
+		return []Row{row}, nil
 	}
 	var rows []Row
 	var build func(i int, acc []Cell)

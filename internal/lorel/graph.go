@@ -48,6 +48,38 @@ type Graph interface {
 // assert *doem.Database implements Graph.
 var _ Graph = (*doem.Database)(nil)
 
+// The evaluator probes for the optional interfaces below with type
+// assertions and falls back to scanning Out/OutAll when a graph does not
+// provide them. Implementations must return arcs in the exact order the
+// fallback scan would produce (insertion order, filtered) — parallel
+// evaluation and the indexed/unindexed parity guarantee both depend on
+// byte-identical result ordering. internal/index provides all three.
+
+// LabelSeeker is an optional Graph extension serving exact-label arc
+// lookups from an adjacency index instead of a scan over Out.
+type LabelSeeker interface {
+	// OutLabeled returns the current-snapshot arcs of n labeled exactly
+	// label, in insertion order.
+	OutLabeled(n oem.NodeID, label string) []oem.Arc
+}
+
+// AllLabelSeeker is the LabelSeeker analogue over the full arc relation
+// (removed arcs included), used by <add>/<rem> annotation steps.
+type AllLabelSeeker interface {
+	// OutAllLabeled returns every arc of n labeled exactly label,
+	// removed arcs included, in insertion order.
+	OutAllLabeled(n oem.NodeID, label string) []oem.Arc
+}
+
+// TimeSeeker is an optional Graph extension serving time-travel adjacency:
+// the arcs of n live at time t, resolved from a materialized historical
+// view instead of per-arc annotation scans.
+type TimeSeeker interface {
+	// OutAt returns the arcs of n that existed at time t, in insertion
+	// order. It must equal filtering OutAll(n) by ArcLiveAt(arc, t).
+	OutAt(n oem.NodeID, t timestamp.Time) []oem.Arc
+}
+
 // OEMGraph adapts a plain *oem.Database to the Graph interface: the current
 // snapshot is the whole database and every annotation accessor is empty.
 type OEMGraph struct {

@@ -2,6 +2,7 @@ package lorel
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"repro/internal/oem"
@@ -48,15 +49,25 @@ func (c Cell) AsOf() (timestamp.Time, bool) { return c.b.asOf, c.b.hasAsOf }
 // (possibly time-travelled) value of the node.
 func (c Cell) Value() (value.Value, bool) { return c.b.valueOf() }
 
-func (r Row) key() string {
-	var b strings.Builder
+// key returns the row's dedup key. Every component is length-prefixed so
+// labels or rendered values containing the join punctuation of adjacent
+// components cannot make two distinct rows collide.
+func (r Row) key() string { return string(r.appendKey(nil)) }
+
+// appendKey appends the row's dedup key to dst, reusing dst's capacity so
+// hot dedup loops can probe the seen-set without allocating per row.
+func (r Row) appendKey(dst []byte) []byte {
+	var kb [64]byte
 	for _, c := range r.Cells {
-		b.WriteString(c.Label)
-		b.WriteByte('=')
-		b.WriteString(c.b.key())
-		b.WriteByte(';')
+		k := c.b.appendKey(kb[:0])
+		dst = strconv.AppendInt(dst, int64(len(c.Label)), 10)
+		dst = append(dst, ':')
+		dst = append(dst, c.Label...)
+		dst = strconv.AppendInt(dst, int64(len(k)), 10)
+		dst = append(dst, ':')
+		dst = append(dst, k...)
 	}
-	return b.String()
+	return dst
 }
 
 // Cell returns the first cell with the given label.

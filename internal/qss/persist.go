@@ -105,7 +105,7 @@ func (st *subState) restoreState(data []byte) error {
 		}
 		times = append(times, t)
 	}
-	st.d = d
+	st.setDOEM(d)
 	st.nextID = oem.NodeID(w.NextID)
 	st.remap = make(map[oem.NodeID]oem.NodeID, len(w.Remap))
 	for src, id := range w.Remap {

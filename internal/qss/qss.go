@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/change"
 	"repro/internal/doem"
+	"repro/internal/index"
 	"repro/internal/lorel"
 	"repro/internal/obs"
 	"repro/internal/oem"
@@ -72,6 +73,9 @@ type Service struct {
 	// workers is the evaluation parallelism applied to the per-poll
 	// polling- and filter-query engines (0 = serial).
 	workers int
+	// noIndex disables the secondary-index wrapper on subscription DOEM
+	// databases; it defaults to the package-wide index.Enabled() switch.
+	noIndex bool
 }
 
 type subState struct {
@@ -90,6 +94,28 @@ type subState struct {
 	pollTimes []timestamp.Time
 	// log, when non-nil, records every poll for crash recovery.
 	log *wal.Log
+	// ig is the secondary-index wrapper filter queries evaluate through;
+	// nil when indexing is off. It is invalidated after every poll
+	// application and rebuilt whenever d is swapped (truncate, import).
+	ig *index.Graph
+}
+
+// graph returns the view the subscription's filter queries range over:
+// the indexed wrapper when present, the raw DOEM database otherwise.
+func (st *subState) graph() lorel.Graph {
+	if st.ig != nil {
+		return st.ig
+	}
+	return st.d
+}
+
+// setDOEM swaps the subscription's database, rebuilding the index wrapper
+// if one was active (an index.Graph is bound to one *doem.Database).
+func (st *subState) setDOEM(d *doem.Database) {
+	st.d = d
+	if st.ig != nil {
+		st.ig = index.NewGraph(d)
+	}
 }
 
 // Errors.
@@ -105,7 +131,25 @@ func NewService(fn func(Notification)) *Service {
 	if fn == nil {
 		fn = func(Notification) {}
 	}
-	return &Service{subs: make(map[string]*subState), notify: fn}
+	return &Service{subs: make(map[string]*subState), notify: fn, noIndex: !index.Enabled()}
+}
+
+// SetIndexing switches poll-time filter evaluation between the indexed
+// wrapper and the raw DOEM database (the -noindex escape hatch), for
+// existing and future subscriptions.
+func (s *Service) SetIndexing(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.noIndex = !on
+	for _, st := range s.subs {
+		st.mu.Lock()
+		if !on {
+			st.ig = nil
+		} else if st.ig == nil {
+			st.ig = index.NewGraph(st.d)
+		}
+		st.mu.Unlock()
+	}
 }
 
 // SetParallelism sets the evaluation worker count used by every poll's
@@ -147,6 +191,9 @@ func (s *Service) Subscribe(sub Subscription) error {
 		remap:  make(map[oem.NodeID]oem.NodeID),
 		nextID: 1, // the packaged root; alloc pre-increments past it
 		pollNs: obs.NewHistogram(obs.LabeledName("qss_poll_ns", "sub", sub.Name)),
+	}
+	if !s.noIndex {
+		st.ig = index.NewGraph(st.d)
 	}
 	if s.walDir != "" {
 		if err := s.attachLog(st, sub.Name); err != nil {
@@ -221,7 +268,7 @@ func (s *Service) Truncate(name string, t timestamp.Time) error {
 	if err != nil {
 		return fmt.Errorf("qss: truncate: %w", err)
 	}
-	st.d = td
+	st.setDOEM(td)
 	var kept []timestamp.Time
 	for _, pt := range st.pollTimes {
 		if pt.After(t) {
@@ -344,6 +391,12 @@ func (s *Service) pollContext(ctx context.Context, name string, t timestamp.Time
 			return nil, fmt.Errorf("qss: applying changes: %w", err)
 		}
 		st.pruneRemap()
+		// Poll application is an index invalidation hook: cached
+		// snapshots of the pre-poll generation must not serve the
+		// filter query below.
+		if st.ig != nil {
+			st.ig.Invalidate()
+		}
 	}
 	st.pollTimes = append(st.pollTimes, t)
 	sp.End()
@@ -362,7 +415,7 @@ func (s *Service) pollContext(ctx context.Context, name string, t timestamp.Time
 
 	// 5. Chorel engine: evaluate the filter with t[i] bound.
 	feng := lorel.NewEngine()
-	feng.Register(st.sub.Name, st.d)
+	feng.Register(st.sub.Name, st.graph())
 	feng.SetPollTimes(st.pollTimes)
 	if workers != 0 {
 		feng.SetParallelism(workers)
