@@ -47,9 +47,10 @@ bench:
 
 # Machine-readable benchmark report: per-benchmark ns/op, B/op, allocs/op,
 # the measured observability overhead, the indexed-vs-noindex <at T>
-# speedups, and a metrics snapshot.
+# speedups, the segmented-vs-monolithic growth factors and per-tier RSS,
+# and a metrics snapshot.
 bench-json:
-	$(GO) run ./cmd/benchharness -json BENCH_5.json
+	$(GO) run ./cmd/benchharness -json BENCH_6.json
 
 # Regenerates every experiment in EXPERIMENTS.md.
 harness:
@@ -78,6 +79,7 @@ fuzz:
 	$(GO) test -fuzz='^FuzzRequestDecode$$' -fuzztime=30s -run xxx ./internal/qss/
 	$(GO) test -fuzz='^FuzzReadLine$$' -fuzztime=30s -run xxx ./internal/qss/
 	$(GO) test -fuzz='^FuzzIndexSnapshotParity$$' -fuzztime=30s -run xxx ./internal/index/
+	$(GO) test -fuzz='^FuzzSegmentParity$$' -fuzztime=30s -run xxx ./internal/segment/
 
 clean:
 	rm -f test_output.txt bench_output.txt htmldiff-output.html

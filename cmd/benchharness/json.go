@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/change"
 	"repro/internal/chorel"
 	"repro/internal/doem"
 	"repro/internal/guidegen"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/oem"
 	"repro/internal/qss"
+	"repro/internal/segment"
 	"repro/internal/timestamp"
 	"repro/internal/wal"
 	"repro/internal/wrapper"
@@ -56,6 +58,24 @@ type benchReport struct {
 	// IndexAtSnapshotSpeedup10k is the same ratio for repeated O_t(D)
 	// snapshot extraction at a fixed T, which the index memoizes.
 	IndexAtSnapshotSpeedup10k float64 `json:"index_at_snapshot_speedup_10k"`
+	// SegmentAtQueryFlatness10x is the growth factor of segmented <at T>
+	// query latency when the history grows 10x past the active-segment
+	// size: atquery-seg-10x ns/op over atquery-seg-base ns/op. Sublinear
+	// history access means this stays near 1 while the monolithic factor
+	// (MonoAtQueryGrowth10x) tracks the history size.
+	SegmentAtQueryFlatness10x float64 `json:"segment_at_query_flatness_10x"`
+	MonoAtQueryGrowth10x      float64 `json:"mono_at_query_growth_10x"`
+	// SegmentOpenFlatness10x is the same growth factor for restart
+	// recovery (open-seg-10x over open-seg-base): the segmented store
+	// replays only its bounded active tail, the monolithic WAL the whole
+	// history (MonoOpenGrowth10x).
+	SegmentOpenFlatness10x float64 `json:"segment_open_flatness_10x"`
+	MonoOpenGrowth10x      float64 `json:"mono_open_growth_10x"`
+	// SegmentRSSBytes is resident heap attributable to each storage
+	// arrangement of the 10x history: the monolithic DOEM database, the
+	// segmented store with every sealed index hot, and the same store
+	// demoted to the cold tier.
+	SegmentRSSBytes map[string]int64 `json:"segment_rss_bytes"`
 	// Obs is the metric snapshot accumulated while the suite ran with
 	// collection enabled; it includes the index_* cache counters from the
 	// indexed benchmarks.
@@ -294,6 +314,10 @@ func runJSON(path string) error {
 	report.IndexAtSnapshotSpeedup10k = float64(sRaw.T.Nanoseconds()) / float64(sRaw.N) /
 		(float64(sIdx.T.Nanoseconds()) / float64(sIdx.N))
 
+	if err := runSegmentJSON(&report, bench); err != nil {
+		return err
+	}
+
 	report.Obs = obs.Snapshot()
 	obs.SetEnabled(false)
 	report.Generated = time.Now().UTC()
@@ -308,5 +332,165 @@ func runJSON(path string) error {
 	}
 	fmt.Printf("benchharness: obs overhead %.3f%% disabled, %.2f%% enabled; report written to %s\n",
 		report.ObsDisabledOverheadPct, report.ObsEnabledOverheadPct, path)
+	return nil
+}
+
+// runSegmentJSON is B13 in JSON form: the segmented store vs the monolithic
+// database as the recorded history grows 10x past the active-segment size
+// with the live graph held constant (churn growth, as in the text-mode
+// B13). Queries pin a T deep in sealed history; opens measure restart
+// recovery. The four growth factors and the per-arrangement RSS map are the
+// report's segment acceptance numbers.
+func runSegmentJSON(report *benchReport, bench func(string, func(*testing.B)) testing.BenchmarkResult) error {
+	pol := &segment.Policy{SealAnnotations: 300}
+	opt := &wal.Options{Sync: wal.SyncNever}
+	nsOp := func(r testing.BenchmarkResult) float64 { return float64(r.T.Nanoseconds()) / float64(r.N) }
+
+	obs.SetEnabled(false)
+	initial, h0 := guidegen.GenerateHistory(13, 40, 60, 10)
+	histories := [2]change.History{h0, extendWithChurn(initial, h0, 9*len(h0))}
+	var monoQ, segQ, monoO, segO [2]float64
+	var lastSegDir string
+	for i, h := range histories {
+		tag := "base"
+		if i == 1 {
+			tag = "10x"
+		}
+		var preHeap int64
+		if i == 1 {
+			preHeap = int64(heapInUse())
+		}
+		mono, err := doem.FromHistory(initial, h)
+		if err != nil {
+			return err
+		}
+		var monoHeap int64
+		if i == 1 {
+			monoHeap = int64(heapInUse()) - preHeap
+		}
+		segDir, err := os.MkdirTemp("", "benchseg")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(segDir)
+		lastSegDir = segDir
+		st, err := segment.Create(segDir, doem.New(initial.Clone()), opt, pol)
+		if err != nil {
+			return err
+		}
+		walDir, err := os.MkdirTemp("", "benchwalmono")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(walDir)
+		l, err := wal.Open(walDir, opt)
+		if err != nil {
+			return err
+		}
+		if err := l.CheckpointDOEM(doem.New(initial.Clone())); err != nil {
+			return err
+		}
+		for _, step := range h {
+			if err := st.Apply(step.At, step.Ops); err != nil {
+				return err
+			}
+			if _, err := l.AppendStep(step.At, step.Ops); err != nil {
+				return err
+			}
+		}
+		l.Close()
+
+		// A T deep in old history: for the segmented store it lands in an
+		// early sealed segment; monolithic evaluation walks the full chains.
+		ts := mono.Steps()
+		at := ts[len(ts)/10]
+		q := fmt.Sprintf(`select P from guide.<at %q>restaurant.price P where P < 20`, at.String())
+		monoEng := lorel.NewEngine()
+		monoEng.Register("guide", mono)
+		segEng := lorel.NewEngine()
+		segEng.Register("guide", st.Graph())
+		monoQ[i] = nsOp(bench("atquery-mono-"+tag, func(b *testing.B) {
+			for j := 0; j < b.N; j++ {
+				if _, err := monoEng.Query(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+		segQ[i] = nsOp(bench("atquery-seg-"+tag, func(b *testing.B) {
+			for j := 0; j < b.N; j++ {
+				if _, err := segEng.Query(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+		st.Close()
+
+		monoO[i] = nsOp(bench("open-mono-"+tag, func(b *testing.B) {
+			for j := 0; j < b.N; j++ {
+				l, err := wal.Open(walDir, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := l.ReplayDOEM(); err != nil {
+					b.Fatal(err)
+				}
+				l.Close()
+			}
+		}))
+		segO[i] = nsOp(bench("open-seg-"+tag, func(b *testing.B) {
+			for j := 0; j < b.N; j++ {
+				s, err := segment.Open(segDir, opt, pol)
+				if err != nil {
+					b.Fatal(err)
+				}
+				s.Close()
+			}
+		}))
+
+		if i == 1 {
+			// RSS per arrangement at the 10x size, against a baseline taken
+			// before the store reopens; a query at each seal boundary pulls
+			// every sealed index hot, then Maintain demotes them cold.
+			baseline := int64(heapInUse())
+			coldPol := &segment.Policy{SealAnnotations: pol.SealAnnotations, ColdAfter: 1}
+			cst, err := segment.Open(segDir, opt, coldPol)
+			if err != nil {
+				return err
+			}
+			eng := lorel.NewEngine()
+			eng.Register("guide", cst.Graph())
+			for _, seal := range cst.SealTimes() {
+				hq := fmt.Sprintf(`select P from guide.<at %q>restaurant.price P where P < 20`, seal.String())
+				if _, err := eng.Query(hq); err != nil {
+					cst.Close()
+					return err
+				}
+			}
+			hotHeap := int64(heapInUse()) - baseline
+			cst.Maintain()
+			cst.Maintain()
+			coldHeap := int64(heapInUse()) - baseline
+			_ = mono.NumAnnotations() // keep the monolithic copy live in the baseline
+			cst.Close()
+			report.SegmentRSSBytes = map[string]int64{
+				"monolithic":     monoHeap,
+				"segmented_hot":  hotHeap,
+				"segmented_cold": coldHeap,
+			}
+		}
+	}
+	report.SegmentAtQueryFlatness10x = segQ[1] / segQ[0]
+	report.MonoAtQueryGrowth10x = monoQ[1] / monoQ[0]
+	report.SegmentOpenFlatness10x = segO[1] / segO[0]
+	report.MonoOpenGrowth10x = monoO[1] / monoO[0]
+
+	// One instrumented open so the segment_* metrics land in the report's
+	// obs snapshot alongside the rest of the stack.
+	obs.SetEnabled(true)
+	s, err := segment.Open(lastSegDir, opt, pol)
+	if err != nil {
+		return err
+	}
+	s.Close()
 	return nil
 }

@@ -20,6 +20,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -35,6 +36,7 @@ import (
 	"repro/internal/oem"
 	"repro/internal/oemdiff"
 	"repro/internal/qss"
+	"repro/internal/segment"
 	"repro/internal/timestamp"
 	"repro/internal/trigger"
 	"repro/internal/value"
@@ -75,6 +77,7 @@ func main() {
 	b10()
 	b11()
 	b12()
+	b13()
 
 	fmt.Println(strings.Repeat("=", 64))
 	if failures > 0 {
@@ -456,6 +459,228 @@ func b12() {
 			sRaw, sIdx, float64(sRaw)/float64(sIdx))
 	}
 	check("B12", "indexed <at T> queries and snapshots byte-identical to raw", identical)
+}
+
+// b13 measures the internal/segment subsystem against the monolithic
+// database as history grows 10x past the active-segment size. Three
+// claims: (a) repeated <at T> queries into old history stay roughly flat
+// (they touch one sealed segment's persistent index, not the whole
+// annotation history), (b) restart recovery stays roughly flat (only the
+// bounded active-segment tail replays; sealed segments recover from their
+// checkpointed snapshots), and (c) the cold tier bounds resident memory
+// (index-dropped, compressed segments cost near nothing until touched).
+// Gates on byte-identical query results between the two representations.
+func b13() {
+	fmt.Println("\n-- B13: segmented history storage — <at T> latency, recovery and RSS vs monolithic --")
+	pol := &segment.Policy{SealAnnotations: 300}
+	opt := &wal.Options{Sync: wal.SyncNever}
+	base := scale(100)
+	// The 10x history extends the mixed base workload with churn steps
+	// (price updates against existing nodes): the history grows 10x while
+	// the live graph stays the same size. That isolates what B13b/c
+	// claim — deep <at T> access and restart recovery scale with the
+	// touched interval / active segment, not with total history — from
+	// the orthogonal cost of a larger live database, which every storage
+	// arrangement pays alike.
+	initial, h0 := guidegen.GenerateHistory(13, 40, base, 10)
+	histories := [2]change.History{h0, extendWithChurn(initial, h0, 9*len(h0))}
+	fmt.Printf("  %8s %8s %8s %12s %12s %12s %12s\n",
+		"steps", "annots", "segs", "query-mono", "query-seg", "open-mono", "open-seg")
+	identical := true
+	var segLat, monoLat [2]time.Duration
+	var segOpen [2]time.Duration
+	for i, h := range histories {
+		var preHeap int64
+		if i == 1 {
+			preHeap = int64(heapInUse())
+		}
+		mono, err := doem.FromHistory(initial, h)
+		if err != nil {
+			panic(err)
+		}
+		var monoHeap int64
+		if i == 1 {
+			monoHeap = int64(heapInUse()) - preHeap
+		}
+
+		segDir, err := os.MkdirTemp("", "b13seg")
+		if err != nil {
+			panic(err)
+		}
+		defer os.RemoveAll(segDir)
+		st, err := segment.Create(segDir, doem.New(initial.Clone()), opt, pol)
+		if err != nil {
+			panic(err)
+		}
+		walDir, err := os.MkdirTemp("", "b13wal")
+		if err != nil {
+			panic(err)
+		}
+		defer os.RemoveAll(walDir)
+		l, err := wal.Open(walDir, opt)
+		if err != nil {
+			panic(err)
+		}
+		if err := l.CheckpointDOEM(doem.New(initial.Clone())); err != nil {
+			panic(err)
+		}
+		for _, step := range h {
+			if err := st.Apply(step.At, step.Ops); err != nil {
+				panic(err)
+			}
+			if _, err := l.AppendStep(step.At, step.Ops); err != nil {
+				panic(err)
+			}
+		}
+		l.Close()
+
+		// A T deep in old history: for the segmented store it lands in an
+		// early sealed segment; for the monolithic database the whole
+		// annotation history is in play.
+		ts := mono.Steps()
+		at := ts[len(ts)/10]
+		q := fmt.Sprintf(`select P from guide.<at %q>restaurant.price P where P < 20`, at.String())
+		monoEng := lorel.NewEngine()
+		monoEng.Register("guide", mono)
+		segEng := lorel.NewEngine()
+		segEng.Register("guide", st.Graph())
+		monoRes, err := monoEng.Query(q)
+		if err != nil {
+			panic(err)
+		}
+		segRes, err := segEng.Query(q)
+		if err != nil {
+			panic(err)
+		}
+		if monoRes.String() != segRes.String() {
+			identical = false
+		}
+		monoLat[i] = measure(func() {
+			if _, err := monoEng.Query(q); err != nil {
+				panic(err)
+			}
+		})
+		segLat[i] = measure(func() {
+			if _, err := segEng.Query(q); err != nil {
+				panic(err)
+			}
+		})
+		segs := st.Segments()
+		st.Close()
+
+		// Restart recovery: the monolithic WAL replays the full history;
+		// the segmented store replays only its bounded active tail.
+		openMono := measure(func() {
+			l, err := wal.Open(walDir, opt)
+			if err != nil {
+				panic(err)
+			}
+			if _, err := l.ReplayDOEM(); err != nil {
+				panic(err)
+			}
+			l.Close()
+		})
+		segOpen[i] = measure(func() {
+			s, err := segment.Open(segDir, opt, pol)
+			if err != nil {
+				panic(err)
+			}
+			s.Close()
+		})
+		fmt.Printf("  %8d %8d %8d %12s %12s %12s %12s\n",
+			len(h), mono.NumAnnotations(), segs, monoLat[i], segLat[i], openMono, segOpen[i])
+
+		if i == 1 {
+			b13rss(segDir, opt, pol, mono, monoHeap, q, at)
+		}
+	}
+	check("B13a", "segmented query results byte-identical to monolithic", identical)
+	check("B13b", "segmented <at T> latency roughly flat across 10x history growth",
+		segLat[1] < 3*segLat[0]+time.Millisecond)
+	check("B13c", "segmented restart recovery roughly flat across 10x history growth",
+		segOpen[1] < 3*segOpen[0]+5*time.Millisecond)
+}
+
+// b13rss reports resident heap per storage arrangement at the 10x size:
+// the monolithic database (monoHeap, measured around its construction),
+// the segmented store with every sealed index hot, and the same store
+// demoted to the cold tier (both measured against a baseline taken just
+// before the store opens).
+func b13rss(segDir string, opt *wal.Options, pol *segment.Policy, mono *doem.Database, monoHeap int64, q string, at timestamp.Time) {
+	baseline := int64(heapInUse())
+
+	coldPol := &segment.Policy{SealAnnotations: pol.SealAnnotations, ColdAfter: 1}
+	st, err := segment.Open(segDir, opt, coldPol)
+	if err != nil {
+		panic(err)
+	}
+	defer st.Close()
+	eng := lorel.NewEngine()
+	eng.Register("guide", st.Graph())
+	// Touch every sealed segment so each index is parsed and hot.
+	for _, seal := range st.SealTimes() {
+		hq := fmt.Sprintf(`select P from guide.<at %q>restaurant.price P where P < 20`, seal.String())
+		if _, err := eng.Query(hq); err != nil {
+			panic(err)
+		}
+	}
+	hot, _, _ := st.Tiers()
+	hotHeap := int64(heapInUse()) - baseline
+	// Demote everything: with ColdAfter=1 any later graph op ages every
+	// sealed segment out.
+	st.Maintain()
+	st.Maintain()
+	_, _, cold := st.Tiers()
+	coldHeap := int64(heapInUse()) - baseline
+	_ = mono.NumAnnotations() // keep the monolithic copy live in the baseline
+	fmt.Printf("  RSS at 10x: monolithic %+.1f MiB | segmented hot (%d idx) %+.1f MiB | cold (%d seg) %+.1f MiB\n",
+		float64(monoHeap)/(1<<20), hot, float64(hotHeap)/(1<<20), cold, float64(coldHeap)/(1<<20))
+	check("B13d", "cold tier releases sealed-index memory", cold > 0 && coldHeap <= hotHeap)
+}
+
+// heapInUse reports live heap bytes after a full collection.
+func heapInUse() uint64 {
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m.HeapAlloc
+}
+
+// extendWithChurn lengthens a generated history with n churn steps — price
+// updates against nodes that already exist at the end of h — so the
+// recorded history grows without growing the live graph.
+func extendWithChurn(initial *oem.Database, h change.History, n int) change.History {
+	db := initial.Clone()
+	for _, step := range h {
+		if _, err := step.Ops.Apply(db); err != nil {
+			panic(err)
+		}
+	}
+	var prices []oem.NodeID
+	for _, node := range db.Nodes() {
+		for _, a := range db.OutLabeled(node, "price") {
+			prices = append(prices, a.Child)
+		}
+	}
+	sort.Slice(prices, func(i, j int) bool { return prices[i] < prices[j] })
+	out := append(change.History{}, h...)
+	if len(prices) == 0 || len(h) == 0 {
+		return out
+	}
+	t := h[len(h)-1].At
+	v := 0
+	for i := 0; i < n; i++ {
+		t = t.Add(86400e9) // +1 day
+		var set change.Set
+		for j := 0; j < 10 && j < len(prices); j++ {
+			// Consecutive residues keep the step's targets distinct.
+			p := prices[(i*10+j)%len(prices)]
+			v++
+			set = append(set, change.UpdNode{Node: p, Value: value.Int(int64(5 + v%40))})
+		}
+		out = append(out, change.Step{At: t, Ops: set})
+	}
+	return out
 }
 
 // --- quantitative series ---

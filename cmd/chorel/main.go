@@ -3,12 +3,18 @@
 //
 // Usage:
 //
-//	chorel [-store DIR] [-translate] [-explain] [-strategy direct|translated] [-parallel N] [-noindex] [QUERY...]
+//	chorel [-store DIR] [-segments] [-translate] [-explain] [-strategy direct|translated] [-parallel N] [-noindex] [QUERY...]
 //
 // With no QUERY arguments, chorel reads queries from standard input, one
 // per line. The built-in demo database "guide" (the paper's running
 // example, Figures 2-4) is always registered; databases from -store are
 // registered under their stored names.
+//
+// -segments opens the store in segmented mode (lore.OpenSegmented):
+// DOEM databases live in time-partitioned segment stores, queries run
+// over the merged history graph, and update statements append to the
+// active segment. -seal-anns and -seal-age tune the auto-seal policy;
+// see docs/segments.md.
 //
 // -explain prints the Chorel→Lorel rewrite plan (rule-by-rule rewrite
 // trace plus the generated Lorel query; see docs/observability.md) instead
@@ -35,11 +41,15 @@ import (
 	"repro/internal/lorel"
 	"repro/internal/obs"
 	"repro/internal/oem"
+	"repro/internal/segment"
 	"repro/internal/timestamp"
 )
 
 func main() {
 	storeDir := flag.String("store", "", "database store directory to load")
+	segments := flag.Bool("segments", false, "open -store in segmented mode (time-partitioned DOEM history; see docs/segments.md)")
+	sealAnns := flag.Int("seal-anns", 0, "with -segments: auto-seal the active segment after this many annotations (0 = manual)")
+	sealAge := flag.Duration("seal-age", 0, "with -segments: auto-seal the active segment after this much history time (0 = off)")
 	translate := flag.Bool("translate", false, "print the Lorel translation instead of evaluating")
 	explain := flag.Bool("explain", false, "print the Chorel→Lorel rewrite plan instead of evaluating")
 	strategy := flag.String("strategy", "direct", "execution strategy: direct or translated")
@@ -56,22 +66,33 @@ func main() {
 		fmt.Println("chorel", obs.Version())
 		return
 	}
-	if err := run(*storeDir, *translate, *explain, *strategy, *parallel, flag.Args()); err != nil {
+	var pol *segment.Policy
+	if *sealAnns > 0 || *sealAge > 0 {
+		pol = &segment.Policy{SealAnnotations: *sealAnns, SealAge: *sealAge}
+	}
+	if err := run(*storeDir, *segments, pol, *translate, *explain, *strategy, *parallel, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "chorel:", err)
 		os.Exit(1)
 	}
 }
 
 type session struct {
-	eng      *lorel.Engine
-	doems    map[string]*doem.Database
+	eng   *lorel.Engine
+	doems map[string]*doem.Database
+	// store is set when -store names a directory; updates to stored DOEM
+	// databases go through it so they are persisted (and, in segmented
+	// mode, land in the right active segment).
+	store    *lore.Store
 	strategy string
 	parallel int
 }
 
-func run(storeDir string, translate, explain bool, strategy string, parallel int, queries []string) error {
+func run(storeDir string, segmented bool, pol *segment.Policy, translate, explain bool, strategy string, parallel int, queries []string) error {
 	if strategy != "direct" && strategy != "translated" {
 		return fmt.Errorf("unknown strategy %q", strategy)
+	}
+	if segmented && storeDir == "" {
+		return fmt.Errorf("-segments needs -store")
 	}
 	s := &session{eng: lorel.NewEngine(), doems: make(map[string]*doem.Database), strategy: strategy, parallel: parallel}
 	s.eng.SetParallelism(parallel)
@@ -85,10 +106,17 @@ func run(storeDir string, translate, explain bool, strategy string, parallel int
 	s.register("guide", d)
 
 	if storeDir != "" {
-		store, err := lore.Open(storeDir)
+		var store *lore.Store
+		if segmented {
+			store, err = lore.OpenSegmented(storeDir, nil, pol)
+		} else {
+			store, err = lore.Open(storeDir)
+		}
 		if err != nil {
 			return err
 		}
+		defer store.Close()
+		s.store = store
 		for _, ent := range store.List() {
 			switch ent.Kind {
 			case "doem":
@@ -97,6 +125,11 @@ func run(storeDir string, translate, explain bool, strategy string, parallel int
 					return err
 				}
 				s.register(ent.Name, dd)
+				if st, ok := store.SegmentStore(ent.Name); ok {
+					// Queries range over the merged sealed+active history,
+					// not just the active segment.
+					s.eng.Register(ent.Name, st.Graph())
+				}
 			case "oem":
 				db, err := store.GetOEM(ent.Name)
 				if err != nil {
@@ -200,11 +233,23 @@ func (s *session) runUpdate(stmt string) error {
 	if err != nil {
 		return err
 	}
-	d, ok := s.doems[parsed.Target.Head]
+	name := parsed.Target.Head
+	d, ok := s.doems[name]
 	if !ok {
-		return fmt.Errorf("%q is not a DOEM database (updates need change tracking)", parsed.Target.Head)
+		return fmt.Errorf("%q is not a DOEM database (updates need change tracking)", name)
+	}
+	var seg *segment.Store
+	if s.store != nil {
+		seg, _ = s.store.SegmentStore(name)
 	}
 	next := d.MaxID()
+	if seg != nil {
+		// The active segment forgets ids garbage-collected in sealed
+		// intervals; the store's high-water mark spans all history.
+		if id, err := s.store.MaxID(name); err == nil && id > next {
+			next = id
+		}
+	}
 	set, err := s.eng.CompileUpdate(parsed, func() oem.NodeID {
 		next++
 		return next
@@ -216,11 +261,24 @@ func (s *session) runUpdate(stmt string) error {
 		fmt.Println("no matches; nothing applied")
 		return nil
 	}
-	now := timestamp.FromTime(time.Now())
-	if !now.After(d.LastStep()) {
-		now = d.LastStep().Add(time.Second)
+	last := d.LastStep()
+	if seg != nil && seg.LastSeal().After(last) {
+		last = seg.LastSeal()
 	}
-	if err := d.Apply(now, set); err != nil {
+	now := timestamp.FromTime(time.Now())
+	if !now.After(last) {
+		now = last.Add(time.Second)
+	}
+	if seg != nil {
+		// Segmented store: the append must go through the store so it hits
+		// the active segment's tail log and the auto-seal policy.
+		if err := s.store.ApplySet(name, now, set); err != nil {
+			return err
+		}
+		if dd, err := s.store.GetDOEM(name); err == nil {
+			s.doems[name] = dd // a seal may have swapped the active database
+		}
+	} else if err := d.Apply(now, set); err != nil {
 		return err
 	}
 	fmt.Printf("applied %d operation(s) at %s\n", len(set), now)

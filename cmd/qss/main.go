@@ -4,7 +4,12 @@
 //
 // Usage:
 //
-//	qss [-listen ADDR] [-guide N] [-library N] [-evolve DUR] [-parallel N] [-waldir DIR] [-walsync POLICY] [-csv NAME=PATH:KEY:ROW]...
+//	qss [-listen ADDR] [-guide N] [-library N] [-evolve DUR] [-parallel N] [-waldir DIR] [-walsync POLICY] [-segments DIR] [-csv NAME=PATH:KEY:ROW]...
+//
+// Persistence is either a flat per-subscription write-ahead log (-waldir)
+// or a time-partitioned segment store (-segments, with -seal-anns,
+// -seal-age and -cold-after tuning the seal and tier policy; see
+// docs/segments.md). The two are mutually exclusive.
 //
 // Built-in demo sources:
 //
@@ -49,6 +54,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/oem"
 	"repro/internal/qss"
+	"repro/internal/segment"
 	"repro/internal/wal"
 	"repro/internal/wrapper"
 )
@@ -69,6 +75,11 @@ type config struct {
 	walSync  string
 	csvs     []string
 	admin    string
+
+	segDir   string
+	sealAnns int
+	sealAge  time.Duration
+	coldN    uint64
 
 	heartbeat    time.Duration
 	idleTimeout  time.Duration
@@ -99,6 +110,10 @@ func main() {
 	noindex := flag.Bool("noindex", false, "disable secondary indexes and poll-time snapshot caching")
 	flag.StringVar(&cfg.walDir, "waldir", "", "directory for per-subscription write-ahead logs (empty: no persistence)")
 	flag.StringVar(&cfg.walSync, "walsync", "interval", "WAL durability: always | interval | never")
+	flag.StringVar(&cfg.segDir, "segments", "", "directory for per-subscription segmented history stores (mutually exclusive with -waldir; see docs/segments.md)")
+	flag.IntVar(&cfg.sealAnns, "seal-anns", 0, "auto-seal the active segment after this many annotations (0 = manual seals only)")
+	flag.DurationVar(&cfg.sealAge, "seal-age", 0, "auto-seal the active segment after this much history time (0 = off)")
+	flag.Uint64Var(&cfg.coldN, "cold-after", 0, "demote sealed segments untouched for this many graph operations to the cold tier (0 = never)")
 	flag.StringVar(&cfg.admin, "admin", "", "serve /metrics, /healthz and pprof on this address (enables metrics collection; empty = off)")
 	version := flag.Bool("version", false, "print build information and exit")
 	var csvs csvFlags
@@ -232,6 +247,21 @@ func run(cfg config) error {
 			return err
 		}
 		fmt.Printf("qss: logging subscriptions under %s (sync=%s)\n", cfg.walDir, cfg.walSync)
+	}
+	if cfg.segDir != "" {
+		var spol *segment.Policy
+		if cfg.sealAnns > 0 || cfg.sealAge > 0 || cfg.coldN > 0 {
+			spol = &segment.Policy{
+				SealAnnotations: cfg.sealAnns,
+				SealAge:         cfg.sealAge,
+				ColdAfter:       cfg.coldN,
+			}
+		}
+		if err := srv.EnableSegments(cfg.segDir, nil, spol); err != nil {
+			return err
+		}
+		fmt.Printf("qss: segmented subscription history under %s (seal-anns=%d seal-age=%s cold-after=%d)\n",
+			cfg.segDir, cfg.sealAnns, cfg.sealAge, cfg.coldN)
 	}
 
 	// Opt-in admin endpoint: metrics (JSON + Prometheus text), health with

@@ -85,6 +85,21 @@ func DecodeTime(data []byte) (timestamp.Time, int, error) {
 	}
 }
 
+// AppendValue appends the binary encoding of an atomic or complex value —
+// the same encoding operations embed. Exported for sibling on-disk formats
+// (internal/segment) that store values outside an operation context.
+func AppendValue(dst []byte, v value.Value) []byte { return appendValue(dst, v) }
+
+// DecodeValue decodes one value from the front of data, returning it and
+// the number of bytes consumed.
+func DecodeValue(data []byte) (value.Value, int, error) { return decodeValue(data) }
+
+// AppendString appends a length-prefixed string.
+func AppendString(dst []byte, s string) []byte { return appendString(dst, s) }
+
+// DecodeString decodes one length-prefixed string from the front of data.
+func DecodeString(data []byte) (string, int, error) { return decodeString(data) }
+
 // appendValue appends the binary encoding of an atomic or complex value.
 func appendValue(dst []byte, v value.Value) []byte {
 	dst = append(dst, byte(v.Kind()))

@@ -9,4 +9,10 @@ var (
 	mCheckpoints   = obs.NewCounter("lore_checkpoint_total")
 	mCheckpointNs  = obs.NewHistogram("lore_checkpoint_ns")
 	mApplyFailures = obs.NewCounter("lore_apply_failures_total")
+
+	// Recovery observability: how long opening a store spent replaying
+	// persisted history (WAL tails and segment stores) and how many log
+	// records that covered.
+	mReplayNs      = obs.NewHistogram("lore_open_replay_ns")
+	mReplayRecords = obs.NewCounter("lore_open_replay_records_total")
 )

@@ -8,11 +8,13 @@ package lore
 import (
 	"errors"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/change"
 	"repro/internal/doem"
@@ -21,6 +23,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/oem"
 	"repro/internal/oemio"
+	"repro/internal/segment"
 	"repro/internal/timestamp"
 	"repro/internal/wal"
 )
@@ -40,12 +43,15 @@ import (
 // callback (readers of different databases never block each other).
 type Store struct {
 	dir    string
-	walOpt *wal.Options // non-nil: DOEMs are WAL-backed
+	walOpt *wal.Options    // non-nil: DOEMs are WAL-backed
+	segPol *segment.Policy // segmented mode's seal policy (may be nil)
+	seg    bool            // segmented mode: new DOEMs go to segment stores
 
-	mu    sync.RWMutex
-	oems  map[string]*oem.Database
-	doems map[string]*doem.Database
-	logs  map[string]*wal.Log // open logs, WAL mode only
+	mu     sync.RWMutex
+	oems   map[string]*oem.Database
+	doems  map[string]*doem.Database
+	logs   map[string]*wal.Log       // open logs, WAL mode only
+	stores map[string]*segment.Store // open segment stores, segmented mode only
 
 	// locks holds one RWMutex per DOEM name, coordinating ViewDOEM readers
 	// with ApplySet's in-place mutation without serializing reads of
@@ -67,12 +73,13 @@ const (
 	oemExt  = ".oem.json"
 	doemExt = ".doem.json"
 	walExt  = ".doemwal"
+	segExt  = ".doemseg"
 )
 
 // Open loads a store from dir, creating the directory if needed. An empty
 // dir yields an in-memory store.
 func Open(dir string) (*Store, error) {
-	return open(dir, nil)
+	return open(dir, nil, false, nil)
 }
 
 // OpenWAL loads a store whose DOEM databases are WAL-backed: each lives in
@@ -83,19 +90,43 @@ func OpenWAL(dir string, opt *wal.Options) (*Store, error) {
 	if dir == "" {
 		return nil, errors.New("lore: WAL mode requires a directory")
 	}
+	if segment.Enabled() {
+		return OpenSegmented(dir, opt, nil)
+	}
 	if opt == nil {
 		opt = &wal.Options{}
 	}
-	return open(dir, opt)
+	return open(dir, opt, false, nil)
 }
 
-func open(dir string, walOpt *wal.Options) (*Store, error) {
+// OpenSegmented loads a store whose DOEM databases are backed by
+// time-partitioned segment stores (internal/segment): each lives in a
+// <name>.doemseg directory holding sealed segments plus an active-segment
+// WAL tail, and Checkpoint seals the active segment instead of rewriting a
+// snapshot. pol controls automatic sealing; nil seals only on explicit
+// Checkpoint calls. Pre-existing <name>.doemwal databases keep working
+// through their logs.
+func OpenSegmented(dir string, opt *wal.Options, pol *segment.Policy) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("lore: segmented mode requires a directory")
+	}
+	if opt == nil {
+		opt = &wal.Options{}
+	}
+	return open(dir, opt, true, pol)
+}
+
+func open(dir string, walOpt *wal.Options, segmented bool, pol *segment.Policy) (*Store, error) {
+	start, wallStart := obs.Now(), time.Now()
 	s := &Store{
 		dir:    dir,
 		walOpt: walOpt,
+		segPol: pol,
+		seg:    segmented,
 		oems:   make(map[string]*oem.Database),
 		doems:  make(map[string]*doem.Database),
 		logs:   make(map[string]*wal.Log),
+		stores: make(map[string]*segment.Store),
 		locks:  make(map[string]*sync.RWMutex),
 	}
 	if dir == "" {
@@ -108,6 +139,7 @@ func open(dir string, walOpt *wal.Options) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("lore: %w", err)
 	}
+	replayed := 0
 	for _, ent := range entries {
 		name := ent.Name()
 		switch {
@@ -122,13 +154,28 @@ func open(dir string, walOpt *wal.Options) (*Store, error) {
 			if err != nil {
 				return nil, fmt.Errorf("lore: opening log %s: %w", name, err)
 			}
-			d, err := l.ReplayDOEM()
+			d, records, err := l.ReplayDOEMCounted()
 			if err != nil {
 				l.Close()
 				return nil, fmt.Errorf("lore: replaying %s: %w", name, err)
 			}
+			replayed += records
 			s.doems[base] = d
 			s.logs[base] = l
+		case ent.IsDir() && strings.HasSuffix(name, segExt):
+			if !segmented {
+				// Like WAL directories in snapshot mode: don't replay state
+				// this store would then persist divergently.
+				continue
+			}
+			base := strings.TrimSuffix(name, segExt)
+			st, err := segment.Open(filepath.Join(dir, name), walOpt, pol)
+			if err != nil {
+				return nil, fmt.Errorf("lore: opening segments %s: %w", name, err)
+			}
+			replayed += st.Stats().Records
+			s.doems[base] = st.Active()
+			s.stores[base] = st
 		case ent.IsDir():
 			continue
 		case strings.HasSuffix(name, oemExt):
@@ -156,6 +203,16 @@ func open(dir string, walOpt *wal.Options) (*Store, error) {
 			}
 			s.doems[base] = d
 		}
+	}
+	if walOpt != nil {
+		mReplayNs.ObserveSince(start)
+		mReplayRecords.Add(int64(replayed))
+		mode := "wal"
+		if segmented {
+			mode = "segmented"
+		}
+		log.Printf("lore: opened %s (%s): %d DOEM database(s), replayed %d log record(s) in %s",
+			dir, mode, len(s.doems), replayed, time.Since(wallStart).Round(time.Microsecond))
 	}
 	return s, nil
 }
@@ -199,6 +256,35 @@ func (s *Store) PutDOEM(name string, d *doem.Database) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.dropIndex(name)
+	if s.seg {
+		if old, ok := s.stores[name]; ok {
+			old.Close()
+			delete(s.stores, name)
+		}
+		if old, ok := s.logs[name]; ok {
+			// Replacing a database that predates segmented mode.
+			old.Close()
+			delete(s.logs, name)
+		}
+		segDir := filepath.Join(s.dir, name+segExt)
+		for _, stale := range []string{segDir, filepath.Join(s.dir, name+walExt)} {
+			if err := os.RemoveAll(stale); err != nil {
+				return fmt.Errorf("lore: %w", err)
+			}
+		}
+		st, err := segment.Create(segDir, d, s.walOpt, s.segPol)
+		if err != nil {
+			return fmt.Errorf("lore: %w", err)
+		}
+		// Drop any stale snapshot from a pre-segment run of the same store.
+		if err := os.Remove(filepath.Join(s.dir, name+doemExt)); err != nil && !os.IsNotExist(err) {
+			st.Close()
+			return fmt.Errorf("lore: %w", err)
+		}
+		s.doems[name] = st.Active()
+		s.stores[name] = st
+		return nil
+	}
 	if s.walOpt != nil {
 		if old, ok := s.logs[name]; ok {
 			old.Close()
@@ -291,6 +377,19 @@ func (s *Store) applySet(name string, t timestamp.Time, ops change.Set) error {
 	// only the name lock (GetDOEM's RLock is released before they block),
 	// so the two locks cannot deadlock.
 	lk := s.lockFor(name)
+	if st, ok := s.stores[name]; ok {
+		lk.Lock()
+		err := st.Apply(t, ops)
+		// A policy-triggered seal swaps in a fresh active segment; keep the
+		// live pointer current for GetDOEM/ViewDOEM callers.
+		s.doems[name] = st.Active()
+		lk.Unlock()
+		if err != nil {
+			return err
+		}
+		s.invalidateIndex(name)
+		return nil
+	}
 	lk.Lock()
 	err := d.Apply(t, ops)
 	lk.Unlock()
@@ -316,7 +415,14 @@ func (s *Store) applySet(name string, t timestamp.Time, ops change.Set) error {
 
 // Checkpoint folds the named database's log into a fresh snapshot and
 // drops the covered segments (Section 6.1 log compaction). In snapshot
-// mode it simply re-persists the database.
+// mode it simply re-persists the database; in segmented mode it seals the
+// active segment.
+//
+// Checkpoint and ApplySet both hold the store-wide mutex for their full
+// duration, which is what satisfies wal.CheckpointDOEM's requirement that
+// no append lands between marshaling the database and installing the
+// checkpoint — the pair can interleave freely across goroutines but never
+// overlap.
 func (s *Store) Checkpoint(name string) error {
 	start := obs.Now()
 	defer func() {
@@ -328,6 +434,17 @@ func (s *Store) Checkpoint(name string) error {
 	d, ok := s.doems[name]
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if st, ok := s.stores[name]; ok {
+		// In segmented mode a checkpoint IS a seal: the active segment's
+		// interval becomes an immutable sealed segment and a fresh active
+		// segment takes over.
+		lk := s.lockFor(name)
+		lk.Lock()
+		err := st.Seal()
+		s.doems[name] = st.Active()
+		lk.Unlock()
+		return err
 	}
 	if l, ok := s.logs[name]; ok {
 		return l.CheckpointDOEM(d)
@@ -342,7 +459,8 @@ func (s *Store) Checkpoint(name string) error {
 	return atomicWrite(filepath.Join(s.dir, name+doemExt), data)
 }
 
-// Close releases any open logs. The store must not be used afterwards.
+// Close releases any open logs and segment stores. The store must not be
+// used afterwards.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -353,7 +471,39 @@ func (s *Store) Close() error {
 		}
 		delete(s.logs, name)
 	}
+	for name, st := range s.stores {
+		if err := st.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(s.stores, name)
+	}
 	return first
+}
+
+// SegmentStore returns the segment store backing the named DOEM database,
+// when the store is segmented and the database is segment-backed.
+func (s *Store) SegmentStore(name string) (*segment.Store, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st, ok := s.stores[name]
+	return st, ok
+}
+
+// Segmented reports whether new DOEM databases are stored segmented.
+func (s *Store) Segmented() bool { return s.seg }
+
+// MaxID returns the highest node id ever used by the named DOEM database —
+// across sealed history in segmented mode, where the live database's own
+// MaxID only covers the active segment.
+func (s *Store) MaxID(name string) (oem.NodeID, error) {
+	if st, ok := s.SegmentStore(name); ok {
+		return st.MaxID(), nil
+	}
+	d, err := s.GetDOEM(name)
+	if err != nil {
+		return 0, err
+	}
+	return d.MaxID(), nil
 }
 
 // GetDOEM retrieves a DOEM database by name.
@@ -394,6 +544,15 @@ func (s *Store) IndexedDOEM(name string) (*index.Graph, error) {
 // database's read lock held, passing the indexed view when indexing is
 // enabled (index.Enabled) and the raw database otherwise.
 func (s *Store) ViewIndexed(name string, fn func(lorel.Graph) error) error {
+	if st, ok := s.SegmentStore(name); ok {
+		// Segmented databases answer history queries through the store's
+		// merged graph (sealed-segment indexes + active segment) rather than
+		// the monolithic secondary indexes.
+		lk := s.lockFor(name)
+		lk.RLock()
+		defer lk.RUnlock()
+		return fn(st.Graph())
+	}
 	if !index.Enabled() {
 		return s.ViewDOEM(name, func(d *doem.Database) error { return fn(d) })
 	}
@@ -440,6 +599,10 @@ func (s *Store) Delete(name string) error {
 		l.Close()
 		delete(s.logs, name)
 	}
+	if st, ok := s.stores[name]; ok {
+		st.Close()
+		delete(s.stores, name)
+	}
 	if s.dir == "" {
 		return nil
 	}
@@ -449,8 +612,10 @@ func (s *Store) Delete(name string) error {
 			return fmt.Errorf("lore: %w", err)
 		}
 	}
-	if err := os.RemoveAll(filepath.Join(s.dir, name+walExt)); err != nil {
-		return fmt.Errorf("lore: %w", err)
+	for _, ext := range []string{walExt, segExt} {
+		if err := os.RemoveAll(filepath.Join(s.dir, name+ext)); err != nil {
+			return fmt.Errorf("lore: %w", err)
+		}
 	}
 	return nil
 }

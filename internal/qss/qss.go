@@ -24,6 +24,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/oem"
 	"repro/internal/oemdiff"
+	"repro/internal/segment"
 	"repro/internal/timestamp"
 	"repro/internal/wal"
 	"repro/internal/wrapper"
@@ -70,6 +71,12 @@ type Service struct {
 	// write-ahead log so restarts recover history without re-polling.
 	walDir string
 	walOpt *wal.Options
+	// segDir/segOpt/segPol, when set via EnableSegments, give every
+	// subscription a time-partitioned segment store instead (mutually
+	// exclusive with the WAL).
+	segDir string
+	segOpt *wal.Options
+	segPol *segment.Policy
 	// workers is the evaluation parallelism applied to the per-poll
 	// polling- and filter-query engines (0 = serial).
 	workers int
@@ -94,6 +101,11 @@ type subState struct {
 	pollTimes []timestamp.Time
 	// log, when non-nil, records every poll for crash recovery.
 	log *wal.Log
+	// seg, when non-nil, is the subscription's segmented history store; d
+	// is then always its active segment and the sidecar at sidePath holds
+	// the poll times, remap and id high-water mark (see segments.go).
+	seg      *segment.Store
+	sidePath string
 	// ig is the secondary-index wrapper filter queries evaluate through;
 	// nil when indexing is off. It is invalidated after every poll
 	// application and rebuilt whenever d is swapped (truncate, import).
@@ -101,8 +113,13 @@ type subState struct {
 }
 
 // graph returns the view the subscription's filter queries range over:
-// the indexed wrapper when present, the raw DOEM database otherwise.
+// the segment store's merged graph in segmented mode (st.d alone is only
+// the active segment), else the indexed wrapper when present, else the raw
+// DOEM database.
 func (st *subState) graph() lorel.Graph {
+	if st.seg != nil {
+		return st.seg.Graph()
+	}
 	if st.ig != nil {
 		return st.ig
 	}
@@ -145,7 +162,9 @@ func (s *Service) SetIndexing(on bool) {
 		st.mu.Lock()
 		if !on {
 			st.ig = nil
-		} else if st.ig == nil {
+		} else if st.ig == nil && st.seg == nil {
+			// Segmented subscriptions query through the segment store's own
+			// per-segment indexes; the monolithic wrapper does not apply.
 			st.ig = index.NewGraph(st.d)
 		}
 		st.mu.Unlock()
@@ -192,10 +211,14 @@ func (s *Service) Subscribe(sub Subscription) error {
 		nextID: 1, // the packaged root; alloc pre-increments past it
 		pollNs: obs.NewHistogram(obs.LabeledName("qss_poll_ns", "sub", sub.Name)),
 	}
-	if !s.noIndex {
+	if !s.noIndex && s.segDir == "" {
 		st.ig = index.NewGraph(st.d)
 	}
-	if s.walDir != "" {
+	if s.segDir != "" {
+		if err := s.attachSegments(st, sub.Name); err != nil {
+			return err
+		}
+	} else if s.walDir != "" {
 		if err := s.attachLog(st, sub.Name); err != nil {
 			return err
 		}
@@ -204,9 +227,9 @@ func (s *Service) Subscribe(sub Subscription) error {
 	return nil
 }
 
-// Unsubscribe removes a subscription. Its write-ahead log, if any, is
-// closed but left on disk: re-subscribing under the same name resumes the
-// recorded history.
+// Unsubscribe removes a subscription. Its write-ahead log or segment
+// store, if any, is closed but left on disk: re-subscribing under the same
+// name resumes the recorded history.
 func (s *Service) Unsubscribe(name string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -218,6 +241,10 @@ func (s *Service) Unsubscribe(name string) error {
 	if st.log != nil {
 		st.log.Close()
 		st.log = nil
+	}
+	if st.seg != nil {
+		st.seg.Close()
+		st.seg = nil
 	}
 	st.mu.Unlock()
 	delete(s.subs, name)
@@ -264,11 +291,21 @@ func (s *Service) Truncate(name string, t timestamp.Time) error {
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	td, err := st.d.Truncate(t)
-	if err != nil {
-		return fmt.Errorf("qss: truncate: %w", err)
+	if st.seg != nil {
+		// Segmented mode: the store collapses its own history (deleting the
+		// sealed segments, whose immutability also means t may not fall
+		// strictly inside them).
+		if err := st.seg.Truncate(t); err != nil {
+			return fmt.Errorf("qss: truncate: %w", err)
+		}
+		st.setDOEM(st.seg.Active())
+	} else {
+		td, err := st.d.Truncate(t)
+		if err != nil {
+			return fmt.Errorf("qss: truncate: %w", err)
+		}
+		st.setDOEM(td)
 	}
-	st.setDOEM(td)
 	var kept []timestamp.Time
 	for _, pt := range st.pollTimes {
 		if pt.After(t) {
@@ -287,6 +324,11 @@ func (s *Service) Truncate(name string, t timestamp.Time) error {
 		}
 		if err := st.log.Checkpoint(ck, st.log.LastSeq()); err != nil {
 			return fmt.Errorf("qss: truncate checkpoint: %w", err)
+		}
+	}
+	if st.seg != nil {
+		if err := st.saveSidecar(); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -371,6 +413,14 @@ func (s *Service) pollContext(ctx context.Context, name string, t timestamp.Time
 		ops, err = oemdiff.DiffIdentity(prev, pkg)
 	} else {
 		next := st.d.MaxID()
+		if st.seg != nil {
+			// The active segment's MaxID forgets ids that were garbage-
+			// collected in sealed intervals; the store's covers all history
+			// (ids are never reused, paper Section 2.2).
+			if m := st.seg.MaxID(); m > next {
+				next = m
+			}
+		}
 		if m := maxID(pkg); m > next {
 			next = m
 		}
@@ -385,31 +435,60 @@ func (s *Service) pollContext(ctx context.Context, name string, t timestamp.Time
 
 	// 4. DOEM Manager: extend the history.
 	sp = tr.StartSpan("apply")
-	if len(ops) > 0 {
-		if err := st.d.Apply(t, ops); err != nil {
+	if st.seg != nil {
+		// Segmented mode persists the sidecar (poll time, remap additions,
+		// id high-water mark) BEFORE the store append. A crash between the
+		// two then recovers as a phantom silent poll — the orphaned remap
+		// entries prune against the unchanged state and the source changes
+		// surface at the next poll's own time — rather than leaving durable
+		// change steps whose remap delta is lost, which would make a
+		// stable-id source's objects look spuriously re-created.
+		st.pollTimes = append(st.pollTimes, t)
+		if err := st.saveSidecar(); err != nil {
+			st.pollTimes = st.pollTimes[:len(st.pollTimes)-1]
 			sp.End()
-			return nil, fmt.Errorf("qss: applying changes: %w", err)
+			return nil, err
 		}
-		st.pruneRemap()
-		// Poll application is an index invalidation hook: cached
-		// snapshots of the pre-poll generation must not serve the
-		// filter query below.
-		if st.ig != nil {
-			st.ig.Invalidate()
+		if len(ops) > 0 {
+			// The append lands in the active segment and may trigger an
+			// auto-seal, which swaps the active database.
+			if err := st.seg.Apply(t, ops); err != nil {
+				sp.End()
+				return nil, fmt.Errorf("qss: applying changes: %w", err)
+			}
+			if ad := st.seg.Active(); ad != st.d {
+				st.setDOEM(ad)
+			}
+			st.pruneRemap()
 		}
-	}
-	st.pollTimes = append(st.pollTimes, t)
-	sp.End()
-
-	// 4b. Log the poll. Empty change sets are logged too: the polling time
-	// itself is state (it anchors the filter's t[-i] variables).
-	if st.log != nil {
-		sp = tr.StartSpan("wal-append")
-		rec := appendPollRecord(nil, t, ops, added, st.nextID)
-		_, err := st.log.Append(rec)
 		sp.End()
-		if err != nil {
-			return nil, fmt.Errorf("qss: logging poll: %w", err)
+	} else {
+		if len(ops) > 0 {
+			if err := st.d.Apply(t, ops); err != nil {
+				sp.End()
+				return nil, fmt.Errorf("qss: applying changes: %w", err)
+			}
+			st.pruneRemap()
+			// Poll application is an index invalidation hook: cached
+			// snapshots of the pre-poll generation must not serve the
+			// filter query below.
+			if st.ig != nil {
+				st.ig.Invalidate()
+			}
+		}
+		st.pollTimes = append(st.pollTimes, t)
+		sp.End()
+
+		// 4b. Log the poll. Empty change sets are logged too: the polling
+		// time itself is state (it anchors the filter's t[-i] variables).
+		if st.log != nil {
+			sp = tr.StartSpan("wal-append")
+			rec := appendPollRecord(nil, t, ops, added, st.nextID)
+			_, err := st.log.Append(rec)
+			sp.End()
+			if err != nil {
+				return nil, fmt.Errorf("qss: logging poll: %w", err)
+			}
 		}
 	}
 

@@ -1,0 +1,221 @@
+package qss
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/oem"
+	"repro/internal/segment"
+	"repro/internal/timestamp"
+	"repro/internal/wal"
+)
+
+// Segmented subscription storage. With EnableSegments, every subscription's
+// accumulated DOEM history lives in a time-partitioned segment store
+// (internal/segment) instead of a monolithic in-memory database with a flat
+// poll log: poll applications append to the active segment, filter queries
+// evaluate over the store's merged graph (so `<at T>` resolution touches at
+// most one sealed segment's index), and restart recovery replays only the
+// active-segment tail regardless of total history size.
+//
+// The change steps themselves are durable in the segment store. The
+// remaining per-subscription state — poll times, the source id remap, and
+// the packaged-id high-water mark — rides in a small JSON sidecar file
+// rewritten atomically on every poll, BEFORE the store append (see
+// pollContext step 4). A crash between the two therefore recovers as a
+// phantom silent poll: the poll time and id high-water mark are durable
+// (ids are never reused), recovery prunes the remap entries whose packaged
+// objects never made it into the store, and the changes the crashed poll
+// observed simply surface at the next poll's own time — exactly as if the
+// source had changed a moment later. The reverse window (store ahead of
+// the sidecar) cannot arise from this ordering, but recovery still
+// reconciles it defensively: step times newer than the sidecar's last poll
+// time, and a newer seal boundary, are re-added to the poll times.
+
+const (
+	subSegExt  = ".subseg"
+	subSideExt = ".subside"
+)
+
+// sideState is the serialized sidecar: subscription state that is not
+// derivable from the segment store.
+type sideState struct {
+	Remap     map[uint64]uint64 `json:"remap,omitempty"`
+	NextID    uint64            `json:"next_id"`
+	PollTimes []string          `json:"poll_times,omitempty"`
+}
+
+// EnableSegments turns on segmented history storage under dir for all
+// subscriptions registered afterwards. It must be called before Subscribe
+// and is mutually exclusive with EnableWAL. opt configures the per-store
+// active-segment tail log (nil for defaults); pol controls automatic
+// sealing (nil never auto-seals).
+func (s *Service) EnableSegments(dir string, opt *wal.Options, pol *segment.Policy) error {
+	if dir == "" {
+		return errors.New("qss: segments need a directory")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.subs) > 0 {
+		return errors.New("qss: EnableSegments must precede Subscribe")
+	}
+	if s.walDir != "" {
+		return errors.New("qss: EnableSegments is mutually exclusive with EnableWAL")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("qss: %w", err)
+	}
+	if opt == nil {
+		opt = &wal.Options{}
+	}
+	s.segDir, s.segOpt, s.segPol = dir, opt, pol
+	return nil
+}
+
+// attachSegments opens (or creates) the subscription's segment store and
+// sidecar and rebuilds subscription state from them. Caller holds s.mu; st
+// is not yet published.
+func (s *Service) attachSegments(st *subState, name string) error {
+	if strings.ContainsAny(name, "/\\") || strings.HasPrefix(name, ".") {
+		return fmt.Errorf("qss: subscription name %q not usable as a store directory", name)
+	}
+	segPath := filepath.Join(s.segDir, name+subSegExt)
+	sidePath := filepath.Join(s.segDir, name+subSideExt)
+	var store *segment.Store
+	var err error
+	if _, statErr := os.Stat(segPath); statErr == nil {
+		store, err = segment.Open(segPath, s.segOpt, s.segPol)
+	} else {
+		// Fresh subscription: R0 is the empty OEM database (Section 6).
+		store, err = segment.Create(segPath, st.d, s.segOpt, s.segPol)
+	}
+	if err != nil {
+		return fmt.Errorf("qss: opening segments: %w", err)
+	}
+	st.seg = store
+	st.sidePath = sidePath
+	st.setDOEM(store.Active())
+
+	last := timestamp.NegInf
+	if data, err := os.ReadFile(sidePath); err == nil {
+		var w sideState
+		if err := json.Unmarshal(data, &w); err != nil {
+			store.Close()
+			return fmt.Errorf("qss: sidecar %s: %w", sidePath, err)
+		}
+		st.remap = make(map[oem.NodeID]oem.NodeID, len(w.Remap))
+		for src, id := range w.Remap {
+			st.remap[oem.NodeID(src)] = oem.NodeID(id)
+		}
+		if id := oem.NodeID(w.NextID); id > st.nextID {
+			st.nextID = id
+		}
+		for _, ts := range w.PollTimes {
+			t, err := timestamp.Parse(ts)
+			if err != nil {
+				store.Close()
+				return fmt.Errorf("qss: sidecar %s: %w", sidePath, err)
+			}
+			st.pollTimes = append(st.pollTimes, t)
+		}
+		if n := len(st.pollTimes); n > 0 {
+			last = st.pollTimes[n-1]
+		}
+	} else if !os.IsNotExist(err) {
+		store.Close()
+		return fmt.Errorf("qss: %w", err)
+	}
+
+	// Reconcile a poll the sidecar missed (crash between the store append
+	// and the sidecar write): its step time is in the active segment, or it
+	// became the seal boundary.
+	var missed []timestamp.Time
+	for _, ts := range st.d.Steps() {
+		if ts.After(last) {
+			missed = append(missed, ts)
+		}
+	}
+	if ls := store.LastSeal(); ls.IsFinite() && ls.After(last) {
+		missed = append(missed, ls)
+	}
+	if len(missed) > 0 {
+		sort.Slice(missed, func(i, j int) bool { return missed[i].Before(missed[j]) })
+		for _, ts := range missed {
+			if n := len(st.pollTimes); n == 0 || ts.After(st.pollTimes[n-1]) {
+				st.pollTimes = append(st.pollTimes, ts)
+			}
+		}
+	}
+	if m := store.MaxID(); m > st.nextID {
+		st.nextID = m
+	}
+	st.pruneRemap()
+	return nil
+}
+
+// reseedSegments rebuilds the subscription's on-disk segment store from
+// st.d (used by ImportState, where the imported database supersedes the
+// stored history wholesale). Caller holds st.mu.
+func (s *Service) reseedSegments(st *subState) error {
+	dir := st.seg.Dir()
+	if err := st.seg.Close(); err != nil {
+		return fmt.Errorf("qss: import: %w", err)
+	}
+	st.seg = nil
+	if err := os.RemoveAll(dir); err != nil {
+		return fmt.Errorf("qss: import: %w", err)
+	}
+	store, err := segment.Create(dir, st.d, s.segOpt, s.segPol)
+	if err != nil {
+		return fmt.Errorf("qss: import: %w", err)
+	}
+	st.seg = store
+	st.setDOEM(store.Active())
+	return st.saveSidecar()
+}
+
+// saveSidecar atomically persists the subscription's non-store state; the
+// subscription's mu must be held.
+func (st *subState) saveSidecar() error {
+	w := sideState{NextID: uint64(st.nextID)}
+	w.Remap = make(map[uint64]uint64, len(st.remap))
+	for src, id := range st.remap {
+		w.Remap[uint64(src)] = uint64(id)
+	}
+	for _, t := range st.pollTimes {
+		w.PollTimes = append(w.PollTimes, t.String())
+	}
+	data, err := json.Marshal(w)
+	if err != nil {
+		return fmt.Errorf("qss: sidecar: %w", err)
+	}
+	tmp := st.sidePath + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("qss: sidecar: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("qss: sidecar: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("qss: sidecar: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("qss: sidecar: %w", err)
+	}
+	if err := os.Rename(tmp, st.sidePath); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("qss: sidecar: %w", err)
+	}
+	return nil
+}

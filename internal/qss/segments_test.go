@@ -1,0 +1,375 @@
+package qss
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/oem"
+	"repro/internal/segment"
+	"repro/internal/timestamp"
+	"repro/internal/value"
+	"repro/internal/wal"
+	"repro/internal/wrapper"
+)
+
+// segSvc returns a service with segmented persistence under dir and an
+// aggressive auto-seal policy, so a handful of polls crosses several seal
+// boundaries.
+func segSvc(t *testing.T, dir string) *Service {
+	t.Helper()
+	svc := NewService(nil)
+	pol := &segment.Policy{SealAnnotations: 4}
+	if err := svc.EnableSegments(dir, &wal.Options{Sync: wal.SyncNever}, pol); err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+// TestSegmentsRestartMatchesUninterrupted mirrors the WAL restart test for
+// segmented persistence: a service is killed after a few polls (with seals
+// in between) and restarted; subsequent polls must produce exactly the
+// notifications an uninterrupted, unpersisted service produces.
+func TestSegmentsRestartMatchesUninterrupted(t *testing.T) {
+	srcA, idsA := paperSource(t)
+	srcB, idsB := paperSource(t)
+	sub := func(src *wrapper.Mutable) Subscription {
+		return Subscription{
+			Name: "R", SourceName: "guide", Source: src,
+			Polling: `select guide.restaurant`,
+			Filter:  `select R.restaurant<cre at T> where T > t[-1]`,
+		}
+	}
+
+	dir := t.TempDir()
+	svc1 := segSvc(t, dir)
+	if err := svc1.Subscribe(sub(srcA)); err != nil {
+		t.Fatal(err)
+	}
+	ref := NewService(nil)
+	if err := ref.Subscribe(sub(srcB)); err != nil {
+		t.Fatal(err)
+	}
+
+	addRestaurant := func(src *wrapper.Mutable, guide oem.NodeID, name string) {
+		t.Helper()
+		if err := src.Mutate(func(db *oem.Database) error {
+			r := db.CreateNode(value.Complex())
+			if err := db.AddArc(guide, "restaurant", r); err != nil {
+				return err
+			}
+			nm := db.CreateNode(value.Str(name))
+			return db.AddArc(r, "name", nm)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Several polls with source changes in between, so change sets pile up
+	// annotations and the SealAnnotations policy fires mid-history.
+	for day := 1; day <= 5; day++ {
+		if day > 1 {
+			addRestaurant(srcA, idsA.Guide, "Hakata")
+			addRestaurant(srcB, idsB.Guide, "Hakata")
+		}
+		pollDays(t, svc1, "R", day, day)
+		pollDays(t, ref, "R", day, day)
+	}
+	st := svc1.subs["R"]
+	if st.seg.Segments() == 0 {
+		t.Fatal("seal policy produced no sealed segments; the test is not exercising segmented recovery")
+	}
+
+	addRestaurant(srcA, idsA.Guide, "Genji")
+	addRestaurant(srcB, idsB.Guide, "Genji")
+
+	// "Kill" the segmented service without any export.
+	if err := svc1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	svc2 := segSvc(t, dir)
+	if err := svc2.Subscribe(sub(srcA)); err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+
+	_, times, err := svc2.History("R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 5 {
+		t.Fatalf("recovered %d poll times, want 5", len(times))
+	}
+
+	got := pollDays(t, svc2, "R", 6, 8)
+	want := pollDays(t, ref, "R", 6, 8)
+	if !sameNotifications(got, want) {
+		t.Errorf("post-restart notifications diverge from uninterrupted run:\ngot  %v\nwant %v", got, want)
+	}
+	if got[0] == nil || got[0].Result.Len() != 1 {
+		t.Errorf("day-6 poll after restart = %v, want the one new restaurant", got[0])
+	}
+}
+
+// TestSegmentsSidecarCrashRecovery simulates the one crash window the
+// sidecar-first write order leaves open — the sidecar recorded the poll
+// but the store append was lost — by restoring the pre-poll store files
+// under the post-poll sidecar. Recovery must treat it as a phantom silent
+// poll: the poll time survives, the orphaned remap entries are pruned, and
+// the changes the crashed poll saw surface at the NEXT poll's time.
+func TestSegmentsSidecarCrashRecovery(t *testing.T) {
+	src, ids := paperSource(t)
+	dir := t.TempDir()
+	svc := segSvc(t, dir)
+	sub := Subscription{
+		Name: "R", SourceName: "guide", Source: src,
+		Polling: `select guide.restaurant`,
+		Filter:  `select R.restaurant<cre at T> where T > t[-1]`,
+	}
+	if err := svc.Subscribe(sub); err != nil {
+		t.Fatal(err)
+	}
+	mutate := func() {
+		t.Helper()
+		if err := src.Mutate(func(db *oem.Database) error {
+			r := db.CreateNode(value.Complex())
+			return db.AddArc(ids.Guide, "restaurant", r)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for day := 1; day <= 3; day++ {
+		if day > 1 {
+			mutate()
+		}
+		pollDays(t, svc, "R", day, day)
+	}
+	// Snapshot the store (including its tail-log subdirectory) as of day 3.
+	segPath := filepath.Join(dir, "R"+subSegExt)
+	preStore := make(map[string][]byte)
+	if err := filepath.Walk(segPath, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		rel, err := filepath.Rel(segPath, path)
+		if err != nil {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		preStore[rel] = data
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Day 4: the source changes and the poll runs to completion...
+	mutate()
+	pollDays(t, svc, "R", 4, 4)
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// ...but the crash loses the store append (sidecar kept, store rolled
+	// back to its day-3 state).
+	if err := os.RemoveAll(segPath); err != nil {
+		t.Fatal(err)
+	}
+	for rel, data := range preStore {
+		path := filepath.Join(segPath, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	svc2 := segSvc(t, dir)
+	if err := svc2.Subscribe(sub); err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	_, times, err := svc2.History("R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 4 {
+		t.Fatalf("recovered %d poll times, want 4 (day 4 as a phantom silent poll)", len(times))
+	}
+	day4 := timestamp.MustParse("1Jan97").Add(3 * 24 * time.Hour)
+	if !times[3].Equal(day4) {
+		t.Fatalf("recovered poll time %s, want %s", times[3], day4)
+	}
+	// The day-5 poll re-observes the change the crashed poll lost, at its
+	// own time: exactly one new restaurant.
+	n, err := svc2.Poll("R", day4.Add(24*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == nil || n.Result.Len() != 1 {
+		t.Fatalf("day-5 poll = %v, want the crashed poll's restaurant re-observed", n)
+	}
+	// And a quiet day 6 stays quiet.
+	if n, err := svc2.Poll("R", day4.Add(2*24*time.Hour)); err != nil {
+		t.Fatal(err)
+	} else if n != nil {
+		t.Errorf("silent day-6 poll produced a notification: %v", n)
+	}
+}
+
+// TestSegmentsTruncate: truncating a segmented subscription deletes its
+// sealed segments and drops covered poll times, across a restart.
+func TestSegmentsTruncate(t *testing.T) {
+	src, ids := paperSource(t)
+	dir := t.TempDir()
+	svc := segSvc(t, dir)
+	sub := Subscription{
+		Name: "R", SourceName: "guide", Source: src,
+		Polling: `select guide.restaurant`,
+		Filter:  `select R.restaurant<cre at T> where T > t[-1]`,
+	}
+	if err := svc.Subscribe(sub); err != nil {
+		t.Fatal(err)
+	}
+	for day := 1; day <= 6; day++ {
+		if day%2 == 0 {
+			if err := src.Mutate(func(db *oem.Database) error {
+				r := db.CreateNode(value.Complex())
+				return db.AddArc(ids.Guide, "restaurant", r)
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		pollDays(t, svc, "R", day, day)
+	}
+	st := svc.subs["R"]
+	if st.seg.Segments() == 0 {
+		t.Fatal("no sealed segments before truncation")
+	}
+	if err := svc.Truncate("R", timestamp.MustParse("6Jan97")); err != nil {
+		t.Fatal(err)
+	}
+	if n := st.seg.Segments(); n != 0 {
+		t.Errorf("%d sealed segments survive truncation, want 0", n)
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	svc2 := segSvc(t, dir)
+	if err := svc2.Subscribe(sub); err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	_, times, err := svc2.History("R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 0 {
+		t.Errorf("poll times at or before the truncation point survive: %v", times)
+	}
+}
+
+func TestEnableSegmentsGuards(t *testing.T) {
+	svc := NewService(nil)
+	if err := svc.EnableSegments("", nil, nil); err == nil {
+		t.Error("EnableSegments accepted an empty directory")
+	}
+	if err := svc.EnableWAL(t.TempDir(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.EnableSegments(t.TempDir(), nil, nil); err == nil {
+		t.Error("EnableSegments accepted a service already in WAL mode")
+	}
+
+	src, _ := paperSource(t)
+	sub := Subscription{
+		Name: "R", SourceName: "guide", Source: src,
+		Polling: `select guide.restaurant`, Filter: `select R.restaurant`,
+	}
+	svc2 := NewService(nil)
+	if err := svc2.Subscribe(sub); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc2.EnableSegments(t.TempDir(), nil, nil); err == nil {
+		t.Error("EnableSegments after Subscribe succeeded")
+	}
+
+	svc3 := NewService(nil)
+	if err := svc3.EnableSegments(t.TempDir(), nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	defer svc3.Close()
+	bad := sub
+	bad.Name = "../escape"
+	if err := svc3.Subscribe(bad); err == nil {
+		t.Error("subscription name with a path separator accepted in segmented mode")
+	}
+}
+
+// TestSegmentsImportState: importing exported state into a segmented
+// subscription reseeds the on-disk store, and a restart serves the
+// imported history.
+func TestSegmentsImportState(t *testing.T) {
+	// Build history on a plain service and export it.
+	src, ids := paperSource(t)
+	plain := NewService(nil)
+	sub := Subscription{
+		Name: "R", SourceName: "guide", Source: src,
+		Polling: `select guide.restaurant`,
+		Filter:  `select R.restaurant<cre at T> where T > t[-1]`,
+	}
+	if err := plain.Subscribe(sub); err != nil {
+		t.Fatal(err)
+	}
+	pollDays(t, plain, "R", 1, 2)
+	if err := src.Mutate(func(db *oem.Database) error {
+		r := db.CreateNode(value.Complex())
+		return db.AddArc(ids.Guide, "restaurant", r)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	pollDays(t, plain, "R", 3, 3)
+	state, err := plain.ExportState("R")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	svc := segSvc(t, dir)
+	if err := svc.Subscribe(sub); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.ImportState("R", state); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	svc2 := segSvc(t, dir)
+	if err := svc2.Subscribe(sub); err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	d, times, err := svc2.History("R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 3 {
+		t.Fatalf("recovered %d poll times after import+restart, want 3", len(times))
+	}
+	// Day 2 was a silent poll, so the imported history has two steps
+	// (days 1 and 3).
+	if len(d.Steps()) != 2 {
+		t.Errorf("recovered %d history steps after import+restart, want 2", len(d.Steps()))
+	}
+	// A quiet day-4 poll over the imported history must not notify.
+	if n, err := svc2.Poll("R", timestamp.MustParse("4Jan97")); err != nil {
+		t.Fatal(err)
+	} else if n != nil {
+		t.Errorf("silent post-import poll produced a notification: %v", n)
+	}
+}

@@ -55,8 +55,9 @@ func (s *Service) EnableWAL(dir string, opt *wal.Options) error {
 	return nil
 }
 
-// Close closes all subscription logs. Subscriptions remain registered but
-// further polls of logged subscriptions will fail; Close is for shutdown.
+// Close closes all subscription logs and segment stores. Subscriptions
+// remain registered but further polls of persisted subscriptions will
+// fail; Close is for shutdown.
 func (s *Service) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -68,6 +69,12 @@ func (s *Service) Close() error {
 				first = err
 			}
 			st.log = nil
+		}
+		if st.seg != nil {
+			if err := st.seg.Close(); err != nil && first == nil {
+				first = err
+			}
+			st.seg = nil
 		}
 		st.mu.Unlock()
 	}

@@ -1,0 +1,325 @@
+package segment
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/doem"
+	"repro/internal/lorel"
+	"repro/internal/oem"
+	"repro/internal/timestamp"
+	"repro/internal/value"
+)
+
+// DB is the store's query view: a lorel.Graph whose answers are
+// byte-identical to a monolithic *doem.Database holding the same history,
+// assembled from the store summaries, the active segment, and — only when
+// a question actually reaches into sealed time — the sealed segments'
+// annotation indexes. Annotation-bounded liveness questions touch at most
+// the one segment covering the queried instant, which is what keeps `<at
+// T>` query time flat as total history grows.
+//
+// DB deliberately does not implement LabelSeeker/AllLabelSeeker: the
+// evaluator's fallback scan over Out/OutAll preserves ordering parity
+// without per-segment label indexes.
+//
+// Concurrency contract: same as *doem.Database — any number of concurrent
+// readers, mutators (Store.Apply/Seal/Truncate) must exclude them. Index
+// loading on the read path has its own internal lock.
+type DB struct {
+	s *Store
+}
+
+var (
+	_ lorel.Graph      = (*DB)(nil)
+	_ lorel.TimeSeeker = (*DB)(nil)
+)
+
+// Graph returns the store's query view.
+func (s *Store) Graph() *DB { return &DB{s: s} }
+
+// mustIndex loads a sealed segment's index for the read path. Graph
+// methods cannot return errors; a load failure here means the store's
+// files were damaged while open (the recovery paths run at Open), which is
+// unrecoverable mid-query.
+func (s *Store) mustIndex(h *handle) *segIndex {
+	x, err := s.index(h)
+	if err != nil {
+		panic(fmt.Sprintf("segment: query on damaged store: %v", err))
+	}
+	return x
+}
+
+// Root implements lorel.Graph.
+func (g *DB) Root() oem.NodeID {
+	g.s.touch()
+	return g.s.active.Root()
+}
+
+// Value implements lorel.Graph: the current value from the active segment,
+// or the final value of a node whose deletion has been sealed away.
+func (g *DB) Value(n oem.NodeID) (value.Value, bool) {
+	g.s.touch()
+	if v, ok := g.s.active.Value(n); ok {
+		return v, true
+	}
+	v, ok := g.s.dead[n]
+	return v, ok
+}
+
+// Out implements lorel.Graph: the current snapshot lives entirely in the
+// active segment.
+func (g *DB) Out(n oem.NodeID) []oem.Arc {
+	g.s.touch()
+	return g.s.active.Out(n)
+}
+
+// OutAll implements lorel.Graph: the store registry is the full arc
+// relation in monolithic insertion order.
+func (g *DB) OutAll(n oem.NodeID) []oem.Arc {
+	g.s.touch()
+	return g.s.registry[n]
+}
+
+// CreTime implements lorel.Graph. A node is created exactly once, so its
+// cre annotation is either still in the active segment or in the sealed
+// summary.
+func (g *DB) CreTime(n oem.NodeID) (timestamp.Time, bool) {
+	g.s.touch()
+	if t, ok := g.s.active.CreTime(n); ok {
+		return t, true
+	}
+	t, ok := g.s.cre[n]
+	return t, ok
+}
+
+// UpdTriples implements lorel.Graph: the sealed segments' upd chains in
+// interval order, then the active segment's, with new values derived
+// exactly as the monolithic database derives them.
+func (g *DB) UpdTriples(n oem.NodeID) []doem.UpdInfo {
+	g.s.touch()
+	var ups []doem.UpdInfo
+	for _, h := range g.s.segs {
+		for _, a := range g.s.mustIndex(h).upd[n] {
+			ups = append(ups, doem.UpdInfo{At: a.At, Old: a.Old})
+		}
+	}
+	for _, a := range g.s.active.NodeAnnots(n) {
+		if a.Kind == doem.AnnotUpd {
+			ups = append(ups, doem.UpdInfo{At: a.At, Old: a.Old})
+		}
+	}
+	for i := range ups {
+		if i+1 < len(ups) {
+			ups[i].New = ups[i+1].Old
+		} else if v, ok := g.Value(n); ok {
+			ups[i].New = v
+		}
+	}
+	return ups
+}
+
+// ArcAnnots implements lorel.Graph: the concatenation of the sealed
+// chains in interval order and the active chain, which is the monolithic
+// chain in timestamp order.
+func (g *DB) ArcAnnots(a oem.Arc) []doem.ArcAnnot {
+	g.s.touch()
+	var anns []doem.ArcAnnot
+	for _, h := range g.s.segs {
+		anns = append(anns, g.s.mustIndex(h).arcs[a]...)
+	}
+	active := g.s.active.ArcAnnots(a)
+	if anns == nil {
+		return active
+	}
+	return append(anns, active...)
+}
+
+// ArcLiveAt implements lorel.Graph. An arc with no annotations in any
+// layer is vacuously live at every instant — the monolithic convention,
+// which covers unknown arcs, untouched O_0 arcs, and arcs orphaned by node
+// garbage collection alike. Otherwise the instant t is covered by exactly
+// one layer — the active segment or one sealed segment — and that layer
+// alone answers: its chain entries at or before t toggle liveness from the
+// layer's start status.
+func (g *DB) ArcLiveAt(a oem.Arc, t timestamp.Time) bool {
+	g.s.touch()
+	if g.unannotated(a) {
+		return true
+	}
+	if i := g.s.covering(t); i >= 0 {
+		return liveInSegment(g.s.mustIndex(g.s.segs[i]), a, t)
+	}
+	return g.liveInActive(a, t)
+}
+
+// unannotated reports whether the arc carries no annotations in sealed or
+// active history.
+func (g *DB) unannotated(a oem.Arc) bool {
+	if _, ok := g.s.sealedStatus[a]; ok {
+		return false
+	}
+	return len(g.s.active.ArcAnnots(a)) == 0
+}
+
+// liveInSegment resolves liveness at an instant inside a sealed segment's
+// interval from that segment's index alone. The caller has established the
+// arc is annotated somewhere, so the live-at-start set is authoritative
+// when the segment's own chain has no entry at or before t.
+func liveInSegment(x *segIndex, a oem.Arc, t timestamp.Time) bool {
+	live := x.liveAtStart[a]
+	for _, ann := range x.arcs[a] {
+		if ann.At.After(t) {
+			break
+		}
+		live = ann.Kind == doem.AnnotAdd
+	}
+	return live
+}
+
+// liveInActive resolves liveness at an instant after the last seal for an
+// arc annotated somewhere.
+func (g *DB) liveInActive(a oem.Arc, t timestamp.Time) bool {
+	if len(g.s.active.ArcAnnots(a)) > 0 {
+		// The active chain's first annotation pins the status at the seal
+		// boundary (add ⇒ was dead, rem ⇒ was live), so the monolithic
+		// toggle over the active chain alone is exact.
+		return g.s.active.ArcLiveAt(a, t)
+	}
+	// Annotated only in sealed history and untouched since: the arc's
+	// status at the boundary is its most recent sealed annotation.
+	return g.s.sealedStatus[a] == doem.AnnotAdd
+}
+
+// ValueAt implements lorel.Graph: the old value of the earliest upd
+// annotation after t, scanning layers from the one covering t upward, or
+// the merged current value when no later upd exists.
+func (g *DB) ValueAt(n oem.NodeID, t timestamp.Time) value.Value {
+	g.s.touch()
+	if i := g.s.covering(t); i >= 0 {
+		for j := i; j < len(g.s.segs); j++ {
+			chain := g.s.mustIndex(g.s.segs[j]).upd[n]
+			if j == i {
+				// Only the covering segment can hold upds at or before t;
+				// later segments' chains are entirely after it.
+				for _, a := range chain {
+					if a.At.After(t) {
+						return a.Old
+					}
+				}
+			} else if len(chain) > 0 {
+				return chain[0].Old
+			}
+		}
+	}
+	for _, a := range g.s.active.NodeAnnots(n) {
+		if a.Kind == doem.AnnotUpd && a.At.After(t) {
+			return a.Old
+		}
+	}
+	v, _ := g.Value(n)
+	return v
+}
+
+// OutAt implements lorel.TimeSeeker: the registry arcs of n live at t, in
+// registry (insertion) order — exactly OutAll filtered by ArcLiveAt, but
+// resolving the covering layer once for the whole adjacency list.
+func (g *DB) OutAt(n oem.NodeID, t timestamp.Time) []oem.Arc {
+	g.s.touch()
+	arcs := g.s.registry[n]
+	if len(arcs) == 0 {
+		return nil
+	}
+	out := make([]oem.Arc, 0, len(arcs))
+	if i := g.s.covering(t); i >= 0 {
+		x := g.s.mustIndex(g.s.segs[i])
+		for _, a := range arcs {
+			if g.unannotated(a) || liveInSegment(x, a, t) {
+				out = append(out, a)
+			}
+		}
+		return out
+	}
+	for _, a := range arcs {
+		if g.unannotated(a) || g.liveInActive(a, t) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// StateAt materializes the database state at time t the segmented way:
+// for sealed time it loads the covering segment's checkpointed base
+// snapshot and applies only that interval's deltas up to t — one
+// checkpoint plus one segment, independent of total history size. The
+// result equals the monolithic SnapshotAt(t) up to arc ordering (it
+// reports the true historical insertion order, where the monolithic
+// reconstruction reports global first-insertion order).
+func (s *Store) StateAt(t timestamp.Time) (*oem.Database, error) {
+	s.touch()
+	if i := s.covering(t); i >= 0 {
+		sd, err := s.loadSegData(s.segs[i])
+		if err != nil {
+			return nil, err
+		}
+		d := doem.New(sd.base)
+		for _, step := range sd.steps {
+			if step.At.After(t) {
+				break
+			}
+			if err := d.Apply(step.At, step.Ops); err != nil {
+				return nil, fmt.Errorf("segment: replaying seg %d to %s: %w", sd.id, t, err)
+			}
+		}
+		return d.Current(), nil
+	}
+	return s.active.SnapshotAt(t), nil
+}
+
+// globalSnapshotAt materializes the snapshot at t (which must be at or
+// after the last seal) exactly as the monolithic SnapshotAt does: every
+// node ever created — live, deleted in the active segment, or deleted in
+// sealed history — with its value at t, arcs in global first-insertion
+// order filtered by liveness, then garbage collection. Deleted nodes must
+// participate before GC because an arc frozen live by a GC'd endpoint can
+// keep an otherwise-unreachable node reachable, exactly as in the
+// monolithic reconstruction.
+func (s *Store) globalSnapshotAt(t timestamp.Time) *oem.Database {
+	g := s.Graph()
+	out := oem.New()
+	if out.Root() != s.active.Root() {
+		panic("segment: root id mismatch in snapshot materialization")
+	}
+	ids := append([]oem.NodeID(nil), s.active.AllNodeIDs()...)
+	if len(s.dead) > 0 {
+		seen := make(map[oem.NodeID]bool, len(ids))
+		for _, id := range ids {
+			seen[id] = true
+		}
+		for id := range s.dead {
+			if !seen[id] {
+				ids = append(ids, id)
+			}
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	}
+	for _, id := range ids {
+		if id == s.active.Root() {
+			continue
+		}
+		if err := out.CreateNodeWithID(id, g.ValueAt(id, t)); err != nil {
+			panic(fmt.Sprintf("segment: snapshot node %s: %v", id, err))
+		}
+	}
+	for _, id := range ids {
+		for _, arc := range s.registry[id] {
+			if g.ArcLiveAt(arc, t) {
+				if err := out.AddArc(arc.Parent, arc.Label, arc.Child); err != nil {
+					panic(fmt.Sprintf("segment: snapshot arc %s: %v", arc, err))
+				}
+			}
+		}
+	}
+	out.GarbageCollect()
+	return out
+}
