@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint cover bench bench-json harness examples fuzz ci fmtcheck clean
+.PHONY: all build test race vet lint cover bench bench-json bench-check harness examples fuzz ci fmtcheck clean
 
 all: build test
 
@@ -47,10 +47,15 @@ bench:
 
 # Machine-readable benchmark report: per-benchmark ns/op, B/op, allocs/op,
 # the measured observability overhead, the indexed-vs-noindex <at T>
-# speedups, the segmented-vs-monolithic growth factors and per-tier RSS,
-# and a metrics snapshot.
+# speedups, the planner's selective-join speedup, the segmented-vs-
+# monolithic growth factors and per-tier RSS, and a metrics snapshot.
 bench-json:
-	$(GO) run ./cmd/benchharness -json BENCH_6.json
+	$(GO) run ./cmd/benchharness -json BENCH_7.json
+
+# Bench-regression gate: a fresh suite run vs the committed baseline,
+# failing on a >25% regression in any headline ratio metric.
+bench-check:
+	$(GO) run ./cmd/benchharness -check BENCH_7.json -check-out bench_fresh.json
 
 # Regenerates every experiment in EXPERIMENTS.md.
 harness:
@@ -69,6 +74,7 @@ fuzz:
 	$(GO) test -fuzz='^FuzzParse$$' -fuzztime=30s -run xxx ./internal/lorel/
 	$(GO) test -fuzz='^FuzzParseUpdate$$' -fuzztime=30s -run xxx ./internal/lorel/
 	$(GO) test -fuzz='^FuzzEval$$' -fuzztime=30s -run xxx ./internal/lorel/
+	$(GO) test -fuzz='^FuzzPlanCacheKey$$' -fuzztime=30s -run xxx ./internal/lorel/
 	$(GO) test -fuzz='^FuzzToOEM$$' -fuzztime=30s -run xxx ./internal/htmldiff/
 	$(GO) test -fuzz='^FuzzMarkup$$' -fuzztime=30s -run xxx ./internal/htmldiff/
 	$(GO) test -fuzz='^FuzzParse$$' -fuzztime=30s -run xxx ./internal/timestamp/
@@ -82,4 +88,4 @@ fuzz:
 	$(GO) test -fuzz='^FuzzSegmentParity$$' -fuzztime=30s -run xxx ./internal/segment/
 
 clean:
-	rm -f test_output.txt bench_output.txt htmldiff-output.html
+	rm -f test_output.txt bench_output.txt htmldiff-output.html bench_fresh.json

@@ -50,6 +50,16 @@ type benchReport struct {
 	// are noise.
 	ObsEnabledOverheadPct float64       `json:"obs_enabled_overhead_pct"`
 	Benchmarks            []benchResult `json:"benchmarks"`
+	// ParallelSpeedup4 is eval-obs-on ns/op over lorel-parallel4 ns/op:
+	// the same workload serial vs 4 evaluation workers, both with
+	// collection enabled (the B11 headline as a machine-relative ratio).
+	ParallelSpeedup4 float64 `json:"parallel_speedup_4"`
+	// PlannerSelectiveSpeedup10k is the cost-based planner's headline: a
+	// selective-predicate join over the ~10k-annotation tier where written
+	// order expands every restaurant's subtree before testing the price,
+	// measured planner-off over planner-on (planner-selective-10k-off /
+	// planner-selective-10k-on). The acceptance bar is >= 1.5.
+	PlannerSelectiveSpeedup10k float64 `json:"planner_selective_speedup_10k"`
 	// IndexAtQuerySpeedup10k is the speedup of repeated <at T> snapshot
 	// queries from the internal/index fast paths at the ~10k-annotation
 	// tier: atquery-10k-noindex ns/op over atquery-10k-indexed ns/op. The
@@ -174,7 +184,7 @@ func runJSON(path string) error {
 
 	// The rest of the suite runs with collection enabled so the report's
 	// obs snapshot reflects the instrumented stack end to end.
-	bench("lorel-parallel4", func(b *testing.B) {
+	par4 := bench("lorel-parallel4", func(b *testing.B) {
 		peng := paperEngine()
 		peng.SetParallelism(4)
 		b.ResetTimer()
@@ -184,6 +194,7 @@ func runJSON(path string) error {
 			}
 		}
 	})
+	report.ParallelSpeedup4 = onNs / (float64(par4.T.Nanoseconds()) / float64(par4.N))
 
 	bench("chorel-translate", func(b *testing.B) {
 		const q = `select N from guide.restaurant R, R.name N where R.<add at T>price = "moderate" and T >= 1Jan97`
@@ -313,6 +324,47 @@ func runJSON(path string) error {
 		(float64(qIdx.T.Nanoseconds()) / float64(qIdx.N))
 	report.IndexAtSnapshotSpeedup10k = float64(sRaw.T.Nanoseconds()) / float64(sRaw.N) /
 		(float64(sIdx.T.Nanoseconds()) / float64(sIdx.N))
+
+	// The planner's headline on the same 10k tier: a selective-predicate
+	// join where the written order expands every restaurant's # subtree
+	// before testing the price. The planner pushes P < 8 onto the narrow
+	// price generator and runs it first, so the subtree walk only happens
+	// for qualifying restaurants. Gates on byte-identical results.
+	obs.SetEnabled(false)
+	plannerQuery := `select X from guide.restaurant R, R.# X, R.price P where P < 8`
+	planOff := lorel.NewEngine()
+	planOff.SetPlanning(false)
+	planOff.Register("guide", ig)
+	planOn := lorel.NewEngine()
+	planOn.SetPlanning(true)
+	planOn.Register("guide", ig)
+	offPlanRes, err := planOff.Query(plannerQuery)
+	if err != nil {
+		return err
+	}
+	onPlanRes, err := planOn.Query(plannerQuery)
+	if err != nil {
+		return err
+	}
+	if offPlanRes.String() != onPlanRes.String() {
+		return fmt.Errorf("planned selective query diverged from written-order evaluation")
+	}
+	pOff := bench("planner-selective-10k-off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := planOff.Query(plannerQuery); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	pOn := bench("planner-selective-10k-on", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := planOn.Query(plannerQuery); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	report.PlannerSelectiveSpeedup10k = float64(pOff.T.Nanoseconds()) / float64(pOff.N) /
+		(float64(pOn.T.Nanoseconds()) / float64(pOn.N))
 
 	if err := runSegmentJSON(&report, bench); err != nil {
 		return err

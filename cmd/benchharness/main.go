@@ -6,12 +6,20 @@
 //
 //	benchharness [-quick]
 //	benchharness -json PATH
+//	benchharness -check BASELINE.json [-check-out PATH]
 //
 // With -json, the harness instead runs a curated testing.Benchmark suite
 // (query evaluation with observability off and on, parallel evaluation,
-// Chorel translation, WAL appends, QSS poll cycles) and writes a
-// machine-readable report with per-benchmark ns/op, B/op, allocs/op, the
-// measured observability overhead, and a metrics snapshot.
+// the cost-based planner's selective-join headline, Chorel translation,
+// WAL appends, QSS poll cycles) and writes a machine-readable report with
+// per-benchmark ns/op, B/op, allocs/op, the measured observability
+// overhead, and a metrics snapshot.
+//
+// With -check, the harness runs the -json suite fresh and compares its
+// headline ratio metrics (parallel/planner/index speedups, segment
+// flatness factors) against the committed baseline report, exiting
+// nonzero on a >25% regression — the CI bench-regression gate.
+// -check-out keeps the fresh report for upload as an artifact.
 package main
 
 import (
@@ -45,14 +53,23 @@ import (
 )
 
 var (
-	quick    = flag.Bool("quick", false, "smaller problem sizes")
-	jsonPath = flag.String("json", "", "run the benchmark suite and write a JSON report to this path")
+	quick     = flag.Bool("quick", false, "smaller problem sizes")
+	jsonPath  = flag.String("json", "", "run the benchmark suite and write a JSON report to this path")
+	checkPath = flag.String("check", "", "run the benchmark suite and fail on >25% headline regression against this baseline report")
+	checkOut  = flag.String("check-out", "", "with -check: write the fresh report to this path instead of a temporary file")
 )
 
 var failures int
 
 func main() {
 	flag.Parse()
+	if *checkPath != "" {
+		if err := runCheck(*checkPath, *checkOut); err != nil {
+			fmt.Fprintln(os.Stderr, "benchharness:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *jsonPath != "" {
 		if err := runJSON(*jsonPath); err != nil {
 			fmt.Fprintln(os.Stderr, "benchharness:", err)

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	chorel [-store DIR] [-segments] [-translate] [-explain] [-strategy direct|translated] [-parallel N] [-noindex] [QUERY...]
+//	chorel [-store DIR] [-segments] [-translate] [-explain] [-strategy direct|translated] [-parallel N] [-noindex] [-noplanner] [QUERY...]
 //
 // With no QUERY arguments, chorel reads queries from standard input, one
 // per line. The built-in demo database "guide" (the paper's running
@@ -17,8 +17,11 @@
 // see docs/segments.md.
 //
 // -explain prints the Chorel→Lorel rewrite plan (rule-by-rule rewrite
-// trace plus the generated Lorel query; see docs/observability.md) instead
-// of evaluating. -version prints build information.
+// trace plus the generated Lorel query; see docs/observability.md) and the
+// cost-based planner's decisions (join order, pushed predicates,
+// estimated cardinalities; see docs/planner.md) instead of evaluating.
+// -noplanner (or REPRO_NOPLANNER=1) reverts to written-order evaluation.
+// -version prints build information.
 //
 // Shell commands: .list (databases), .translate QUERY (show the Lorel
 // translation of a Chorel query, Section 5.2), .explain QUERY (show the
@@ -41,6 +44,7 @@ import (
 	"repro/internal/lorel"
 	"repro/internal/obs"
 	"repro/internal/oem"
+	"repro/internal/plan"
 	"repro/internal/segment"
 	"repro/internal/timestamp"
 )
@@ -55,11 +59,15 @@ func main() {
 	strategy := flag.String("strategy", "direct", "execution strategy: direct or translated")
 	parallel := flag.Int("parallel", 1, "evaluation workers (0 = GOMAXPROCS)")
 	noindex := flag.Bool("noindex", false, "disable secondary indexes and snapshot caching (unindexed baseline)")
+	noplanner := flag.Bool("noplanner", false, "disable the cost-based query planner (written-order baseline)")
 	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
 
 	if *noindex {
 		index.SetEnabled(false)
+	}
+	if *noplanner {
+		plan.SetEnabled(false)
 	}
 
 	if *version {
@@ -143,7 +151,7 @@ func run(storeDir string, segmented bool, pol *segment.Policy, translate, explai
 	if len(queries) > 0 {
 		for _, q := range queries {
 			if explain {
-				out, err := chorel.Explain(q)
+				out, err := s.explain(q)
 				if err != nil {
 					return err
 				}
@@ -200,7 +208,7 @@ func run(storeDir string, segmented bool, pol *segment.Policy, translate, explai
 			fmt.Println(out)
 		case strings.HasPrefix(line, ".explain ") || hasVerb(line, "explain"):
 			q := strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(line, ".explain"), "explain"))
-			out, err := chorel.Explain(q)
+			out, err := s.explain(q)
 			if err != nil {
 				fmt.Println("error:", err)
 				continue
@@ -283,6 +291,17 @@ func (s *session) runUpdate(stmt string) error {
 	}
 	fmt.Printf("applied %d operation(s) at %s\n", len(set), now)
 	return nil
+}
+
+// explain renders the full EXPLAIN for a query: the Chorel→Lorel rewrite
+// plan plus the cost-based planner's decisions against the session's
+// registered graphs (join order, pushed predicates, estimates).
+func (s *session) explain(q string) (string, error) {
+	pl, err := chorel.ExplainQueryOn(s.eng, q)
+	if err != nil {
+		return "", err
+	}
+	return pl.String(), nil
 }
 
 func (s *session) register(name string, d *doem.Database) {

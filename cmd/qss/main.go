@@ -53,6 +53,7 @@ import (
 	"repro/internal/library"
 	"repro/internal/obs"
 	"repro/internal/oem"
+	"repro/internal/plan"
 	"repro/internal/qss"
 	"repro/internal/segment"
 	"repro/internal/wal"
@@ -108,6 +109,7 @@ func main() {
 	flag.Int64Var(&cfg.seed, "seed", 1, "random seed for the demo sources")
 	flag.IntVar(&cfg.parallel, "parallel", 1, "query evaluation workers per poll (0 = GOMAXPROCS)")
 	noindex := flag.Bool("noindex", false, "disable secondary indexes and poll-time snapshot caching")
+	noplanner := flag.Bool("noplanner", false, "disable the cost-based query planner (written-order baseline)")
 	flag.StringVar(&cfg.walDir, "waldir", "", "directory for per-subscription write-ahead logs (empty: no persistence)")
 	flag.StringVar(&cfg.walSync, "walsync", "interval", "WAL durability: always | interval | never")
 	flag.StringVar(&cfg.segDir, "segments", "", "directory for per-subscription segmented history stores (mutually exclusive with -waldir; see docs/segments.md)")
@@ -144,6 +146,9 @@ func main() {
 	}
 	if *noindex {
 		index.SetEnabled(false)
+	}
+	if *noplanner {
+		plan.SetEnabled(false)
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "qss:", err)

@@ -147,6 +147,9 @@ func (db *DB) QueryTranslatedContext(ctx context.Context, src string) (*lorel.Re
 	}
 	sp.EndNote("steps=%d", len(steps))
 	tr.Add("rewrite_steps", int64(len(steps)))
+	// The translator clones and rewrites the canonical AST, which drops
+	// the plan-cache key; restamp so the translated query plans too.
+	lorel.Rekey(tq)
 	db.Encoding()
 	return db.trans.EvalContext(ctx, tq)
 }

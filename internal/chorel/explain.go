@@ -18,6 +18,11 @@ type Plan struct {
 	Lorel     string        // translated Lorel query text
 	FreshVars int           // fresh encoding variables introduced (_t1, ...)
 	Err       error         // non-nil when untranslatable (wraps ErrUntranslatable)
+	// Planner holds the cost-based planner's EXPLAIN lines (join order,
+	// pushed predicates, estimated cardinalities) for direct evaluation.
+	// Empty when explaining without an engine (ExplainQuery) — the planner
+	// needs registered graphs to cost against.
+	Planner []string
 }
 
 // ExplainQuery parses, canonicalizes and translates a Chorel query without
@@ -56,6 +61,32 @@ func Explain(src string) (string, error) {
 	return pl.String(), nil
 }
 
+// ExplainQueryOn is ExplainQuery plus the cost-based planner's decisions
+// for direct evaluation on eng's registered graphs: chosen join order,
+// pushed predicates, and estimated cardinalities.
+func ExplainQueryOn(eng *lorel.Engine, src string) (*Plan, error) {
+	pl, err := ExplainQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	if eng != nil {
+		if lines, perr := eng.PlanDescription(src); perr == nil {
+			pl.Planner = lines
+		}
+	}
+	return pl, nil
+}
+
+// Explain renders the full EXPLAIN for a query against this database:
+// rewrite trace plus the direct-evaluation planner section.
+func (db *DB) Explain(src string) (string, error) {
+	pl, err := ExplainQueryOn(db.direct, src)
+	if err != nil {
+		return "", err
+	}
+	return pl.String(), nil
+}
+
 // String renders the plan in the EXPLAIN output format documented in
 // docs/observability.md.
 func (pl *Plan) String() string {
@@ -76,6 +107,12 @@ func (pl *Plan) String() string {
 		fmt.Fprintf(&b, "lorel: (translation failed: %v)\n", pl.Err)
 	default:
 		fmt.Fprintf(&b, "lorel:\n  %s\n  strategy: evaluate on the Section 5.1 OEM encoding\n", pl.Lorel)
+	}
+	if len(pl.Planner) > 0 {
+		b.WriteString("planner (direct evaluation):\n")
+		for _, line := range pl.Planner {
+			fmt.Fprintf(&b, "  %s\n", line)
+		}
 	}
 	return b.String()
 }

@@ -30,6 +30,7 @@ import (
 	"repro/internal/doem"
 	"repro/internal/lorel"
 	"repro/internal/oem"
+	"repro/internal/plan"
 	"repro/internal/timestamp"
 	"repro/internal/value"
 )
@@ -118,6 +119,12 @@ type tables struct {
 	// ValueAt binary searches reuse one materialization.
 	updInfos map[oem.NodeID][]doem.UpdInfo
 
+	// Planner statistics, accumulated during the same build pass (see
+	// stats.go): per-label cardinalities plus arc/annotation totals.
+	labelStats map[string]plan.LabelCard
+	arcTotal   int
+	annotTotal int
+
 	// mu guards the caches below (lru.get mutates recency order).
 	mu    sync.Mutex
 	views *lru[timestamp.Time, *view]
@@ -175,16 +182,38 @@ func buildTables(d *doem.Database, gen uint64, viewCap, snapCap int) *tables {
 		outLabeled:    make(map[labelKey][]oem.Arc),
 		outAllLabeled: make(map[labelKey][]oem.Arc),
 		updInfos:      make(map[oem.NodeID][]doem.UpdInfo),
+		labelStats:    make(map[string]plan.LabelCard),
+		annotTotal:    d.NumAnnotations(),
 		views:         newLRU[timestamp.Time, *view](viewCap),
 		snaps:         newLRU[timestamp.Time, *oem.Database](snapCap),
 	}
+	root := d.Root()
 	for _, n := range t.nodes {
 		for _, a := range d.Out(n) {
 			k := labelKey{n, a.Label}
+			lc := t.labelStats[a.Label]
+			if len(t.outLabeled[k]) == 0 {
+				lc.Parents++
+			}
+			lc.Arcs++
+			if n == root {
+				lc.RootOut++
+			}
+			t.labelStats[a.Label] = lc
+			t.arcTotal++
 			t.outLabeled[k] = append(t.outLabeled[k], a)
 		}
 		for _, a := range d.OutAll(n) {
 			k := labelKey{n, a.Label}
+			lc := t.labelStats[a.Label]
+			if len(t.outAllLabeled[k]) == 0 {
+				lc.AllParents++
+			}
+			lc.AllArcs++
+			if n == root {
+				lc.AllRootOut++
+			}
+			t.labelStats[a.Label] = lc
 			t.outAllLabeled[k] = append(t.outAllLabeled[k], a)
 		}
 		if ups := d.UpdTriples(n); len(ups) > 0 {

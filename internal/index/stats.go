@@ -1,0 +1,30 @@
+package index
+
+import (
+	"repro/internal/plan"
+)
+
+// Graph serves planner statistics straight from the structures the
+// adjacency indexes already build: per-label aggregates fall out of the
+// same (parent, label) loop that fills outLabeled/outAllLabeled, so
+// statistics are exactly as fresh as the indexes themselves and cost one
+// map write per distinct (parent, label) at build time.
+var _ plan.Stats = (*Graph)(nil)
+
+// StatsVersion implements plan.Stats: statistics move with the database
+// generation, the same key the index tables invalidate on.
+func (g *Graph) StatsVersion() uint64 { return g.d.Version() }
+
+// NodeCount implements plan.Stats: every node ever created.
+func (g *Graph) NodeCount() int { return len(g.tables().nodes) }
+
+// ArcCount implements plan.Stats: current-snapshot arcs, all labels.
+func (g *Graph) ArcCount() int { return g.tables().arcTotal }
+
+// AnnotCount implements plan.Stats: total annotations in the history.
+func (g *Graph) AnnotCount() int { return g.tables().annotTotal }
+
+// LabelStats implements plan.Stats.
+func (g *Graph) LabelStats(label string) plan.LabelCard {
+	return g.tables().labelStats[label]
+}

@@ -19,6 +19,12 @@ type Query struct {
 	// where clause are existentially quantified). They bind their variable
 	// to null when the path has no matches, so disjunctions still work.
 	WhereGens []FromItem
+
+	// key is the injective plan-cache key, set by Canonicalize (and by
+	// Rekey for queries built programmatically, e.g. chorel translation).
+	// Empty means the query never went through canonicalization and the
+	// planner must stand aside.
+	key string
 }
 
 // SelectItem is one projection of the select clause.

@@ -80,8 +80,17 @@ func (c *canonicalizer) run() error {
 			q.Select[i].Label = c.defaultLabel(q.Select[i].Expr)
 		}
 	}
+
+	// 6. Stamp the plan-cache key. The canonical AST is immutable from
+	// here on, so the key is computed once per parse, not per evaluation.
+	q.key = canonicalKey(q)
 	return nil
 }
+
+// Rekey recomputes the plan-cache key of a canonical-form query that was
+// built or rewritten programmatically (the chorel translator) rather
+// than through Canonicalize. Queries without a key are never planned.
+func Rekey(q *Query) { q.key = canonicalKey(q) }
 
 // expandPath decomposes a multi-step path into single-step generators
 // appended to gens and returns the variable denoting the path's result.

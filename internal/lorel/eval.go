@@ -13,6 +13,7 @@ import (
 	"repro/internal/doem"
 	"repro/internal/obs"
 	"repro/internal/oem"
+	"repro/internal/plan"
 	"repro/internal/timestamp"
 	"repro/internal/value"
 )
@@ -46,15 +47,30 @@ type Engine struct {
 	// once.
 	cacheMu sync.Mutex
 	cache   map[string]*Query
+
+	// planning gates the cost-based planner (guarded by mu; see plan.go).
+	// plans caches prepared plans by canonical-AST key, pinned to the
+	// stats versions of the graphs they were costed against.
+	planning bool
+	planMu   sync.Mutex
+	plans    map[string]*prepared
 }
 
 // cacheLimit bounds the parsed-query cache; at the limit the cache is
 // simply reset (standing-query workloads use few distinct texts).
 const cacheLimit = 256
 
-// NewEngine returns an empty engine evaluating serially.
+// NewEngine returns an empty engine evaluating serially, with the
+// cost-based planner on unless the package default disables it
+// (REPRO_NOPLANNER / plan.SetEnabled).
 func NewEngine() *Engine {
-	return &Engine{graphs: make(map[string]Graph), cache: make(map[string]*Query), workers: 1}
+	return &Engine{
+		graphs:   make(map[string]Graph),
+		cache:    make(map[string]*Query),
+		workers:  1,
+		planning: plan.Enabled(),
+		plans:    make(map[string]*prepared),
+	}
 }
 
 // Register makes g available to queries under the given name. Registering
@@ -125,6 +141,15 @@ func (e *Engine) Query(src string) (*Result, error) {
 // QueryContext is Query with cancellation: evaluation aborts with the
 // context's error shortly after ctx is cancelled.
 func (e *Engine) QueryContext(ctx context.Context, src string) (*Result, error) {
+	q, err := e.cachedQuery(ctx, src)
+	if err != nil {
+		return nil, err
+	}
+	return e.EvalContext(ctx, q)
+}
+
+// cachedQuery parses and canonicalizes src through the parse cache.
+func (e *Engine) cachedQuery(ctx context.Context, src string) (*Query, error) {
 	tr := obs.TraceFrom(ctx)
 	e.cacheMu.Lock()
 	q, ok := e.cache[src]
@@ -153,7 +178,7 @@ func (e *Engine) QueryContext(ctx context.Context, src string) (*Result, error) 
 		e.cache[src] = q
 		e.cacheMu.Unlock()
 	}
-	return e.EvalContext(ctx, q)
+	return q, nil
 }
 
 // binding is a variable binding: a graph node (optionally viewed as of a
@@ -328,6 +353,19 @@ type evaluation struct {
 	// flushes once, which keeps collection race-clean under -race.
 	bindings  int64
 	dedupHits int64
+
+	// constTimes (set by the planned executor, shared read-only across
+	// forks) marks <at T> operands with no variable dependencies; atMemo
+	// caches their resolved instants per evaluation, never across forks —
+	// workers each build their own memo so no synchronization is needed.
+	constTimes map[Expr]bool
+	atMemo     map[Expr]timeMemo
+}
+
+// timeMemo is one memoized constant time-expression resolution.
+type timeMemo struct {
+	t  timestamp.Time
+	ok bool
 }
 
 // newEvaluation snapshots the engine state for one query.
@@ -342,9 +380,15 @@ func (e *Engine) newEvaluation(ctx context.Context) *evaluation {
 }
 
 // fork clones the evaluation for a parallel worker: shared snapshots and
-// trace, own cancellation counter and stat counters.
+// trace, own cancellation counter, stat counters and time memo.
 func (ev *evaluation) fork() *evaluation {
-	return &evaluation{graphs: ev.graphs, pollTimes: ev.pollTimes, ctx: ev.ctx, trace: ev.trace}
+	return &evaluation{
+		graphs:     ev.graphs,
+		pollTimes:  ev.pollTimes,
+		ctx:        ev.ctx,
+		trace:      ev.trace,
+		constTimes: ev.constTimes,
+	}
 }
 
 // finish flushes the evaluation's stats to the package metrics and trace.
@@ -404,7 +448,13 @@ func (e *Engine) EvalContext(ctx context.Context, q *Query) (*Result, error) {
 	start := obs.Now()
 	ev := e.newEvaluation(ctx)
 	sp := ev.trace.StartSpan("eval")
-	res, err := e.evalQuery(ev, q)
+	var res *Result
+	var err error
+	if pr := e.planFor(ev, q); pr != nil && pr.plan != nil {
+		res, err = e.evalPlanned(ev, q, pr)
+	} else {
+		res, err = e.evalQuery(ev, q)
+	}
 	rows := 0
 	if res != nil {
 		rows = len(res.Rows)
@@ -949,8 +999,28 @@ func annotKindFor(op AnnotOp) doem.AnnotKind {
 }
 
 // evalTime evaluates an expression to a timestamp (coercing strings and
-// time values).
+// time values). Time operands the planner proved environment-independent
+// resolve once per evaluation instead of once per binding (constant
+// <at T> hoisting).
 func (ev *evaluation) evalTime(en *env, ex Expr) (timestamp.Time, bool, error) {
+	if ev.constTimes != nil && ev.constTimes[ex] {
+		if m, ok := ev.atMemo[ex]; ok {
+			return m.t, m.ok, nil
+		}
+		t, ok, err := ev.evalTimeUncached(en, ex)
+		if err != nil {
+			return t, ok, err
+		}
+		if ev.atMemo == nil {
+			ev.atMemo = make(map[Expr]timeMemo)
+		}
+		ev.atMemo[ex] = timeMemo{t: t, ok: ok}
+		return t, ok, nil
+	}
+	return ev.evalTimeUncached(en, ex)
+}
+
+func (ev *evaluation) evalTimeUncached(en *env, ex Expr) (timestamp.Time, bool, error) {
 	bs, err := ev.evalOperand(en, ex)
 	if err != nil {
 		return timestamp.Time{}, false, err

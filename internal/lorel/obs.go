@@ -15,4 +15,15 @@ var (
 	mBindings    = obs.NewCounter("lorel_bindings_total")
 	mDedupHits   = obs.NewCounter("lorel_dedup_hits_total")
 	mParallel    = obs.NewCounter("lorel_parallel_queries_total")
+
+	// Planner metrics: plan-cache traffic, re-preparations forced by stale
+	// statistics, queries the validator sent back to the written-order
+	// evaluator, and planned executions (reordered counts the subset that
+	// committed to a strict-block reorder).
+	mPlanCacheHits   = obs.NewCounter("lorel_plan_cache_hits_total")
+	mPlanCacheMisses = obs.NewCounter("lorel_plan_cache_misses_total")
+	mPlanReprepares  = obs.NewCounter("lorel_plan_reprepares_total")
+	mPlanUnplannable = obs.NewCounter("lorel_plan_unplannable_total")
+	mPlanExecs       = obs.NewCounter("lorel_plan_execs_total")
+	mPlanReordered   = obs.NewCounter("lorel_plan_reordered_total")
 )

@@ -1,0 +1,393 @@
+package lorel
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// This file is the planned executor: it enumerates generators in the
+// plan's order instead of written order, applies pushed conjuncts as soon
+// as their variables are bound, and short-circuits existential search at
+// the first satisfying completion. Its contract is byte-identical output
+// with the written-order evaluator, which rests on three properties the
+// validator in plan.go established: pushed conjuncts are pure and
+// error-free (conjunction order cannot matter), existential variables
+// never reach the select clause (collapsing completions per strict tuple
+// cannot drop rows), and a generator's candidate list depends only on the
+// bindings of its declared dependencies (a candidate's index is the same
+// in any enumeration order, so written-order ranks are reconstructible).
+
+// rankedRow carries a result row plus its written-order enumeration rank:
+// the candidate indexes of the strict generators in written order,
+// followed by the row's position within its tuple's built rows.
+// Lexicographic rank order is exactly the order the written-order
+// evaluator would first emit each row.
+type rankedRow struct {
+	row  Row
+	rank []int32
+}
+
+func rankLess(a, b []int32) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// plannedExec is the per-evaluation (or per-worker) state of one planned
+// execution.
+type plannedExec struct {
+	ev   *evaluation
+	q    *Query
+	pr   *prepared
+	gens []FromItem
+	// idx[gi] is the candidate index of generator gi's current binding.
+	idx []int32
+	// actual[gi] counts the bindings generator gi produced (for the
+	// estimated-vs-actual EXPLAIN trace).
+	actual []int64
+
+	// Row collection. Unreordered plans emit in first-occurrence order
+	// like the legacy emitter; reordered plans collect ranked rows and
+	// sort at the end.
+	rows   []Row
+	seen   map[string]bool
+	ranked []rankedRow
+	best   map[string]int // row key -> index into ranked
+	kb     []byte
+}
+
+func newPlannedExec(ev *evaluation, q *Query, pr *prepared) *plannedExec {
+	x := &plannedExec{
+		ev:     ev,
+		q:      q,
+		pr:     pr,
+		gens:   pr.gens,
+		idx:    make([]int32, len(pr.gens)),
+		actual: make([]int64, len(pr.gens)),
+	}
+	if pr.plan.Reordered {
+		x.best = make(map[string]int)
+	} else {
+		x.seen = make(map[string]bool)
+	}
+	return x
+}
+
+// applyPush evaluates the conjuncts placed at position p (first p
+// generators of the order bound).
+func (x *plannedExec) applyPush(en *env, p int) (bool, error) {
+	for _, ci := range x.pr.plan.Push[p] {
+		ok, err := x.ev.evalBool(en, x.pr.conjs[ci])
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// run enumerates the strict block from depth d (d generators of the
+// order already bound).
+func (x *plannedExec) run(en *env, d int) error {
+	if err := x.ev.checkCancel(); err != nil {
+		return err
+	}
+	if ok, err := x.applyPush(en, d); err != nil || !ok {
+		return err
+	}
+	pl := x.pr.plan
+	if d == pl.NStrict {
+		sat, err := x.existSat(en, 0)
+		if err != nil {
+			return err
+		}
+		if sat {
+			return x.emit(en)
+		}
+		return nil
+	}
+	gi := pl.Order[d]
+	g := x.gens[gi]
+	results, err := x.ev.evalPath(en, g.Path)
+	if err != nil {
+		return err
+	}
+	x.actual[gi] += int64(len(results))
+	for k, r := range results {
+		x.idx[gi] = int32(k)
+		if err := x.run(r.env.extend(g.Var, r.b), d+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// existSat searches the existential block (d existential generators
+// bound) for one completion satisfying every remaining pushed conjunct.
+// Empty generators null-bind their variables exactly as the written-order
+// evaluator does, so predicates over missing paths see the same nulls.
+func (x *plannedExec) existSat(en *env, d int) (bool, error) {
+	if err := x.ev.checkCancel(); err != nil {
+		return false, err
+	}
+	pl := x.pr.plan
+	if d > 0 {
+		if ok, err := x.applyPush(en, pl.NStrict+d); err != nil || !ok {
+			return false, err
+		}
+	}
+	if pl.NStrict+d == len(pl.Order) {
+		return true, nil
+	}
+	gi := pl.Order[pl.NStrict+d]
+	g := x.gens[gi]
+	results, err := x.ev.evalPath(en, g.Path)
+	if err != nil {
+		return false, err
+	}
+	x.actual[gi] += int64(len(results))
+	if len(results) == 0 {
+		nen := en.extend(g.Var, binding{kind: bNull})
+		for _, v := range pathAnnotVars(g.Path) {
+			nen = nen.extend(v, binding{kind: bNull})
+		}
+		return x.existSat(nen, d+1)
+	}
+	for _, r := range results {
+		sat, err := x.existSat(r.env.extend(g.Var, r.b), d+1)
+		if err != nil {
+			return false, err
+		}
+		if sat {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// emit builds and collects the rows of one satisfied strict tuple.
+func (x *plannedExec) emit(en *env) error {
+	x.ev.bindings++
+	built, err := x.ev.buildRows(en, x.q.Select)
+	if err != nil {
+		return err
+	}
+	pl := x.pr.plan
+	if !pl.Reordered {
+		for _, row := range built {
+			x.kb = row.appendKey(x.kb[:0])
+			if !x.seen[string(x.kb)] {
+				x.seen[string(x.kb)] = true
+				x.rows = append(x.rows, row)
+			} else {
+				x.ev.dedupHits++
+			}
+		}
+		return nil
+	}
+	for ri, row := range built {
+		rank := make([]int32, pl.NStrict+1)
+		copy(rank, x.idx[:pl.NStrict]) // strict gens are written-order 0..NStrict-1
+		rank[pl.NStrict] = int32(ri)
+		k := row.key()
+		if bi, ok := x.best[k]; ok {
+			x.ev.dedupHits++
+			if rankLess(rank, x.ranked[bi].rank) {
+				x.ranked[bi].rank = rank
+			}
+		} else {
+			x.best[k] = len(x.ranked)
+			x.ranked = append(x.ranked, rankedRow{row: row, rank: rank})
+		}
+	}
+	return nil
+}
+
+func (x *plannedExec) emitted() int {
+	if x.pr.plan.Reordered {
+		return len(x.ranked)
+	}
+	return len(x.rows)
+}
+
+// finishRows returns the collected rows in written-enumeration order.
+func (x *plannedExec) finishRows() []Row {
+	if !x.pr.plan.Reordered {
+		return x.rows
+	}
+	sort.Slice(x.ranked, func(i, j int) bool {
+		return rankLess(x.ranked[i].rank, x.ranked[j].rank)
+	})
+	rows := make([]Row, len(x.ranked))
+	for i := range x.ranked {
+		rows[i] = x.ranked[i].row
+	}
+	return rows
+}
+
+// evalPlanned executes a prepared plan, in parallel when the engine's
+// parallelism allows.
+func (e *Engine) evalPlanned(ev *evaluation, q *Query, pr *prepared) (*Result, error) {
+	pl := pr.plan
+	mPlanExecs.Inc()
+	if pl.Reordered {
+		mPlanReordered.Inc()
+	}
+	ev.constTimes = pr.constTimes
+
+	sp := ev.trace.StartSpan("plan")
+	vars := make([]string, len(pl.Order))
+	for i, gi := range pl.Order {
+		vars[i] = pr.gens[gi].Var
+	}
+	mode := "written"
+	if pl.Reordered {
+		mode = "reordered"
+	}
+	sp.EndNote("order=%s mode=%s est_tuples=%.4g", strings.Join(vars, ","), mode, pl.EstTuples)
+
+	if w := e.Parallelism(); w > 1 && pl.NStrict > 0 {
+		res, done, err := e.evalPlannedParallel(ev, q, pr, w)
+		if done {
+			return res, err
+		}
+	}
+	x := newPlannedExec(ev, q, pr)
+	if err := x.run(nil, 0); err != nil {
+		return nil, err
+	}
+	x.flushTrace()
+	return &Result{Rows: x.finishRows()}, nil
+}
+
+// flushTrace records estimated-vs-actual cardinalities per generator.
+func (x *plannedExec) flushTrace() {
+	pl := x.pr.plan
+	for _, gi := range pl.Order {
+		v := x.gens[gi].Var
+		x.ev.trace.Add("plan_actual_"+v, x.actual[gi])
+		x.ev.trace.Add("plan_est_"+v, int64(pl.Est[gi]+0.5))
+	}
+}
+
+// evalPlannedParallel partitions the plan's outermost generator across
+// workers, mirroring the legacy evalParallel merge discipline: contiguous
+// shards, first-occurrence dedup (or global rank merge when reordered),
+// and the minimum-index error. The outer generator of a plan order never
+// has dependencies (greedy only places satisfiable generators), so its
+// candidate list is computable up front. done=false falls back to the
+// serial planned path.
+func (e *Engine) evalPlannedParallel(ev *evaluation, q *Query, pr *prepared, workers int) (*Result, bool, error) {
+	pl := pr.plan
+	parent := newPlannedExec(ev, q, pr)
+	if ok, err := parent.applyPush(nil, 0); err != nil || !ok {
+		if err != nil {
+			return nil, true, err
+		}
+		return &Result{}, true, nil
+	}
+	o0 := pl.Order[0]
+	g := pr.gens[o0]
+	outer, err := ev.evalPath(nil, g.Path)
+	if err != nil {
+		return nil, true, err
+	}
+	if len(outer) < 2 {
+		return nil, false, nil
+	}
+	if workers > len(outer) {
+		workers = len(outer)
+	}
+	mParallel.Inc()
+
+	type shard struct {
+		x     *plannedExec
+		errAt int
+		err   error
+	}
+	shards := make([]shard, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * len(outer) / workers
+		hi := (w + 1) * len(outer) / workers
+		wg.Add(1)
+		go func(w int, sh *shard, lo, hi int) {
+			defer wg.Done()
+			sp := ev.trace.StartSpan("worker")
+			wev := ev.fork()
+			x := newPlannedExec(wev, q, pr)
+			for i := lo; i < hi; i++ {
+				r := outer[i]
+				x.idx[o0] = int32(i)
+				if err := x.run(r.env.extend(g.Var, r.b), 1); err != nil {
+					sh.errAt, sh.err = i, err
+					break
+				}
+			}
+			sh.x = x
+			sp.EndNote("w=%d range=[%d,%d) rows=%d", w, lo, hi, x.emitted())
+		}(w, &shards[w], lo, hi)
+	}
+	wg.Wait()
+
+	// Fold worker stats into the parent evaluation and exec.
+	parent.actual[o0] = int64(len(outer))
+	for i := range shards {
+		x := shards[i].x
+		ev.bindings += x.ev.bindings
+		ev.dedupHits += x.ev.dedupHits
+		for gi := range parent.actual {
+			if gi != o0 {
+				parent.actual[gi] += x.actual[gi]
+			}
+		}
+	}
+
+	var firstErr error
+	firstAt := -1
+	for i := range shards {
+		if shards[i].err != nil && (firstAt < 0 || shards[i].errAt < firstAt) {
+			firstAt, firstErr = shards[i].errAt, shards[i].err
+		}
+	}
+	if firstErr != nil {
+		return nil, true, firstErr
+	}
+
+	msp := ev.trace.StartSpan("merge")
+	if !pl.Reordered {
+		for i := range shards {
+			for _, row := range shards[i].x.rows {
+				parent.kb = row.appendKey(parent.kb[:0])
+				if !parent.seen[string(parent.kb)] {
+					parent.seen[string(parent.kb)] = true
+					parent.rows = append(parent.rows, row)
+				} else {
+					ev.dedupHits++
+				}
+			}
+		}
+	} else {
+		for i := range shards {
+			for _, rr := range shards[i].x.ranked {
+				k := rr.row.key()
+				if bi, ok := parent.best[k]; ok {
+					ev.dedupHits++
+					if rankLess(rr.rank, parent.ranked[bi].rank) {
+						parent.ranked[bi].rank = rr.rank
+					}
+				} else {
+					parent.best[k] = len(parent.ranked)
+					parent.ranked = append(parent.ranked, rr)
+				}
+			}
+		}
+	}
+	rows := parent.finishRows()
+	msp.EndNote("workers=%d rows=%d", workers, len(rows))
+	parent.flushTrace()
+	return &Result{Rows: rows}, true, nil
+}

@@ -1,0 +1,26 @@
+package plan
+
+import (
+	"os"
+	"sync/atomic"
+)
+
+// disabled flips the package-wide default from planned to written-order
+// evaluation. It is consulted by lorel.NewEngine, so engines constructed
+// after SetEnabled(false) evaluate exactly as before the planner existed;
+// engines already constructed can be switched with Engine.SetPlanning.
+var disabled atomic.Bool
+
+func init() {
+	if v := os.Getenv("REPRO_NOPLANNER"); v != "" && v != "0" {
+		disabled.Store(true)
+	}
+}
+
+// Enabled reports whether new engines plan by default. The default is
+// on; the REPRO_NOPLANNER environment variable or a -noplanner command
+// flag (via SetEnabled) turns it off — mirroring index.Enabled.
+func Enabled() bool { return !disabled.Load() }
+
+// SetEnabled sets the package-wide default and returns the previous value.
+func SetEnabled(on bool) (prev bool) { return !disabled.Swap(!on) }

@@ -1,0 +1,214 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+)
+
+// specOf builds a Spec from shorthand; all gens strict unless marked.
+func specOf(gens []GenSpec, conjs []ConjSpec) *Spec {
+	return &Spec{Gens: gens, Conjs: conjs}
+}
+
+// TestGreedyReordersSelectiveFirst: a wide subtree generator written first
+// and a narrow, predicated label generator second must swap when the
+// estimated saving clears the threshold.
+func TestGreedyReordersSelectiveFirst(t *testing.T) {
+	s := specOf(
+		[]GenSpec{
+			{Var: "X", Source: "guide.#", Strict: true, Kind: KindHash, Root: true},
+			{Var: "P", Source: "guide.price", Strict: true, Kind: KindLabel, Root: true,
+				Card: Card{Known: true, Nodes: 1000, Arcs: 3000, Label: LabelCard{RootOut: 2, Parents: 2, Arcs: 2}}},
+		},
+		[]ConjSpec{{Text: "P < 8", Deps: []int{1}, Kind: PredRange}},
+	)
+	pl := Prepare(s)
+	if !pl.Reordered {
+		t.Fatalf("expected reordering; plan: %v", pl.Notes)
+	}
+	if pl.Order[0] != 1 || pl.Order[1] != 0 {
+		t.Fatalf("order = %v, want [1 0]", pl.Order)
+	}
+	if pl.CostChosen >= pl.CostWritten {
+		t.Fatalf("chosen cost %.4g not below written %.4g", pl.CostChosen, pl.CostWritten)
+	}
+	if pl.CostWritten < pl.CostChosen*ReorderThreshold {
+		t.Fatalf("reordered below threshold: written %.4g, chosen %.4g", pl.CostWritten, pl.CostChosen)
+	}
+}
+
+// TestThresholdKeepsWrittenOrder: when two generators have close fanouts,
+// the marginal saving from swapping them must not trigger rank-restoring
+// emission.
+func TestThresholdKeepsWrittenOrder(t *testing.T) {
+	s := specOf(
+		[]GenSpec{
+			{Var: "A", Strict: true, Kind: KindLabel, Root: true,
+				Card: Card{Known: true, Nodes: 100, Arcs: 300, Label: LabelCard{RootOut: 3}}},
+			{Var: "B", Strict: true, Kind: KindLabel, Root: true,
+				Card: Card{Known: true, Nodes: 100, Arcs: 300, Label: LabelCard{RootOut: 2}}},
+		},
+		nil,
+	)
+	pl := Prepare(s)
+	if pl.Reordered {
+		t.Fatalf("marginal swap reordered anyway: %v", pl.Notes)
+	}
+	if pl.Order[0] != 0 || pl.Order[1] != 1 {
+		t.Fatalf("order = %v, want written [0 1]", pl.Order)
+	}
+	// The written-order cost is reported under the same model.
+	if pl.CostWritten >= pl.CostChosen*ReorderThreshold {
+		t.Fatalf("threshold should have blocked this: written %.4g, chosen %.4g",
+			pl.CostWritten, pl.CostChosen)
+	}
+}
+
+// TestPushdownPlacement: constant conjuncts land in Push[0]; each variable
+// conjunct lands at the earliest position where its deps are bound.
+func TestPushdownPlacement(t *testing.T) {
+	s := specOf(
+		[]GenSpec{
+			{Var: "R", Strict: true, Kind: KindLabel, Root: true},
+			{Var: "P", Strict: true, Kind: KindLabel, Deps: []int{0}},
+		},
+		[]ConjSpec{
+			{Text: "1 < 2", Deps: nil, Kind: PredRange},         // constant
+			{Text: "R = x", Deps: []int{0}, Kind: PredEq},       // after R
+			{Text: "P < R", Deps: []int{0, 1}, Kind: PredRange}, // after both
+			{Text: "P like y", Deps: []int{1}, Kind: PredLike},  // after P
+		},
+	)
+	pl := Prepare(s)
+	if len(pl.Push[0]) != 1 || pl.Push[0][0] != 0 {
+		t.Fatalf("Push[0] = %v, want [0]", pl.Push[0])
+	}
+	if len(pl.Push[1]) != 1 || pl.Push[1][0] != 1 {
+		t.Fatalf("Push[1] = %v, want [1]", pl.Push[1])
+	}
+	if len(pl.Push[2]) != 2 {
+		t.Fatalf("Push[2] = %v, want conjuncts 2 and 3", pl.Push[2])
+	}
+}
+
+// TestDependencyOrderRespected: a generator can never be placed before one
+// it depends on, however selective it looks.
+func TestDependencyOrderRespected(t *testing.T) {
+	s := specOf(
+		[]GenSpec{
+			{Var: "R", Strict: true, Kind: KindHash, Root: true}, // expensive
+			{Var: "N", Strict: true, Kind: KindHead, Deps: []int{0}},
+		},
+		[]ConjSpec{{Text: "N = 1", Deps: []int{1}, Kind: PredEq}},
+	)
+	pl := Prepare(s)
+	posR, posN := -1, -1
+	for p, gi := range pl.Order {
+		switch gi {
+		case 0:
+			posR = p
+		case 1:
+			posN = p
+		}
+	}
+	if posN < posR {
+		t.Fatalf("dependent generator placed first: order %v", pl.Order)
+	}
+}
+
+// TestExistentialReorderNotFlagged: moving only existential generators
+// never sets Reordered — their bindings cannot reach the select clause.
+func TestExistentialReorderNotFlagged(t *testing.T) {
+	s := specOf(
+		[]GenSpec{
+			{Var: "R", Strict: true, Kind: KindLabel, Root: true},
+			{Var: "X", Strict: false, Kind: KindHash, Deps: []int{0}},
+			{Var: "P", Strict: false, Kind: KindLabel, Deps: []int{0},
+				Card: Card{Known: true, Nodes: 100, Arcs: 100, Label: LabelCard{Parents: 100, Arcs: 100}}},
+		},
+		[]ConjSpec{{Text: "P < 8", Deps: []int{2}, Kind: PredRange}},
+	)
+	pl := Prepare(s)
+	if pl.Reordered {
+		t.Fatalf("existential-only reorder flagged as Reordered: %v", pl.Notes)
+	}
+	if pl.NStrict != 1 || pl.Order[0] != 0 {
+		t.Fatalf("strict block broken: order %v nstrict %d", pl.Order, pl.NStrict)
+	}
+	// The cheap existential should come before the expensive one.
+	if pl.Order[1] != 2 || pl.Order[2] != 1 {
+		t.Fatalf("existential block not reordered by cost: %v", pl.Order)
+	}
+}
+
+// TestFanoutDefaults: without statistics the structural defaults must rank
+// head < label < glob < subtree, so written-order queries over unknown
+// graphs still get sane pushdown positions.
+func TestFanoutDefaults(t *testing.T) {
+	kinds := []StepKind{KindHead, KindLabel, KindGlob, KindHash}
+	prev := -1.0
+	for _, k := range kinds {
+		f := fanout(&GenSpec{Kind: k, Root: true})
+		if f <= prev {
+			t.Fatalf("default fanout not increasing at %s: %g <= %g", k, f, prev)
+		}
+		prev = f
+	}
+	if fanout(&GenSpec{Kind: KindHash, Root: true}) <= fanout(&GenSpec{Kind: KindHash}) {
+		t.Fatal("root subtree should be costlier than a variable-headed one")
+	}
+}
+
+// TestSelectivityDefaults pins the textbook constants EXPLAIN reports are
+// derived from.
+func TestSelectivityDefaults(t *testing.T) {
+	if !(selectivity(PredEq) < selectivity(PredLike) &&
+		selectivity(PredLike) < selectivity(PredRange) &&
+		selectivity(PredRange) < selectivity(PredOther)) {
+		t.Fatal("selectivity defaults out of order: want eq < like < range < other")
+	}
+}
+
+// TestDescribeMentionsDecisions: the EXPLAIN lines name the join order,
+// the pushed predicates, and the estimate totals.
+func TestDescribeMentionsDecisions(t *testing.T) {
+	s := specOf(
+		[]GenSpec{
+			{Var: "R", Source: "guide.restaurant", Strict: true, Kind: KindLabel, Root: true},
+			{Var: "P", Source: "R.price", Strict: true, Kind: KindLabel, Deps: []int{0}},
+		},
+		[]ConjSpec{{Text: "P < 8", Deps: []int{1}, Kind: PredRange}},
+	)
+	pl := Prepare(s)
+	joined := strings.Join(pl.Notes, "\n")
+	for _, want := range []string{"join order: R -> P", "push: P < 8", "est tuples:", "guide.restaurant"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("EXPLAIN output missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+// TestCardOf merges the per-label slice into the database summary.
+func TestCardOf(t *testing.T) {
+	st := fakeStats{
+		nodes: 10, arcs: 20, annots: 5,
+		labels: map[string]LabelCard{"price": {Parents: 4, Arcs: 4}},
+	}
+	c := CardOf(st, "price")
+	if !c.Known || c.Nodes != 10 || c.Arcs != 20 || c.Annots != 5 || c.Label.Parents != 4 {
+		t.Fatalf("CardOf = %+v", c)
+	}
+}
+
+type fakeStats struct {
+	nodes, arcs, annots int
+	labels              map[string]LabelCard
+}
+
+func (f fakeStats) StatsVersion() uint64 { return 1 }
+func (f fakeStats) NodeCount() int       { return f.nodes }
+func (f fakeStats) ArcCount() int        { return f.arcs }
+func (f fakeStats) AnnotCount() int      { return f.annots }
+func (f fakeStats) LabelStats(l string) LabelCard {
+	return f.labels[l]
+}

@@ -1,0 +1,37 @@
+package plan
+
+// Stats is the cardinality interface the planner costs plans with. It is
+// implemented by index.Graph (from its per-(node,label) adjacency maps)
+// and by segment.DB (from the store's STATE summaries); graphs without an
+// implementation plan against structural defaults, which affects cost
+// estimates but never correctness.
+//
+// StatsVersion must change whenever the answers could: cached plans
+// record it at prepare time and re-prepare on mismatch rather than
+// executing against stale cardinalities.
+type Stats interface {
+	StatsVersion() uint64
+	NodeCount() int  // nodes ever created
+	ArcCount() int   // current-snapshot arcs
+	AnnotCount() int // total annotations (may be approximate)
+	LabelStats(label string) LabelCard
+}
+
+// CardOf fills a Card for one generator from a stats provider; a nil
+// provider yields the zero (unknown) Card. label may be empty for kinds
+// that do not filter by label (subtree, glob, group).
+func CardOf(st Stats, label string) Card {
+	if st == nil {
+		return Card{}
+	}
+	c := Card{
+		Known:  true,
+		Nodes:  st.NodeCount(),
+		Arcs:   st.ArcCount(),
+		Annots: st.AnnotCount(),
+	}
+	if label != "" {
+		c.Label = st.LabelStats(label)
+	}
+	return c
+}

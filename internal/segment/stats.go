@@ -1,0 +1,133 @@
+package segment
+
+import (
+	"sync"
+
+	"repro/internal/oem"
+	"repro/internal/plan"
+)
+
+// DB serves planner statistics from the store summaries that already live
+// in memory: the registry is the full arc relation, the active segment is
+// the current snapshot, and the sealed summaries bound the annotation
+// count. Nothing is read from disk — sealed segment indexes stay cold.
+var _ plan.Stats = (*DB)(nil)
+
+// storeStats is one materialized statistics summary, cached on the store
+// and rebuilt when the stats version moves.
+type storeStats struct {
+	version    uint64
+	nodeCount  int
+	arcCount   int
+	annotCount int
+	labels     map[string]plan.LabelCard
+}
+
+// statsCache hangs off the Store lazily; the pointer is guarded by its
+// own mutex because the query read path may race with itself (never with
+// mutators — those exclude readers by contract).
+type statsCache struct {
+	mu  sync.Mutex
+	cur *storeStats
+}
+
+// StatsVersion implements plan.Stats: a composition of the active
+// segment's version with the sealed-segment count and the active
+// annotation count, so both Apply and Seal move it. (Seal replaces the
+// active database, whose own version restarts; the segment count keeps
+// the composite moving forward.)
+func (g *DB) StatsVersion() uint64 {
+	s := g.s
+	v := s.active.Version()
+	v = v*0x100000001b3 + uint64(len(s.segs))*0x9e3779b97f4a7c15
+	return v + uint64(s.activeAnnots)
+}
+
+// NodeCount implements plan.Stats: the id high-water mark approximates
+// "nodes ever created" without touching sealed history (ids are dense in
+// practice and never reused).
+func (g *DB) NodeCount() int { return int(g.s.MaxID()) }
+
+// ArcCount implements plan.Stats.
+func (g *DB) ArcCount() int { return g.stats().arcCount }
+
+// AnnotCount implements plan.Stats: the active segment's exact count plus
+// a sealed-history estimate from the summaries (one annotation per
+// creation, and at least one — counted as two, the add/rem average — per
+// arc annotated in sealed history). Costing needs magnitude, not
+// exactness.
+func (g *DB) AnnotCount() int { return g.stats().annotCount }
+
+// LabelStats implements plan.Stats.
+func (g *DB) LabelStats(label string) plan.LabelCard {
+	return g.stats().labels[label]
+}
+
+// stats returns the current summary, rebuilding it when the version moved.
+func (g *DB) stats() *storeStats {
+	s := g.s
+	if s.statsC == nil {
+		// Store construction always allocates statsC; a nil here means a
+		// zero Store in a test — build uncached.
+		return buildStoreStats(s, 0)
+	}
+	ver := g.StatsVersion()
+	s.statsC.mu.Lock()
+	defer s.statsC.mu.Unlock()
+	if cur := s.statsC.cur; cur != nil && cur.version == ver {
+		return cur
+	}
+	cur := buildStoreStats(s, ver)
+	s.statsC.cur = cur
+	return cur
+}
+
+func buildStoreStats(s *Store, ver uint64) *storeStats {
+	st := &storeStats{
+		version:    ver,
+		nodeCount:  int(s.MaxID()),
+		annotCount: s.activeAnnots + 2*len(s.sealedStatus) + len(s.cre),
+		labels:     make(map[string]plan.LabelCard),
+	}
+	root := s.active.Root()
+
+	// Current snapshot: the active segment alone.
+	type pl struct {
+		n     oem.NodeID
+		label string
+	}
+	seen := make(map[pl]bool)
+	for _, n := range s.active.AllNodeIDs() {
+		for _, a := range s.active.Out(n) {
+			lc := st.labels[a.Label]
+			if k := (pl{n, a.Label}); !seen[k] {
+				seen[k] = true
+				lc.Parents++
+			}
+			lc.Arcs++
+			if n == root {
+				lc.RootOut++
+			}
+			st.labels[a.Label] = lc
+			st.arcCount++
+		}
+	}
+
+	// Full relation: the registry.
+	seenAll := make(map[pl]bool)
+	for n, arcs := range s.registry {
+		for _, a := range arcs {
+			lc := st.labels[a.Label]
+			if k := (pl{n, a.Label}); !seenAll[k] {
+				seenAll[k] = true
+				lc.AllParents++
+			}
+			lc.AllArcs++
+			if n == root {
+				lc.AllRootOut++
+			}
+			st.labels[a.Label] = lc
+		}
+	}
+	return st
+}

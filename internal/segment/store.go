@@ -120,6 +120,9 @@ type Store struct {
 	ticks  atomic.Uint64
 	tierMu sync.Mutex
 
+	// statsC caches the planner-statistics summary (see stats.go).
+	statsC *statsCache
+
 	stats OpenStats
 }
 
@@ -265,6 +268,7 @@ func newStore(dir string, pol *Policy) *Store {
 		cre:          make(map[oem.NodeID]timestamp.Time),
 		dead:         make(map[oem.NodeID]value.Value),
 		sealedStatus: make(map[oem.Arc]doem.AnnotKind),
+		statsC:       &statsCache{},
 	}
 	if pol != nil {
 		s.pol = *pol
