@@ -48,14 +48,15 @@ bench:
 # Machine-readable benchmark report: per-benchmark ns/op, B/op, allocs/op,
 # the measured observability overhead, the indexed-vs-noindex <at T>
 # speedups, the planner's selective-join speedup, the segmented-vs-
-# monolithic growth factors and per-tier RSS, and a metrics snapshot.
+# monolithic growth factors and per-tier RSS, the replication ack-mode
+# overheads, and a metrics snapshot.
 bench-json:
-	$(GO) run ./cmd/benchharness -json BENCH_7.json
+	$(GO) run ./cmd/benchharness -json BENCH_8.json
 
 # Bench-regression gate: a fresh suite run vs the committed baseline,
 # failing on a >25% regression in any headline ratio metric.
 bench-check:
-	$(GO) run ./cmd/benchharness -check BENCH_7.json -check-out bench_fresh.json
+	$(GO) run ./cmd/benchharness -check BENCH_8.json -check-out bench_fresh.json
 
 # Regenerates every experiment in EXPERIMENTS.md.
 harness:
@@ -86,6 +87,7 @@ fuzz:
 	$(GO) test -fuzz='^FuzzReadLine$$' -fuzztime=30s -run xxx ./internal/qss/
 	$(GO) test -fuzz='^FuzzIndexSnapshotParity$$' -fuzztime=30s -run xxx ./internal/index/
 	$(GO) test -fuzz='^FuzzSegmentParity$$' -fuzztime=30s -run xxx ./internal/segment/
+	$(GO) test -fuzz='^FuzzReplFrameDecode$$' -fuzztime=30s -run xxx ./internal/repl/
 
 clean:
 	rm -f test_output.txt bench_output.txt htmldiff-output.html bench_fresh.json

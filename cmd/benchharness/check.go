@@ -39,6 +39,7 @@ var headlineMetrics = []headlineMetric{
 	{"index_at_snapshot_speedup_10k", func(r *benchReport) float64 { return r.IndexAtSnapshotSpeedup10k }, true},
 	{"segment_at_query_flatness_10x", func(r *benchReport) float64 { return r.SegmentAtQueryFlatness10x }, false},
 	{"segment_open_flatness_10x", func(r *benchReport) float64 { return r.SegmentOpenFlatness10x }, false},
+	{"repl_ackone_poll_overhead", func(r *benchReport) float64 { return r.ReplAckOnePollOverhead }, false},
 }
 
 func readReport(path string) (*benchReport, error) {

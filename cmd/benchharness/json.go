@@ -86,6 +86,19 @@ type benchReport struct {
 	// segmented store with every sealed index hot, and the same store
 	// demoted to the cold tier.
 	SegmentRSSBytes map[string]int64 `json:"segment_rss_bytes"`
+	// ReplAckPollOverhead maps each replication ack mode to its poll-cycle
+	// cost relative to the same workload unreplicated (repl-poll-ack-MODE
+	// over repl-poll-ack-off, ns/op ratios). ReplAckOnePollOverhead is the
+	// AckOne entry pulled out as the gated headline: it is the price of
+	// "every acknowledged write survives the primary's loss", and a
+	// regression there means the ack round trip got slower relative to the
+	// write itself on the same machine.
+	ReplAckPollOverhead    map[string]float64 `json:"repl_ack_poll_overhead"`
+	ReplAckOnePollOverhead float64            `json:"repl_ackone_poll_overhead"`
+	// ReplPromoteNs is the failover promotion step (demote+promote cycle:
+	// epoch bump persisted with fsync) in nanoseconds — absolute, reported
+	// but not gated.
+	ReplPromoteNs float64 `json:"repl_promote_ns"`
 	// Obs is the metric snapshot accumulated while the suite ran with
 	// collection enabled; it includes the index_* cache counters from the
 	// indexed benchmarks.
@@ -367,6 +380,9 @@ func runJSON(path string) error {
 		(float64(pOn.T.Nanoseconds()) / float64(pOn.N))
 
 	if err := runSegmentJSON(&report, bench); err != nil {
+		return err
+	}
+	if err := runReplJSON(&report, bench); err != nil {
 		return err
 	}
 

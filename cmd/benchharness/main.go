@@ -95,6 +95,7 @@ func main() {
 	b11()
 	b12()
 	b13()
+	b14()
 
 	fmt.Println(strings.Repeat("=", 64))
 	if failures > 0 {

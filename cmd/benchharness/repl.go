@@ -1,0 +1,245 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/guidegen"
+	"repro/internal/obs"
+	"repro/internal/oem"
+	"repro/internal/qss"
+	"repro/internal/repl"
+	"repro/internal/timestamp"
+	"repro/internal/wal"
+	"repro/internal/wrapper"
+)
+
+// B14: replication cost. Two questions: what a poll cycle pays for each
+// write-acknowledgment mode (none = local durable append; one/quorum add
+// follower round trips), measured against the same workload unreplicated,
+// and how long a failover's promotion step takes (epoch bump + fsync).
+// The oplogs run with Sync: never on both ends so the numbers isolate the
+// replication machinery — framing, streaming, ack round trips — from
+// fsync latency, which every mode pays alike in production.
+
+// benchRepl is a primary with N streaming followers for benchmarks.
+type benchRepl struct {
+	svc       *qss.Service
+	node      *repl.Node
+	followers []*repl.Node
+	cleanup   func()
+}
+
+func newBenchRepl(ack repl.AckMode, followers int) *benchRepl {
+	opt := &wal.Options{Sync: wal.SyncNever}
+	dir, err := os.MkdirTemp("", "b14repl")
+	if err != nil {
+		panic(err)
+	}
+	svc := qss.NewService(nil)
+	node, err := repl.Open(filepath.Join(dir, "p"), qss.NewReplState(svc), repl.Config{
+		ID:         "p",
+		Ack:        ack,
+		Replicas:   followers,
+		AckTimeout: 30 * time.Second,
+		WAL:        opt,
+	})
+	if err != nil {
+		panic(err)
+	}
+	if err := svc.EnableReplication(node); err != nil {
+		panic(err)
+	}
+	if err := node.Promote(); err != nil {
+		panic(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	go node.Serve(ln)
+	addr := ln.Addr().String()
+	var fs []*repl.Node
+	for i := 0; i < followers; i++ {
+		fsvc := qss.NewService(nil)
+		fn, err := repl.Open(filepath.Join(dir, fmt.Sprintf("f%d", i)),
+			qss.NewReplState(fsvc), repl.Config{ID: fmt.Sprintf("f%d", i), WAL: opt})
+		if err != nil {
+			panic(err)
+		}
+		if err := fsvc.EnableReplication(fn); err != nil {
+			panic(err)
+		}
+		if err := fn.Follow(func() (net.Conn, error) { return net.Dial("tcp", addr) }); err != nil {
+			panic(err)
+		}
+		fs = append(fs, fn)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for node.Status().Followers < followers && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if node.Status().Followers < followers {
+		panic("benchharness: followers failed to connect")
+	}
+	return &benchRepl{
+		svc:       svc,
+		node:      node,
+		followers: fs,
+		cleanup: func() {
+			for _, f := range fs {
+				f.Close()
+			}
+			ln.Close()
+			node.Close()
+			os.RemoveAll(dir)
+		},
+	}
+}
+
+// replPollWorkload subscribes the B6 evolver workload on svc and returns
+// one-poll-cycle closure (mutate source, poll one hour later).
+func replPollWorkload(svc *qss.Service, seed int64) func() {
+	ev := guidegen.NewEvolver(seed, 100)
+	src := wrapper.NewMutable(ev.DB)
+	if err := svc.Subscribe(qss.Subscription{
+		Name: "R", SourceName: "guide", Source: src,
+		Polling: `select guide.restaurant`,
+		Filter:  `select R.restaurant<cre at T> where T > t[-1]`,
+	}); err != nil {
+		panic(err)
+	}
+	t := timestamp.MustParse("1Jan97")
+	if _, err := svc.Poll("R", t); err != nil {
+		panic(err)
+	}
+	return func() {
+		src.Mutate(func(*oem.Database) error { ev.Step(2); return nil })
+		t = t.Add(3600e9)
+		if _, err := svc.Poll("R", t); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// replAckTiers is the measured matrix: ack mode and follower count
+// (quorum runs with two followers, so commit waits for the faster one —
+// the majority of a three-node cluster).
+var replAckTiers = []struct {
+	name      string
+	ack       repl.AckMode
+	followers int
+}{
+	{"none", repl.AckNone, 1},
+	{"one", repl.AckOne, 1},
+	{"quorum", repl.AckQuorum, 2},
+}
+
+func b14() {
+	fmt.Println("\n-- B14: replication — ack-mode write overhead and time-to-promote --")
+	plain := qss.NewService(nil)
+	base := measure(replPollWorkload(plain, 14))
+	fmt.Printf("  %8s %14s %10s\n", "ack", "poll/op", "overhead")
+	fmt.Printf("  %8s %14s %10s\n", "off", base, "-")
+	ackOK := true
+	for _, tc := range replAckTiers {
+		c := newBenchRepl(tc.ack, tc.followers)
+		per := measure(replPollWorkload(c.svc, 14))
+		if tc.ack == repl.AckOne {
+			// AckOne means the follower had every poll durably before the
+			// primary acknowledged it; its applied watermark must catch up
+			// to the primary's.
+			p := c.node.Status().Applied
+			deadline := time.Now().Add(5 * time.Second)
+			for c.followers[0].Status().Applied < p && time.Now().Before(deadline) {
+				time.Sleep(time.Millisecond)
+			}
+			if c.followers[0].Status().Applied != p {
+				ackOK = false
+			}
+		}
+		fmt.Printf("  %8s %14s %9.2fx\n", tc.name, per, float64(per)/float64(base))
+		c.cleanup()
+	}
+	check("B14a", "AckOne follower holds every acknowledged poll", ackOK)
+
+	// Time-to-promote: what failover costs once the operator (or
+	// orchestrator) picks the survivor — an epoch bump persisted with
+	// fsync, after which writes flow. The history length does not matter
+	// (the follower's state is already applied); measured over a node
+	// holding a 50-poll history to prove it.
+	c := newBenchRepl(repl.AckOne, 1)
+	poll := replPollWorkload(c.svc, 15)
+	for i := 0; i < 50; i++ {
+		poll()
+	}
+	f := c.followers[0]
+	promote := measure(func() {
+		f.Demote()
+		if err := f.Promote(); err != nil {
+			panic(err)
+		}
+	})
+	fmt.Printf("  time-to-promote: %s (demote+promote cycle, 50-poll history)\n", promote)
+	c.cleanup()
+}
+
+// runReplJSON is B14 in JSON form: the replicated poll cycle per ack mode
+// against the unreplicated baseline, and the promotion latency. The
+// headline ratio is AckOne's overhead factor (machine-relative, gated by
+// -check); promote latency is absolute and reported only.
+func runReplJSON(report *benchReport, bench func(string, func(*testing.B)) testing.BenchmarkResult) error {
+	obs.SetEnabled(false)
+	nsOp := func(r testing.BenchmarkResult) float64 { return float64(r.T.Nanoseconds()) / float64(r.N) }
+
+	plain := qss.NewService(nil)
+	pollPlain := replPollWorkload(plain, 14)
+	off := nsOp(bench("repl-poll-ack-off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pollPlain()
+		}
+	}))
+	report.ReplAckPollOverhead = make(map[string]float64, len(replAckTiers))
+	for _, tc := range replAckTiers {
+		c := newBenchRepl(tc.ack, tc.followers)
+		poll := replPollWorkload(c.svc, 14)
+		ns := nsOp(bench("repl-poll-ack-"+tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				poll()
+			}
+		}))
+		report.ReplAckPollOverhead[tc.name] = ns / off
+		if tc.ack == repl.AckOne {
+			report.ReplAckOnePollOverhead = ns / off
+		}
+		c.cleanup()
+	}
+
+	c := newBenchRepl(repl.AckOne, 1)
+	poll := replPollWorkload(c.svc, 15)
+	for i := 0; i < 50; i++ {
+		poll()
+	}
+	f := c.followers[0]
+	report.ReplPromoteNs = nsOp(bench("repl-promote", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f.Demote()
+			if err := f.Promote(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	c.cleanup()
+
+	// One instrumented replicated poll so the repl_* metrics land in the
+	// report's obs snapshot alongside the rest of the stack.
+	obs.SetEnabled(true)
+	ic := newBenchRepl(repl.AckOne, 1)
+	replPollWorkload(ic.svc, 16)()
+	ic.cleanup()
+	return nil
+}

@@ -4,9 +4,10 @@
 //
 // Usage:
 //
-//	qsc -connect ADDR list
-//	qsc -connect ADDR poll NAME [TIME]
-//	qsc -connect ADDR [-reconnect] [-ping DUR] [-idle DUR] watch NAME SOURCE POLLING FILTER [FREQ]
+//	qsc -connect ADDR[,ADDR...] list
+//	qsc -connect ADDR[,ADDR...] poll NAME [TIME]
+//	qsc -connect ADDR[,ADDR...] status
+//	qsc -connect ADDR[,ADDR...] [-reconnect] [-ping DUR] [-idle DUR] watch NAME SOURCE POLLING FILTER [FREQ]
 //
 // Example (against the demo server):
 //
@@ -22,14 +23,23 @@
 // from reaping the connection; -idle tears down (and, with -reconnect,
 // redials) a connection whose server has gone silent. Ctrl-C exits
 // cleanly.
+//
+// Against a replicated deployment (see docs/replication.md), -connect
+// takes a comma-separated list of servers: one-shot commands try each in
+// order, and watch -reconnect rotates through them on failure and follows
+// redirects, so the client finds whichever node is primary after a
+// failover and resumes its subscription there exactly-once. status prints
+// the connected node's role and staleness bound.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -39,7 +49,7 @@ import (
 )
 
 func main() {
-	addr := flag.String("connect", "127.0.0.1:4997", "qss server address")
+	addr := flag.String("connect", "127.0.0.1:4997", "qss server address(es), comma-separated failover targets")
 	sourceName := flag.String("source-name", "", "name the polling query uses for the source (default: the source name)")
 	reconnect := flag.Bool("reconnect", false, "auto-reconnect and resume subscriptions (watch mode)")
 	ping := flag.Duration("ping", 0, "ping the server at this interval to defeat its idle timeout (0 = off)")
@@ -54,7 +64,16 @@ func main() {
 	if len(args) == 0 {
 		usage()
 	}
-	if err := run(*addr, *sourceName, *reconnect, *ping, *idle, args); err != nil {
+	var addrs []string
+	for _, a := range strings.Split(*addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		usage()
+	}
+	if err := run(addrs, *sourceName, *reconnect, *ping, *idle, args); err != nil {
 		fmt.Fprintln(os.Stderr, "qsc:", err)
 		os.Exit(1)
 	}
@@ -62,19 +81,33 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  qsc [-connect ADDR] list
-  qsc [-connect ADDR] poll NAME [TIME]
-  qsc [-connect ADDR] [-reconnect] [-ping DUR] [-idle DUR] watch NAME SOURCE POLLING FILTER [FREQ]`)
+  qsc [-connect ADDR[,ADDR...]] list
+  qsc [-connect ADDR[,ADDR...]] poll NAME [TIME]
+  qsc [-connect ADDR[,ADDR...]] status
+  qsc [-connect ADDR[,ADDR...]] [-reconnect] [-ping DUR] [-idle DUR] watch NAME SOURCE POLLING FILTER [FREQ]`)
 	os.Exit(2)
 }
 
-func run(addr, sourceName string, reconnect bool, ping, idle time.Duration, args []string) error {
+// dialFirst connects to the first reachable address.
+func dialFirst(addrs []string) (*qss.Client, error) {
+	var errs []error
+	for _, a := range addrs {
+		cl, err := qss.Dial(a)
+		if err == nil {
+			return cl, nil
+		}
+		errs = append(errs, err)
+	}
+	return nil, errors.Join(errs...)
+}
+
+func run(addrs []string, sourceName string, reconnect bool, ping, idle time.Duration, args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	switch args[0] {
 	case "list":
-		cl, err := qss.Dial(addr)
+		cl, err := dialFirst(addrs)
 		if err != nil {
 			return err
 		}
@@ -95,12 +128,37 @@ func run(addr, sourceName string, reconnect bool, ping, idle time.Duration, args
 		if len(args) > 2 {
 			at = args[2]
 		}
-		cl, err := qss.Dial(addr)
+		cl, err := dialFirst(addrs)
 		if err != nil {
 			return err
 		}
 		defer cl.Close()
 		return cl.Poll(args[1], at)
+	case "status":
+		cl, err := dialFirst(addrs)
+		if err != nil {
+			return err
+		}
+		defer cl.Close()
+		st, err := cl.Status()
+		if err != nil {
+			return err
+		}
+		if st == nil {
+			fmt.Println("replication: off")
+			return nil
+		}
+		fmt.Printf("role: %s\nepoch: %d\napplied: %d\ncommit: %d\nlag: %d\n", st.Role, st.Epoch, st.Applied, st.Commit, st.LagSeq)
+		if st.Fenced {
+			fmt.Println("fenced: true")
+		}
+		if st.AppliedAt != "" {
+			fmt.Printf("applied-at: %s\n", st.AppliedAt)
+		}
+		if st.Primary != "" {
+			fmt.Printf("primary: %s\n", st.Primary)
+		}
+		return nil
 	case "watch":
 		if len(args) < 5 {
 			usage()
@@ -115,9 +173,9 @@ func run(addr, sourceName string, reconnect bool, ping, idle time.Duration, args
 			sn = source
 		}
 		if reconnect {
-			return watchRobust(ctx, addr, name, source, sn, polling, filter, freq, ping, idle)
+			return watchRobust(ctx, addrs, name, source, sn, polling, filter, freq, ping, idle)
 		}
-		return watchOnce(ctx, addr, name, source, sn, polling, filter, freq, idle)
+		return watchOnce(ctx, addrs, name, source, sn, polling, filter, freq, idle)
 	default:
 		usage()
 		return nil
@@ -125,8 +183,8 @@ func run(addr, sourceName string, reconnect bool, ping, idle time.Duration, args
 }
 
 // watchOnce watches over a single connection; any failure ends the watch.
-func watchOnce(ctx context.Context, addr, name, source, sourceName, polling, filter, freq string, idle time.Duration) error {
-	cl, err := qss.Dial(addr)
+func watchOnce(ctx context.Context, addrs []string, name, source, sourceName, polling, filter, freq string, idle time.Duration) error {
+	cl, err := dialFirst(addrs)
 	if err != nil {
 		return err
 	}
@@ -164,9 +222,11 @@ func watchOnce(ctx context.Context, addr, name, source, sourceName, polling, fil
 	}
 }
 
-// watchRobust watches through connection failures, resuming on reconnect.
-func watchRobust(ctx context.Context, addr, name, source, sourceName, polling, filter, freq string, ping, idle time.Duration) error {
-	rc := qss.DialRobust(addr, &qss.RobustOptions{
+// watchRobust watches through connection failures, resuming on reconnect:
+// it rotates through the fallback addresses and follows replica redirects,
+// so after a failover the subscription lands on the new primary.
+func watchRobust(ctx context.Context, addrs []string, name, source, sourceName, polling, filter, freq string, ping, idle time.Duration) error {
+	rc := qss.DialRobustAddrs(addrs, &qss.RobustOptions{
 		PingInterval: ping,
 		IdleTimeout:  idle,
 		OnEvent: func(event string, err error) {
@@ -182,7 +242,22 @@ func watchRobust(ctx context.Context, addr, name, source, sourceName, polling, f
 		<-ctx.Done()
 		rc.Close()
 	}()
-	if err := rc.Subscribe(name, source, sourceName, polling, filter, freq); err != nil {
+	// The first address may be a read replica: the subscribe comes back as
+	// a redirect (or races the teardown of the redirected connection), the
+	// client redials at the primary, and a retry lands.
+	err := rc.Subscribe(name, source, sourceName, polling, filter, freq)
+	for i := 0; err != nil && i < 50; i++ {
+		var re *qss.RedirectError
+		if !errors.As(err, &re) && !strings.Contains(err.Error(), "connection closed") {
+			break
+		}
+		if ctx.Err() != nil {
+			return nil
+		}
+		time.Sleep(200 * time.Millisecond)
+		err = rc.Subscribe(name, source, sourceName, polling, filter, freq)
+	}
+	if err != nil {
 		return err
 	}
 	fmt.Printf("qsc: subscribed %q; reconnecting on failure (Ctrl-C to stop)\n", name)

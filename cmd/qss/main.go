@@ -32,6 +32,16 @@
 // source with seeded fault injection for resilience testing. SIGINT or
 // SIGTERM triggers a graceful shutdown (pollers stopped, WAL flushed,
 // connections drained).
+//
+// Replication (see docs/replication.md): -repl-dir turns the server into a
+// replication participant whose poll history lives on a replicated oplog
+// (mutually exclusive with -waldir and -segments). -repl-listen accepts
+// follower streams; -repl-primary takes the primary role at startup, while
+// -repl-follow ADDR follows an existing primary and serves reads, with
+// writes redirected to the primary's -repl-advertise address. -repl-ack
+// picks the write acknowledgment mode (none | one | quorum). POST
+// /promote on the admin endpoint promotes a follower during failover, and
+// /healthz reports the node's role, epoch and replication lag.
 package main
 
 import (
@@ -55,6 +65,7 @@ import (
 	"repro/internal/oem"
 	"repro/internal/plan"
 	"repro/internal/qss"
+	"repro/internal/repl"
 	"repro/internal/segment"
 	"repro/internal/wal"
 	"repro/internal/wrapper"
@@ -98,6 +109,18 @@ type config struct {
 	chaosSeed    int64
 	chaosErrRate float64
 	chaosLatency time.Duration
+
+	replDir        string
+	replListen     string
+	replFollow     string
+	replPrimary    bool
+	replID         string
+	replAck        string
+	replReplicas   int
+	replAckTimeout time.Duration
+	replAdvertise  string
+	replHeartbeat  time.Duration
+	replIdle       time.Duration
 }
 
 func main() {
@@ -137,6 +160,18 @@ func main() {
 	flag.Int64Var(&cfg.chaosSeed, "chaos-seed", 0, "seed for source fault injection")
 	flag.Float64Var(&cfg.chaosErrRate, "chaos-error-rate", 0, "probability each source poll fails (0 = chaos off)")
 	flag.DurationVar(&cfg.chaosLatency, "chaos-latency", 0, "max injected source poll latency")
+
+	flag.StringVar(&cfg.replDir, "repl-dir", "", "directory for the replicated oplog (enables replication; mutually exclusive with -waldir and -segments)")
+	flag.StringVar(&cfg.replListen, "repl-listen", "", "address accepting follower replication streams")
+	flag.StringVar(&cfg.replFollow, "repl-follow", "", "primary replication address to follow (serve as a read replica)")
+	flag.BoolVar(&cfg.replPrimary, "repl-primary", false, "take the primary role at startup")
+	flag.StringVar(&cfg.replID, "repl-id", "", "node id in acks and logs (default: the -listen address)")
+	flag.StringVar(&cfg.replAck, "repl-ack", "none", "write acknowledgment mode: none | one | quorum")
+	flag.IntVar(&cfg.replReplicas, "repl-replicas", 0, "expected follower count (the quorum denominator for -repl-ack=quorum)")
+	flag.DurationVar(&cfg.replAckTimeout, "repl-ack-timeout", 5*time.Second, "max wait for the ack quorum (0 = wait forever)")
+	flag.StringVar(&cfg.replAdvertise, "repl-advertise", "", "client-facing address replicas redirect writes to while primary (default: -listen)")
+	flag.DurationVar(&cfg.replHeartbeat, "repl-heartbeat", time.Second, "primary commit-watermark heartbeat cadence (0 = off)")
+	flag.DurationVar(&cfg.replIdle, "repl-idle-timeout", 5*time.Second, "follower stream liveness timeout before redialing (0 = off)")
 	flag.Parse()
 	cfg.csvs = csvs
 
@@ -269,6 +304,81 @@ func run(cfg config) error {
 			cfg.segDir, cfg.sealAnns, cfg.sealAge, cfg.coldN)
 	}
 
+	// Replication: subscription history lives on a replicated oplog (see
+	// docs/replication.md) instead of per-subscription logs or segments.
+	var node *repl.Node
+	if cfg.replDir == "" {
+		for flagName, set := range map[string]bool{
+			"-repl-listen":  cfg.replListen != "",
+			"-repl-follow":  cfg.replFollow != "",
+			"-repl-primary": cfg.replPrimary,
+		} {
+			if set {
+				return fmt.Errorf("%s requires -repl-dir", flagName)
+			}
+		}
+	} else {
+		if cfg.walDir != "" || cfg.segDir != "" {
+			return fmt.Errorf("-repl-dir is mutually exclusive with -waldir and -segments")
+		}
+		if cfg.replPrimary && cfg.replFollow != "" {
+			return fmt.Errorf("-repl-primary and -repl-follow are mutually exclusive")
+		}
+		ack, err := repl.ParseAckMode(cfg.replAck)
+		if err != nil {
+			return err
+		}
+		id := cfg.replID
+		if id == "" {
+			id = cfg.listen
+		}
+		advertise := cfg.replAdvertise
+		if advertise == "" {
+			advertise = cfg.listen
+		}
+		node, err = repl.Open(cfg.replDir, qss.NewReplState(srv.Service()), repl.Config{
+			ID:             id,
+			Ack:            ack,
+			Replicas:       cfg.replReplicas,
+			AckTimeout:     cfg.replAckTimeout,
+			Advertise:      advertise,
+			HeartbeatEvery: cfg.replHeartbeat,
+			IdleTimeout:    cfg.replIdle,
+		})
+		if err != nil {
+			return err
+		}
+		defer node.Close()
+		if err := srv.EnableReplication(node); err != nil {
+			return err
+		}
+		if cfg.replListen != "" {
+			rln, err := net.Listen("tcp", cfg.replListen)
+			if err != nil {
+				return fmt.Errorf("repl: %w", err)
+			}
+			defer rln.Close()
+			go node.Serve(rln)
+			fmt.Printf("qss: replication streams on %s\n", rln.Addr())
+		}
+		switch {
+		case cfg.replPrimary:
+			if err := node.Promote(); err != nil {
+				return err
+			}
+		case cfg.replFollow != "":
+			target := cfg.replFollow
+			if err := node.Follow(func() (net.Conn, error) {
+				return net.Dial("tcp", target)
+			}); err != nil {
+				return err
+			}
+		}
+		st := node.Status()
+		fmt.Printf("qss: replicated oplog under %s (id=%s role=%s epoch=%d ack=%s advertise=%s)\n",
+			cfg.replDir, id, st.Role, st.Epoch, ack, advertise)
+	}
+
 	// Opt-in admin endpoint: metrics (JSON + Prometheus text), health with
 	// per-subscription poll states, and pprof. Collection is enabled only
 	// when the endpoint is served, so the default run pays one atomic
@@ -291,12 +401,45 @@ func run(cfg config) error {
 						status = "degraded"
 					}
 				}
-				return status, map[string]any{
+				details := map[string]any{
 					"subscriptions": states,
 					"orphaned":      srv.Orphaned(),
 				}
+				if node != nil {
+					st := node.Status()
+					details["repl"] = map[string]any{
+						"role":    st.Role.String(),
+						"epoch":   st.Epoch,
+						"fenced":  st.Fenced,
+						"applied": st.Applied,
+						"commit":  st.Commit,
+						"lag_seq": st.LagSeq,
+						"primary": st.PrimaryAddr,
+					}
+					if st.Fenced {
+						status = "degraded"
+					}
+				}
+				return status, details
 			},
 		})
+		if node != nil {
+			// Failover runbook endpoint: promote this node to primary (see
+			// docs/replication.md). Epoch fencing makes the deposed primary's
+			// appends fail once any follower or client carries the news.
+			mux.HandleFunc("/promote", func(w http.ResponseWriter, r *http.Request) {
+				if r.Method != http.MethodPost {
+					http.Error(w, "POST only", http.StatusMethodNotAllowed)
+					return
+				}
+				if err := node.Promote(); err != nil {
+					http.Error(w, err.Error(), http.StatusConflict)
+					return
+				}
+				st := node.Status()
+				fmt.Fprintf(w, "{\"role\":%q,\"epoch\":%d}\n", st.Role, st.Epoch)
+			})
+		}
 		adminSrv = &http.Server{Handler: mux}
 		go func() { _ = adminSrv.Serve(aln) }()
 		fmt.Printf("qss: admin endpoint on http://%s (/metrics, /healthz, /debug/pprof)\n", aln.Addr())

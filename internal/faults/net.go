@@ -1,0 +1,462 @@
+package faults
+
+// In-memory network for replication tests: named hosts, asymmetric
+// partitions, per-direction delay, and seeded chunk reorder. Each
+// direction of a connection is an independent queue, so "A can reach B
+// but B cannot reach A" is directly expressible — the classic asymmetric
+// partition that wedges naive replication protocols.
+//
+// Semantics are deliberately partition-realistic:
+//
+//   - Cut(from, to) blackholes that direction: in-flight chunks are
+//     dropped and later writes succeed locally but never arrive, exactly
+//     like packets into a dead link. A byte stream that spans a cut has a
+//     hole in it after Heal, so framed protocols will (must!) detect
+//     corruption and drop the connection; reconnecting through Dial after
+//     Heal gives a clean stream.
+//   - Dial fails while either direction between the hosts is cut (the
+//     handshake needs both).
+//   - Reorder delays a seeded-random subset of chunks so they overtake
+//     later writes. Which chunks are chosen is deterministic per seed;
+//     stream-level protocols must reject the resulting corruption rather
+//     than misapply it.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrUnreachable reports a dial through a cut or unknown route.
+var ErrUnreachable = errors.New("faults: host unreachable")
+
+// reorderBy is how much extra delay a reordered chunk receives — enough
+// to land after subsequently written chunks.
+const reorderBy = 3 * time.Millisecond
+
+type dirKey struct{ from, to string }
+
+type linkState struct {
+	cut     bool
+	delay   time.Duration
+	reorder float64 // probability a chunk is delayed past its successors
+}
+
+// Net is a deterministic in-memory network of named hosts.
+type Net struct {
+	mu        sync.Mutex
+	rng       *rand.Rand
+	links     map[dirKey]*linkState
+	queues    map[dirKey][]*dirQueue
+	listeners map[string]*memListener
+}
+
+// NewNet builds a network whose reorder decisions derive from seed.
+func NewNet(seed int64) *Net {
+	return &Net{
+		rng:       rand.New(rand.NewSource(seed)),
+		links:     make(map[dirKey]*linkState),
+		queues:    make(map[dirKey][]*dirQueue),
+		listeners: make(map[string]*memListener),
+	}
+}
+
+func (n *Net) linkLocked(k dirKey) *linkState {
+	l := n.links[k]
+	if l == nil {
+		l = &linkState{}
+		n.links[k] = l
+	}
+	return l
+}
+
+// Cut blackholes the from→to direction: pending chunks are dropped and
+// later writes vanish. The reverse direction is unaffected.
+func (n *Net) Cut(from, to string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	k := dirKey{from, to}
+	n.linkLocked(k).cut = true
+	for _, q := range n.queues[k] {
+		q.flush()
+	}
+}
+
+// CutBoth cuts both directions between a and b — a full partition.
+func (n *Net) CutBoth(a, b string) {
+	n.Cut(a, b)
+	n.Cut(b, a)
+}
+
+// Heal restores the from→to direction. Bytes dropped while cut stay
+// dropped.
+func (n *Net) Heal(from, to string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.linkLocked(dirKey{from, to}).cut = false
+}
+
+// HealAll removes every cut.
+func (n *Net) HealAll() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, l := range n.links {
+		l.cut = false
+	}
+}
+
+// SetDelay adds a fixed delivery delay to the from→to direction.
+func (n *Net) SetDelay(from, to string, d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.linkLocked(dirKey{from, to}).delay = d
+}
+
+// SetReorder makes each chunk on from→to overtake its successors with the
+// given probability (seeded, deterministic per chunk sequence).
+func (n *Net) SetReorder(from, to string, rate float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.linkLocked(dirKey{from, to}).reorder = rate
+}
+
+// isCut reports whether from→to is currently blackholed.
+func (n *Net) isCut(from, to string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	l := n.links[dirKey{from, to}]
+	return l != nil && l.cut
+}
+
+// sendPlan samples the current link state for one written chunk.
+func (n *Net) sendPlan(from, to string) (cut bool, delay time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	l := n.links[dirKey{from, to}]
+	if l == nil {
+		return false, 0
+	}
+	if l.cut {
+		return true, 0
+	}
+	delay = l.delay
+	if l.reorder > 0 && n.rng.Float64() < l.reorder {
+		delay += reorderBy
+	}
+	return false, delay
+}
+
+// Listen registers host as accepting connections and returns its listener.
+func (n *Net) Listen(host string) (net.Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.listeners[host]; ok {
+		return nil, fmt.Errorf("faults: %s already listening", host)
+	}
+	ln := &memListener{net: n, host: host, accept: make(chan *memConn, 64)}
+	n.listeners[host] = ln
+	return ln, nil
+}
+
+// Dial connects from→to. It fails while either direction is cut or no
+// listener is registered at to.
+func (n *Net) Dial(from, to string) (net.Conn, error) {
+	n.mu.Lock()
+	ln := n.listeners[to]
+	n.mu.Unlock()
+	if ln == nil || n.isCut(from, to) || n.isCut(to, from) {
+		return nil, fmt.Errorf("%w: %s -> %s", ErrUnreachable, from, to)
+	}
+	fwd := newDirQueue(n, from, to) // dialer writes, acceptor reads
+	rev := newDirQueue(n, to, from)
+	n.mu.Lock()
+	n.queues[dirKey{from, to}] = append(n.queues[dirKey{from, to}], fwd)
+	n.queues[dirKey{to, from}] = append(n.queues[dirKey{to, from}], rev)
+	n.mu.Unlock()
+	dialer := &memConn{net: n, localHost: from, remoteHost: to, r: rev, w: fwd}
+	acceptor := &memConn{net: n, localHost: to, remoteHost: from, r: fwd, w: rev}
+	select {
+	case ln.accept <- acceptor:
+		return dialer, nil
+	case <-ln.done():
+		return nil, fmt.Errorf("%w: %s listener closed", ErrUnreachable, to)
+	}
+}
+
+type memListener struct {
+	net    *Net
+	host   string
+	accept chan *memConn
+
+	mu     sync.Mutex
+	closed chan struct{}
+}
+
+func (l *memListener) done() chan struct{} {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed == nil {
+		l.closed = make(chan struct{})
+	}
+	return l.closed
+}
+
+// Accept implements net.Listener.
+func (l *memListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.done():
+		return nil, fmt.Errorf("faults: %s listener closed", l.host)
+	}
+}
+
+// Close implements net.Listener.
+func (l *memListener) Close() error {
+	l.mu.Lock()
+	done := l.closed
+	if done == nil {
+		done = make(chan struct{})
+		l.closed = done
+	}
+	l.mu.Unlock()
+	select {
+	case <-done:
+	default:
+		close(done)
+	}
+	l.net.mu.Lock()
+	if l.net.listeners[l.host] == l {
+		delete(l.net.listeners, l.host)
+	}
+	l.net.mu.Unlock()
+	return nil
+}
+
+// Addr implements net.Listener.
+func (l *memListener) Addr() net.Addr { return memAddr(l.host) }
+
+type memAddr string
+
+func (a memAddr) Network() string { return "mem" }
+func (a memAddr) String() string  { return string(a) }
+
+// dirQueue is one direction of a connection: a queue of delivered chunks.
+// Delay is realized by deferring the enqueue, so readers only ever see
+// chunks that are due.
+type dirQueue struct {
+	net      *Net
+	from, to string
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	chunks [][]byte
+	closed bool
+}
+
+func newDirQueue(n *Net, from, to string) *dirQueue {
+	q := &dirQueue{net: n, from: from, to: to}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *dirQueue) push(data []byte) {
+	// A chunk due after the direction was cut is dropped too.
+	if q.net.isCut(q.from, q.to) {
+		return
+	}
+	q.mu.Lock()
+	if !q.closed {
+		q.chunks = append(q.chunks, data)
+	}
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+func (q *dirQueue) flush() {
+	q.mu.Lock()
+	q.chunks = nil
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+func (q *dirQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// read pops bytes, draining buffered chunks before reporting EOF on a
+// closed queue. expired reports whether the caller's read deadline passed.
+func (q *dirQueue) read(p []byte, expired func() bool) (int, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.chunks) == 0 {
+		if q.closed {
+			return 0, io.EOF
+		}
+		if expired != nil && expired() {
+			return 0, &timeoutError{}
+		}
+		q.cond.Wait()
+	}
+	n := copy(p, q.chunks[0])
+	if n == len(q.chunks[0]) {
+		q.chunks = q.chunks[1:]
+	} else {
+		q.chunks[0] = q.chunks[0][n:]
+	}
+	return n, nil
+}
+
+type timeoutError struct{}
+
+func (*timeoutError) Error() string   { return "faults: i/o timeout" }
+func (*timeoutError) Timeout() bool   { return true }
+func (*timeoutError) Temporary() bool { return true }
+
+// memConn is one endpoint of an in-memory connection.
+type memConn struct {
+	net                   *Net
+	localHost, remoteHost string
+	r, w                  *dirQueue
+
+	mu           sync.Mutex
+	closed       bool
+	readDeadline time.Time
+}
+
+// Read implements net.Conn.
+func (c *memConn) Read(p []byte) (int, error) {
+	return c.r.read(p, func() bool {
+		c.mu.Lock()
+		d := c.readDeadline
+		c.mu.Unlock()
+		return !d.IsZero() && time.Now().After(d)
+	})
+}
+
+// Write implements net.Conn.
+func (c *memConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return 0, errors.New("faults: write on closed connection")
+	}
+	cut, delay := c.net.sendPlan(c.localHost, c.remoteHost)
+	if cut {
+		// Blackholed: the sender cannot tell.
+		return len(p), nil
+	}
+	data := append([]byte(nil), p...)
+	if delay > 0 {
+		q := c.w
+		time.AfterFunc(delay, func() { q.push(data) })
+	} else {
+		c.w.push(data)
+	}
+	return len(p), nil
+}
+
+// Close implements net.Conn. Both directions end; the peer drains buffered
+// data and then reads EOF.
+func (c *memConn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.r.close()
+	c.w.close()
+	return nil
+}
+
+// LocalAddr implements net.Conn.
+func (c *memConn) LocalAddr() net.Addr { return memAddr(c.localHost) }
+
+// RemoteAddr implements net.Conn.
+func (c *memConn) RemoteAddr() net.Addr { return memAddr(c.remoteHost) }
+
+// SetDeadline implements net.Conn (read side only; writes never block).
+func (c *memConn) SetDeadline(t time.Time) error { return c.SetReadDeadline(t) }
+
+// SetReadDeadline implements net.Conn.
+func (c *memConn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDeadline = t
+	c.mu.Unlock()
+	if !t.IsZero() {
+		q := c.r
+		time.AfterFunc(time.Until(t), func() {
+			q.mu.Lock()
+			q.cond.Broadcast()
+			q.mu.Unlock()
+		})
+	}
+	return nil
+}
+
+// SetWriteDeadline implements net.Conn. Writes are buffered and never
+// block, so this is a no-op.
+func (c *memConn) SetWriteDeadline(time.Time) error { return nil }
+
+// ByteLimitConn truncates the write stream at an exact byte offset and
+// then kills the connection — "the process died mid-frame at byte N",
+// the crash-at-offset primitive for replication stream tests. Reads pass
+// through until the cut.
+type ByteLimitConn struct {
+	net.Conn
+
+	mu      sync.Mutex
+	remain  int64
+	tripped bool
+}
+
+// ErrByteLimit reports a write cut at the configured byte boundary.
+var ErrByteLimit = errors.New("faults: connection cut at byte limit")
+
+// CutAfterBytes wraps inner so that exactly limit bytes of writes are
+// transmitted; the write that crosses the boundary transmits its prefix,
+// the connection is closed, and every later write fails.
+func CutAfterBytes(inner net.Conn, limit int64) *ByteLimitConn {
+	return &ByteLimitConn{Conn: inner, remain: limit}
+}
+
+// Write implements net.Conn.
+func (c *ByteLimitConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	if c.tripped {
+		c.mu.Unlock()
+		return 0, ErrByteLimit
+	}
+	if int64(len(p)) <= c.remain {
+		c.remain -= int64(len(p))
+		c.mu.Unlock()
+		return c.Conn.Write(p)
+	}
+	keep := c.remain
+	c.remain = 0
+	c.tripped = true
+	c.mu.Unlock()
+	n := 0
+	if keep > 0 {
+		n, _ = c.Conn.Write(p[:keep])
+	}
+	c.Conn.Close()
+	return n, ErrByteLimit
+}
+
+// Tripped reports whether the byte limit has been hit.
+func (c *ByteLimitConn) Tripped() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tripped
+}

@@ -1,0 +1,195 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+func dialPair(t *testing.T, nw *Net, from, to string) (net.Conn, net.Conn) {
+	t.Helper()
+	ln, err := nw.Listen(to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- c
+	}()
+	c, err := nw.Dial(from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case s := <-accepted:
+		return c, s
+	case <-time.After(time.Second):
+		t.Fatal("accept timed out")
+		return nil, nil
+	}
+}
+
+func TestNetRoundTrip(t *testing.T) {
+	nw := NewNet(1)
+	c, s := dialPair(t, nw, "a", "b")
+	defer c.Close()
+	defer s.Close()
+	if _, err := c.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(s, buf); err != nil || string(buf) != "hello" {
+		t.Fatalf("read %q, %v", buf, err)
+	}
+	if _, err := s.Write([]byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(c, buf); err != nil || string(buf) != "world" {
+		t.Fatalf("read %q, %v", buf, err)
+	}
+	// EOF after peer close, once drained.
+	s.Write([]byte("bye"))
+	s.Close()
+	rest, _ := io.ReadAll(c)
+	if string(rest) != "bye" {
+		t.Fatalf("drained %q, want bye", rest)
+	}
+}
+
+func TestNetAsymmetricPartition(t *testing.T) {
+	nw := NewNet(1)
+	c, s := dialPair(t, nw, "a", "b")
+	defer c.Close()
+	defer s.Close()
+
+	nw.Cut("a", "b") // a's packets vanish; b's still arrive
+
+	if _, err := c.Write([]byte("lost")); err != nil {
+		t.Fatalf("blackholed write should succeed locally: %v", err)
+	}
+	if _, err := s.Write([]byte("back")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(c, buf); err != nil || string(buf) != "back" {
+		t.Fatalf("reverse direction broken: %q, %v", buf, err)
+	}
+	// Nothing arrives at b.
+	s.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	if n, err := s.Read(buf); err == nil {
+		t.Fatalf("read through cut got %d bytes", n)
+	} else if ne, ok := err.(net.Error); !ok || !ne.Timeout() {
+		t.Fatalf("want timeout through cut, got %v", err)
+	}
+
+	// Dial fails while cut, works after heal.
+	if _, err := nw.Dial("a", "b"); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("dial through cut: %v", err)
+	}
+	nw.Heal("a", "b")
+	c2, err := nw.Dial("a", "b")
+	if err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+	c2.Close()
+}
+
+func TestNetDelay(t *testing.T) {
+	nw := NewNet(1)
+	nw.SetDelay("a", "b", 40*time.Millisecond)
+	c, s := dialPair(t, nw, "a", "b")
+	defer c.Close()
+	defer s.Close()
+	start := time.Now()
+	c.Write([]byte("x"))
+	buf := make([]byte, 1)
+	if _, err := io.ReadFull(s, buf); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("delivered after %v, want >= ~40ms", d)
+	}
+}
+
+func TestNetReorder(t *testing.T) {
+	nw := NewNet(7)
+	nw.SetReorder("a", "b", 0.5)
+	c, s := dialPair(t, nw, "a", "b")
+	defer c.Close()
+	defer s.Close()
+	const n = 200
+	go func() {
+		for i := 0; i < n; i++ {
+			c.Write([]byte{byte(i)})
+		}
+	}()
+	got := make([]byte, 0, n)
+	buf := make([]byte, 64)
+	s.SetReadDeadline(time.Now().Add(2 * time.Second))
+	for len(got) < n {
+		k, err := s.Read(buf)
+		if err != nil {
+			t.Fatalf("read after %d bytes: %v", len(got), err)
+		}
+		got = append(got, buf[:k]...)
+	}
+	// Same bytes, scrambled order: framed protocols must detect this.
+	sorted := append([]byte(nil), got...)
+	inOrder := true
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i-1] > sorted[i] {
+			inOrder = false
+			break
+		}
+	}
+	if inOrder {
+		t.Fatal("reorder rate 0.5 delivered every chunk in order")
+	}
+	counts := make(map[byte]int)
+	for _, b := range got {
+		counts[b]++
+	}
+	for i := 0; i < n; i++ {
+		if counts[byte(i)] != 1 {
+			t.Fatalf("byte %d delivered %d times", i, counts[byte(i)])
+		}
+	}
+}
+
+func TestCutAfterBytes(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	cut := CutAfterBytes(a, 10)
+	go func() {
+		cut.Write([]byte("0123456789abcdef")) // 16 bytes, cut at 10
+	}()
+	buf := make([]byte, 32)
+	got := make([]byte, 0, 16)
+	for {
+		n, err := b.Read(buf)
+		got = append(got, buf[:n]...)
+		if err != nil {
+			break
+		}
+		if len(got) >= 10 {
+			// One more read should see the close.
+			b.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+		}
+	}
+	if !bytes.Equal(got, []byte("0123456789")) {
+		t.Fatalf("received %q, want exactly the first 10 bytes", got)
+	}
+	if !cut.Tripped() {
+		t.Fatal("limit not tripped")
+	}
+	if _, err := cut.Write([]byte("more")); !errors.Is(err, ErrByteLimit) {
+		t.Fatalf("post-trip write: %v", err)
+	}
+}

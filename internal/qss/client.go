@@ -57,6 +57,22 @@ type SubSpec struct {
 	Name, Source, SourceName, Polling, Filter, Freq string
 }
 
+// RedirectError reports a request rejected by a read replica. Addr is the
+// primary's advertised address ("" when the replica does not know one
+// yet); RobustClient follows it automatically.
+type RedirectError struct {
+	Addr string
+	Msg  string
+}
+
+// Error implements error.
+func (e *RedirectError) Error() string {
+	if e.Addr == "" {
+		return fmt.Sprintf("qss: server: %s", e.Msg)
+	}
+	return fmt.Sprintf("qss: server: %s (primary at %s)", e.Msg, e.Addr)
+}
+
 // Dial connects to a QSS server.
 func Dial(addr string) (*Client, error) {
 	nc, err := net.Dial("tcp", addr)
@@ -209,6 +225,9 @@ func (cl *Client) call(req *Request) (*Response, error) {
 		return nil, errors.New("qss: connection closed")
 	}
 	if resp.Error != "" {
+		if resp.Redirect != "" {
+			return nil, &RedirectError{Addr: resp.Redirect, Msg: resp.Error}
+		}
 		return nil, fmt.Errorf("qss: server: %s", resp.Error)
 	}
 	return resp, nil
@@ -266,4 +285,14 @@ func (cl *Client) Poll(name, at string) error {
 func (cl *Client) Ping() error {
 	_, err := cl.call(&Request{Op: "ping"})
 	return err
+}
+
+// Status reports the server's replication role and staleness bound; nil
+// on servers without replication enabled.
+func (cl *Client) Status() (*WireReplStatus, error) {
+	resp, err := cl.call(&Request{Op: "status"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Repl, nil
 }

@@ -2,6 +2,7 @@ package qss
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 
 	"repro/internal/doem"
@@ -61,6 +62,11 @@ func (st *subState) marshalState(name string) ([]byte, error) {
 func (s *Service) ImportState(name string, data []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.replNode != nil {
+		// Imported state would diverge from what the replicated oplog
+		// replays; replicated subscriptions recover from the oplog alone.
+		return errors.New("qss: import is not supported under replication")
+	}
 	st, ok := s.subs[name]
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNoSuchSub, name)

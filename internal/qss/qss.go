@@ -24,6 +24,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/oem"
 	"repro/internal/oemdiff"
+	"repro/internal/repl"
 	"repro/internal/segment"
 	"repro/internal/timestamp"
 	"repro/internal/wal"
@@ -77,6 +78,10 @@ type Service struct {
 	segDir string
 	segOpt *wal.Options
 	segPol *segment.Policy
+	// replNode, when set via EnableReplication, routes every poll record
+	// through a replicated oplog with quorum acknowledgment (mutually
+	// exclusive with walDir/segDir; see repl.go).
+	replNode *repl.Node
 	// workers is the evaluation parallelism applied to the per-poll
 	// polling- and filter-query engines (0 = serial).
 	workers int
@@ -86,10 +91,20 @@ type Service struct {
 }
 
 type subState struct {
-	// mu serializes polls and state swaps for this subscription.
+	// pollMu serializes whole polls (source I/O through filter delivery).
+	// It is always acquired before mu and held across the replication
+	// quorum wait, during which mu is released so the node's ReplState can
+	// fold the record in.
+	pollMu sync.Mutex
+	// mu guards the fields below (history, remap, poll times).
 	mu  sync.Mutex
 	sub Subscription
-	d   *doem.Database
+	// replica marks state maintained by replication with no subscription
+	// attached (no source, no queries): a follower's copy, or a primary's
+	// own state rebuilt from the oplog before Subscribe re-adopted it.
+	// Replicas serve reads (History, List) but cannot poll.
+	replica bool
+	d       *doem.Database
 	// pollNs is this subscription's poll-latency histogram,
 	// qss_poll_ns{sub="<name>"}.
 	pollNs *obs.Histogram
@@ -200,8 +215,19 @@ func (s *Service) Subscribe(sub Subscription) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, dup := s.subs[sub.Name]; dup {
-		return fmt.Errorf("%w: %q", ErrDuplicate, sub.Name)
+	if prev, dup := s.subs[sub.Name]; dup {
+		if s.replNode == nil || !prev.replica {
+			return fmt.Errorf("%w: %q", ErrDuplicate, sub.Name)
+		}
+		// Adopt the replicated history: the state was rebuilt from the
+		// oplog (this node followed a primary, or restarted). Attaching
+		// the subscription's source and queries makes it pollable again
+		// without losing a step — the t[-i] alignment survives failover.
+		prev.mu.Lock()
+		prev.sub = sub
+		prev.replica = false
+		prev.mu.Unlock()
+		return nil
 	}
 	st := &subState{
 		sub: sub,
@@ -246,6 +272,16 @@ func (s *Service) Unsubscribe(name string) error {
 		st.seg.Close()
 		st.seg = nil
 	}
+	if s.replNode != nil {
+		// Replicated state must stay exactly what the oplog reproduces (a
+		// restart replays it all back), so unsubscribing only detaches the
+		// source and queries: the history survives as an unclaimed replica
+		// and a later Subscribe under the same name re-adopts it.
+		st.sub = Subscription{}
+		st.replica = true
+		st.mu.Unlock()
+		return nil
+	}
 	st.mu.Unlock()
 	delete(s.subs, name)
 	return nil
@@ -285,6 +321,12 @@ func (s *Service) History(name string) (*doem.Database, []timestamp.Time, error)
 func (s *Service) Truncate(name string, t timestamp.Time) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.replNode != nil {
+		// Truncation would diverge the in-memory state from what the
+		// replicated oplog replays on the next restart (and from every
+		// follower). Compact the node's oplog instead.
+		return errors.New("qss: truncate is not supported under replication")
+	}
 	st, ok := s.subs[name]
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNoSuchSub, name)
@@ -369,15 +411,22 @@ func (s *Service) pollContext(ctx context.Context, name string, t timestamp.Time
 	s.mu.Lock()
 	st, ok := s.subs[name]
 	workers := s.workers
+	node := s.replNode
 	if !ok {
 		s.mu.Unlock()
 		return nil, fmt.Errorf("%w: %q", ErrNoSuchSub, name)
 	}
 	s.mu.Unlock()
-	// Polls of one subscription are serialized; different subscriptions
-	// poll concurrently.
+	// Polls of one subscription are serialized by pollMu; different
+	// subscriptions poll concurrently. st.mu alone is not enough: in
+	// replication mode it is released around the quorum wait below.
+	st.pollMu.Lock()
+	defer st.pollMu.Unlock()
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	if st.replica {
+		return nil, fmt.Errorf("%w: %q is an unclaimed replica (subscribe to adopt it)", ErrNoSuchSub, name)
+	}
 	if len(st.pollTimes) > 0 && !t.After(st.pollTimes[len(st.pollTimes)-1]) {
 		return nil, fmt.Errorf("%w: %s", ErrStalePoll, t)
 	}
@@ -402,7 +451,10 @@ func (s *Service) pollContext(ctx context.Context, name string, t timestamp.Time
 	}
 
 	// 2. Package the result as an OEM database R_i (recursively including
-	// all subobjects, paper Section 6).
+	// all subobjects, paper Section 6). Packaging allocates remap entries
+	// and advances the id high-water mark; savedNextID lets a refused
+	// replication append roll those allocations back.
+	savedNextID := st.nextID
 	pkg, added := st.packageResult(snap, res)
 
 	// 3. OEMdiff: infer U_i with U_i(R_{i-1}) = R_i.
@@ -435,7 +487,36 @@ func (s *Service) pollContext(ctx context.Context, name string, t timestamp.Time
 
 	// 4. DOEM Manager: extend the history.
 	sp = tr.StartSpan("apply")
-	if st.seg != nil {
+	if node != nil {
+		// Replication mode: the poll record must be durable on the
+		// replicated oplog — and acknowledged by the configured quorum —
+		// before the state advances and the filter runs. The node's
+		// ReplState folds the record into st (the same code path a
+		// follower's stream and a restart replay take), so st.mu is
+		// released for the duration; pollMu keeps the poll serialized.
+		rec := appendPollRecord(nil, t, ops, added, st.nextID)
+		st.mu.Unlock()
+		_, aerr := node.Apply(name, rec)
+		st.mu.Lock()
+		sp.End()
+		if errors.Is(aerr, repl.ErrAckTimeout) {
+			// Appended and applied locally but unacknowledged: the record
+			// may still replicate, or a failover may discard it. No
+			// notification for a poll that might not survive.
+			return nil, fmt.Errorf("qss: replicating poll: %w", aerr)
+		}
+		if aerr != nil {
+			// Not appended (fenced, demoted, closed): roll back the ids
+			// packaging allocated, or the next poll of a stable-id source
+			// would reuse mappings no oplog record carries and silently
+			// diverge from the followers.
+			for _, p := range added {
+				delete(st.remap, p.Src)
+			}
+			st.nextID = savedNextID
+			return nil, fmt.Errorf("qss: replicating poll: %w", aerr)
+		}
+	} else if st.seg != nil {
 		// Segmented mode persists the sidecar (poll time, remap additions,
 		// id high-water mark) BEFORE the store append. A crash between the
 		// two then recovers as a phantom silent poll — the orphaned remap

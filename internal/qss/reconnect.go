@@ -64,23 +64,48 @@ type RobustClient struct {
 	subs    map[string]SubSpec
 	lastSeq map[string]uint64
 	closed  bool
+	// addrs/addrIdx rotate through fallback addresses on dial failure
+	// (DialRobustAddrs); redirect, when set, is tried first — the primary
+	// address a read replica pointed us at.
+	addrs    []string
+	addrIdx  int
+	redirect string
 }
 
 // DialRobust returns a RobustClient (re)connecting to addr over TCP.
 func DialRobust(addr string, opts *RobustOptions) *RobustClient {
-	return NewRobustClient(func() (net.Conn, error) { return net.Dial("tcp", addr) }, opts)
+	return DialRobustAddrs([]string{addr}, opts)
+}
+
+// DialRobustAddrs returns a RobustClient over TCP with failover targets:
+// it connects to the first reachable address, rotates to the next on dial
+// failure, and follows server redirects — a replica answering a mutating
+// op names the primary's advertised address, which becomes the next dial
+// target. Give it the primary plus its replicas and the client finds
+// whoever is primary after a failover.
+func DialRobustAddrs(addrs []string, opts *RobustOptions) *RobustClient {
+	rc := newRobustClient(opts)
+	rc.addrs = append([]string(nil), addrs...)
+	go rc.run()
+	return rc
 }
 
 // NewRobustClient returns a RobustClient using dial to (re)establish its
 // connection; opts may be nil for defaults. The first connection is made
 // asynchronously — API calls block until it is up.
 func NewRobustClient(dial func() (net.Conn, error), opts *RobustOptions) *RobustClient {
+	rc := newRobustClient(opts)
+	rc.dial = dial
+	go rc.run()
+	return rc
+}
+
+func newRobustClient(opts *RobustOptions) *RobustClient {
 	var o RobustOptions
 	if opts != nil {
 		o = *opts
 	}
 	rc := &RobustClient{
-		dial:     dial,
 		opts:     o.withDefaults(),
 		notifCh:  make(chan ClientNotification, 256),
 		healthCh: make(chan ClientHealth, 64),
@@ -89,8 +114,55 @@ func NewRobustClient(dial func() (net.Conn, error), opts *RobustOptions) *Robust
 		lastSeq:  make(map[string]uint64),
 	}
 	rc.cond = sync.NewCond(&rc.mu)
-	go rc.run()
 	return rc
+}
+
+// dialConn establishes the next connection: the redirect target if a
+// replica pointed us at the primary, else the current fallback address,
+// else the custom dial function. A failed dial advances the rotation.
+func (rc *RobustClient) dialConn() (net.Conn, error) {
+	rc.mu.Lock()
+	target := rc.redirect
+	if target == "" && len(rc.addrs) > 0 {
+		target = rc.addrs[rc.addrIdx%len(rc.addrs)]
+	}
+	dial := rc.dial
+	rc.mu.Unlock()
+	if target == "" {
+		return dial()
+	}
+	nc, err := net.Dial("tcp", target)
+	if err != nil {
+		rc.mu.Lock()
+		if rc.redirect != "" {
+			// The redirect target is down too; fall back to rotation.
+			rc.redirect = ""
+		} else {
+			rc.addrIdx++
+		}
+		rc.mu.Unlock()
+	}
+	return nc, err
+}
+
+// noteRedirect records the primary address carried by a RedirectError
+// and, when the redirect arrived over a live connection, tears that
+// connection down so the manager redials at the primary. It reports
+// whether err was such a redirect.
+func (rc *RobustClient) noteRedirect(err error) bool {
+	var re *RedirectError
+	if !errors.As(err, &re) || re.Addr == "" {
+		return false
+	}
+	rc.mu.Lock()
+	rc.redirect = re.Addr
+	cur := rc.cur
+	rc.mu.Unlock()
+	rc.event("redirect "+re.Addr, nil)
+	if cur != nil {
+		cur.Close()
+	}
+	return true
 }
 
 // Notifications returns the deduplicated notification stream. It is
@@ -110,7 +182,7 @@ func (rc *RobustClient) run() {
 		if rc.isClosed() {
 			return
 		}
-		nc, err := rc.dial()
+		nc, err := rc.dialConn()
 		if err != nil {
 			rc.event("dial", err)
 			if !rc.sleep(backoff) {
@@ -174,6 +246,9 @@ func (rc *RobustClient) resubscribe(cl *Client) bool {
 	for _, sp := range specs {
 		resumed, err := cl.subscribe(sp, true)
 		if err != nil {
+			// A replica's redirect sets the next dial target (the
+			// primary); any other failure backs off and retries here.
+			rc.noteRedirect(err)
 			rc.event("resubscribe "+sp.Name, err)
 			return false
 		}
@@ -312,6 +387,7 @@ func (rc *RobustClient) Subscribe(name, source, sourceName, polling, filter, fre
 		return err
 	}
 	if _, err := cl.subscribe(sp, false); err != nil {
+		rc.noteRedirect(err)
 		return err
 	}
 	rc.mu.Lock()
@@ -327,6 +403,7 @@ func (rc *RobustClient) Unsubscribe(name string) error {
 		return err
 	}
 	if err := cl.Unsubscribe(name); err != nil {
+		rc.noteRedirect(err)
 		return err
 	}
 	rc.mu.Lock()
@@ -351,7 +428,21 @@ func (rc *RobustClient) Poll(name, at string) error {
 	if err != nil {
 		return err
 	}
-	return cl.Poll(name, at)
+	if err := cl.Poll(name, at); err != nil {
+		rc.noteRedirect(err)
+		return err
+	}
+	return nil
+}
+
+// Status reports the connected server's replication status (see
+// Client.Status).
+func (rc *RobustClient) Status() (*WireReplStatus, error) {
+	cl, err := rc.client()
+	if err != nil {
+		return nil, err
+	}
+	return cl.Status()
 }
 
 // Close stops reconnecting and tears down the current connection. The

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/oemio"
+	"repro/internal/repl"
 	"repro/internal/segment"
 	"repro/internal/timestamp"
 	"repro/internal/wal"
@@ -26,7 +27,7 @@ import (
 
 // Request is a client -> server message.
 type Request struct {
-	Op         string `json:"op"` // subscribe | unsubscribe | list | poll | ping
+	Op         string `json:"op"` // subscribe | unsubscribe | list | poll | ping | status
 	Name       string `json:"name,omitempty"`
 	Source     string `json:"source,omitempty"` // server-side source name
 	SourceName string `json:"source_name,omitempty"`
@@ -62,6 +63,26 @@ type Response struct {
 	// one created (sequence restarts from 1, e.g. after a server
 	// restart) — clients reset their dedupe watermark when false.
 	Resumed bool `json:"resumed,omitempty"`
+	// Redirect, on an error response from a replica, carries the
+	// primary's advertised address: clients should reconnect there.
+	Redirect string `json:"redirect,omitempty"`
+	// Repl answers a status request on a replicated server.
+	Repl *WireReplStatus `json:"repl,omitempty"`
+}
+
+// WireReplStatus is a replicated server's status (op "status"): its role
+// and the staleness bound a read replica serves under — every record
+// through Applied is reflected in reads, LagSeq records are known to
+// exist beyond that, and AppliedAt timestamps the newest applied record.
+type WireReplStatus struct {
+	Role      string `json:"role"`
+	Epoch     uint64 `json:"epoch"`
+	Fenced    bool   `json:"fenced,omitempty"`
+	Applied   uint64 `json:"applied"`
+	Commit    uint64 `json:"commit"`
+	LagSeq    uint64 `json:"lag_seq"`
+	AppliedAt string `json:"applied_at,omitempty"`
+	Primary   string `json:"primary,omitempty"`
 }
 
 // WireNotification is a notification serialized for the wire.
@@ -142,6 +163,10 @@ type Server struct {
 	clock   Clock
 	sources map[string]wrapper.Source
 	cfg     ServerConfig
+	// repl, when set via EnableReplication, gates mutating ops on the
+	// node's role: replicas redirect clients to the primary's advertised
+	// address, and promotion takes effect on the next request.
+	repl *repl.Node
 
 	mu      sync.Mutex
 	subs    map[string]*subRecord // subscription -> ownership record
@@ -277,6 +302,42 @@ func (s *Server) EnableWAL(dir string, opt *wal.Options) error {
 // Service.EnableSegments). Call before serving.
 func (s *Server) EnableSegments(dir string, opt *wal.Options, pol *segment.Policy) error {
 	return s.svc.EnableSegments(dir, opt, pol)
+}
+
+// EnableReplication routes every poll through node (see
+// Service.EnableReplication) and gates the wire protocol on the node's
+// role: while the node is not primary, mutating ops (subscribe,
+// unsubscribe, poll) fail with a redirect to the primary's advertised
+// address, and read ops (list, status, ping) keep serving. Call before
+// serving.
+func (s *Server) EnableReplication(node *repl.Node) error {
+	if err := s.svc.EnableReplication(node); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.repl = node
+	s.mu.Unlock()
+	return nil
+}
+
+// replNode returns the replication node, nil when replication is off.
+func (s *Server) replNode() *repl.Node {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.repl
+}
+
+// notPrimary builds the redirect response a replica answers mutating ops
+// with; nil when this server may accept the op.
+func (s *Server) notPrimary() *Response {
+	node := s.replNode()
+	if node == nil || node.Role() == repl.RolePrimary {
+		return nil
+	}
+	return &Response{
+		Error:    "qss: not primary (read replica)",
+		Redirect: node.PrimaryAddr(),
+	}
 }
 
 // deliver pushes a notification to the owning connection, or buffers it
@@ -618,6 +679,13 @@ func (s *Server) dispatchSafe(cn *conn, req *Request, owned *[]string) (resp *Re
 func (s *Server) dispatch(cn *conn, req *Request, owned *[]string) *Response {
 	fail := func(err error) *Response { return &Response{Error: err.Error()} }
 	switch req.Op {
+	case "subscribe", "unsubscribe", "poll":
+		// Mutating ops run on the primary only; replicas redirect.
+		if resp := s.notPrimary(); resp != nil {
+			return resp
+		}
+	}
+	switch req.Op {
 	case "subscribe":
 		if req.Resume {
 			if resp, handled := s.tryResume(cn, req, owned); handled {
@@ -684,6 +752,22 @@ func (s *Server) dispatch(cn *conn, req *Request, owned *[]string) *Response {
 		return &Response{OK: true}
 	case "ping":
 		return &Response{OK: true}
+	case "status":
+		resp := &Response{OK: true}
+		if node := s.replNode(); node != nil {
+			st := node.Status()
+			resp.Repl = &WireReplStatus{
+				Role:      st.Role.String(),
+				Epoch:     st.Epoch,
+				Fenced:    st.Fenced,
+				Applied:   st.Applied,
+				Commit:    st.Commit,
+				LagSeq:    st.LagSeq,
+				AppliedAt: st.AppliedAt.String(),
+				Primary:   st.PrimaryAddr,
+			}
+		}
+		return resp
 	default:
 		return fail(errors.New("qss: unknown op"))
 	}

@@ -1,0 +1,69 @@
+package repl
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+)
+
+// FuzzReplFrameDecode throws arbitrary bytes at both frame decoders and
+// checks the invariants that replication safety rests on: no panics, no
+// over-consumption, decoder agreement, and re-encode/re-decode fidelity
+// for every accepted frame.
+func FuzzReplFrameDecode(f *testing.F) {
+	for _, fr := range sampleFrames() {
+		f.Add(AppendFrame(nil, fr))
+	}
+	f.Add(AppendFrame(AppendFrame(nil, Frame{Type: FrameAck, Seq: 1}), Frame{Type: FrameCommit, Seq: 2, Commit: 2}))
+	f.Add(AppendFrame(nil, Frame{Type: FrameRecord, Epoch: 1, Seq: 1, Payload: AppendOplogRecord(nil, 1, "db", []byte("x"))}))
+	f.Add([]byte{})
+	f.Add([]byte{FrameRecord, 0x80})
+
+	const maxPayload = 1 << 16
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, n, err := DecodeFrame(data, maxPayload)
+		gotR, errR := ReadFrame(bufio.NewReader(bytes.NewReader(data)), maxPayload)
+		if err != nil {
+			// The streaming reader may consume trailing garbage differently,
+			// but it must never accept what the slice decoder rejected when
+			// the input is exactly one frame's worth of bytes.
+			if errR == nil && n == 0 {
+				enc := AppendFrame(nil, gotR)
+				if len(enc) == len(data) {
+					t.Fatalf("ReadFrame accepted, DecodeFrame rejected: %v", err)
+				}
+			}
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		if errR != nil {
+			t.Fatalf("DecodeFrame accepted, ReadFrame rejected: %v", errR)
+		}
+		if gotR.Type != fr.Type || gotR.Epoch != fr.Epoch || gotR.Seq != fr.Seq ||
+			gotR.Commit != fr.Commit || !bytes.Equal(gotR.Payload, fr.Payload) {
+			t.Fatalf("decoder disagreement: %+v vs %+v", fr, gotR)
+		}
+		// Re-encode and re-decode: canonical encoding must round-trip. (The
+		// original bytes may use non-minimal varints, so byte equality with
+		// data[:n] is not required.)
+		enc := AppendFrame(nil, fr)
+		fr2, n2, err := DecodeFrame(enc, maxPayload)
+		if err != nil || n2 != len(enc) {
+			t.Fatalf("re-decode: %v (consumed %d of %d)", err, n2, len(enc))
+		}
+		if fr2.Type != fr.Type || fr2.Epoch != fr.Epoch || fr2.Seq != fr.Seq ||
+			fr2.Commit != fr.Commit || !bytes.Equal(fr2.Payload, fr.Payload) {
+			t.Fatalf("re-decode mismatch: %+v vs %+v", fr, fr2)
+		}
+		// Record payloads feed DecodeOplogRecord on the hot path; it must
+		// never panic on whatever survived the frame CRC.
+		if fr.Type == FrameRecord {
+			_, _, _, _ = DecodeOplogRecord(fr.Payload)
+		}
+		if fr.Type == FrameHello || fr.Type == FrameWelcome {
+			_, _ = parseHandshake(fr.Payload)
+		}
+	})
+}

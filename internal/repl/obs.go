@@ -1,0 +1,60 @@
+package repl
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Package metrics (cheap no-ops while obs is disabled). Gauge funcs for
+// per-node state are registered by the most recently opened node — the
+// one-node-per-process deployment shape, same convention as qss.Server.
+var (
+	mRecordsSent          = obs.NewCounter("repl_records_sent_total")
+	mRecordsReceived      = obs.NewCounter("repl_records_received_total")
+	mAcksSent             = obs.NewCounter("repl_acks_sent_total")
+	mAcksReceived         = obs.NewCounter("repl_acks_received_total")
+	mRejectsSent          = obs.NewCounter("repl_rejects_sent_total")
+	mRejectsReceived      = obs.NewCounter("repl_rejects_received_total")
+	mSnapshotsSent        = obs.NewCounter("repl_snapshots_sent_total")
+	mSnapshotsApplied     = obs.NewCounter("repl_snapshots_applied_total")
+	mSnapshots            = obs.NewCounter("repl_compactions_total")
+	mSnapshotFailures     = obs.NewCounter("repl_snapshot_failures_total")
+	mEpochChanges         = obs.NewCounter("repl_epoch_changes_total")
+	mFences               = obs.NewCounter("repl_fences_total")
+	mApplyRejected        = obs.NewCounter("repl_apply_rejected_total")
+	mAckTimeouts          = obs.NewCounter("repl_ack_timeouts_total")
+	mAckWaitNs            = obs.NewHistogram("repl_ack_wait_ns")
+	mEpochPersistFailures = obs.NewCounter("repl_epoch_persist_failures_total")
+	mFollowerConnected    = obs.NewGauge("repl_follower_connected")
+)
+
+// registerMetrics installs per-node gauge functions: role, epoch, applied
+// and commit sequences, follower count, and replication lag.
+func (n *Node) registerMetrics() {
+	obs.RegisterGaugeFunc("repl_role", func() int64 {
+		return int64(n.Role())
+	})
+	obs.RegisterGaugeFunc("repl_epoch", func() int64 {
+		return int64(n.Epoch())
+	})
+	obs.RegisterGaugeFunc("repl_applied_seq", func() int64 {
+		return int64(n.Status().Applied)
+	})
+	obs.RegisterGaugeFunc("repl_commit_seq", func() int64 {
+		return int64(n.Status().Commit)
+	})
+	obs.RegisterGaugeFunc("repl_followers", func() int64 {
+		return int64(n.Status().Followers)
+	})
+	obs.RegisterGaugeFunc("repl_lag_seq", func() int64 {
+		return int64(n.Status().LagSeq)
+	})
+	obs.RegisterGaugeFunc("repl_lag_ns", func() int64 {
+		st := n.Status()
+		if st.Role != RoleFollower || st.LastContact.IsZero() {
+			return 0
+		}
+		return int64(time.Since(st.LastContact))
+	})
+}

@@ -38,7 +38,16 @@ func (l *Log) Checkpoint(payload []byte, upTo uint64) error {
 	if upTo < l.ckptSeq {
 		return fmt.Errorf("wal: checkpoint at %d behind existing checkpoint %d", upTo, l.ckptSeq)
 	}
+	if err := l.installCheckpointLocked(payload, upTo); err != nil {
+		return err
+	}
+	mCheckpoints.Inc()
+	return l.compactLocked()
+}
 
+// installCheckpointLocked atomically writes the checkpoint file and updates
+// the in-memory checkpoint state. The caller holds l.mu.
+func (l *Log) installCheckpointLocked(payload []byte, upTo uint64) error {
 	buf := append([]byte(nil), checkpointMagic...)
 	buf = binary.AppendUvarint(buf, upTo)
 	buf = append(buf, payload...)
@@ -59,8 +68,7 @@ func (l *Log) Checkpoint(payload []byte, upTo uint64) error {
 	l.ckptSeq = upTo
 	l.ckptData = append([]byte(nil), payload...)
 	l.hasCkpt = true
-	mCheckpoints.Inc()
-	return l.compactLocked()
+	return nil
 }
 
 // compactLocked removes segments whose every record is covered by the

@@ -1,0 +1,196 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Tail-following reads. Replication streams records out of a live log while
+// Append keeps writing to it, so Replay's hold-the-lock-for-the-whole-scan
+// contract is the wrong tool: it would stall every append for the duration
+// of a follower catch-up. Records instead snapshots LastSeq under the lock
+// and then scans the segment files lock-free, bounded by that snapshot.
+//
+// Why the lock-free scan is safe: Append writes the full frame to the
+// segment file *before* advancing l.seq, and both happen under l.mu. A
+// reader that observes bound = l.seq under the same mutex therefore
+// observes (same-process file I/O goes through the page cache, so write(2)
+// before read(2) suffices) every byte of every frame with seq <= bound.
+// Frames beyond the bound may be mid-write — torn — so the scan stops
+// *before* decoding the first frame past the bound and never reports a
+// decode error for bytes it was not entitled to read.
+//
+// Concurrent Checkpoint can delete a segment between the directory listing
+// and the file read; Records retries the listing and reports ErrCompacted
+// once the requested sequence falls under the new checkpoint.
+
+// Rec is one record returned by Records.
+type Rec struct {
+	Seq     uint64
+	Payload []byte
+}
+
+// ErrCompacted reports that the requested records have been removed by
+// checkpoint compaction; the caller must restart from the checkpoint
+// payload (LastCheckpoint) instead of the record stream.
+var ErrCompacted = errors.New("wal: requested records compacted away")
+
+// Records returns consecutive records with sequence >= from, up to roughly
+// maxBytes of payload (at least one record when any is available), plus the
+// last sequence present in the log at call time. It never blocks Append for
+// longer than the bound snapshot and is safe to call concurrently with
+// Append, Sync, and Checkpoint. A from of 0 is treated as 1.
+//
+// When from is covered by a checkpoint the records are gone from disk and
+// Records returns ErrCompacted.
+func (l *Log) Records(from uint64, maxBytes int) (recs []Rec, last uint64, err error) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil, 0, ErrClosed
+	}
+	bound := l.seq
+	base := l.ckptSeq
+	l.mu.Unlock()
+
+	if from == 0 {
+		from = 1
+	}
+	if from <= base {
+		return nil, bound, ErrCompacted
+	}
+	if from > bound {
+		return nil, bound, nil
+	}
+	if maxBytes <= 0 {
+		maxBytes = 1 << 20
+	}
+	for attempt := 0; ; attempt++ {
+		recs, err := l.readRange(from, bound, maxBytes)
+		if err == nil {
+			return recs, bound, nil
+		}
+		if errors.Is(err, os.ErrNotExist) || errors.Is(err, ErrCompacted) {
+			// A concurrent checkpoint compacted under us: re-check where
+			// the log now begins.
+			l.mu.Lock()
+			base = l.ckptSeq
+			l.mu.Unlock()
+			if from <= base {
+				return nil, bound, ErrCompacted
+			}
+			if attempt < 2 {
+				continue
+			}
+		}
+		return nil, bound, err
+	}
+}
+
+// readRange scans segment files for records in [from, bound], stopping at
+// the byte budget. Called without l.mu; see the package comment above for
+// why that is safe.
+func (l *Log) readRange(from, bound uint64, maxBytes int) ([]Rec, error) {
+	paths, firsts, err := l.listSegments()
+	if err != nil {
+		return nil, err
+	}
+	start := -1
+	for i := range firsts {
+		if firsts[i] <= from {
+			start = i
+		} else {
+			break
+		}
+	}
+	if start < 0 {
+		// Every segment starts after from: the records were compacted away
+		// (or the log is corrupt, which recovery would have caught).
+		return nil, ErrCompacted
+	}
+	var recs []Rec
+	total := 0
+	expect := firsts[start]
+	for i := start; i < len(paths); i++ {
+		if i > start && firsts[i] != expect {
+			return nil, fmt.Errorf("wal: records: segment gap at seq %d", expect)
+		}
+		data, err := os.ReadFile(paths[i])
+		if err != nil {
+			return nil, fmt.Errorf("wal: records: %w", err)
+		}
+		off := 0
+		for off < len(data) && expect <= bound {
+			seq, payload, n, derr := decodeFrame(data[off:])
+			if derr != nil {
+				return nil, fmt.Errorf("wal: records: %s at offset %d: %w", filepath.Base(paths[i]), off, derr)
+			}
+			if seq != expect {
+				return nil, fmt.Errorf("wal: records: out-of-sequence record %d (want %d)", seq, expect)
+			}
+			off += n
+			expect = seq + 1
+			if seq < from {
+				continue
+			}
+			recs = append(recs, Rec{Seq: seq, Payload: payload})
+			total += len(payload)
+			if total >= maxBytes {
+				return recs, nil
+			}
+		}
+		if expect > bound {
+			return recs, nil
+		}
+	}
+	if expect <= bound {
+		return nil, fmt.Errorf("wal: records: log ends at %d before bound %d", expect-1, bound)
+	}
+	return recs, nil
+}
+
+// Reset discards every record and installs checkpoint as the snapshot
+// covering all sequences <= upTo, leaving the log positioned to append
+// record upTo+1 next. Unlike Checkpoint, upTo may exceed the current last
+// sequence: this is the bootstrap path for a replica that receives a state
+// snapshot from its primary and must restart its log at the primary's
+// position.
+//
+// Crash safety: segments are removed before the new checkpoint is
+// installed, so a crash in between recovers to the old checkpoint with no
+// records — a consistent (if stale) prefix that a replica will simply
+// re-request.
+func (l *Log) Reset(checkpoint []byte, upTo uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.active != nil {
+		// Contents are being discarded; close errors only matter for fd
+		// hygiene.
+		l.active.Close()
+		l.active, l.activePath, l.activeSize = nil, "", 0
+	}
+	paths, _, err := l.listSegments()
+	if err != nil {
+		return err
+	}
+	for _, p := range paths {
+		if err := os.Remove(p); err != nil {
+			return fmt.Errorf("wal: reset: %w", err)
+		}
+	}
+	if len(paths) > 0 {
+		if err := syncDir(l.dir); err != nil {
+			return err
+		}
+	}
+	if err := l.installCheckpointLocked(checkpoint, upTo); err != nil {
+		return err
+	}
+	l.seq = upTo
+	return nil
+}

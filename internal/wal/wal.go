@@ -358,8 +358,16 @@ func (l *Log) LastSeq() uint64 {
 }
 
 // Replay calls fn for every record after the checkpoint, in sequence order.
-// The payload slice is only valid during the call. Replay holds the log
-// lock: fn must not call back into l.
+// The payload slice is only valid during the call.
+//
+// Concurrency contract: Replay holds the log lock for the entire scan, so
+// (a) fn must not call back into l — any Log method would self-deadlock —
+// and (b) concurrent Appends block until the replay finishes. That is the
+// right trade for recovery, where the caller owns the log and wants one
+// consistent full pass. Tail-followers (replication streams) that must not
+// stall the writer should use Records instead, which bounds itself to a
+// LastSeq snapshot and scans without the lock; see tail.go for the safety
+// argument.
 func (l *Log) Replay(fn func(seq uint64, payload []byte) error) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
