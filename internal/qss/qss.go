@@ -496,24 +496,27 @@ func (s *Service) pollContext(ctx context.Context, name string, t timestamp.Time
 		// released for the duration; pollMu keeps the poll serialized.
 		rec := appendPollRecord(nil, t, ops, added, st.nextID)
 		st.mu.Unlock()
-		_, aerr := node.Apply(name, rec)
+		seq, aerr := node.Apply(name, rec)
 		st.mu.Lock()
 		sp.End()
-		if errors.Is(aerr, repl.ErrAckTimeout) {
-			// Appended and applied locally but unacknowledged: the record
-			// may still replicate, or a failover may discard it. No
-			// notification for a poll that might not survive.
-			return nil, fmt.Errorf("qss: replicating poll: %w", aerr)
-		}
 		if aerr != nil {
-			// Not appended (fenced, demoted, closed): roll back the ids
-			// packaging allocated, or the next poll of a stable-id source
-			// would reuse mappings no oplog record carries and silently
-			// diverge from the followers.
-			for _, p := range added {
-				delete(st.remap, p.Src)
+			if seq == 0 {
+				// Never appended (fenced, demoted, closed before the
+				// append): roll back the ids packaging allocated, or the
+				// next poll of a stable-id source would reuse mappings no
+				// oplog record carries and silently diverge from the
+				// followers.
+				for _, p := range added {
+					delete(st.remap, p.Src)
+				}
+				st.nextID = savedNextID
 			}
-			st.nextID = savedNextID
+			// seq != 0 means the record is durably on the oplog — the
+			// node was fenced, closed, or timed out only during the quorum
+			// wait (the normal failover case). It may still replicate, or
+			// a failover may discard it; either way in-memory id state
+			// must keep matching the durable log, so no rollback. In both
+			// cases, no notification for a poll that might not survive.
 			return nil, fmt.Errorf("qss: replicating poll: %w", aerr)
 		}
 	} else if st.seg != nil {

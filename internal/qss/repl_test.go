@@ -404,6 +404,69 @@ func TestReplicatedFailoverResume(t *testing.T) {
 	}
 }
 
+// TestReplicatedFenceMidQuorumWaitNoRollback: a primary deposed while a
+// poll waits for its ack quorum has already appended the poll record
+// durably and folded it into subscription state. The poll must error
+// without a notification, but the id state (stable-id remap, nextID
+// high-water mark) must NOT be rolled back — it has to keep matching the
+// oplog, or a later re-promotion would reuse object ids the log already
+// carries and silently diverge from the followers.
+func TestReplicatedFenceMidQuorumWaitNoRollback(t *testing.T) {
+	dir := t.TempDir()
+	src, _ := paperSource(t)
+	var delivered []Notification
+	svc, node := openReplService(t, dir, repl.Config{
+		// Quorum is unreachable (no followers) and there is no timeout:
+		// the poll blocks in the quorum wait until the node is deposed.
+		ID: "a", Ack: repl.AckQuorum, Replicas: 2,
+	}, func(n Notification) { delivered = append(delivered, n) })
+	defer node.Close()
+	if err := node.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Subscribe(replTestSub(src)); err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := svc.Poll("Restaurants", timestamp.MustParse("30Dec96"))
+		errCh <- err
+	}()
+	qssWaitFor(t, "record appended", func() bool { return node.Status().Applied == 1 })
+	node.Demote()
+	if err := <-errCh; !errors.Is(err, repl.ErrFenced) {
+		t.Fatalf("deposed mid-wait poll: %v", err)
+	}
+	if len(delivered) != 0 {
+		t.Fatalf("deposed poll delivered %d notifications", len(delivered))
+	}
+
+	// The record is durable; in-memory id state must equal what a fresh
+	// replay of the oplog produces (i.e. not the pre-poll values).
+	readIDs := func(s *Service) (oem.NodeID, int, int) {
+		s.mu.Lock()
+		st := s.subs["Restaurants"]
+		s.mu.Unlock()
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		return st.nextID, len(st.remap), len(st.pollTimes)
+	}
+	liveNext, liveRemap, livePolls := readIDs(svc)
+	if err := node.Close(); err != nil {
+		t.Fatal(err)
+	}
+	svc2, node2 := openReplService(t, dir, repl.Config{ID: "a"}, nil)
+	defer node2.Close()
+	replayNext, replayRemap, replayPolls := readIDs(svc2)
+	if liveNext != replayNext || liveRemap != replayRemap || livePolls != replayPolls {
+		t.Fatalf("in-memory id state diverged from oplog replay: live (next=%d remap=%d polls=%d), replay (next=%d remap=%d polls=%d)",
+			liveNext, liveRemap, livePolls, replayNext, replayRemap, replayPolls)
+	}
+	if replayNext <= 1 {
+		t.Fatalf("replayed nextID = %d: poll record missing from oplog", replayNext)
+	}
+}
+
 // TestReplicatedAckTimeoutSuppressesNotification: a quorum write with no
 // follower is appended locally but unacknowledged — the poll errors and
 // no notification fires, yet the history advanced (matching the repl

@@ -175,7 +175,11 @@ func (n *Node) pump(c net.Conn, stop chan struct{}) error {
 			if f.Seq > n.primaryTip {
 				n.primaryTip = f.Seq
 			}
-			n.commitKnown = f.Commit
+			// Only raise the watermark (as FrameRecord/FrameCommit do): a
+			// reconnect Welcome must not regress what we already know.
+			if f.Commit > n.commitKnown {
+				n.commitKnown = f.Commit
+			}
 			n.primaryAddr = addr
 			n.lastContact = time.Now()
 			cb := n.cfg.OnPrimaryAddr

@@ -495,8 +495,13 @@ func (n *Node) recordAck(id string, seq uint64) {
 // Apply appends one record as primary, streams it, and blocks until the
 // configured quorum has it durably (see AckMode). On success the returned
 // sequence is acknowledged: it survives any failover that promotes a
-// quorum member. ErrFenced/ErrNotPrimary/ErrAckTimeout mean NOT
-// acknowledged.
+// quorum member. Any error means NOT acknowledged, but the returned
+// sequence says how far the write got: 0 means the record was never
+// appended (callers may roll back cleanly); nonzero means it is durably
+// in the local oplog and applied to state — fencing, closing, or an ack
+// timeout during the quorum wait — and callers must NOT roll back state
+// the oplog carries (the record may still replicate, or a failover may
+// discard it).
 func (n *Node) Apply(name string, data []byte) (uint64, error) {
 	start := time.Now()
 	n.mu.Lock()
@@ -520,8 +525,24 @@ func (n *Node) Apply(name string, data []byte) (uint64, error) {
 		return 0, err
 	}
 	if err := n.state.Apply(name, data); err != nil {
+		// The record is durably in the log but not in this process's
+		// state, and the two cannot be reconciled from here: advancing
+		// applied would stream a record our own state never applied,
+		// while skipping it would let the next append stream past it.
+		// Fatal — close the node so a follower takes over (or a restart
+		// replays the log, repairing the state).
+		n.closed = true
+		sessions := make([]*session, 0, len(n.sessions))
+		for s := range n.sessions {
+			sessions = append(sessions, s)
+		}
+		n.cond.Broadcast()
 		n.mu.Unlock()
-		return seq, fmt.Errorf("repl: apply state: %w", err)
+		for _, s := range sessions {
+			s.conn.Close()
+		}
+		n.log.Close()
+		return seq, fmt.Errorf("repl: apply state (log/state diverged; node closed): %w", err)
 	}
 	n.applied = seq
 	n.appliedAt = n.cfg.Clock.Now()

@@ -63,20 +63,28 @@ func (n *Node) HandleConn(c net.Conn) {
 	// reset from a snapshot.
 	start := hello.Seq
 	needSnap := false
+	_, base, _ := n.log.LastCheckpoint()
 	switch {
 	case start > n.applied:
 		needSnap = true // follower ahead of us: divergent tail
+	case start < base:
+		needSnap = true // compacted away
+	case start == 0:
+		// Empty follower, empty checkpoint: full stream from seq 1.
+	case start == n.applied && hello.Commit == n.lastRecordEpoch:
+		// Fast path: the follower's tip record has the same (epoch, seq)
+		// as ours, and only one primary ever writes a given seq within an
+		// epoch, so the bytes match. This also verifies the checkpoint
+		// boundary (start == base) when the record itself was compacted.
 	default:
-		_, base, _ := n.log.LastCheckpoint()
-		if start < base {
-			needSnap = true // compacted away
-		} else if start > base && start > 0 {
-			recs, _, rerr := n.log.Records(start, 1)
-			if rerr != nil || len(recs) == 0 || recs[0].Seq != start {
-				needSnap = true
-			} else if repoch, _, _, derr := DecodeOplogRecord(recs[0].Payload); derr != nil || repoch != hello.Commit {
-				needSnap = true
-			}
+		recs, _, rerr := n.log.Records(start, 1)
+		if rerr != nil || len(recs) == 0 || recs[0].Seq != start {
+			// Unreadable — including a checkpoint-boundary record whose
+			// bytes were compacted away: reset conservatively rather than
+			// accept an unverifiable tail.
+			needSnap = true
+		} else if repoch, _, _, derr := DecodeOplogRecord(recs[0].Payload); derr != nil || repoch != hello.Commit {
+			needSnap = true
 		}
 	}
 	var snap []byte
