@@ -49,14 +49,15 @@ bench:
 # the measured observability overhead, the indexed-vs-noindex <at T>
 # speedups, the planner's selective-join speedup, the segmented-vs-
 # monolithic growth factors and per-tier RSS, the replication ack-mode
-# overheads, and a metrics snapshot.
+# overheads, the incremental-matching speedup and flatness factors, and a
+# metrics snapshot.
 bench-json:
-	$(GO) run ./cmd/benchharness -json BENCH_8.json
+	$(GO) run ./cmd/benchharness -json BENCH_9.json
 
 # Bench-regression gate: a fresh suite run vs the committed baseline,
 # failing on a >25% regression in any headline ratio metric.
 bench-check:
-	$(GO) run ./cmd/benchharness -check BENCH_8.json -check-out bench_fresh.json
+	$(GO) run ./cmd/benchharness -check BENCH_9.json -check-out bench_fresh.json
 
 # Regenerates every experiment in EXPERIMENTS.md.
 harness:
@@ -88,6 +89,7 @@ fuzz:
 	$(GO) test -fuzz='^FuzzIndexSnapshotParity$$' -fuzztime=30s -run xxx ./internal/index/
 	$(GO) test -fuzz='^FuzzSegmentParity$$' -fuzztime=30s -run xxx ./internal/segment/
 	$(GO) test -fuzz='^FuzzReplFrameDecode$$' -fuzztime=30s -run xxx ./internal/repl/
+	$(GO) test -fuzz='^FuzzFilterFingerprint$$' -fuzztime=30s -run xxx ./internal/incr/
 
 clean:
 	rm -f test_output.txt bench_output.txt htmldiff-output.html bench_fresh.json

@@ -40,6 +40,8 @@ var headlineMetrics = []headlineMetric{
 	{"segment_at_query_flatness_10x", func(r *benchReport) float64 { return r.SegmentAtQueryFlatness10x }, false},
 	{"segment_open_flatness_10x", func(r *benchReport) float64 { return r.SegmentOpenFlatness10x }, false},
 	{"repl_ackone_poll_overhead", func(r *benchReport) float64 { return r.ReplAckOnePollOverhead }, false},
+	{"incr_notify_speedup_10k", func(r *benchReport) float64 { return r.IncrNotifySpeedup10k }, true},
+	{"incr_notify_flatness_10x", func(r *benchReport) float64 { return r.IncrNotifyFlatness10x }, false},
 }
 
 func readReport(path string) (*benchReport, error) {

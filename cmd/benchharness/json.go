@@ -99,6 +99,17 @@ type benchReport struct {
 	// epoch bump persisted with fsync) in nanoseconds — absolute, reported
 	// but not gated.
 	ReplPromoteNs float64 `json:"repl_promote_ns"`
+	// IncrNotifySpeedup10k is incremental subscription matching's
+	// headline: per-change-set cost across a 10k standing-query fleet
+	// with every query evaluated (the poll-diff discipline) over the same
+	// fleet incrementally matched (incr-match-10k-full /
+	// incr-match-10k-incr). The acceptance bar is >= 10.
+	IncrNotifySpeedup10k float64 `json:"incr_notify_speedup_10k"`
+	// IncrNotifyFlatness10x is the growth factor of the incremental
+	// per-change cost when the untouched-query count grows 10x
+	// (incr-match-100k-incr / incr-match-10k-incr): a change set touching
+	// k subscriptions costs O(k), not O(total), so this stays near 1.
+	IncrNotifyFlatness10x float64 `json:"incr_notify_flatness_10x"`
 	// Obs is the metric snapshot accumulated while the suite ran with
 	// collection enabled; it includes the index_* cache counters from the
 	// indexed benchmarks.
@@ -383,6 +394,9 @@ func runJSON(path string) error {
 		return err
 	}
 	if err := runReplJSON(&report, bench); err != nil {
+		return err
+	}
+	if err := runIncrJSON(&report, bench); err != nil {
 		return err
 	}
 

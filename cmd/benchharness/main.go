@@ -96,6 +96,7 @@ func main() {
 	b12()
 	b13()
 	b14()
+	b15()
 
 	fmt.Println(strings.Repeat("=", 64))
 	if failures > 0 {

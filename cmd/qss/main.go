@@ -59,6 +59,7 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/guidegen"
+	"repro/internal/incr"
 	"repro/internal/index"
 	"repro/internal/library"
 	"repro/internal/obs"
@@ -133,6 +134,7 @@ func main() {
 	flag.IntVar(&cfg.parallel, "parallel", 1, "query evaluation workers per poll (0 = GOMAXPROCS)")
 	noindex := flag.Bool("noindex", false, "disable secondary indexes and poll-time snapshot caching")
 	noplanner := flag.Bool("noplanner", false, "disable the cost-based query planner (written-order baseline)")
+	noincremental := flag.Bool("noincremental", false, "disable delta-driven incremental subscription matching (evaluate every filter on every poll)")
 	flag.StringVar(&cfg.walDir, "waldir", "", "directory for per-subscription write-ahead logs (empty: no persistence)")
 	flag.StringVar(&cfg.walSync, "walsync", "interval", "WAL durability: always | interval | never")
 	flag.StringVar(&cfg.segDir, "segments", "", "directory for per-subscription segmented history stores (mutually exclusive with -waldir; see docs/segments.md)")
@@ -184,6 +186,9 @@ func main() {
 	}
 	if *noplanner {
 		plan.SetEnabled(false)
+	}
+	if *noincremental {
+		incr.SetEnabled(false)
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "qss:", err)

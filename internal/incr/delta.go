@@ -1,0 +1,92 @@
+package incr
+
+import (
+	"repro/internal/change"
+	"repro/internal/oem"
+)
+
+// NodeAtom is one created or updated node of a delta, with the labels of
+// its in-arcs in the post-apply snapshot — the arcs a plain traversal
+// reaches it through, hence the labels a fresh node annotation can be
+// bound under.
+type NodeAtom struct {
+	Node   oem.NodeID
+	Labels []string
+}
+
+// Delta is an applied change set summarized for matching: the touched
+// atoms grouped by annotation kind, exactly mirroring the annotations
+// doem.Apply attaches (one per canonical op; nothing else in the system
+// creates annotations).
+type Delta struct {
+	// Cre and Upd are the created/updated nodes.
+	Cre, Upd []NodeAtom
+	// Add and Rem are the added/removed arcs.
+	Add, Rem []oem.Arc
+	// HasSnapshot is false when no post-apply snapshot was available to
+	// Summarize: node in-labels are then unknown and cre/upd guards with
+	// a label must match conservatively.
+	HasSnapshot bool
+}
+
+// Empty reports a delta with no atoms at all.
+func (d *Delta) Empty() bool {
+	return d == nil || (len(d.Cre) == 0 && len(d.Upd) == 0 && len(d.Add) == 0 && len(d.Rem) == 0)
+}
+
+// has reports whether the delta contains any atom of the kind.
+func (d *Delta) has(k Kind) bool {
+	switch k {
+	case KindCre:
+		return len(d.Cre) > 0
+	case KindUpd:
+		return len(d.Upd) > 0
+	case KindAdd:
+		return len(d.Add) > 0
+	case KindRem:
+		return len(d.Rem) > 0
+	}
+	return false
+}
+
+// Summarize reduces an applied change set to its Delta. cur must be the
+// post-apply snapshot the filter queries will evaluate against (pass nil
+// if unavailable; matching then degrades conservatively for node
+// guards). Ops are the same canonical set doem.Apply annotated, so the
+// delta covers every annotation stamped with the current step time.
+func Summarize(ops []change.Op, cur *oem.Database) *Delta {
+	d := &Delta{HasSnapshot: cur != nil}
+	for _, op := range ops {
+		switch o := op.(type) {
+		case change.CreNode:
+			d.Cre = append(d.Cre, nodeAtom(o.Node, cur))
+		case change.UpdNode:
+			d.Upd = append(d.Upd, nodeAtom(o.Node, cur))
+		case change.AddArc:
+			d.Add = append(d.Add, oem.Arc{Parent: o.Parent, Label: o.Label, Child: o.Child})
+		case change.RemArc:
+			d.Rem = append(d.Rem, oem.Arc{Parent: o.Parent, Label: o.Label, Child: o.Child})
+		default:
+			// Unknown op kind: poison the snapshot so label matching
+			// degrades to kind-only (and an unknown kind can never be
+			// proven absent, keeping the summary conservative).
+			d.HasSnapshot = false
+		}
+	}
+	return d
+}
+
+func nodeAtom(n oem.NodeID, cur *oem.Database) NodeAtom {
+	a := NodeAtom{Node: n}
+	if cur == nil {
+		return a
+	}
+	seen := make(map[string]bool)
+	for _, arc := range cur.In(n) {
+		if !seen[arc.Label] {
+			seen[arc.Label] = true
+			a.Labels = append(a.Labels, arc.Label)
+		}
+	}
+	return a
+}

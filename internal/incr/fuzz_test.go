@@ -1,0 +1,122 @@
+package incr
+
+import (
+	"testing"
+
+	"repro/internal/change"
+	"repro/internal/doem"
+	"repro/internal/guidegen"
+	"repro/internal/lorel"
+	"repro/internal/oem"
+	"repro/internal/timestamp"
+	"repro/internal/value"
+)
+
+// FuzzFilterFingerprint checks the extractor never under-approximates:
+// whenever the fingerprint of a (fuzzer-mutated) filter query decides a
+// fuzzer-derived change set cannot affect it, evaluating the query after
+// applying that change set must return an empty result with no error —
+// the exact condition under which qss/trigger suppress the evaluation.
+// Queries the extractor cannot analyze come back unguarded and are never
+// skipped, so they trivially satisfy the property and the fuzzer's job
+// is to hunt for guarded fingerprints whose skip is wrong.
+func FuzzFilterFingerprint(f *testing.F) {
+	f.Add(`select R.restaurant<cre at T> where T > t[-1]`, []byte{0, 7, 42})
+	f.Add(`select NV from R.restaurant X, X.price<upd at T to NV> where T > t[-1] and NV > 15`, []byte{1, 2, 3, 4})
+	f.Add(`select R.<add at T>restaurant where T > t[0]`, []byte{8, 8, 8})
+	f.Add(`select R.restaurant.<rem at T>parking where T >= t[0]`, []byte{3, 1})
+	f.Add(`select R.rest%<cre at T> where T = t[0]`, []byte{0})
+	f.Add(`select R.restaurant<upd at T> where t[-1] < T`, []byte{5, 5, 5, 5, 5})
+	f.Fuzz(func(t *testing.T, src string, raw []byte) {
+		q, err := lorel.Parse(src)
+		if err != nil {
+			t.Skip()
+		}
+		if err := lorel.Canonicalize(q); err != nil {
+			t.Skip()
+		}
+
+		db, ids := guidegen.PaperGuide()
+		d := doem.New(db)
+		t1 := timestamp.MustParse("1Jan97")
+		t2 := timestamp.MustParse("2Jan97")
+		if err := d.Apply(t1, change.Set{
+			change.CreNode{Node: 800, Value: value.Str("seed")},
+			change.AddArc{Parent: ids.Guide, Label: "restaurant", Child: 800},
+		}); err != nil {
+			t.Fatal(err)
+		}
+
+		ops := fuzzOps(raw, d.Current(), ids)
+		if len(ops) == 0 {
+			t.Skip()
+		}
+		if err := d.Apply(t2, ops); err != nil {
+			t.Skip() // invalid change set for this state
+		}
+
+		fp := Extract(q, map[string]lorel.Graph{"R": d})
+		if !fp.Guarded() || fp.Affected(Summarize(ops, d.Current()), d.Current()) {
+			return // would be evaluated normally: nothing to check
+		}
+
+		// The fingerprint skips this poll: prove the evaluation empty.
+		eng := lorel.NewEngine()
+		eng.Register("R", d)
+		eng.SetPollTimes([]timestamp.Time{t1, t2})
+		res, err := eng.Query(src)
+		if err != nil {
+			t.Fatalf("skipped query errors under evaluation: %v\nquery: %s\nops: %v", err, src, ops)
+		}
+		if res.Len() != 0 {
+			t.Fatalf("skipped query has %d rows\nquery: %s\nops: %v", res.Len(), src, ops)
+		}
+	})
+}
+
+// fuzzOps derives a change set from fuzz bytes over the current snapshot:
+// creations of fresh nodes, updates of existing atomic nodes, arc
+// additions between known nodes, and removals of existing arcs.
+func fuzzOps(raw []byte, cur *oem.Database, ids *guidegen.PaperIDs) change.Set {
+	targets := []oem.NodeID{ids.Price, ids.BangkokName, ids.JantaName, ids.JantaPrice, ids.Comment, 800}
+	parents := []oem.NodeID{cur.Root(), ids.Bangkok, ids.Janta, ids.Address}
+	labels := []string{"restaurant", "price", "name", "zip", "parking", "category"}
+	arcs := cur.Arcs()
+
+	var ops change.Set
+	next := oem.NodeID(1000)
+	for i := 0; i+2 < len(raw) && len(ops) < 6; i += 3 {
+		a, b, c := raw[i], raw[i+1], raw[i+2]
+		switch a % 4 {
+		case 0:
+			n := next
+			next++
+			ops = append(ops, change.CreNode{Node: n, Value: value.Int(int64(b))})
+			if c%2 == 0 {
+				ops = append(ops, change.AddArc{
+					Parent: parents[int(c)%len(parents)],
+					Label:  labels[int(b)%len(labels)],
+					Child:  n,
+				})
+			}
+		case 1:
+			ops = append(ops, change.UpdNode{
+				Node:  targets[int(b)%len(targets)],
+				Value: value.Int(int64(c)),
+			})
+		case 2:
+			ops = append(ops, change.AddArc{
+				Parent: parents[int(b)%len(parents)],
+				Label:  labels[int(c)%len(labels)],
+				Child:  targets[int(b+c)%len(targets)],
+			})
+		case 3:
+			if len(arcs) == 0 {
+				continue
+			}
+			arc := arcs[(int(b)<<8|int(c))%len(arcs)]
+			ops = append(ops, change.RemArc{Parent: arc.Parent, Label: arc.Label, Child: arc.Child})
+		}
+	}
+	return ops
+}

@@ -1,0 +1,338 @@
+// Package incr implements delta-driven incremental subscription
+// matching: given a standing Chorel/Lorel filter query and an applied
+// change set, it decides — from the change set alone — whether the
+// query's result can possibly be non-empty, so the service evaluates
+// only the subscriptions a change actually touches instead of re-running
+// every filter on every tick.
+//
+// The core observation is the *fresh-guard theorem*. QSS filter queries
+// and triggers run with the step-time variables t[0] (this step) and
+// t[-1] (the previous one) bound, and the DOEM manager stamps every
+// annotation with the timestamp of the step that applied it, with step
+// times strictly increasing. A top-level where-conjunct of the form
+//
+//	T > t[-1]    T > t[0]    T >= t[0]    T = t[0]
+//
+// (or mirrored), where T is an annotation time variable, therefore
+// demands an annotation created by the *current* step: every annotation
+// from earlier steps is stamped at or before t[-1] and fails the
+// comparison. If the just-applied change set cannot have created any
+// annotation the guard's generator binds, every candidate row fails that
+// conjunct, the result is provably empty, and the evaluation can be
+// skipped — producing output byte-identical to running the filter (no
+// notification either way). Note `T >= t[-1]` is NOT a fresh guard: the
+// previous step's annotations are stamped exactly t[-1] and pass it.
+//
+// The package deliberately only ever *skips provably-empty evaluations*;
+// it never caches or replays result rows. Skipping is decided in three
+// layers, each conservative (an "unsure" always falls back to full
+// evaluation, never the other way around):
+//
+//  1. Fingerprint extraction (Extract): static analysis of the canonical
+//     AST into fresh-guarded generators — the annotation kind
+//     (cre/upd/add/rem), the exact label of the annotated step, and the
+//     plain-label path prefix leading to it. Queries the analysis cannot
+//     prove error-free (lorel.StaticallySafe — the planner's validator)
+//     are flagged unanalyzable and always evaluated, because suppressing
+//     an evaluation that would have *errored* would diverge from the
+//     poll-diff path.
+//  2. Delta summarization (Summarize): the applied change set reduced to
+//     the touched node/arc sets plus their labels (for created/updated
+//     nodes, the in-labels in the post-apply snapshot — the same arcs a
+//     plain traversal reaches them through).
+//  3. Matching (Fingerprint.Affected): a guard is matched only if the
+//     delta contains an atom of its kind whose label agrees and — when
+//     the prefix is walkable — whose touched node/arc can reach the root
+//     backwards along the guard's label chain (the seed-frontier walk,
+//     mirroring forward evaluation over the live graph). Any unmatched
+//     guard proves the result empty.
+//
+// Index is the inverted subscription index over many fingerprints: it
+// buckets subscription ids by one guard's (kind, label) so probing a
+// delta costs O(touched buckets + affected ids), not O(total ids) —
+// internal/trigger routes every applied change set through it, and
+// internal/qss consults the per-subscription fingerprint on every poll.
+// docs/incremental.md is the full writeup.
+package incr
+
+import (
+	"strings"
+
+	"repro/internal/lorel"
+)
+
+// Kind is an annotation kind a guard watches.
+type Kind uint8
+
+const (
+	// KindCre matches node creations (change.CreNode).
+	KindCre Kind = iota
+	// KindUpd matches node value updates (change.UpdNode).
+	KindUpd
+	// KindAdd matches arc additions (change.AddArc).
+	KindAdd
+	// KindRem matches arc removals (change.RemArc).
+	KindRem
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCre:
+		return "cre"
+	case KindUpd:
+		return "upd"
+	case KindAdd:
+		return "add"
+	case KindRem:
+		return "rem"
+	}
+	return "?"
+}
+
+// Guard is one fresh-guarded annotation generator of a filter query: a
+// where-conjunct proved to demand a current-step annotation of this kind,
+// bound by a generator whose annotated step carries this label at the end
+// of this path prefix. A change set that cannot produce such an
+// annotation leaves the guard unmatched, which proves the whole query
+// result empty.
+type Guard struct {
+	// Kind is the annotation kind the generator binds.
+	Kind Kind
+	// Label is the exact label of the annotated step, or "" when the
+	// step's label cannot be used for matching (glob patterns, or — for
+	// node annotations — a chain whose traversal is not the live graph,
+	// e.g. under an upstream <at T>). An empty label matches any delta
+	// atom of the right kind.
+	Label string
+	// Prefix is the exact-label chain from the registered root to the
+	// annotated step's parent; meaningful only when PrefixOK.
+	Prefix []string
+	// PrefixOK marks the prefix walkable: every step from the root to
+	// here is a plain exact-label step over the live graph, so a touched
+	// node/arc that cannot reach the root backwards along Prefix (over
+	// the current reverse adjacency) cannot be bound by the generator.
+	PrefixOK bool
+}
+
+// Fingerprint is the static analysis of one filter query.
+type Fingerprint struct {
+	// Analyzable reports that the query is in canonical form and
+	// statically error-free. Unanalyzable queries must always be
+	// evaluated (conservative fallback).
+	Analyzable bool
+	// Guards are the fresh-guarded generators. With no guards the query
+	// can match arbitrarily old history and must always be evaluated;
+	// with at least one, a delta matching every guard is required for a
+	// non-empty result.
+	Guards []Guard
+}
+
+// Extract statically analyzes a canonical query against a graph
+// registration (the same name→graph map the evaluating engine will use;
+// only the name set matters). It never errors: anything it cannot prove
+// comes back as an unanalyzable or guardless fingerprint, which the
+// caller must treat as "always evaluate".
+func Extract(q *lorel.Query, graphs map[string]lorel.Graph) *Fingerprint {
+	mExtracts.Inc()
+	f := &Fingerprint{}
+	if q == nil || !lorel.StaticallySafe(q, graphs) {
+		mUnanalyzable.Inc()
+		return f
+	}
+	f.Analyzable = true
+
+	gens := append(append([]lorel.FromItem{}, q.From...), q.WhereGens...)
+
+	// Per-generator chain state, consumed by generators downstream of it:
+	// the exact labels from the root, whether a backward In() walk along
+	// them mirrors forward traversal (walkOK), and whether traversal is
+	// over the live graph with no <at T> time travel upstream (asOfFree).
+	type chain struct {
+		labels   []string
+		walkOK   bool
+		asOfFree bool
+		resolved bool
+	}
+	chains := make([]chain, len(gens))
+	varGen := make(map[string]int)
+	timeVars := make(map[string]Guard)
+
+	for i, g := range gens {
+		parent := chain{walkOK: true, asOfFree: true, resolved: false}
+		if gi, ok := varGen[g.Path.Head]; ok {
+			parent = chains[gi]
+		} else if _, ok := graphs[g.Path.Head]; ok {
+			parent.resolved = true
+		}
+		if len(g.Path.Steps) == 0 {
+			// Aliasing generator: the chain passes through unchanged.
+			chains[i] = parent
+			varGen[g.Var] = i
+			continue
+		}
+		s := g.Path.Steps[0]
+		exact := exactLabel(s)
+
+		// Record the fresh-guard candidates this step's annotation
+		// variables anchor. StaticallySafe has already rejected
+		// annotations on group/# steps and misplaced annotation ops.
+		if s.Arc != nil && (s.Arc.Op == lorel.OpAdd || s.Arc.Op == lorel.OpRem) && s.Arc.AtVar != "" {
+			kind := KindAdd
+			if s.Arc.Op == lorel.OpRem {
+				kind = KindRem
+			}
+			gd := Guard{Kind: kind, Prefix: parent.labels, PrefixOK: parent.resolved && parent.walkOK}
+			if exact {
+				gd.Label = s.Label
+			}
+			timeVars[s.Arc.AtVar] = gd
+		}
+		if s.Node != nil && (s.Node.Op == lorel.OpCre || s.Node.Op == lorel.OpUpd) && s.Node.AtVar != "" {
+			kind := KindCre
+			if s.Node.Op == lorel.OpUpd {
+				kind = KindUpd
+			}
+			// In-label matching for a touched node is sound only when the
+			// generator reaches it through a live arc carrying exactly
+			// this label: a plain exact step with no arc annotation on it
+			// and no time travel upstream.
+			byLabel := parent.asOfFree && s.Arc == nil && exact && !s.Hash && s.Group == nil
+			gd := Guard{Kind: kind, Prefix: parent.labels}
+			if byLabel {
+				gd.Label = s.Label
+				gd.PrefixOK = parent.resolved && parent.walkOK
+			}
+			timeVars[s.Node.AtVar] = gd
+		}
+
+		// Chain state for downstream generators.
+		stepWalkOK := s.Arc == nil && s.Group == nil && !s.Hash && exact &&
+			(s.Node == nil || s.Node.Op == lorel.OpCre || s.Node.Op == lorel.OpUpd)
+		next := chain{
+			labels:   append(append([]string(nil), parent.labels...), s.Label),
+			walkOK:   parent.walkOK && stepWalkOK,
+			asOfFree: parent.asOfFree && (s.Arc == nil || s.Arc.Op != lorel.OpAt) && (s.Node == nil || s.Node.Op != lorel.OpAt),
+			resolved: parent.resolved,
+		}
+		chains[i] = next
+		varGen[g.Var] = i
+	}
+
+	// Scan the top-level where-conjuncts for fresh guards over the
+	// recorded annotation time variables.
+	for _, c := range conjuncts(q.Where) {
+		v, ok := freshComparison(c)
+		if !ok {
+			continue
+		}
+		if gd, bound := timeVars[v]; bound {
+			f.Guards = append(f.Guards, gd)
+		}
+	}
+	return f
+}
+
+// Guarded reports whether the fingerprint can ever suppress an
+// evaluation (analyzable with at least one fresh guard).
+func (f *Fingerprint) Guarded() bool {
+	return f != nil && f.Analyzable && len(f.Guards) > 0
+}
+
+// exactLabel mirrors the evaluator's glob test: quoted labels are always
+// literal, unquoted ones only when they contain no % wildcard.
+func exactLabel(s *lorel.PathStep) bool {
+	return s.Quoted || !strings.Contains(s.Label, "%")
+}
+
+// conjuncts flattens the top-level "and" tree of a where clause.
+func conjuncts(where lorel.Expr) []lorel.Expr {
+	if where == nil {
+		return nil
+	}
+	var out []lorel.Expr
+	var flatten func(lorel.Expr)
+	flatten = func(e lorel.Expr) {
+		if x, ok := e.(*lorel.BinExpr); ok && x.Op == "and" {
+			flatten(x.L)
+			flatten(x.R)
+			return
+		}
+		out = append(out, e)
+	}
+	flatten(where)
+	return out
+}
+
+// freshComparison recognizes a fresh-guard conjunct and returns the time
+// variable it constrains. Valid shapes, with V a bare variable and the
+// mirrored forms handled too:
+//
+//	V > t[-1]    V > t[0]    V >= t[0]    V = t[0]
+//
+// `V >= t[-1]` is rejected: annotations of the previous step are stamped
+// exactly t[-1] and satisfy it without any current-step change.
+func freshComparison(c lorel.Expr) (string, bool) {
+	b, ok := c.(*lorel.BinExpr)
+	if !ok {
+		return "", false
+	}
+	v, op, k, ok := normalizeCmp(b)
+	if !ok {
+		return "", false
+	}
+	switch op {
+	case ">":
+		return v, k == 0 || k == -1
+	case ">=", "=":
+		return v, k == 0
+	}
+	return "", false
+}
+
+// normalizeCmp extracts (variable, op, time index) from a comparison
+// between a bare variable and a t[k] reference, normalizing so the
+// variable is on the left ("t[-1] < V" becomes "V > t[-1]").
+func normalizeCmp(b *lorel.BinExpr) (v string, op string, k int, ok bool) {
+	if v, ok = bareVar(b.L); ok {
+		if t, tok := timeRef(b.R); tok {
+			return v, b.Op, t, true
+		}
+		return "", "", 0, false
+	}
+	if v, ok = bareVar(b.R); ok {
+		if t, tok := timeRef(b.L); tok {
+			return v, flipCmp(b.Op), t, true
+		}
+	}
+	return "", "", 0, false
+}
+
+func flipCmp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	}
+	return op // = and != are symmetric
+}
+
+func bareVar(e lorel.Expr) (string, bool) {
+	pv, ok := e.(*lorel.PathValueExpr)
+	if !ok || pv.Path == nil || len(pv.Path.Steps) != 0 {
+		return "", false
+	}
+	return pv.Path.Head, true
+}
+
+func timeRef(e lorel.Expr) (int, bool) {
+	tr, ok := e.(*lorel.TimeRefExpr)
+	if !ok {
+		return 0, false
+	}
+	return tr.Index, true
+}

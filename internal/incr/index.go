@@ -1,0 +1,192 @@
+package incr
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/oem"
+)
+
+// bucketKey addresses one inverted-index bucket: all subscriptions whose
+// chosen guard watches this annotation kind under this exact label ("" is
+// the kind's wildcard bucket).
+type bucketKey struct {
+	kind  Kind
+	label string
+}
+
+// Index is the inverted subscription index: fingerprint → ids, probed
+// with a delta to recover the affected subset in O(touched buckets +
+// candidates) instead of O(total subscriptions). Each guarded
+// fingerprint is filed under ONE of its guards (the most selective); the
+// remaining guards still apply at probe time via the full Affected
+// refinement, so bucketing only ever over-approximates. Unguarded and
+// unanalyzable fingerprints live in the always-set and are returned by
+// every probe. Safe for concurrent use.
+type Index struct {
+	mu      sync.RWMutex
+	always  map[string]bool
+	buckets map[bucketKey]map[string]bool
+	fps     map[string]*Fingerprint
+}
+
+// NewIndex returns an empty index.
+func NewIndex() *Index {
+	return &Index{
+		always:  make(map[string]bool),
+		buckets: make(map[bucketKey]map[string]bool),
+		fps:     make(map[string]*Fingerprint),
+	}
+}
+
+// chooseBucket picks the bucket a guarded fingerprint files under: the
+// first guard with an exact label, else the first guard's wildcard
+// bucket. The label is usable precisely when Guard.Label is non-empty —
+// Extract only sets it when label matching is sound for that guard.
+func chooseBucket(f *Fingerprint) bucketKey {
+	k := bucketKey{kind: f.Guards[0].Kind}
+	for _, g := range f.Guards {
+		if g.Label != "" {
+			return bucketKey{kind: g.Kind, label: g.Label}
+		}
+	}
+	return k
+}
+
+// Put files (or re-files) id under its fingerprint. A nil fingerprint is
+// treated as unanalyzable.
+func (ix *Index) Put(id string, f *Fingerprint) {
+	if f == nil {
+		f = &Fingerprint{}
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.removeLocked(id)
+	ix.fps[id] = f
+	if !f.Guarded() {
+		ix.always[id] = true
+		return
+	}
+	key := chooseBucket(f)
+	b := ix.buckets[key]
+	if b == nil {
+		b = make(map[string]bool)
+		ix.buckets[key] = b
+	}
+	b[id] = true
+}
+
+// Remove drops id from the index.
+func (ix *Index) Remove(id string) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.removeLocked(id)
+}
+
+func (ix *Index) removeLocked(id string) {
+	f, ok := ix.fps[id]
+	if !ok {
+		return
+	}
+	delete(ix.fps, id)
+	if !f.Guarded() {
+		delete(ix.always, id)
+		return
+	}
+	key := chooseBucket(f)
+	if b := ix.buckets[key]; b != nil {
+		delete(b, id)
+		if len(b) == 0 {
+			delete(ix.buckets, key)
+		}
+	}
+}
+
+// Len reports the number of indexed subscriptions.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.fps)
+}
+
+// Probe returns the sorted ids of every subscription the delta can
+// affect: the always-set plus the hit buckets, refined per candidate by
+// the full Affected check (which applies the guards the bucket key
+// ignored, including prefix walks). cur is the post-apply snapshot.
+func (ix *Index) Probe(d *Delta, cur *oem.Database) []string {
+	mProbes.Inc()
+	ix.mu.RLock()
+	candidates := make(map[string]bool, len(ix.always))
+	for id := range ix.always {
+		candidates[id] = true
+	}
+	for _, key := range ix.hitKeysLocked(d) {
+		for id := range ix.buckets[key] {
+			candidates[id] = true
+		}
+	}
+	// Snapshot the candidate fingerprints so refinement runs outside the
+	// lock (walks can touch a lot of graph).
+	type cand struct {
+		id string
+		f  *Fingerprint
+	}
+	cands := make([]cand, 0, len(candidates))
+	for id := range candidates {
+		cands = append(cands, cand{id, ix.fps[id]})
+	}
+	ix.mu.RUnlock()
+
+	out := make([]string, 0, len(cands))
+	for _, c := range cands {
+		if c.f.Affected(d, cur) {
+			out = append(out, c.id)
+		}
+	}
+	sort.Strings(out)
+	mProbeHits.Add(int64(len(out)))
+	return out
+}
+
+// hitKeysLocked lists the bucket keys the delta touches: for each kind
+// present, the kind's wildcard bucket plus the exact-label buckets of the
+// delta's labels of that kind. Without a snapshot, node in-labels are
+// unknown, so every cre/upd label bucket counts as hit.
+func (ix *Index) hitKeysLocked(d *Delta) []bucketKey {
+	var keys []bucketKey
+	add := func(k bucketKey) {
+		if _, ok := ix.buckets[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	for _, a := range d.Add {
+		add(bucketKey{KindAdd, a.Label})
+	}
+	for _, a := range d.Rem {
+		add(bucketKey{KindRem, a.Label})
+	}
+	if d.HasSnapshot {
+		for _, n := range d.Cre {
+			for _, l := range n.Labels {
+				add(bucketKey{KindCre, l})
+			}
+		}
+		for _, n := range d.Upd {
+			for _, l := range n.Labels {
+				add(bucketKey{KindUpd, l})
+			}
+		}
+	} else {
+		for key := range ix.buckets {
+			if (key.kind == KindCre && len(d.Cre) > 0) || (key.kind == KindUpd && len(d.Upd) > 0) {
+				keys = append(keys, key)
+			}
+		}
+	}
+	for k := KindCre; k <= KindRem; k++ {
+		if d.has(k) {
+			add(bucketKey{kind: k})
+		}
+	}
+	return keys
+}

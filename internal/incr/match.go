@@ -1,0 +1,139 @@
+package incr
+
+import "repro/internal/oem"
+
+// walkBudget caps the arcs scanned per backward prefix walk; a walk that
+// would exceed it gives up and conservatively reports a match.
+const walkBudget = 1 << 10
+
+// Affected reports whether the delta can possibly make the
+// fingerprinted query's result non-empty: true unless every one of its
+// obligations is discharged, i.e. unless some fresh guard has no
+// compatible atom in the delta. Unguarded or unanalyzable fingerprints
+// always report true. cur is the post-apply snapshot used for backward
+// prefix walks (nil skips them, conservatively).
+func (f *Fingerprint) Affected(d *Delta, cur *oem.Database) bool {
+	if !f.Guarded() {
+		return true
+	}
+	for _, g := range f.Guards {
+		if !g.matched(d, cur) {
+			return false
+		}
+	}
+	return true
+}
+
+// Decide is Affected plus the decision metrics: it reports whether the
+// subscription must be evaluated, counting skips and evaluations.
+func (f *Fingerprint) Decide(d *Delta, cur *oem.Database) bool {
+	mDecisions.Inc()
+	if f.Affected(d, cur) {
+		mEvals.Inc()
+		return true
+	}
+	mSkips.Inc()
+	return false
+}
+
+// matched reports whether some delta atom is compatible with the guard —
+// right kind, agreeing label, and (when the guard's prefix is walkable)
+// root-reachable backwards along the prefix.
+func (g *Guard) matched(d *Delta, cur *oem.Database) bool {
+	switch g.Kind {
+	case KindAdd, KindRem:
+		arcs := d.Add
+		if g.Kind == KindRem {
+			arcs = d.Rem
+		}
+		for _, a := range arcs {
+			if g.Label != "" && g.Label != a.Label {
+				continue
+			}
+			// The annotated arc hangs off a parent the generator reached
+			// through the prefix over the live graph.
+			if g.walkable(cur) && !walkToRoot(cur, []oem.NodeID{a.Parent}, g.Prefix) {
+				continue
+			}
+			return true
+		}
+		return false
+	case KindCre, KindUpd:
+		nodes := d.Cre
+		if g.Kind == KindUpd {
+			nodes = d.Upd
+		}
+		for _, n := range nodes {
+			if g.Label != "" && d.HasSnapshot {
+				// The generator binds the node under exactly this in-label
+				// over the live graph; seed the walk with the parents of
+				// those in-arcs.
+				if !hasLabel(n.Labels, g.Label) {
+					continue
+				}
+				if g.walkable(cur) {
+					var seeds []oem.NodeID
+					for _, arc := range cur.In(n.Node) {
+						if arc.Label == g.Label {
+							seeds = append(seeds, arc.Parent)
+						}
+					}
+					if !walkToRoot(cur, seeds, g.Prefix) {
+						continue
+					}
+				}
+			}
+			return true
+		}
+		return false
+	}
+	return true // unknown kind: conservative
+}
+
+func (g *Guard) walkable(cur *oem.Database) bool {
+	return g.PrefixOK && cur != nil
+}
+
+func hasLabel(labels []string, l string) bool {
+	for _, x := range labels {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+// walkToRoot reports whether some node in the seed frontier is reachable
+// from the registered root along the exact-label prefix — checked
+// backwards: consume the prefix last-to-first over the current reverse
+// adjacency and test whether the root survives in the final frontier.
+// This mirrors forward evaluation because walkable prefixes consist only
+// of plain exact-label steps over live arcs. Budget exhaustion reports
+// a match (conservative).
+func walkToRoot(cur *oem.Database, seeds []oem.NodeID, prefix []string) bool {
+	frontier := make(map[oem.NodeID]bool, len(seeds))
+	for _, n := range seeds {
+		frontier[n] = true
+	}
+	budget := walkBudget
+	for i := len(prefix) - 1; i >= 0; i-- {
+		label := prefix[i]
+		next := make(map[oem.NodeID]bool)
+		for n := range frontier {
+			for _, arc := range cur.In(n) {
+				if budget--; budget <= 0 {
+					mWalkBudget.Inc()
+					return true
+				}
+				if arc.Label == label {
+					next[arc.Parent] = true
+				}
+			}
+		}
+		if len(next) == 0 {
+			return false
+		}
+		frontier = next
+	}
+	return frontier[cur.Root()]
+}

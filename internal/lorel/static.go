@@ -1,0 +1,34 @@
+package lorel
+
+// StaticallySafe reports whether the canonical query q provably cannot
+// raise a runtime evaluation error against the given graph registration:
+// every head name resolves (to a registered graph or an earlier
+// generator's variable), no variable is bound twice, annotations sit in
+// positions the evaluator accepts, select items depend only on strict
+// generators, and strict generators depend only on strict generators.
+//
+// It is the plannability validator of plan.go re-exposed as a predicate
+// (without the costing step), for callers that need the same guarantee
+// the planned executor relies on — notably internal/incr, whose delta
+// evaluator may only suppress a filter evaluation when that evaluation
+// provably returns an empty result rather than an error. The answer
+// depends only on the set of registered names, not on graph contents, so
+// it stays valid as long as the registration's name set is unchanged.
+//
+// q must be in canonical form (Canonicalize or the chorel translator);
+// queries that never went through canonicalization are reported unsafe.
+func StaticallySafe(q *Query, graphs map[string]Graph) bool {
+	if q == nil || q.key == "" {
+		return false
+	}
+	b := &specBuilder{
+		graphs: graphs,
+		varGen: make(map[string]int),
+		vers:   make(map[string]uint64),
+		tags:   make(map[string]uintptr),
+		consts: make(map[Expr]bool),
+	}
+	gens := append(append([]FromItem{}, q.From...), q.WhereGens...)
+	_, ok := b.build(q, gens, len(q.From))
+	return ok
+}

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/change"
 	"repro/internal/doem"
+	"repro/internal/incr"
 	"repro/internal/index"
 	"repro/internal/lorel"
 	"repro/internal/obs"
@@ -88,6 +89,11 @@ type Service struct {
 	// noIndex disables the secondary-index wrapper on subscription DOEM
 	// databases; it defaults to the package-wide index.Enabled() switch.
 	noIndex bool
+	// noIncr disables delta-driven filter suppression (internal/incr):
+	// every poll then evaluates every filter query as before. Defaults to
+	// the package-wide incr.Enabled() switch (-noincremental,
+	// REPRO_NOINCREMENTAL).
+	noIncr bool
 }
 
 type subState struct {
@@ -125,6 +131,11 @@ type subState struct {
 	// nil when indexing is off. It is invalidated after every poll
 	// application and rebuilt whenever d is swapped (truncate, import).
 	ig *index.Graph
+	// fp is the filter query's incremental-matching fingerprint; polls
+	// whose applied delta provably cannot produce a filter row skip the
+	// evaluation entirely (see internal/incr). Nil on unclaimed replicas,
+	// which never evaluate filters.
+	fp *incr.Fingerprint
 }
 
 // graph returns the view the subscription's filter queries range over:
@@ -163,7 +174,22 @@ func NewService(fn func(Notification)) *Service {
 	if fn == nil {
 		fn = func(Notification) {}
 	}
-	return &Service{subs: make(map[string]*subState), notify: fn, noIndex: !index.Enabled()}
+	return &Service{
+		subs:    make(map[string]*subState),
+		notify:  fn,
+		noIndex: !index.Enabled(),
+		noIncr:  !incr.Enabled(),
+	}
+}
+
+// SetIncremental switches delta-driven filter suppression on or off (the
+// -noincremental escape hatch) for all subsequent polls. Off means every
+// poll evaluates every filter query unconditionally, exactly as before
+// internal/incr existed; notifications are byte-identical either way.
+func (s *Service) SetIncremental(on bool) {
+	s.mu.Lock()
+	s.noIncr = !on
+	s.mu.Unlock()
 }
 
 // SetIndexing switches poll-time filter evaluation between the indexed
@@ -226,6 +252,7 @@ func (s *Service) Subscribe(sub Subscription) error {
 		prev.mu.Lock()
 		prev.sub = sub
 		prev.replica = false
+		prev.fp = filterFingerprint(sub, prev.graph())
 		prev.mu.Unlock()
 		return nil
 	}
@@ -249,8 +276,24 @@ func (s *Service) Subscribe(sub Subscription) error {
 			return err
 		}
 	}
+	st.fp = filterFingerprint(sub, st.graph())
 	s.subs[sub.Name] = st
 	return nil
+}
+
+// filterFingerprint statically analyzes a subscription's filter query for
+// incremental matching. Queries that fail to parse or canonicalize here
+// come back unanalyzable (never skipped); Subscribe has already surfaced
+// parse errors to the caller.
+func filterFingerprint(sub Subscription, g lorel.Graph) *incr.Fingerprint {
+	q, err := lorel.Parse(sub.Filter)
+	if err != nil {
+		return &incr.Fingerprint{}
+	}
+	if err := lorel.Canonicalize(q); err != nil {
+		return &incr.Fingerprint{}
+	}
+	return incr.Extract(q, map[string]lorel.Graph{sub.Name: g})
 }
 
 // Unsubscribe removes a subscription. Its write-ahead log or segment
@@ -412,6 +455,7 @@ func (s *Service) pollContext(ctx context.Context, name string, t timestamp.Time
 	st, ok := s.subs[name]
 	workers := s.workers
 	node := s.replNode
+	noIncr := s.noIncr
 	if !ok {
 		s.mu.Unlock()
 		return nil, fmt.Errorf("%w: %q", ErrNoSuchSub, name)
@@ -573,6 +617,20 @@ func (s *Service) pollContext(ctx context.Context, name string, t timestamp.Time
 			if err != nil {
 				return nil, fmt.Errorf("qss: logging poll: %w", err)
 			}
+		}
+	}
+
+	// 4c. Incremental matching: if the filter query carries fresh guards
+	// (internal/incr) and the delta just applied provably cannot produce
+	// any filter row, skip the evaluation — the outcome (no notification)
+	// is byte-identical to evaluating. This runs after every apply branch
+	// above, so it holds the same way on plain, segmented, and replicated
+	// subscriptions; st.d.Current() is the full post-apply snapshot in all
+	// three (the active segment carries the whole current state).
+	if !noIncr && st.fp != nil {
+		cur := st.d.Current()
+		if !st.fp.Decide(incr.Summarize(ops, cur), cur) {
+			return nil, nil
 		}
 	}
 

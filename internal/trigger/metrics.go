@@ -1,0 +1,16 @@
+package trigger
+
+import "repro/internal/obs"
+
+// Counters on the default registry (see docs/observability.md).
+var (
+	// mApplies counts change sets applied through Manager.Apply,
+	// including cascaded sets.
+	mApplies = obs.NewCounter("trigger_applies_total")
+	// mEvaluated counts trigger queries actually evaluated.
+	mEvaluated = obs.NewCounter("trigger_evaluated_total")
+	// mSuppressed counts evaluations skipped by incremental matching.
+	mSuppressed = obs.NewCounter("trigger_suppressed_total")
+	// mFired counts trigger activations (non-empty results).
+	mFired = obs.NewCounter("trigger_fired_total")
+)

@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/change"
 	"repro/internal/doem"
+	"repro/internal/incr"
 	"repro/internal/lorel"
 	"repro/internal/timestamp"
 )
@@ -66,6 +67,14 @@ type Manager struct {
 	mu       sync.Mutex
 	triggers map[string]*Trigger
 	order    []string
+	// ix is the inverted fingerprint index (internal/incr): Apply probes
+	// it with the applied delta and evaluates only the triggers the delta
+	// can affect, instead of every registered query per change set.
+	ix *incr.Index
+	// incremental gates the probe; false evaluates every trigger on every
+	// Apply (the pre-incr behavior). Firing is identical either way —
+	// suppressed queries are exactly the provably-empty ones.
+	incremental bool
 	// MaxCascade bounds recursive firing (actions applying changes that
 	// fire more triggers). Default 8.
 	MaxCascade int
@@ -92,9 +101,19 @@ func NewManager(name string, d *doem.Database) *Manager {
 	eng.Register(name, d)
 	return &Manager{
 		name: name, d: d, eng: eng,
-		triggers:   make(map[string]*Trigger),
-		MaxCascade: 8,
+		triggers:    make(map[string]*Trigger),
+		ix:          incr.NewIndex(),
+		incremental: incr.Enabled(),
+		MaxCascade:  8,
 	}
+}
+
+// SetIncremental switches incremental trigger matching on or off for
+// subsequent Apply calls (the -noincremental escape hatch).
+func (m *Manager) SetIncremental(on bool) {
+	m.mu.Lock()
+	m.incremental = on
+	m.mu.Unlock()
 }
 
 // DOEM returns the managed database.
@@ -118,7 +137,21 @@ func (m *Manager) Add(t Trigger) error {
 	}
 	m.triggers[t.Name] = &t
 	m.order = append(m.order, t.Name)
+	m.ix.Put(t.Name, m.fingerprint(t.Query))
 	return nil
+}
+
+// fingerprint statically analyzes a trigger query for the index; queries
+// that fail to canonicalize index as unanalyzable (always evaluated).
+func (m *Manager) fingerprint(src string) *incr.Fingerprint {
+	q, err := lorel.Parse(src)
+	if err != nil {
+		return nil
+	}
+	if err := lorel.Canonicalize(q); err != nil {
+		return nil
+	}
+	return incr.Extract(q, map[string]lorel.Graph{m.name: m.d})
 }
 
 // Remove deletes a trigger.
@@ -129,6 +162,7 @@ func (m *Manager) Remove(name string) error {
 		return fmt.Errorf("%w: %q", ErrNoSuchTrig, name)
 	}
 	delete(m.triggers, name)
+	m.ix.Remove(name)
 	for i, n := range m.order {
 		if n == name {
 			m.order = append(m.order[:i], m.order[i+1:]...)
@@ -170,16 +204,30 @@ func (m *Manager) applyLocked(t timestamp.Time, ops change.Set, depth int) error
 	if err := m.d.Apply(t, ops); err != nil {
 		return err
 	}
+	mApplies.Inc()
 	// Bind t[0] = this step, t[-1] = previous step.
 	m.eng.SetPollTimes([]timestamp.Time{orNeg(prev), t})
 
-	names := append([]string(nil), m.order...)
-	sort.Strings(names) // deterministic firing order
+	// Incremental matching: probe the fingerprint index with the applied
+	// delta and evaluate only the triggers it can affect. Probe returns
+	// ids sorted, preserving the deterministic firing order; suppressed
+	// triggers are exactly those whose query provably returns no rows, so
+	// firing behavior is identical to evaluating everything.
+	var names []string
+	if m.incremental {
+		cur := m.d.Current()
+		names = m.ix.Probe(incr.Summarize(ops, cur), cur)
+		mSuppressed.Add(int64(len(m.order) - len(names)))
+	} else {
+		names = append([]string(nil), m.order...)
+		sort.Strings(names) // deterministic firing order
+	}
 	for _, name := range names {
 		tr, ok := m.triggers[name]
 		if !ok {
 			continue
 		}
+		mEvaluated.Inc()
 		res, err := m.eng.Query(tr.Query)
 		if err != nil {
 			return fmt.Errorf("trigger %q: %w", name, err)
@@ -187,6 +235,7 @@ func (m *Manager) applyLocked(t timestamp.Time, ops change.Set, depth int) error
 		if res.Len() == 0 {
 			continue
 		}
+		mFired.Inc()
 		if err := tr.Action(Firing{Trigger: name, At: t, Result: res, Depth: depth}); err != nil {
 			return fmt.Errorf("trigger %q action: %w", name, err)
 		}
