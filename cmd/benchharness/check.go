@@ -42,6 +42,8 @@ var headlineMetrics = []headlineMetric{
 	{"repl_ackone_poll_overhead", func(r *benchReport) float64 { return r.ReplAckOnePollOverhead }, false},
 	{"incr_notify_speedup_10k", func(r *benchReport) float64 { return r.IncrNotifySpeedup10k }, true},
 	{"incr_notify_flatness_10x", func(r *benchReport) float64 { return r.IncrNotifyFlatness10x }, false},
+	{"intern_eval_speedup_10k", func(r *benchReport) float64 { return r.InternEvalSpeedup10k }, true},
+	{"exists_early_exit_ratio", func(r *benchReport) float64 { return r.ExistsEarlyExitRatio }, true},
 }
 
 func readReport(path string) (*benchReport, error) {

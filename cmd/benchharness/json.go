@@ -110,6 +110,18 @@ type benchReport struct {
 	// (incr-match-100k-incr / incr-match-10k-incr): a change set touching
 	// k subscriptions costs O(k), not O(total), so this stays near 1.
 	IncrNotifyFlatness10x float64 `json:"incr_notify_flatness_10x"`
+	// InternEvalSpeedup10k is the interned+streaming evaluator's headline:
+	// a mixed exact-label traversal plus early-witness exists workload over
+	// 10k objects, string-keyed and materialized over symbol-keyed and
+	// streamed (intern-eval-10k-string / intern-eval-10k-intern). The
+	// acceptance bar is >= 1.5.
+	InternEvalSpeedup10k float64 `json:"intern_eval_speedup_10k"`
+	// ExistsEarlyExitRatio is the evidence that exists does work
+	// proportional to the witness position: the cost of an exists whose
+	// single witness is the last of 10k candidates over one whose witness
+	// is first (exists-witness-last / exists-witness-first). A collapse
+	// toward 1 means exists is materializing its full candidate set again.
+	ExistsEarlyExitRatio float64 `json:"exists_early_exit_ratio"`
 	// Obs is the metric snapshot accumulated while the suite ran with
 	// collection enabled; it includes the index_* cache counters from the
 	// indexed benchmarks.
@@ -397,6 +409,9 @@ func runJSON(path string) error {
 		return err
 	}
 	if err := runIncrJSON(&report, bench); err != nil {
+		return err
+	}
+	if err := runInternJSON(&report, bench); err != nil {
 		return err
 	}
 

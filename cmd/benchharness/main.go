@@ -97,6 +97,7 @@ func main() {
 	b13()
 	b14()
 	b15()
+	b16()
 
 	fmt.Println(strings.Repeat("=", 64))
 	if failures > 0 {

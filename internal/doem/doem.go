@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/change"
 	"repro/internal/oem"
+	"repro/internal/symbol"
 	"repro/internal/timestamp"
 	"repro/internal/value"
 )
@@ -351,7 +352,10 @@ func (d *Database) Apply(t timestamp.Time, ops change.Set) error {
 		case change.UpdNode:
 			d.nodeAnn[o.Node] = append(d.nodeAnn[o.Node], NodeAnnot{Kind: AnnotUpd, At: t, Old: oldValues[o.Node]})
 		case change.AddArc:
-			arc := oem.Arc{Parent: o.Parent, Label: o.Label, Child: o.Child}
+			// Canonicalize labels so the full-arc relation, the annotation
+			// maps and the current snapshot (whose AddArc canonicalizes the
+			// same way) all share one backing string per distinct label.
+			arc := oem.Arc{Parent: o.Parent, Label: symbol.Canon(o.Label), Child: o.Child}
 			if d.dead[arc] {
 				delete(d.dead, arc) // re-added after a removal
 			} else if !d.inOutAll(arc) {
@@ -359,7 +363,7 @@ func (d *Database) Apply(t timestamp.Time, ops change.Set) error {
 			}
 			d.arcAnn[arc] = append(d.arcAnn[arc], ArcAnnot{Kind: AnnotAdd, At: t})
 		case change.RemArc:
-			arc := oem.Arc{Parent: o.Parent, Label: o.Label, Child: o.Child}
+			arc := oem.Arc{Parent: o.Parent, Label: symbol.Canon(o.Label), Child: o.Child}
 			d.dead[arc] = true
 			d.arcAnn[arc] = append(d.arcAnn[arc], ArcAnnot{Kind: AnnotRem, At: t})
 		}

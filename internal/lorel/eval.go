@@ -44,9 +44,11 @@ type Engine struct {
 	// cache holds parsed-and-canonicalized queries by source text.
 	// Evaluation never mutates a canonicalized AST, so cached queries are
 	// shared across calls; standing queries (QSS filters, triggers) parse
-	// once.
-	cacheMu sync.Mutex
-	cache   map[string]*Query
+	// once. Eviction is two-generation (see cacheInsert): cache is the hot
+	// generation, cacheOld the previous one, probed on a miss.
+	cacheMu  sync.Mutex
+	cache    map[string]*Query
+	cacheOld map[string]*Query
 
 	// planning gates the cost-based planner (guarded by mu; see plan.go).
 	// plans caches prepared plans by canonical-AST key, pinned to the
@@ -56,8 +58,13 @@ type Engine struct {
 	plans    map[string]*prepared
 }
 
-// cacheLimit bounds the parsed-query cache; at the limit the cache is
-// simply reset (standing-query workloads use few distinct texts).
+// cacheLimit bounds one generation of the parsed-query cache; total
+// retention is at most two generations (2*cacheLimit entries). The old
+// wholesale reset at the limit dropped the hot standing-query working set
+// along with the churn that filled the cache, forcing every standing
+// query to re-parse on its next poll; the two-generation scheme keeps
+// anything re-requested within a generation's worth of churn (promotion
+// on an old-generation hit) while still evicting one-off texts.
 const cacheLimit = 256
 
 // NewEngine returns an empty engine evaluating serially, with the
@@ -153,6 +160,14 @@ func (e *Engine) cachedQuery(ctx context.Context, src string) (*Query, error) {
 	tr := obs.TraceFrom(ctx)
 	e.cacheMu.Lock()
 	q, ok := e.cache[src]
+	if !ok {
+		if oq, old := e.cacheOld[src]; old {
+			// Old-generation hit: promote into the hot generation so a
+			// standing query re-requested under churn survives rotation.
+			q, ok = oq, true
+			e.cacheInsert(src, q)
+		}
+	}
 	e.cacheMu.Unlock()
 	if ok {
 		mCacheHits.Inc()
@@ -172,13 +187,24 @@ func (e *Engine) cachedQuery(ctx context.Context, src string) (*Query, error) {
 		}
 		sp.EndNote("cache=miss")
 		e.cacheMu.Lock()
-		if len(e.cache) >= cacheLimit {
-			e.cache = make(map[string]*Query)
-		}
-		e.cache[src] = q
+		e.cacheInsert(src, q)
 		e.cacheMu.Unlock()
 	}
 	return q, nil
+}
+
+// cacheInsert adds one parsed query under cacheMu, rotating generations
+// at the limit: the hot generation becomes the old one (dropping the
+// previous old generation) and a fresh hot map starts. Entries touched
+// at least once per generation of churn are re-promoted before the old
+// generation is dropped, so the standing-query working set is never
+// wholesale-evicted by one burst of distinct texts.
+func (e *Engine) cacheInsert(src string, q *Query) {
+	if len(e.cache) >= cacheLimit {
+		e.cacheOld = e.cache
+		e.cache = make(map[string]*Query, cacheLimit)
+	}
+	e.cache[src] = q
 }
 
 // binding is a variable binding: a graph node (optionally viewed as of a
@@ -244,7 +270,24 @@ func (b binding) appendKey(dst []byte) []byte {
 		dst = append(dst, 'v')
 		dst = strconv.AppendInt(dst, int64(b.val.Kind()), 10)
 		dst = append(dst, ':')
-		return append(dst, b.val.String()...)
+		// Per-kind appends instead of b.val.String(): the kind tag plus the
+		// row key's outer length prefix keep the key injective without the
+		// quoting and formatting String() pays allocations for. Times use
+		// the same unix-seconds key as as-of components.
+		switch b.val.Kind() {
+		case value.KindInt:
+			return strconv.AppendInt(dst, b.val.AsInt(), 10)
+		case value.KindString:
+			return append(dst, b.val.AsString()...)
+		case value.KindTime:
+			return appendTimeKey(dst, b.val.AsTime())
+		case value.KindReal:
+			return strconv.AppendFloat(dst, b.val.AsReal(), 'g', -1, 64)
+		case value.KindBool:
+			return strconv.AppendBool(dst, b.val.AsBool())
+		default:
+			return append(dst, b.val.String()...)
+		}
 	default:
 		return append(dst, "null"...)
 	}
@@ -342,6 +385,9 @@ type evaluation struct {
 	pollTimes []timestamp.Time
 	ctx       context.Context
 	tick      int
+	// stream snapshots StreamingEnabled() once per evaluation, so a gate
+	// flip mid-query cannot mix the two enumeration disciplines.
+	stream bool
 
 	// trace is the per-query trace from the context (nil when untraced;
 	// every call on a nil Trace is a no-op). Shared with forked workers —
@@ -376,7 +422,7 @@ func (e *Engine) newEvaluation(ctx context.Context) *evaluation {
 	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return &evaluation{graphs: e.graphs, pollTimes: e.pollTimes, ctx: ctx, trace: tr}
+	return &evaluation{graphs: e.graphs, pollTimes: e.pollTimes, ctx: ctx, trace: tr, stream: StreamingEnabled()}
 }
 
 // fork clones the evaluation for a parallel worker: shared snapshots and
@@ -386,6 +432,7 @@ func (ev *evaluation) fork() *evaluation {
 		graphs:     ev.graphs,
 		pollTimes:  ev.pollTimes,
 		ctx:        ev.ctx,
+		stream:     ev.stream,
 		trace:      ev.trace,
 		constTimes: ev.constTimes,
 	}
@@ -487,6 +534,13 @@ func (e *Engine) evalQuery(ev *evaluation, q *Query) (*Result, error) {
 // emitter builds the tuple sink for one evaluation: it applies the where
 // clause, builds rows, and appends rows unseen in seen to *rows.
 func (ev *evaluation) emitter(q *Query, rows *[]Row, seen map[string]bool) func(*env) error {
+	return ev.emitterTo(q, seen, func(row Row) { *rows = append(*rows, row) })
+}
+
+// emitterTo is emitter with an arbitrary row sink instead of a slice: the
+// streaming parallel merge hands rows to a channel as they are produced
+// rather than buffering each shard to completion.
+func (ev *evaluation) emitterTo(q *Query, seen map[string]bool, sink func(Row)) func(*env) error {
 	var kb []byte // reused key buffer; map lookups on string(kb) do not allocate
 	return func(en *env) error {
 		ev.bindings++
@@ -507,7 +561,7 @@ func (ev *evaluation) emitter(q *Query, rows *[]Row, seen map[string]bool) func(
 			kb = row.appendKey(kb[:0])
 			if !seen[string(kb)] {
 				seen[string(kb)] = true
-				*rows = append(*rows, row)
+				sink(row)
 			} else {
 				ev.dedupHits++
 			}
@@ -528,6 +582,27 @@ func (ev *evaluation) enumerate(gens []FromItem, i, strict int, en *env, emit fu
 		return emit(en)
 	}
 	g := gens[i]
+	if ev.stream {
+		// Streaming: each binding flows into the next generator as the
+		// walker produces it; no candidate slice is held, and an errStop
+		// from a downstream consumer (a future limit-style sink)
+		// propagates up and stops the walk.
+		n := 0
+		if err := ev.walkPath(en, g.Path, func(r pathResult) error {
+			n++
+			return ev.enumerate(gens, i+1, strict, r.env.extend(g.Var, r.b), emit)
+		}); err != nil {
+			return err
+		}
+		if n > 0 || i < strict {
+			return nil // strict with no bindings: no tuples
+		}
+		// Existential generator with no matches: bind the range variable
+		// and any annotation variables its path would have bound (and no
+		// earlier generator did) to null, so the rest of the where clause
+		// still evaluates.
+		return ev.enumerate(gens, i+1, strict, nullBind(en, g), emit)
+	}
 	results, err := ev.evalPath(en, g.Path)
 	if err != nil {
 		return err
@@ -536,15 +611,7 @@ func (ev *evaluation) enumerate(gens []FromItem, i, strict int, en *env, emit fu
 		if i < strict {
 			return nil // strict: no bindings, no tuples
 		}
-		// Existential generator with no matches: bind the range variable
-		// and any annotation variables its path would have bound to null,
-		// so the rest of the where clause still evaluates (to false on
-		// every predicate that touches them).
-		nen := en.extend(g.Var, binding{kind: bNull})
-		for _, v := range pathAnnotVars(g.Path) {
-			nen = nen.extend(v, binding{kind: bNull})
-		}
-		return ev.enumerate(gens, i+1, strict, nen, emit)
+		return ev.enumerate(gens, i+1, strict, nullBind(en, g), emit)
 	}
 	for _, r := range results {
 		if err := ev.enumerate(gens, i+1, strict, r.env.extend(g.Var, r.b), emit); err != nil {
@@ -1118,24 +1185,25 @@ func (ev *evaluation) evalOperand(en *env, ex Expr) ([]binding, error) {
 // the coercible numeric (or, for min/max, comparable) values and yield null
 // on an empty fold.
 func (ev *evaluation) evalAggregate(en *env, agg *AggExpr) (value.Value, error) {
-	rs, err := ev.evalPath(en, agg.Path)
-	if err != nil {
-		return value.Value{}, err
-	}
-	if agg.Fn == "count" {
-		return value.Int(int64(len(rs))), nil
-	}
+	// The fold consumes the walker's stream directly (when streaming is
+	// on) instead of materializing the match slice first; a count over a
+	// large path holds no intermediate state but the counter.
 	var acc value.Value
+	var cnt int64
 	n := 0
-	for _, r := range rs {
+	fold := func(r pathResult) error {
+		cnt++
+		if agg.Fn == "count" {
+			return nil
+		}
 		v, ok := r.b.valueOf()
 		if !ok || v.IsComplex() || v.Kind() == value.KindNull {
-			continue
+			return nil
 		}
 		if n == 0 {
 			acc = v
 			n++
-			continue
+			return nil
 		}
 		switch agg.Fn {
 		case "min":
@@ -1150,10 +1218,27 @@ func (ev *evaluation) evalAggregate(en *env, agg *AggExpr) (value.Value, error) 
 			if s, ok := value.Arith("+", acc, v); ok {
 				acc = s
 			} else {
-				continue
+				return nil
 			}
 		}
 		n++
+		return nil
+	}
+	if ev.stream {
+		if err := ev.walkPath(en, agg.Path, fold); err != nil {
+			return value.Value{}, err
+		}
+	} else {
+		rs, err := ev.evalPath(en, agg.Path)
+		if err != nil {
+			return value.Value{}, err
+		}
+		for _, r := range rs {
+			_ = fold(r)
+		}
+	}
+	if agg.Fn == "count" {
+		return value.Int(cnt), nil
 	}
 	if n == 0 {
 		return value.Null(), nil
@@ -1220,20 +1305,29 @@ func (ev *evaluation) evalBool(en *env, ex Expr) (bool, error) {
 		ok, err := ev.evalBool(en, x.E)
 		return !ok, err
 	case *ExistsExpr:
-		rs, err := ev.evalPath(en, x.In)
-		if err != nil {
-			return false, err
-		}
-		for _, r := range rs {
+		// Stream candidates and stop at the first witness. Materializing
+		// the whole x.In result set before testing a single candidate made
+		// exists pay for every match even when the first one satisfied;
+		// this walk does work proportional to the first witness's position.
+		// The walker is used here regardless of the REPRO_NOSTREAM gate:
+		// the short-circuit is a bugfix, not an optimization mode.
+		found := false
+		err := ev.walkPath(en, x.In, func(r pathResult) error {
+			ev.bindings++ // one candidate examined
 			ok, err := ev.evalBool(r.env.extend(x.Var, r.b), x.Cond)
 			if err != nil {
-				return false, err
+				return err
 			}
 			if ok {
-				return true, nil
+				found = true
+				return errStop
 			}
+			return nil
+		})
+		if err != nil && err != errStop {
+			return false, err
 		}
-		return false, nil
+		return found, nil
 	case *ConstExpr:
 		return x.Val.Truthy(), nil
 	case *PathValueExpr:

@@ -3,6 +3,7 @@ package lorel
 import (
 	"repro/internal/doem"
 	"repro/internal/oem"
+	"repro/internal/symbol"
 	"repro/internal/timestamp"
 	"repro/internal/value"
 )
@@ -69,6 +70,25 @@ type AllLabelSeeker interface {
 	// OutAllLabeled returns every arc of n labeled exactly label,
 	// removed arcs included, in insertion order.
 	OutAllLabeled(n oem.NodeID, label string) []oem.Arc
+}
+
+// SymSeeker is an optional Graph extension serving exact-label adjacency
+// by interned symbol id. The evaluator resolves a path step's label to a
+// symbol once per walk (symbol.Lookup) and then probes with the id per
+// binding, replacing a string-keyed map hash per binding with a fixed
+// 12-byte key hash. The boolean result reports whether the graph could
+// serve the request at all: ok=false (for example, the index tables were
+// built with interning disabled) sends the evaluator to the string-keyed
+// LabelSeeker path, so a gate flip between builds degrades instead of
+// misses. When ok=true the arcs must be exactly what OutLabeled /
+// OutAllLabeled would return for the symbol's string.
+type SymSeeker interface {
+	// OutLabeledSym returns the current-snapshot arcs of n whose label is
+	// the canonical string of sym, in insertion order.
+	OutLabeledSym(n oem.NodeID, sym symbol.ID) ([]oem.Arc, bool)
+	// OutAllLabeledSym is the same over the full arc relation, removed
+	// arcs included.
+	OutAllLabeledSym(n oem.NodeID, sym symbol.ID) ([]oem.Arc, bool)
 }
 
 // TimeSeeker is an optional Graph extension serving time-travel adjacency:

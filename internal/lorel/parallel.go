@@ -50,6 +50,20 @@ func (ev *evaluation) evalParallel(q *Query, gens []FromItem, strict, workers in
 		dedupHits int64
 	}
 	shards := make([]shard, workers)
+	// In streaming mode each worker sends rows over a bounded channel as
+	// they are produced; the merge consumes the channels in partition order
+	// while later workers are still running, so shards never buffer in full
+	// and the first rows reach the merged result before the last outer
+	// binding has been enumerated. Order is unchanged: channel i is drained
+	// to exhaustion before channel i+1 is touched, which is exactly the
+	// concatenation order the buffered merge uses.
+	var chans []chan Row
+	if ev.stream {
+		chans = make([]chan Row, workers)
+		for w := range chans {
+			chans[w] = make(chan Row, 256)
+		}
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo := w * len(outer) / workers
@@ -60,7 +74,18 @@ func (ev *evaluation) evalParallel(q *Query, gens []FromItem, strict, workers in
 			sp := ev.trace.StartSpan("worker")
 			wev := ev.fork()
 			seen := make(map[string]bool)
-			emit := wev.emitter(q, &sh.rows, seen)
+			rows := 0
+			var emit func(*env) error
+			if ev.stream {
+				ch := chans[w]
+				// errAt/err are written before close(ch); the merge reads
+				// them only after draining ch, so close synchronizes the
+				// hand-off.
+				defer close(ch)
+				emit = wev.emitterTo(q, seen, func(row Row) { rows++; ch <- row })
+			} else {
+				emit = wev.emitter(q, &sh.rows, seen)
+			}
 			for i := lo; i < hi; i++ {
 				r := outer[i]
 				en := r.env.extend(gens[0].Var, r.b)
@@ -70,8 +95,29 @@ func (ev *evaluation) evalParallel(q *Query, gens []FromItem, strict, workers in
 				}
 			}
 			sh.bindings, sh.dedupHits = wev.bindings, wev.dedupHits
-			sp.EndNote("w=%d range=[%d,%d) rows=%d", w, lo, hi, len(sh.rows))
+			if !ev.stream {
+				rows = len(sh.rows)
+			}
+			sp.EndNote("w=%d range=[%d,%d) rows=%d", w, lo, hi, rows)
 		}(w, &shards[w], lo, hi)
+	}
+
+	res = &Result{}
+	if ev.stream {
+		msp := ev.trace.StartSpan("merge")
+		seen := make(map[string]bool)
+		for _, ch := range chans {
+			for row := range ch {
+				k := row.key()
+				if !seen[k] {
+					seen[k] = true
+					res.Rows = append(res.Rows, row)
+				} else {
+					ev.dedupHits++
+				}
+			}
+		}
+		msp.EndNote("workers=%d rows=%d", workers, len(res.Rows))
 	}
 	wg.Wait()
 	for i := range shards {
@@ -95,20 +141,21 @@ func (ev *evaluation) evalParallel(q *Query, gens []FromItem, strict, workers in
 		return nil, true, firstErr
 	}
 
-	msp := ev.trace.StartSpan("merge")
-	res = &Result{}
-	seen := make(map[string]bool)
-	for i := range shards {
-		for _, row := range shards[i].rows {
-			k := row.key()
-			if !seen[k] {
-				seen[k] = true
-				res.Rows = append(res.Rows, row)
-			} else {
-				ev.dedupHits++
+	if !ev.stream {
+		msp := ev.trace.StartSpan("merge")
+		seen := make(map[string]bool)
+		for i := range shards {
+			for _, row := range shards[i].rows {
+				k := row.key()
+				if !seen[k] {
+					seen[k] = true
+					res.Rows = append(res.Rows, row)
+				} else {
+					ev.dedupHits++
+				}
 			}
 		}
+		msp.EndNote("workers=%d rows=%d", workers, len(res.Rows))
 	}
-	msp.EndNote("workers=%d rows=%d", workers, len(res.Rows))
 	return res, true, nil
 }

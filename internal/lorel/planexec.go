@@ -111,6 +111,19 @@ func (x *plannedExec) run(en *env, d int) error {
 	}
 	gi := pl.Order[d]
 	g := x.gens[gi]
+	if x.ev.stream {
+		// Stream candidates through the walker instead of materializing the
+		// generator's binding list. The walker yields in the exact order
+		// evalPath would return, so the candidate index k (the written-order
+		// rank component for reordered plans) is just a running counter.
+		k := int32(0)
+		return x.ev.walkPath(en, g.Path, func(r pathResult) error {
+			x.actual[gi]++
+			x.idx[gi] = k
+			k++
+			return x.run(r.env.extend(g.Var, r.b), d+1)
+		})
+	}
 	results, err := x.ev.evalPath(en, g.Path)
 	if err != nil {
 		return err
@@ -144,17 +157,44 @@ func (x *plannedExec) existSat(en *env, d int) (bool, error) {
 	}
 	gi := pl.Order[pl.NStrict+d]
 	g := x.gens[gi]
+	if x.ev.stream {
+		// Existential search only needs one satisfying completion, so the
+		// walker stops producing candidates at the first one: candidates
+		// past the witness are never generated at all, and actual[gi]
+		// counts only the candidates actually examined.
+		n := 0
+		sat := false
+		err := x.ev.walkPath(en, g.Path, func(r pathResult) error {
+			n++
+			x.actual[gi]++
+			s, err := x.existSat(r.env.extend(g.Var, r.b), d+1)
+			if err != nil {
+				return err
+			}
+			if s {
+				sat = true
+				return errStop
+			}
+			return nil
+		})
+		if err != nil && err != errStop {
+			return false, err
+		}
+		if sat {
+			return true, nil
+		}
+		if n == 0 {
+			return x.existSat(nullBind(en, g), d+1)
+		}
+		return false, nil
+	}
 	results, err := x.ev.evalPath(en, g.Path)
 	if err != nil {
 		return false, err
 	}
 	x.actual[gi] += int64(len(results))
 	if len(results) == 0 {
-		nen := en.extend(g.Var, binding{kind: bNull})
-		for _, v := range pathAnnotVars(g.Path) {
-			nen = nen.extend(v, binding{kind: bNull})
-		}
-		return x.existSat(nen, d+1)
+		return x.existSat(nullBind(en, g), d+1)
 	}
 	for _, r := range results {
 		sat, err := x.existSat(r.env.extend(g.Var, r.b), d+1)

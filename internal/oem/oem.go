@@ -14,6 +14,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/symbol"
 	"repro/internal/value"
 )
 
@@ -215,6 +216,10 @@ func (db *Database) AddArc(p NodeID, l string, c NodeID) error {
 	if l == "" {
 		return ErrEmptyLabel
 	}
+	// Canonicalize the label so every arc with the same label shares one
+	// backing string, whatever decoder or caller produced it. Equality and
+	// map keys are content-based, so callers never observe the swap.
+	l = symbol.Canon(l)
 	if !db.Has(p) {
 		return fmt.Errorf("%w: parent %s", ErrNoSuchNode, p)
 	}

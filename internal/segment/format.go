@@ -16,6 +16,7 @@ import (
 	"repro/internal/doem"
 	"repro/internal/oem"
 	"repro/internal/oemio"
+	"repro/internal/symbol"
 	"repro/internal/timestamp"
 	"repro/internal/value"
 )
@@ -539,7 +540,9 @@ func decodeState(data []byte) (*storeState, error) {
 				return nil, fmt.Errorf("%w: registry child", ErrCorrupt)
 			}
 			body = body[n:]
-			arcs = append(arcs, oem.Arc{Parent: oem.NodeID(p), Label: label, Child: oem.NodeID(child)})
+			// Decoded labels are fresh allocations; canonicalize so the
+			// registry shares backing strings with the active database.
+			arcs = append(arcs, oem.Arc{Parent: oem.NodeID(p), Label: symbol.Canon(label), Child: oem.NodeID(child)})
 		}
 		st.registry[oem.NodeID(p)] = arcs
 	}

@@ -26,6 +26,7 @@ import (
 	"repro/internal/doem"
 	"repro/internal/obs"
 	"repro/internal/oem"
+	"repro/internal/symbol"
 	"repro/internal/timestamp"
 	"repro/internal/value"
 	"repro/internal/wal"
@@ -314,7 +315,9 @@ func (s *Store) mergeOps(ops change.Set) {
 	for _, op := range ops.Canonical() {
 		switch o := op.(type) {
 		case change.AddArc:
-			a := oem.Arc{Parent: o.Parent, Label: o.Label, Child: o.Child}
+			// Canonical labels keep the registry sharing backing strings
+			// with the active doem database and the oem snapshots.
+			a := oem.Arc{Parent: o.Parent, Label: symbol.Canon(o.Label), Child: o.Child}
 			if !s.member[a] {
 				s.member[a] = true
 				s.registry[o.Parent] = append(s.registry[o.Parent], a)
@@ -669,7 +672,7 @@ func (s *Store) rebuildState() (*storeState, error) {
 			for _, op := range step.Ops.Canonical() {
 				switch o := op.(type) {
 				case change.AddArc:
-					a := oem.Arc{Parent: o.Parent, Label: o.Label, Child: o.Child}
+					a := oem.Arc{Parent: o.Parent, Label: symbol.Canon(o.Label), Child: o.Child}
 					if !member[a] {
 						member[a] = true
 						st.registry[o.Parent] = append(st.registry[o.Parent], a)
